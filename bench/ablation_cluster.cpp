@@ -1,0 +1,92 @@
+// Ablation: spatio-temporal correlation gating on vs off (§IV-C).
+//
+// The node level deliberately runs at a permissive operating point, so
+// false alarms are plentiful. Without the correlation gate (C threshold
+// 0), any temporary cluster that collects enough reports reaches the
+// sink as an "intrusion"; with the gate at 0.4 only ordered (ship-like)
+// report sets pass. The bench measures sink-level false positives on
+// quiet seas and sink-level detections on real passes, with and without
+// the gate.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/sid_system.h"
+
+namespace {
+
+sid::core::SidSystemConfig base_config(std::uint64_t seed) {
+  sid::core::SidSystemConfig cfg;
+  cfg.network.rows = 6;
+  cfg.network.cols = 6;
+  cfg.network.seed = seed;
+  cfg.scenario.seed = seed * 17;
+  cfg.scenario.trace.duration_s = 260.0;
+  // Moderately permissive node level: sparse-but-regular false alarms
+  // (at saturating settings like M=1.5/a_f=0.4 even propagating wave
+  // groups sweep the grid like weak ships and no report-level statistic
+  // can separate them; the paper's Table I likewise harvests *sparse*
+  // false alarms).
+  cfg.scenario.detector.threshold_multiplier_m = 2.0;
+  cfg.scenario.detector.anomaly_frequency_threshold = 0.45;
+  cfg.cluster.min_reports = 4;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  using namespace sid;
+  bench::print_header(
+      "Ablation: cluster-level correlation gate",
+      "Sink-level outcomes with the C > 0.4 gate vs no gate, at a\n"
+      "permissive node operating point (M = 2.0, a_f = 45 %).");
+
+  constexpr int kTrials = 6;
+  int fp_gated = 0, fp_ungated = 0;
+  int tp_gated = 0, tp_ungated = 0;
+
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const auto seed = static_cast<std::uint64_t>(50 + trial);
+    for (bool gated : {true, false}) {
+      auto cfg = base_config(seed);
+      if (!gated) {
+        cfg.cluster.correlation_threshold = 0.0;
+        cfg.cluster.min_rows_for_threshold = 1;
+        cfg.cluster.min_sweep_consistency = 0.0;
+      }
+      // Quiet sea: any intrusion report is a false positive.
+      {
+        core::SidSystem system(cfg);
+        const bool intrusion = system.run({}).intrusion_reported();
+        (gated ? fp_gated : fp_ungated) += intrusion ? 1 : 0;
+      }
+      // Real pass: an intrusion report is a true positive.
+      {
+        core::SidSystem system(cfg);
+        const auto ship =
+            bench::crossing_ship(10.0, 85.0 + 2.0 * trial, 60.0);
+        const bool intrusion =
+            system.run(std::vector<wake::ShipTrackConfig>{ship})
+                .intrusion_reported();
+        (gated ? tp_gated : tp_ungated) += intrusion ? 1 : 0;
+      }
+    }
+  }
+
+  util::TablePrinter table({"configuration", "quiet-sea false positives",
+                            "ship-pass detections"});
+  table.add_row({"correlation gate (C > 0.4, >= 4 rows)",
+                 std::to_string(fp_gated) + " / " + std::to_string(kTrials),
+                 std::to_string(tp_gated) + " / " + std::to_string(kTrials)});
+  table.add_row({"no gate",
+                 std::to_string(fp_ungated) + " / " + std::to_string(kTrials),
+                 std::to_string(tp_ungated) + " / " +
+                     std::to_string(kTrials)});
+  table.print(std::cout);
+
+  std::cout << "\nShape check: without the gate the sink sees false "
+               "intrusions on quiet seas;\nwith the gate it keeps the real "
+               "detections and drops the false ones\n(the paper's §IV-C "
+               "reliability argument).\n";
+  return 0;
+}

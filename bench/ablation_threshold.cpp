@@ -1,0 +1,102 @@
+// Ablation: environment-adaptive threshold (Eq. 5) vs a frozen threshold.
+//
+// §IV-B motivates the adaptive design: "Because ocean waves change with
+// wind and time, the threshold should reflect that changing." The
+// workload calibrates both detectors on calm water, then roughens the
+// sea. The frozen detector's false-alarm rate explodes; the adaptive one
+// (with the slow storm path) recovers.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/node_detector.h"
+#include "ocean/wave_field.h"
+#include "ocean/wave_spectrum.h"
+#include "sensing/trace.h"
+
+namespace {
+
+/// Counts alarms in the second (rough) half of a calm->rough record.
+std::size_t rough_phase_alarms(bool adaptive, std::uint64_t seed) {
+  using namespace sid;
+  core::NodeDetectorConfig cfg;
+  cfg.threshold_multiplier_m = 2.5;
+  cfg.anomaly_frequency_threshold = 0.5;
+  cfg.refractory_s = 10.0;
+  if (!adaptive) {
+    // Freeze everything after initialization.
+    cfg.beta1 = 0.999999;
+    cfg.beta2 = 0.999999;
+    cfg.storm_adaptation_beta = 1.0;
+  }
+  core::NodeDetector detector(cfg);
+
+  sense::TraceConfig trace_cfg;
+  trace_cfg.buoy.anchor = {0.0, 0.0};
+  trace_cfg.buoy.seed = seed + 1;
+  trace_cfg.accel.seed = seed + 2;
+
+  // Calm phase: 200 s.
+  const auto calm_spec = ocean::make_sea_spectrum(ocean::SeaState::kCalm);
+  ocean::WaveFieldConfig f1;
+  f1.seed = seed;
+  const ocean::WaveField calm_field(*calm_spec, f1);
+  trace_cfg.duration_s = 200.0;
+  trace_cfg.start_time_s = 0.0;
+  const auto calm_trace = sense::generate_ocean_trace(calm_field, trace_cfg);
+  for (std::size_t i = 0; i < calm_trace.size(); ++i) {
+    detector.process_sample(calm_trace.z[i], calm_trace.time_at(i));
+  }
+
+  // Rough phase: 400 s of a rougher sea.
+  const auto rough_spec =
+      ocean::make_sea_spectrum(ocean::SeaState::kModerate);
+  ocean::WaveFieldConfig f2;
+  f2.seed = seed + 7;
+  const ocean::WaveField rough_field(*rough_spec, f2);
+  trace_cfg.duration_s = 400.0;
+  trace_cfg.start_time_s = 200.0;
+  const auto rough_trace =
+      sense::generate_ocean_trace(rough_field, trace_cfg);
+  std::size_t alarms = 0;
+  for (std::size_t i = 0; i < rough_trace.size(); ++i) {
+    if (detector.process_sample(rough_trace.z[i], rough_trace.time_at(i))) {
+      ++alarms;
+    }
+  }
+  return alarms;
+}
+
+}  // namespace
+
+int main() {
+  using namespace sid;
+  bench::print_header(
+      "Ablation: adaptive vs frozen threshold",
+      "False alarms during 400 s after the sea roughens from calm to\n"
+      "moderate, with the threshold calibrated on calm water. Motivates\n"
+      "the paper's Eq. 5 environment-adaptive design.");
+
+  constexpr int kTrials = 8;
+  std::size_t adaptive_total = 0;
+  std::size_t frozen_total = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const auto seed = static_cast<std::uint64_t>(600 + trial * 13);
+    adaptive_total += rough_phase_alarms(true, seed);
+    frozen_total += rough_phase_alarms(false, seed);
+  }
+
+  util::TablePrinter table(
+      {"threshold", "false alarms (total)", "per 400 s trial"});
+  table.add_row({"adaptive (Eq. 5 + storm path)",
+                 std::to_string(adaptive_total),
+                 util::TablePrinter::num(
+                     static_cast<double>(adaptive_total) / kTrials, 1)});
+  table.add_row({"frozen after init", std::to_string(frozen_total),
+                 util::TablePrinter::num(
+                     static_cast<double>(frozen_total) / kTrials, 1)});
+  table.print(std::cout);
+
+  std::cout << "\nShape check: the frozen detector raises several times "
+               "more false alarms\nafter the weather change.\n";
+  return 0;
+}

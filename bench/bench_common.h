@@ -1,0 +1,48 @@
+// Shared helpers for the per-figure/table benchmark harnesses.
+//
+// Every harness prints a header naming the paper artifact it reproduces,
+// the workload parameters, and then the same rows/series the paper
+// reports, via util::TablePrinter. Shapes (orderings, crossover points)
+// are the reproduction target; absolute numbers differ because the
+// substrate is synthetic (see DESIGN.md §1).
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/scenario.h"
+#include "shipwave/ship.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace sid::bench {
+
+inline void print_header(const std::string& artifact,
+                         const std::string& description) {
+  std::cout << "\n==========================================================\n"
+            << "SID reproduction: " << artifact << "\n"
+            << description << "\n"
+            << "==========================================================\n";
+}
+
+/// A ship crossing the grid roughly perpendicular to the rows (the Fig. 9
+/// geometry): heading `heading_deg` from the row (x) axis, crossing the
+/// line y = 0 at x = cross_x.
+inline wake::ShipTrackConfig crossing_ship(double speed_knots,
+                                           double heading_deg,
+                                           double cross_x,
+                                           double start_y = -400.0,
+                                           double start_time_s = 0.0) {
+  wake::ShipTrackConfig ship;
+  const double phi = util::deg_to_rad(heading_deg);
+  ship.start = {cross_x + start_y / std::tan(phi), start_y};
+  ship.heading_rad = phi;
+  ship.speed_mps = util::knots_to_mps(speed_knots);
+  ship.start_time_s = start_time_s;
+  return ship;
+}
+
+}  // namespace sid::bench

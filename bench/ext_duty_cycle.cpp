@@ -1,0 +1,73 @@
+// Extension bench (§IV-A): sentinel duty cycling — mean node power vs
+// detection coverage for sentinel strides 1 (always on), 2 and 3, with
+// fast and slow wake-up re-initialization.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/duty_cycle.h"
+#include "core/scenario.h"
+#include "wsn/network.h"
+
+int main() {
+  using namespace sid;
+  bench::print_header(
+      "Extension: sentinel duty cycling (paper §IV-A)",
+      "Coverage (detections kept vs always-on) and mean node power for\n"
+      "sentinel strides 1-3. 6x6 grid, 10 kn pass. Slow wake-up loses the\n"
+      "pass for the sleepers; a fast re-init keeps most of it.");
+
+  constexpr int kTrials = 6;
+  util::TablePrinter table({"stride", "re-init (s)", "sentinels",
+                            "coverage", "mean power (mW)",
+                            "power saving"});
+
+  for (std::size_t stride : {std::size_t{1}, std::size_t{2}, std::size_t{3}}) {
+    for (double ready_delay : {12.0, 60.0}) {
+      if (stride == 1 && ready_delay > 12.0) continue;  // baseline once
+      double coverage_sum = 0.0;
+      double power = 0.0;
+      std::size_t sentinels = 0;
+      for (int trial = 0; trial < kTrials; ++trial) {
+        wsn::NetworkConfig net_cfg;
+        net_cfg.rows = 6;
+        net_cfg.cols = 6;
+        net_cfg.seed = static_cast<std::uint64_t>(90 + trial);
+        wsn::Network network(net_cfg);
+
+        core::ScenarioConfig scen;
+        scen.seed = static_cast<std::uint64_t>(800 + trial);
+        scen.trace.duration_s = 260.0;
+        scen.detector.threshold_multiplier_m = 2.0;
+        scen.detector.anomaly_frequency_threshold = 0.5;
+
+        const auto ship =
+            bench::crossing_ship(10.0, 84.0 + 2.0 * trial, 60.0);
+        const std::vector<wake::ShipTrackConfig> ships{ship};
+        const auto run = core::simulate_node_reports(network, ships, scen);
+
+        core::DutyCycleConfig duty;
+        duty.sentinel_stride = stride;
+        duty.ready_delay_s = ready_delay;
+        const auto outcome = core::evaluate_duty_cycle(run, network, duty);
+        coverage_sum += outcome.coverage();
+        power = outcome.mean_power_mw;
+        sentinels = outcome.sentinels;
+      }
+      const double always_on_power = core::DutyCycleConfig{}.active_power_mw;
+      table.add_row(
+          {std::to_string(stride), util::TablePrinter::num(ready_delay, 0),
+           std::to_string(sentinels),
+           util::TablePrinter::num(coverage_sum / kTrials, 2),
+           util::TablePrinter::num(power, 2),
+           util::TablePrinter::num(
+               100.0 * (1.0 - power / always_on_power), 0) +
+               " %"});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nShape check: stride 2 with a fast re-init keeps most of "
+               "the always-on\ncoverage at a fraction of the power; a slow "
+               "re-init or sparse sentinels\ntrade coverage away.\n";
+  return 0;
+}

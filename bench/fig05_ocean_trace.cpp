@@ -1,0 +1,65 @@
+// Reproduces Fig. 5: "Ocean waves measured by three-axis accelerometer"
+// — a 250 s three-axis count trace from a buoy riding moderate open
+// water. The paper's trace shows x/y fluctuating by hundreds of counts
+// around 0 and z around ~1000 counts (1 g); the harness prints per-axis
+// summary statistics and a coarse down-sampled series.
+#include <iostream>
+
+#include "bench_common.h"
+#include "ocean/wave_field.h"
+#include "ocean/wave_spectrum.h"
+#include "sensing/trace.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace sid;
+  bench::print_header(
+      "Figure 5",
+      "250 s three-axis ocean-wave trace (no ship), 50 Hz, ADC counts.\n"
+      "Expected shape: x/y centred near 0, z centred near 1024 (1 g),\n"
+      "all axes fluctuating by tens-to-hundreds of counts.");
+
+  const auto spectrum = ocean::make_sea_spectrum(ocean::SeaState::kModerate);
+  ocean::WaveFieldConfig field_cfg;
+  field_cfg.seed = 2025;
+  const ocean::WaveField field(*spectrum, field_cfg);
+
+  sense::TraceConfig trace_cfg;
+  trace_cfg.duration_s = 250.0;
+  trace_cfg.buoy.anchor = {0.0, 0.0};
+  const auto trace = sense::generate_ocean_trace(field, trace_cfg);
+
+  util::TablePrinter stats({"axis", "mean (counts)", "std", "min", "max"});
+  for (const auto& [name, axis] :
+       {std::pair{"x", &trace.x}, {"y", &trace.y}, {"z", &trace.z}}) {
+    util::RunningStats rs;
+    for (double v : *axis) rs.add(v);
+    stats.add_row({name, util::TablePrinter::num(rs.mean(), 1),
+                   util::TablePrinter::num(rs.stddev(), 1),
+                   util::TablePrinter::num(rs.min(), 0),
+                   util::TablePrinter::num(rs.max(), 0)});
+  }
+  stats.print(std::cout);
+
+  std::cout << "\n10 s-average |deviation| series (counts), one row per 25 s:\n";
+  util::TablePrinter series({"t (s)", "x dev", "y dev", "z dev (from 1 g)"});
+  const std::size_t chunk = 25 * 50;
+  for (std::size_t start = 0; start + chunk <= trace.size(); start += chunk) {
+    double dx = 0, dy = 0, dz = 0;
+    for (std::size_t i = start; i < start + chunk; ++i) {
+      dx += std::abs(trace.x[i]);
+      dy += std::abs(trace.y[i]);
+      dz += std::abs(trace.z[i] - 1024.0);
+    }
+    const double n = static_cast<double>(chunk);
+    series.add_row({util::TablePrinter::num(trace.time_at(start), 0),
+                    util::TablePrinter::num(dx / n, 1),
+                    util::TablePrinter::num(dy / n, 1),
+                    util::TablePrinter::num(dz / n, 1)});
+  }
+  series.print(std::cout);
+  std::cout << "\nShape check vs paper: z mean within 1024 +/- 40 counts, "
+               "x/y means within +/- 40 counts,\nall axes show visible wave "
+               "fluctuation (std > 15 counts).\n";
+  return 0;
+}

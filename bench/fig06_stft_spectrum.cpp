@@ -1,0 +1,92 @@
+// Reproduces Fig. 6: 2048-point (40.96 s) STFT of the z-axis signal.
+// (a) ocean only: one high, narrow spectral peak at the swell frequency;
+// (b) ocean + ship: additional peaks / raised energy away from the swell
+// peak. The harness prints the dominant peaks of both spectra and the
+// band-energy contrast.
+#include <iostream>
+
+#include "bench_common.h"
+#include "dsp/features.h"
+#include "dsp/stft.h"
+#include "ocean/wave_field.h"
+#include "ocean/wave_spectrum.h"
+#include "sensing/trace.h"
+#include "shipwave/wave_train.h"
+
+namespace {
+
+std::vector<double> record(bool with_ship, std::uint64_t seed) {
+  using namespace sid;
+  const auto spectrum = ocean::make_sea_spectrum(ocean::SeaState::kCalm);
+  ocean::WaveFieldConfig field_cfg;
+  field_cfg.seed = seed;
+  const ocean::WaveField field(*spectrum, field_cfg);
+
+  sense::TraceConfig trace_cfg;
+  trace_cfg.duration_s = 120.0;
+  trace_cfg.buoy.anchor = {25.0, 0.0};
+  trace_cfg.buoy.seed = seed + 1;
+  trace_cfg.accel.seed = seed + 2;
+
+  std::vector<wake::WakeTrain> trains;
+  if (with_ship) {
+    const auto ship = bench::crossing_ship(12.0, 90.0, 0.0, -250.0);
+    if (auto train = wake::make_wake_train(wake::ShipTrack(ship),
+                                           {25.0, 0.0})) {
+      trains.push_back(*train);
+    }
+  }
+  return sense::generate_trace(field, trains, trace_cfg).z_centered();
+}
+
+}  // namespace
+
+int main() {
+  using namespace sid;
+  bench::print_header(
+      "Figure 6",
+      "2048-point STFT (40.96 s at 50 Hz) of the z signal.\n"
+      "(a) ocean only -> single dominant swell peak;\n"
+      "(b) ocean + 12 kn ship at 25 m -> extra peaks and several times "
+      "the wave-band energy.");
+
+  for (bool with_ship : {false, true}) {
+    const auto rec = record(with_ship, 2468);
+    const std::size_t start = rec.size() / 2 - 1024;
+    auto power = dsp::frame_power_spectrum(
+        std::span<const double>(rec).subspan(start, 2048),
+        dsp::WindowType::kHann);
+    // Wave band only (the paper's axis runs 0-5 Hz, energy below ~2 Hz).
+    power.resize(static_cast<std::size_t>(2.5 * 2048 / 50.0) + 1);
+
+    std::cout << "\n--- " << (with_ship ? "(b) ocean + ship" : "(a) ocean only")
+              << " ---\n";
+    const auto peaks = dsp::find_peaks(power, 50.0, 2048, 0.10, 3);
+    util::TablePrinter table({"peak", "frequency (Hz)", "power",
+                              "relative to max"});
+    const double max_power = peaks.empty() ? 1.0 : peaks.front().power;
+    for (std::size_t i = 0; i < std::min<std::size_t>(peaks.size(), 6); ++i) {
+      table.add_row({std::to_string(i + 1),
+                     util::TablePrinter::num(peaks[i].frequency_hz, 3),
+                     util::TablePrinter::num(peaks[i].power, 0),
+                     util::TablePrinter::num(peaks[i].power / max_power, 2)});
+    }
+    table.print(std::cout);
+
+    const auto features = dsp::extract_spectral_features(power, 50.0, 2048);
+    double band_energy = 0.0;
+    for (std::size_t k = 1; k < power.size(); ++k) band_energy += power[k];
+    std::cout << "wave-band energy = "
+              << util::TablePrinter::num(band_energy, 0)
+              << ", peak concentration = "
+              << util::TablePrinter::num(features.concentration, 3)
+              << ", spectral entropy = "
+              << util::TablePrinter::num(features.entropy_bits, 2)
+              << " bits\n";
+  }
+
+  std::cout << "\nShape check vs paper: the ship frame has higher wave-band "
+               "energy and more\nsignificant peaks than the ocean-only "
+               "frame (Fig. 6b vs 6a).\n";
+  return 0;
+}

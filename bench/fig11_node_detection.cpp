@@ -1,0 +1,101 @@
+// Reproduces Fig. 11: "The relationship between anomaly frequency and
+// success detection ratio" — the node-level successful-detection ratio
+// (true alarms / all alarms) as a function of the required anomaly
+// frequency a_f, for threshold multipliers M in {1, 1.5, 2, 2.5, 3}.
+//
+// Workload: a single buoy 25 m from the sailing line of a 10-knot boat,
+// calm harbor water, 240 s per trial. Alarms whose onset falls within
+// +/-5 s of the wake-front arrival are successful; everything else is a
+// false alarm. Paper shape: the ratio rises with a_f and with M;
+// at M = 2, a_f = 60 % the paper reports a ratio above 70 %.
+#include <iostream>
+#include <map>
+
+#include "bench_common.h"
+#include "core/node_detector.h"
+#include "ocean/wave_field.h"
+#include "ocean/wave_spectrum.h"
+#include "sensing/trace.h"
+#include "shipwave/wave_train.h"
+
+int main() {
+  using namespace sid;
+  bench::print_header(
+      "Figure 11",
+      "Node-level successful detection ratio vs anomaly frequency "
+      "threshold a_f,\nfor M in {1, 1.5, 2, 2.5, 3}. One node at D = 25 m, "
+      "10 kn passes, 240 s trials.");
+
+  const std::vector<double> m_values{1.0, 1.5, 2.0, 2.5, 3.0};
+  const std::vector<double> af_values{0.40, 0.50, 0.60, 0.70, 0.80,
+                                      0.90, 1.00};
+  constexpr int kTrials = 24;
+  constexpr double kMatchToleranceS = 5.0;
+
+  // (M, af) -> {tp, fp}
+  std::map<std::pair<double, double>, std::pair<int, int>> counts;
+
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const auto seed = static_cast<std::uint64_t>(9000 + trial);
+    const auto spectrum = ocean::make_sea_spectrum(ocean::SeaState::kCalm);
+    ocean::WaveFieldConfig field_cfg;
+    field_cfg.seed = seed;
+    const ocean::WaveField field(*spectrum, field_cfg);
+
+    auto ship = bench::crossing_ship(10.0, 90.0, 0.0);
+    ship.start_time_s = 10.0 + 1.7 * trial;  // vary the arrival phase
+    const auto train =
+        wake::make_wake_train(wake::ShipTrack(ship), {25.0, 0.0});
+
+    sense::TraceConfig trace_cfg;
+    trace_cfg.duration_s = 240.0;
+    trace_cfg.buoy.anchor = {25.0, 0.0};
+    trace_cfg.buoy.seed = seed * 3 + 1;
+    trace_cfg.accel.seed = seed * 3 + 2;
+    const std::vector<wake::WakeTrain> trains{*train};
+    const auto trace = sense::generate_trace(field, trains, trace_cfg);
+    const double arrival = train->params().arrival_time_s;
+
+    for (double m : m_values) {
+      for (double af : af_values) {
+        core::NodeDetectorConfig det_cfg;
+        det_cfg.threshold_multiplier_m = m;
+        det_cfg.anomaly_frequency_threshold = af;
+        core::NodeDetector detector(det_cfg);
+        auto& [tp, fp] = counts[{m, af}];
+        for (const auto& alarm : detector.process_trace(trace)) {
+          if (std::abs(alarm.onset_time_s - arrival) <= kMatchToleranceS) {
+            ++tp;
+          } else {
+            ++fp;
+          }
+        }
+      }
+    }
+  }
+
+  std::vector<std::string> header{"a_f (%)"};
+  for (double m : m_values) {
+    header.push_back("M=" + util::TablePrinter::num(m, 1));
+  }
+  util::TablePrinter table(header);
+  for (double af : af_values) {
+    std::vector<std::string> row{util::TablePrinter::num(af * 100.0, 0)};
+    for (double m : m_values) {
+      const auto& [tp, fp] = counts[{m, af}];
+      const int total = tp + fp;
+      row.push_back(total == 0
+                        ? "-"
+                        : util::TablePrinter::num(
+                              static_cast<double>(tp) / total, 2));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+
+  std::cout << "\n('-' = no alarms at all at that operating point; "
+            << kTrials << " trials per cell)\n"
+            << "Shape check vs paper: the ratio increases with a_f and "
+               "with M; the paper\nreports > 0.70 at M = 2, a_f = 60 %.\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// google-benchmark throughput of the detection stack: streaming node
+// detector, correlation evaluation, speed inversion and wave-field
+// synthesis (the simulation bottleneck).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/correlation.h"
+#include "core/node_detector.h"
+#include "core/speed_estimator.h"
+#include "ocean/wave_field.h"
+#include "ocean/wave_spectrum.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace sid;
+
+void BM_NodeDetectorStream(benchmark::State& state) {
+  util::Rng rng(3);
+  std::vector<double> samples(static_cast<std::size_t>(state.range(0)));
+  for (auto& s : samples) s = 1024.0 + rng.normal(0.0, 30.0);
+  for (auto _ : state) {
+    core::NodeDetector detector{core::NodeDetectorConfig{}};
+    double t = 0.0;
+    for (double s : samples) {
+      benchmark::DoNotOptimize(detector.process_sample(s, t));
+      t += 0.02;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_NodeDetectorStream)->Arg(12000)->Arg(60000);
+
+void BM_CorrelationEvaluate(benchmark::State& state) {
+  util::Rng rng(5);
+  std::vector<wsn::DetectionReport> reports;
+  const auto n_rows = static_cast<std::int32_t>(state.range(0));
+  for (std::int32_t row = 0; row < n_rows; ++row) {
+    for (std::int32_t col = 0; col < 5; ++col) {
+      wsn::DetectionReport r;
+      r.grid_row = row;
+      r.grid_col = col;
+      r.position = {25.0 * col, 25.0 * row};
+      r.onset_local_time_s = 100.0 + rng.uniform(0.0, 30.0);
+      r.average_energy = rng.uniform(10.0, 300.0);
+      reports.push_back(r);
+    }
+  }
+  const auto line = util::Line2::through({60.0, 0.0}, 1.55);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::compute_correlation(reports, line));
+  }
+  state.SetItemsProcessed(state.iterations() * reports.size());
+}
+BENCHMARK(BM_CorrelationEvaluate)->Arg(4)->Arg(6)->Arg(20);
+
+void BM_SpeedInversion(benchmark::State& state) {
+  core::SpeedQuad quad;
+  quad.t1 = 100.0;
+  quad.t2 = 105.3;
+  quad.t3 = 99.1;
+  quad.t4 = 104.4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::estimate_speed_either_pairing(quad));
+  }
+}
+BENCHMARK(BM_SpeedInversion);
+
+void BM_WaveFieldAcceleration(benchmark::State& state) {
+  const auto spectrum = ocean::make_sea_spectrum(ocean::SeaState::kModerate);
+  ocean::WaveFieldConfig cfg;
+  cfg.num_components = static_cast<std::size_t>(state.range(0));
+  const ocean::WaveField field(*spectrum, cfg);
+  double t = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(field.acceleration({12.0, 34.0}, t));
+    t += 0.02;
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_WaveFieldAcceleration)->Arg(64)->Arg(160)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// Reproduces Table I: "The correlation coefficient without ship
+// intrusion". The paper lowers the detection threshold to harvest false
+// alarms, processes 5 nodes per row over 4-6 rows, and computes the
+// spatio-temporal correlation coefficient C for M in {1, 2, 3}: all
+// values are near zero (max 0.019) because false alarms carry no
+// distance/time/energy ordering.
+#include <iostream>
+#include <map>
+#include <set>
+
+#include "bench_common.h"
+#include "core/correlation.h"
+#include "core/scenario.h"
+#include "util/stats.h"
+#include "wsn/network.h"
+
+int main() {
+  using namespace sid;
+  bench::print_header(
+      "Table I",
+      "Correlation coefficient C without ship intrusion (false alarms "
+      "only).\nLowered detection threshold, 5 nodes per row, rows = 4..6, "
+      "M = 1, 2, 3.\nPaper values: 0.000 .. 0.019, falling as rows and M "
+      "grow.");
+
+  constexpr int kTrials = 12;
+  const std::vector<double> m_values{1.0, 2.0, 3.0};
+  const std::vector<std::size_t> row_counts{4, 5, 6};
+
+  // Product aggregation is the literal Eq. 10/12 reading and matches the
+  // near-zero Table I values; DESIGN.md §4.3 discusses the choice.
+  core::CorrelationConfig corr_cfg;
+  corr_cfg.aggregate = core::CorrelationAggregate::kProduct;
+
+  std::map<std::pair<double, std::size_t>, util::RunningStats> cells;
+
+  for (double m : m_values) {
+    for (int trial = 0; trial < kTrials; ++trial) {
+      wsn::NetworkConfig net_cfg;
+      net_cfg.rows = 6;
+      net_cfg.cols = 5;  // the paper's 5 nodes per row
+      net_cfg.seed = static_cast<std::uint64_t>(100 + trial);
+      wsn::Network network(net_cfg);
+
+      core::ScenarioConfig scen;
+      scen.seed = static_cast<std::uint64_t>(3000 + trial);
+      scen.trace.duration_s = 300.0;
+      scen.detector.threshold_multiplier_m = m;
+      // "We low the threshold in order to have higher false alarm
+      // reports": a permissive a_f requirement.
+      scen.detector.anomaly_frequency_threshold = 0.30;
+      scen.detector.refractory_s = 5.0;
+
+      const auto run = core::simulate_node_reports(network, {}, scen);
+      const auto all_reports = run.all_reports();
+
+      for (std::size_t rows : row_counts) {
+        // Restrict to the first `rows` grid rows.
+        std::vector<wsn::DetectionReport> subset;
+        for (const auto& r : all_reports) {
+          if (static_cast<std::size_t>(r.grid_row) < rows) {
+            subset.push_back(r);
+          }
+        }
+        // A qualifying cluster must span all `rows` rows (the paper's
+        // cluster-level requirement); fewer reporting rows score 0.
+        std::set<std::int32_t> reporting_rows;
+        for (const auto& r : subset) reporting_rows.insert(r.grid_row);
+        const auto deduped = core::dedup_strongest_per_node(subset);
+        double c = 0.0;
+        if (reporting_rows.size() >= rows) {
+        if (const auto line = core::estimate_travel_line(deduped)) {
+          c = core::compute_correlation(deduped, *line, corr_cfg).c;
+        }
+        }
+        cells[{m, rows}].add(c);
+      }
+    }
+  }
+
+  util::TablePrinter table({"M", "rows=4", "rows=5", "rows=6"});
+  for (double m : m_values) {
+    std::vector<std::string> row{util::TablePrinter::num(m, 0)};
+    for (std::size_t rows : row_counts) {
+      row.push_back(util::TablePrinter::num(cells[{m, rows}].mean(), 3));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+
+  std::cout << "\n(" << kTrials << " trials per cell, mean C; product "
+            << "aggregation as in Eq. 10/12)\n"
+            << "Shape check vs paper: all entries near zero and far below "
+               "the 0.4 decision\nthreshold; C does not grow with rows.\n";
+  return 0;
+}

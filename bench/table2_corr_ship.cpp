@@ -1,0 +1,115 @@
+// Reproduces Table II: "The correlation coefficient with ship intrusion".
+// Ship passes at different speeds cross the grid; C is computed per pass
+// and averaged over the speeds, for M in {1, 2, 3} and 4-6 rows of 5
+// nodes. Paper values: 0.47 .. 0.81, rising with M (false positives get
+// filtered out) and falling with rows (distant rows see weaker trains).
+#include <iostream>
+#include <map>
+#include <set>
+#include <algorithm>
+
+#include "bench_common.h"
+#include "core/correlation.h"
+#include "core/scenario.h"
+#include "util/stats.h"
+#include "wsn/network.h"
+
+int main() {
+  using namespace sid;
+  bench::print_header(
+      "Table II",
+      "Correlation coefficient C with ship intrusion, averaged over ship\n"
+      "speeds (10 and 16 kn) and headings. 5 nodes per row, rows = 4..6,\n"
+      "M = 1, 2, 3. Paper: 0.47..0.81, rising with M, falling with rows.");
+
+  constexpr int kTrialsPerSpeed = 6;
+  const std::vector<double> m_values{1.0, 2.0, 3.0};
+  const std::vector<std::size_t> row_counts{4, 5, 6};
+  const std::vector<double> speeds_knots{10.0, 16.0};
+
+  std::map<std::pair<double, std::size_t>, util::RunningStats> cells;
+
+  for (double m : m_values) {
+    for (double speed : speeds_knots) {
+      for (int trial = 0; trial < kTrialsPerSpeed; ++trial) {
+        wsn::NetworkConfig net_cfg;
+        net_cfg.rows = 6;
+        net_cfg.cols = 5;
+        net_cfg.seed = static_cast<std::uint64_t>(200 + trial);
+        wsn::Network network(net_cfg);
+
+        core::ScenarioConfig scen;
+        scen.seed = static_cast<std::uint64_t>(5000 + trial) +
+                    static_cast<std::uint64_t>(speed * 100);
+        scen.trace.duration_s = 260.0;
+        scen.detector.threshold_multiplier_m = m;
+        scen.detector.anomaly_frequency_threshold = 0.40;
+
+        // Heading varies per trial ("it travels through the network with
+        // different angle and speeds").
+        const double heading = 82.0 + 3.0 * trial;
+        const double cross_x = 45.0 + 4.0 * trial;
+        auto ship = bench::crossing_ship(speed, heading, cross_x);
+        const auto ships = std::vector<wake::ShipTrackConfig>{ship};
+        const auto run = core::simulate_node_reports(network, ships, scen);
+
+        // The paper evaluates per test run: restrict to the pass window
+        // (first wake arrival - 5 s .. last + 15 s) the way each sea
+        // trial bounded its data.
+        double first_arrival = 1e18, last_arrival = -1e18;
+        for (const auto& truth : run.truths) {
+          for (double a : truth.wake_arrivals) {
+            first_arrival = std::min(first_arrival, a);
+            last_arrival = std::max(last_arrival, a);
+          }
+        }
+        std::vector<wsn::DetectionReport> all_reports;
+        for (const auto& r : run.all_reports()) {
+          if (r.onset_local_time_s >= first_arrival - 5.0 &&
+              r.onset_local_time_s <= last_arrival + 15.0) {
+            all_reports.push_back(r);
+          }
+        }
+
+        for (std::size_t rows : row_counts) {
+          std::vector<wsn::DetectionReport> subset;
+          for (const auto& r : all_reports) {
+            if (static_cast<std::size_t>(r.grid_row) < rows) {
+              subset.push_back(r);
+            }
+          }
+          // A qualifying cluster must span all `rows` rows (the paper's
+          // cluster-level requirement); fewer reporting rows score 0.
+          std::set<std::int32_t> reporting_rows;
+          for (const auto& r : subset) reporting_rows.insert(r.grid_row);
+          const auto deduped = core::dedup_strongest_per_node(subset);
+          double c = 0.0;
+          if (reporting_rows.size() >= rows) {
+            if (const auto line = core::estimate_travel_line(deduped)) {
+              c = core::compute_correlation(deduped, *line).c;
+            }
+          }
+          cells[{m, rows}].add(c);
+        }
+      }
+    }
+  }
+
+  util::TablePrinter table({"M", "rows=4", "rows=5", "rows=6"});
+  for (double m : m_values) {
+    std::vector<std::string> row{util::TablePrinter::num(m, 0)};
+    for (std::size_t rows : row_counts) {
+      row.push_back(util::TablePrinter::num(cells[{m, rows}].mean(), 2));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+
+  std::cout << "\n(" << 2 * kTrialsPerSpeed
+            << " passes per cell — 10 and 16 kn, varied headings; mean C "
+               "with the default\nmean aggregation, DESIGN.md §4.3)\n"
+            << "Shape check vs paper: C well above the no-ship Table I "
+               "values and above the\n0.4 decision threshold at >= 4 rows; "
+               "C rises with M.\n";
+  return 0;
+}

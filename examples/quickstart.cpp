@@ -1,0 +1,79 @@
+// Quickstart: the smallest end-to-end use of the SID library.
+//
+// One buoy-mounted sensor node floats 25 m from the path of a 10-knot
+// boat. We synthesize what its accelerometer records, run the paper's
+// node-level detector on the stream, and print the alarm.
+//
+//   $ ./quickstart
+#include <cstdio>
+#include <numbers>
+
+#include "core/node_detector.h"
+#include "ocean/wave_field.h"
+#include "ocean/wave_spectrum.h"
+#include "sensing/trace.h"
+#include "shipwave/wave_train.h"
+#include "util/units.h"
+
+int main() {
+  using namespace sid;
+
+  // 1. The sea: calm harbor water, synthesized from a JONSWAP spectrum.
+  const auto spectrum = ocean::make_sea_spectrum(ocean::SeaState::kCalm);
+  const ocean::WaveField sea(*spectrum, ocean::WaveFieldConfig{});
+
+  // 2. The intruder: a 10-knot boat heading north, passing 25 m west of
+  //    our buoy.
+  wake::ShipTrackConfig ship;
+  ship.start = {0.0, -400.0};
+  ship.heading_rad = std::numbers::pi / 2;
+  ship.speed_mps = util::knots_to_mps(10.0);
+  const wake::ShipTrack track(ship);
+
+  const util::Vec2 buoy_position{25.0, 0.0};
+  const auto wake_train = wake::make_wake_train(track, buoy_position);
+  if (!wake_train) {
+    std::puts("the wake never reaches the buoy — nothing to detect");
+    return 1;
+  }
+  std::printf("ground truth: wake front reaches the buoy at t = %.1f s "
+              "(height %.2f m)\n",
+              wake_train->params().arrival_time_s,
+              wake_train->params().peak_height_m);
+
+  // 3. The sensor: 4 minutes of three-axis ADC counts at 50 Hz, exactly
+  //    what the iMote2's LIS3L02DQ would record.
+  sense::TraceConfig trace_cfg;
+  trace_cfg.duration_s = 240.0;
+  trace_cfg.buoy.anchor = buoy_position;
+  const std::vector<wake::WakeTrain> trains{*wake_train};
+  const auto trace = sense::generate_trace(sea, trains, trace_cfg);
+  std::printf("recorded %zu samples (%.0f s at %.0f Hz)\n", trace.size(),
+              trace.duration_s(), trace.sample_rate_hz);
+
+  // 4. The detector: 1 Hz low-pass -> rectify -> adaptive threshold
+  //    (M = 2) -> anomaly frequency a_f over a 2 s window (§IV-B).
+  core::NodeDetectorConfig det_cfg;
+  det_cfg.threshold_multiplier_m = 2.0;
+  det_cfg.anomaly_frequency_threshold = 0.5;
+  core::NodeDetector detector(det_cfg);
+
+  const auto alarms = detector.process_trace(trace);
+  if (alarms.empty()) {
+    std::puts("no detection — try a calmer sea or a closer pass");
+    return 1;
+  }
+  for (const auto& alarm : alarms) {
+    std::printf(
+        "ALARM: onset %.1f s, anomaly frequency %.0f %%, energy %.0f "
+        "counts%s\n",
+        alarm.onset_time_s, 100.0 * alarm.anomaly_frequency,
+        alarm.average_energy,
+        alarm.onset_time_s >= wake_train->params().arrival_time_s - 5.0 &&
+                alarm.onset_time_s <=
+                    wake_train->params().arrival_time_s + 30.0
+            ? "  <-- the ship"
+            : "  (false alarm)");
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+#include "acoustic/propagation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace sid::acoustic {
+
+double SourceModel::source_level_db(double speed_mps) const {
+  util::require(speed_mps > 0.0,
+                "SourceModel: speed must be positive");
+  return base_level_db +
+         speed_exponent_db * std::log10(speed_mps / reference_speed_mps);
+}
+
+double PropagationModel::transmission_loss_db(double range_m) const {
+  util::require(range_m >= 0.0,
+                "PropagationModel: range must be non-negative");
+  const double r = std::max(range_m, min_range_m);
+  return spreading_coefficient * std::log10(r) +
+         absorption_db_per_km * r / 1000.0;
+}
+
+double ambient_noise_db(ocean::SeaState state) {
+  switch (state) {
+    case ocean::SeaState::kCalm:
+      return 65.0;
+    case ocean::SeaState::kModerate:
+      return 75.0;
+    case ocean::SeaState::kRough:
+      return 85.0;
+  }
+  return 75.0;
+}
+
+double SonarEquation::snr_db(double speed_mps, double range_m,
+                             ocean::SeaState state) const {
+  return source.source_level_db(speed_mps) -
+         propagation.transmission_loss_db(range_m) -
+         ambient_noise_db(state) + array_gain_db;
+}
+
+}  // namespace sid::acoustic

@@ -1,0 +1,59 @@
+// Underwater acoustics for the paper's stated future work (§VII):
+// "combine accelerometer sensor with acoustic sensor underwater ... to
+// detect ship intrusions cooperatively".
+//
+// Passive sonar equation, in dB re 1 uPa:
+//   SNR = SL - TL - NL + AG
+// with
+//   SL  source level of the vessel (broadband, speed- and size-dependent;
+//       small-craft regression SL = SL0 + 60*log10(V / Vref), the classic
+//       Ross cavitation scaling),
+//   TL  transmission loss: practical spreading 15*log10(R) plus linear
+//       absorption,
+//   NL  ambient noise from the sea state (simplified Wenz band level),
+//   AG  array gain of the receiver (0 for a single hydrophone).
+#pragma once
+
+#include "ocean/wave_spectrum.h"
+
+namespace sid::acoustic {
+
+/// Broadband source level of a small craft, dB re 1 uPa @ 1 m.
+struct SourceModel {
+  double base_level_db = 140.0;   ///< at the reference speed
+  double reference_speed_mps = 5.14;  ///< 10 knots
+  /// Ross scaling: ~60*log10(V/Vref) for cavitating propellers.
+  double speed_exponent_db = 60.0;
+
+  double source_level_db(double speed_mps) const;
+};
+
+/// Transmission loss at range R metres.
+struct PropagationModel {
+  /// Practical spreading coefficient (15 between spherical 20 and
+  /// cylindrical 10 — shallow coastal water).
+  double spreading_coefficient = 15.0;
+  /// Absorption, dB per km (broadband small-craft energy sits around
+  /// 1 kHz where absorption is ~0.06 dB/km; kept configurable).
+  double absorption_db_per_km = 0.06;
+  /// Ranges below this floor clamp (near-field).
+  double min_range_m = 1.0;
+
+  double transmission_loss_db(double range_m) const;
+};
+
+/// Ambient noise level for a sea state, dB re 1 uPa (band level around
+/// 1 kHz, simplified Wenz: calm ~65, moderate ~75, rough ~85).
+double ambient_noise_db(ocean::SeaState state);
+
+/// Received signal-to-noise ratio for a vessel at `range_m`.
+struct SonarEquation {
+  SourceModel source;
+  PropagationModel propagation;
+  double array_gain_db = 0.0;
+
+  double snr_db(double speed_mps, double range_m,
+                ocean::SeaState state) const;
+};
+
+}  // namespace sid::acoustic

@@ -1,0 +1,88 @@
+#include "core/duty_cycle.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace sid::core {
+
+DutyCycleOutcome evaluate_duty_cycle(const ScenarioRun& run,
+                                     const wsn::Network& network,
+                                     const DutyCycleConfig& config) {
+  util::require(config.sentinel_stride >= 1,
+                "evaluate_duty_cycle: stride must be >= 1");
+  util::require(run.node_runs.size() == network.node_count(),
+                "evaluate_duty_cycle: run/network mismatch");
+
+  DutyCycleOutcome outcome;
+
+  auto is_sentinel = [&](wsn::NodeId id) {
+    const auto& info = network.node(id);
+    return static_cast<std::size_t>(info.grid_row) %
+                   config.sentinel_stride ==
+               0 &&
+           static_cast<std::size_t>(info.grid_col) %
+                   config.sentinel_stride ==
+               0;
+  };
+
+  auto matched_alarm_time = [&](std::size_t idx) -> double {
+    const auto& nr = run.node_runs[idx];
+    const auto& truth = run.truths[idx];
+    for (const auto& alarm : nr.alarms) {
+      if (alarm_matches_truth(alarm, truth.wake_arrivals,
+                              config.match_tolerance_s,
+                              config.match_tail_s)) {
+        return alarm.trigger_time_s;
+      }
+    }
+    return -1.0;
+  };
+
+  // Earliest sentinel detection -> wake-up instant.
+  double first_sentinel_detection = -1.0;
+  for (std::size_t i = 0; i < run.node_runs.size(); ++i) {
+    const wsn::NodeId id = run.node_runs[i].node;
+    if (is_sentinel(id)) {
+      ++outcome.sentinels;
+      const double t = matched_alarm_time(i);
+      if (t >= 0.0 && (first_sentinel_detection < 0.0 ||
+                       t < first_sentinel_detection)) {
+        first_sentinel_detection = t;
+      }
+    } else {
+      ++outcome.sleepers;
+    }
+  }
+  outcome.first_detection_s = first_sentinel_detection;
+
+  const double ready_time =
+      first_sentinel_detection < 0.0
+          ? -1.0
+          : first_sentinel_detection + config.wakeup_latency_s +
+                config.ready_delay_s;
+
+  for (std::size_t i = 0; i < run.node_runs.size(); ++i) {
+    const double t = matched_alarm_time(i);
+    if (t < 0.0) continue;
+    ++outcome.baseline_detecting_nodes;
+    if (is_sentinel(run.node_runs[i].node)) {
+      ++outcome.detecting_nodes;
+      continue;
+    }
+    // A sleeper catches the pass only if it is ready before its own
+    // detection instant.
+    if (ready_time >= 0.0 && ready_time <= t) {
+      ++outcome.detecting_nodes;
+    }
+  }
+
+  const double n = static_cast<double>(network.node_count());
+  outcome.mean_power_mw =
+      (static_cast<double>(outcome.sentinels) * config.active_power_mw +
+       static_cast<double>(outcome.sleepers) * config.sleep_power_mw) /
+      n;
+  return outcome;
+}
+
+}  // namespace sid::core

@@ -1,0 +1,62 @@
+#include "core/fusion.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace sid::core {
+
+std::vector<FusedDetection> fuse_detections(
+    std::span<const Alarm> alarms,
+    std::span<const acoustic::AcousticContact> contacts,
+    const FusionConfig& config) {
+  util::require(config.association_window_s > 0.0,
+                "fuse_detections: association window must be positive");
+  util::require(config.dedup_window_s >= 0.0,
+                "fuse_detections: dedup window must be non-negative");
+
+  // Candidate events: (time, is_accel) sorted by time.
+  struct Event {
+    double time;
+    bool accel;
+  };
+  std::vector<Event> events;
+  events.reserve(alarms.size() + contacts.size());
+  for (const auto& a : alarms) events.push_back({a.onset_time_s, true});
+  for (const auto& c : contacts) events.push_back({c.time_s, false});
+  std::sort(events.begin(), events.end(),
+            [](const Event& a, const Event& b) { return a.time < b.time; });
+
+  std::vector<FusedDetection> fused;
+  auto emit = [&](double t, bool accel, bool acoustic) {
+    if (!fused.empty() &&
+        t - fused.back().time_s <= config.dedup_window_s) {
+      fused.back().has_accel |= accel;
+      fused.back().has_acoustic |= acoustic;
+      return;
+    }
+    fused.push_back(FusedDetection{t, accel, acoustic});
+  };
+
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const Event& e = events[i];
+    if (config.policy == FusionPolicy::kOr) {
+      // Every event stands alone; the dedup merge unions modalities of
+      // nearby events.
+      emit(e.time, e.accel, !e.accel);
+      continue;
+    }
+    // AND: only emit when a partner of the other modality exists.
+    for (std::size_t j = 0; j < events.size(); ++j) {
+      if (events[j].accel == e.accel) continue;
+      if (std::abs(events[j].time - e.time) <=
+          config.association_window_s) {
+        emit(std::min(e.time, events[j].time), true, true);
+        break;
+      }
+    }
+  }
+  return fused;
+}
+
+}  // namespace sid::core

@@ -1,0 +1,46 @@
+// Accelerometer + acoustic fusion (§VII future work): associate node
+// alarms with hydrophone contacts in time and fuse them under an AND /
+// OR policy. AND suppresses the single-modality false alarms (wake-less
+// clutter, waveless engine noise never co-occur randomly); OR extends
+// coverage to ranges where only one modality still fires.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "acoustic/hydrophone.h"
+#include "core/node_detector.h"
+
+namespace sid::core {
+
+enum class FusionPolicy {
+  kOr,   ///< either modality alone raises a fused detection
+  kAnd,  ///< both modalities must fire within the association window
+};
+
+struct FusionConfig {
+  FusionPolicy policy = FusionPolicy::kAnd;
+  /// Events closer than this in time are considered the same physical
+  /// cause. The wake arrives minutes after the engine noise at long
+  /// range, so the window is generous.
+  double association_window_s = 30.0;
+  /// Events closer than this to an emitted fused detection are folded
+  /// into it instead of raising a new one.
+  double dedup_window_s = 20.0;
+};
+
+struct FusedDetection {
+  double time_s = 0.0;
+  bool has_accel = false;
+  bool has_acoustic = false;
+};
+
+/// Fuses one node's alarms with one hydrophone's contacts.
+/// Clutter flags on contacts are ignored (the fuser cannot know).
+std::vector<FusedDetection> fuse_detections(
+    std::span<const Alarm> alarms,
+    std::span<const acoustic::AcousticContact> contacts,
+    const FusionConfig& config = {});
+
+}  // namespace sid::core

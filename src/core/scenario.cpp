@@ -1,0 +1,107 @@
+#include "core/scenario.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace sid::core {
+
+std::vector<wsn::DetectionReport> ScenarioRun::all_reports() const {
+  std::vector<wsn::DetectionReport> out;
+  for (const auto& run : node_runs) {
+    out.insert(out.end(), run.reports.begin(), run.reports.end());
+  }
+  return out;
+}
+
+std::size_t ScenarioRun::total_alarms() const {
+  std::size_t n = 0;
+  for (const auto& run : node_runs) n += run.alarms.size();
+  return n;
+}
+
+ScenarioRun simulate_node_reports(const wsn::Network& network,
+                                  std::span<const wake::ShipTrackConfig> ships,
+                                  const ScenarioConfig& config) {
+  util::require(config.trace.duration_s > 0.0,
+                "simulate_node_reports: duration must be positive");
+
+  // One shared ocean field: nodes see spatially correlated swell.
+  const auto spectrum = ocean::make_sea_spectrum(config.sea_state);
+  ocean::WaveFieldConfig field_cfg = config.wave_field;
+  field_cfg.seed ^= config.seed * 0x9e3779b97f4a7c15ULL;
+  const ocean::WaveField field(*spectrum, field_cfg);
+
+  std::vector<wake::ShipTrack> tracks;
+  tracks.reserve(ships.size());
+  for (const auto& ship_cfg : ships) tracks.emplace_back(ship_cfg);
+
+  ScenarioRun run;
+  run.node_runs.reserve(network.node_count());
+  run.truths.reserve(network.node_count());
+
+  for (const auto& info : network.nodes()) {
+    // Wake trains this node will see.
+    std::vector<wake::WakeTrain> trains;
+    NodeTruth truth;
+    truth.node = info.id;
+    for (const auto& track : tracks) {
+      if (auto train = wake::make_wake_train(track, info.anchor,
+                                             config.wake)) {
+        if (train->params().arrival_time_s <=
+            config.trace.start_time_s + config.trace.duration_s) {
+          truth.wake_arrivals.push_back(train->params().arrival_time_s);
+          trains.push_back(std::move(*train));
+        }
+      }
+    }
+
+    // Per-node trace: distinct buoy/sensor noise streams.
+    sense::TraceConfig trace_cfg = config.trace;
+    trace_cfg.buoy.anchor = info.anchor;
+    trace_cfg.buoy.seed = config.seed * 7919ULL + info.id * 2ULL + 1ULL;
+    trace_cfg.accel.seed = config.seed * 104729ULL + info.id * 2ULL;
+    const auto trace = sense::generate_trace(field, trains, trace_cfg);
+
+    NodeDetector detector(config.detector);
+    NodeRun node_run;
+    node_run.node = info.id;
+    node_run.alarms = detector.process_trace(trace);
+
+    node_run.reports.reserve(node_run.alarms.size());
+    for (const auto& alarm : node_run.alarms) {
+      wsn::DetectionReport report;
+      report.reporter = info.id;
+      report.position = info.anchor;  // believed position
+      report.onset_local_time_s = info.clock.local_time(alarm.onset_time_s);
+      report.anomaly_frequency = alarm.anomaly_frequency;
+      report.average_energy = alarm.average_energy;
+      report.peak_energy = alarm.peak_energy;
+      report.grid_row = info.grid_row;
+      report.grid_col = info.grid_col;
+      node_run.reports.push_back(report);
+    }
+
+    run.node_runs.push_back(std::move(node_run));
+    run.truths.push_back(std::move(truth));
+  }
+  return run;
+}
+
+bool alarm_matches_truth(const Alarm& alarm,
+                         std::span<const double> wake_arrivals,
+                         double tolerance_s, double tail_window_s) {
+  util::require(tolerance_s >= 0.0,
+                "alarm_matches_truth: tolerance must be non-negative");
+  util::require(tail_window_s >= 0.0,
+                "alarm_matches_truth: tail window must be non-negative");
+  for (double arrival : wake_arrivals) {
+    if (alarm.onset_time_s >= arrival - tolerance_s &&
+        alarm.onset_time_s <= arrival + tolerance_s + tail_window_s) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace sid::core

@@ -1,0 +1,246 @@
+#include "core/sid_system.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/units.h"
+
+namespace sid::core {
+
+bool SystemResult::intrusion_reported() const {
+  return std::any_of(sink_reports.begin(), sink_reports.end(),
+                     [](const SinkReport& r) { return r.decision.intrusion; });
+}
+
+std::size_t SystemResult::confirmed_tracks() const {
+  std::size_t count = 0;
+  for (const auto& track : tracks) {
+    if (track.confirmed()) ++count;
+  }
+  return count;
+}
+
+std::optional<double> SystemResult::reported_speed_knots() const {
+  const SinkReport* best = nullptr;
+  for (const auto& r : sink_reports) {
+    if (r.decision.estimated_speed_mps <= 0.0) continue;
+    if (!best || r.decision.correlation > best->decision.correlation) {
+      best = &r;
+    }
+  }
+  if (!best) return std::nullopt;
+  return util::mps_to_knots(best->decision.estimated_speed_mps);
+}
+
+SidSystem::SidSystem(const SidSystemConfig& config)
+    : config_(config),
+      network_(config.network),
+      evaluator_(config.cluster),
+      members_(network_.node_count()) {
+  util::require(config.static_cell_size >= 1,
+                "SidSystem: static cell size must be >= 1");
+  sink_node_ = network_.id_at(0, 0);
+  network_.set_delivery_handler(
+      [this](wsn::NodeId receiver, const wsn::Message& msg, double t) {
+        on_deliver(receiver, msg, t);
+      });
+}
+
+wsn::NodeId SidSystem::static_head_of(wsn::NodeId id) const {
+  const auto& info = network_.node(id);
+  const std::size_t cell = config_.static_cell_size;
+  const auto cell_row = static_cast<std::size_t>(info.grid_row) / cell;
+  const auto cell_col = static_cast<std::size_t>(info.grid_col) / cell;
+  // Centre node of the cell, clamped into the grid.
+  const std::size_t head_row = std::min(cell_row * cell + cell / 2,
+                                        config_.network.rows - 1);
+  const std::size_t head_col = std::min(cell_col * cell + cell / 2,
+                                        config_.network.cols - 1);
+  return network_.id_at(head_row, head_col);
+}
+
+void SidSystem::on_alarm(wsn::NodeId node, const wsn::DetectionReport& report,
+                         double t) {
+  ++result_.alarms_raised;
+  MemberState& member = members_[node];
+
+  // Expire stale membership.
+  if (member.head && t > member.membership_expires_s) {
+    member.head.reset();
+  }
+
+  if (member.head && *member.head != node) {
+    // Already in someone's temporary cluster: report to that head.
+    wsn::Message msg;
+    msg.src = node;
+    msg.dst = *member.head;
+    msg.payload = report;
+    network_.unicast(msg);
+    return;
+  }
+
+  if (heads_.contains(node)) {
+    // Already heading a cluster: record our own repeat detection.
+    heads_[node].reports.push_back(report);
+    return;
+  }
+
+  // Become a temporary cluster head (Algorithm SID, SetUpTempCluster).
+  ++result_.clusters_formed;
+  const double deadline = t + config_.cluster.collection_window_s;
+  HeadState state;
+  state.reports.push_back(report);
+  state.deadline_s = deadline;
+  heads_.emplace(node, std::move(state));
+  member.head = node;
+  member.membership_expires_s = deadline;
+
+  wsn::ClusterInvite invite;
+  invite.head = node;
+  invite.initiated_local_time_s = network_.local_time(node, t);
+  invite.hops_remaining =
+      static_cast<std::int32_t>(config_.cluster.invite_hops);
+  wsn::Message msg;
+  msg.src = node;
+  msg.dst = wsn::kSinkId;  // flood: dst unused
+  msg.payload = invite;
+  network_.flood(msg, config_.cluster.invite_hops);
+
+  network_.events().schedule_at(deadline,
+                                [this, node] { evaluate_head(node); });
+}
+
+void SidSystem::on_deliver(wsn::NodeId receiver, const wsn::Message& msg,
+                           double t) {
+  if (const auto* invite = std::get_if<wsn::ClusterInvite>(&msg.payload)) {
+    MemberState& member = members_[receiver];
+    if (heads_.contains(receiver)) return;  // heads ignore invites
+    if (member.head && t <= member.membership_expires_s) return;
+    member.head = invite->head;
+    member.membership_expires_s =
+        t + config_.cluster.collection_window_s;
+    // A node that alarmed before any cluster existed forwards its pending
+    // report now.
+    if (member.pending_report) {
+      wsn::Message report_msg;
+      report_msg.src = receiver;
+      report_msg.dst = invite->head;
+      report_msg.payload = *member.pending_report;
+      member.pending_report.reset();
+      network_.unicast(report_msg);
+    }
+    return;
+  }
+
+  if (const auto* report = std::get_if<wsn::DetectionReport>(&msg.payload)) {
+    auto it = heads_.find(receiver);
+    if (it == heads_.end() || it->second.evaluated) return;
+    it->second.reports.push_back(*report);
+    return;
+  }
+
+  if (const auto* decision = std::get_if<wsn::ClusterDecision>(&msg.payload)) {
+    if (receiver == sink_node_) {
+      result_.sink_reports.push_back(SinkReport{*decision, t});
+      if (decision->intrusion) {
+        TrackObservation observation;
+        observation.time_s = t;
+        observation.position = decision->estimated_position;
+        if (decision->estimated_speed_mps > 0.0) {
+          observation.speed_mps = decision->estimated_speed_mps;
+          observation.heading_rad = decision->estimated_heading_rad;
+        }
+        tracker_.observe(observation);
+      }
+    } else {
+      // Static cluster head relays to the sink.
+      wsn::Message relay = msg;
+      relay.src = receiver;
+      relay.dst = sink_node_;
+      network_.unicast(relay);
+    }
+    return;
+  }
+}
+
+void SidSystem::evaluate_head(wsn::NodeId head) {
+  auto it = heads_.find(head);
+  if (it == heads_.end() || it->second.evaluated) return;
+  it->second.evaluated = true;
+
+  const ClusterDecisionResult verdict =
+      evaluator_.evaluate(it->second.reports);
+  if (verdict.cancelled) {
+    ++result_.clusters_cancelled;
+    members_[head].head.reset();
+    return;
+  }
+
+  wsn::ClusterDecision decision;
+  decision.head = head;
+  decision.correlation = verdict.correlation.c;
+  decision.sweep_consistency = verdict.sweep_consistency;
+  decision.report_count = verdict.reports_used;
+  decision.intrusion = verdict.intrusion;
+  if (verdict.speed) {
+    decision.estimated_speed_mps = verdict.speed->speed_mps;
+    decision.estimated_heading_rad = verdict.speed->heading_rad;
+  }
+  if (const auto observation = to_observation(
+          verdict, it->second.reports, network_.events().now())) {
+    decision.estimated_position = observation->position;
+  }
+  decision.decision_local_time_s =
+      network_.local_time(head, network_.events().now());
+
+  ++result_.decisions_sent;
+  const wsn::NodeId static_head = static_head_of(head);
+  wsn::Message msg;
+  msg.src = head;
+  msg.dst = static_head == head ? sink_node_ : static_head;
+  msg.payload = decision;
+  network_.unicast(msg);
+  members_[head].head.reset();
+}
+
+SystemResult SidSystem::run(std::span<const wake::ShipTrackConfig> ships) {
+  result_ = SystemResult{};
+  heads_.clear();
+  members_.assign(network_.node_count(), MemberState{});
+  tracker_ = Tracker(config_.cluster_tracker);
+
+  const ScenarioRun front_end =
+      simulate_node_reports(network_, ships, config_.scenario);
+
+  // Schedule every alarm as a protocol event at its trigger time.
+  for (const auto& node_run : front_end.node_runs) {
+    for (std::size_t i = 0; i < node_run.alarms.size(); ++i) {
+      const double t = node_run.alarms[i].trigger_time_s;
+      const wsn::NodeId node = node_run.node;
+      const wsn::DetectionReport report = node_run.reports[i];
+      network_.events().schedule_at(
+          t, [this, node, report] {
+            on_alarm(node, report, network_.events().now());
+          });
+    }
+    // Sensing energy for the whole run.
+    auto& meter = network_.node(node_run.node).energy;
+    meter.spend_samples(static_cast<std::size_t>(
+        config_.scenario.trace.duration_s *
+        config_.scenario.trace.sample_rate_hz));
+  }
+
+  network_.events().run_all();
+
+  result_.network_stats = network_.stats();
+  for (const auto& info : network_.nodes()) {
+    result_.total_energy_mj += info.energy.spent_mj();
+  }
+  result_.tracks = tracker_.active_tracks();
+  result_.tracks.insert(result_.tracks.end(),
+                        tracker_.retired_tracks().begin(),
+                        tracker_.retired_tracks().end());
+  return result_;
+}
+
+}  // namespace sid::core

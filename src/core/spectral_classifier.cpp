@@ -1,0 +1,153 @@
+#include "core/spectral_classifier.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "dsp/fft.h"
+#include "util/error.h"
+#include "util/stats.h"
+
+namespace sid::core {
+
+SpectralClassifier::SpectralClassifier(const SpectralClassifierConfig& config)
+    : config_(config) {
+  util::require(dsp::is_power_of_two(config.frame_size),
+                "SpectralClassifier: frame_size must be a power of two");
+  util::require(config.votes_required >= 1,
+                "SpectralClassifier: votes_required must be >= 1");
+  util::require(config.max_analysis_hz > 0.0 &&
+                    config.max_analysis_hz <= config.sample_rate_hz / 2.0,
+                "SpectralClassifier: bad analysis band");
+  util::require(config.min_energy_ratio > 1.0,
+                "SpectralClassifier: min_energy_ratio must exceed 1");
+}
+
+std::vector<double> SpectralClassifier::band_power(
+    std::span<const double> frame) const {
+  auto power = dsp::frame_power_spectrum(frame, config_.window);
+  const auto max_bin = static_cast<std::size_t>(
+      config_.max_analysis_hz * static_cast<double>(config_.frame_size) /
+      config_.sample_rate_hz);
+  if (max_bin + 1 < power.size()) power.resize(max_bin + 1);
+  return power;
+}
+
+double SpectralClassifier::off_peak_energy(std::span<const double> power,
+                                           std::size_t dominant_bin) const {
+  double sum = 0.0;
+  for (std::size_t k = 1; k < power.size(); ++k) {
+    const std::size_t d =
+        k > dominant_bin ? k - dominant_bin : dominant_bin - k;
+    if (d <= config_.swell_exclusion_bins) continue;
+    sum += power[k];
+  }
+  return sum;
+}
+
+void SpectralClassifier::calibrate(std::span<const double> ocean_signal) {
+  util::require(ocean_signal.size() >= config_.frame_size,
+                "SpectralClassifier::calibrate: need at least one frame");
+
+  std::vector<double> energies;
+  std::vector<double> off_peaks;
+  std::vector<std::size_t> dominant_bins;
+  const std::size_t hop = config_.frame_size / 2;
+  for (std::size_t start = 0;
+       start + config_.frame_size <= ocean_signal.size(); start += hop) {
+    const auto power =
+        band_power(ocean_signal.subspan(start, config_.frame_size));
+    double total = 0.0;
+    std::size_t dominant = 1;
+    for (std::size_t k = 1; k < power.size(); ++k) {
+      total += power[k];
+      if (power[k] > power[dominant]) dominant = k;
+    }
+    energies.push_back(total);
+    dominant_bins.push_back(dominant);
+  }
+
+  Baseline baseline;
+  baseline.band_energy = util::quantile_of(energies, 0.5);
+  // Dominant swell bin: the median of per-frame dominants.
+  std::sort(dominant_bins.begin(), dominant_bins.end());
+  baseline.dominant_bin = dominant_bins[dominant_bins.size() / 2];
+
+  for (std::size_t start = 0;
+       start + config_.frame_size <= ocean_signal.size(); start += hop) {
+    const auto power =
+        band_power(ocean_signal.subspan(start, config_.frame_size));
+    off_peaks.push_back(off_peak_energy(power, baseline.dominant_bin));
+  }
+  baseline.off_peak_energy = util::quantile_of(off_peaks, 0.5);
+  baseline_ = baseline;
+}
+
+SpectralVerdict SpectralClassifier::classify_frame(
+    std::span<const double> frame) const {
+  util::require(frame.size() == config_.frame_size,
+                "SpectralClassifier: frame size mismatch");
+  const auto power = band_power(frame);
+
+  SpectralVerdict verdict;
+  verdict.features = dsp::extract_spectral_features(
+      power, config_.sample_rate_hz, config_.frame_size);
+  const auto peaks =
+      dsp::find_peaks(power, config_.sample_rate_hz, config_.frame_size,
+                      config_.peak_min_relative_power,
+                      config_.peak_min_separation_bins);
+  verdict.features.significant_peaks = peaks.size();
+  for (std::size_t k = 1; k < power.size(); ++k) {
+    verdict.band_energy += power[k];
+  }
+
+  std::size_t votes = 0;
+  std::size_t available = 1;  // structural vote always available
+  if (peaks.size() >= config_.min_significant_peaks) ++votes;
+
+  if (baseline_) {
+    available += 2;
+    verdict.energy_ratio =
+        baseline_->band_energy > 0.0
+            ? verdict.band_energy / baseline_->band_energy
+            : 0.0;
+    if (verdict.energy_ratio >= config_.min_energy_ratio) ++votes;
+
+    const double off = off_peak_energy(power, baseline_->dominant_bin);
+    verdict.off_peak_ratio = baseline_->off_peak_energy > 0.0
+                                 ? off / baseline_->off_peak_energy
+                                 : 0.0;
+    if (verdict.off_peak_ratio >= config_.min_off_peak_ratio) ++votes;
+  }
+
+  verdict.votes = votes;
+  verdict.votes_available = available;
+  const std::size_t required = std::min(config_.votes_required, available);
+  verdict.is_ship = votes >= required;
+  return verdict;
+}
+
+double SpectralClassifier::ship_frame_fraction(
+    std::span<const double> signal) const {
+  util::require(signal.size() >= config_.frame_size,
+                "SpectralClassifier: signal shorter than one frame");
+  const std::size_t hop = config_.frame_size / 2;
+  std::size_t frames = 0;
+  std::size_t ship_frames = 0;
+  for (std::size_t start = 0; start + config_.frame_size <= signal.size();
+       start += hop) {
+    ++frames;
+    if (classify_frame(signal.subspan(start, config_.frame_size)).is_ship) {
+      ++ship_frames;
+    }
+  }
+  return static_cast<double>(ship_frames) / static_cast<double>(frames);
+}
+
+double low_band_energy_ratio(const dsp::Scalogram& scalogram,
+                             double split_hz) {
+  const double total = scalogram.total_energy();
+  if (total <= 0.0) return 0.0;
+  return scalogram.band_energy(0.0, split_hz) / total;
+}
+
+}  // namespace sid::core

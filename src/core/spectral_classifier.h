@@ -1,0 +1,107 @@
+// Frame-level ship / ocean discrimination (§III).
+//
+// The paper's observation (Fig. 6): the swell-only spectrum shows "a
+// high, single peak concentration" while ship frames show "multiple peaks
+// and wide crests without distinct peaks"; the wavelet analysis (Fig. 7)
+// adds that ship-wave energy sits in the low-frequency scales.
+//
+// A raw periodogram of a random sea is itself spiky, so peak *counting*
+// alone cannot separate the classes; what separates them (and what Fig. 6
+// actually shows) is new spectral energy relative to the recent
+// ocean-only background. The classifier therefore supports calibration
+// on an ocean-only reference record; classification then votes on:
+//   1. wave-band energy ratio vs the baseline (the ship train adds
+//      several times the background energy),
+//   2. off-peak energy ratio: energy away from the baseline's dominant
+//      swell bin (the "new frequencies appeared" cue),
+//   3. multiple significant peaks in the wave band.
+// Uncalibrated, only the structural vote (3) and concentration/entropy
+// cues are available.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+
+#include "dsp/features.h"
+#include "dsp/stft.h"
+#include "dsp/wavelet.h"
+
+namespace sid::core {
+
+struct SpectralClassifierConfig {
+  double sample_rate_hz = 50.0;
+  std::size_t frame_size = 2048;        ///< the paper's STFT frame (40.96 s)
+  dsp::WindowType window = dsp::WindowType::kHann;
+  /// Features are computed over [0, max_analysis_hz): wave physics lives
+  /// below ~2.5 Hz, everything above is slam/sensor noise floor.
+  double max_analysis_hz = 2.5;
+
+  /// Calibrated votes.
+  double min_energy_ratio = 1.5;    ///< band energy vs baseline
+  double min_off_peak_ratio = 1.4;  ///< off-swell energy vs baseline
+  /// Half-width (bins) of the baseline swell peak exclusion zone.
+  std::size_t swell_exclusion_bins = 6;
+
+  /// Structural vote: distinct peaks above this fraction of the maximum.
+  double peak_min_relative_power = 0.30;
+  std::size_t peak_min_separation_bins = 3;
+  std::size_t min_significant_peaks = 3;
+
+  /// Votes needed for a "ship" verdict (of the available votes).
+  std::size_t votes_required = 2;
+};
+
+struct SpectralVerdict {
+  bool is_ship = false;
+  std::size_t votes = 0;
+  std::size_t votes_available = 0;
+  double band_energy = 0.0;
+  double energy_ratio = 0.0;     ///< vs baseline (0 when uncalibrated)
+  double off_peak_ratio = 0.0;   ///< vs baseline (0 when uncalibrated)
+  dsp::SpectralFeatures features;
+};
+
+class SpectralClassifier {
+ public:
+  explicit SpectralClassifier(const SpectralClassifierConfig& config = {});
+
+  /// Learns the ocean-only baseline from a reference record (z-centered
+  /// counts, at least one frame long): median band energy, dominant swell
+  /// bin, and median off-peak energy across its frames.
+  void calibrate(std::span<const double> ocean_signal);
+
+  bool calibrated() const { return baseline_.has_value(); }
+
+  /// Classifies one frame of z-centered samples (length must be
+  /// config.frame_size).
+  SpectralVerdict classify_frame(std::span<const double> frame) const;
+
+  /// Classifies a whole record frame by frame (hop = frame/2); returns
+  /// the fraction of ship frames in [0, 1].
+  double ship_frame_fraction(std::span<const double> signal) const;
+
+  const SpectralClassifierConfig& config() const { return config_; }
+
+ private:
+  struct Baseline {
+    double band_energy = 0.0;
+    double off_peak_energy = 0.0;
+    std::size_t dominant_bin = 0;
+  };
+
+  /// Wave-band power spectrum (truncated at max_analysis_hz).
+  std::vector<double> band_power(std::span<const double> frame) const;
+  double off_peak_energy(std::span<const double> power,
+                         std::size_t dominant_bin) const;
+
+  SpectralClassifierConfig config_;
+  std::optional<Baseline> baseline_;
+};
+
+/// Wavelet cue used by Fig. 7 reproduction: ratio of scalogram energy
+/// below `split_hz` to the total. Ship trains push this ratio up relative
+/// to the swell-only baseline.
+double low_band_energy_ratio(const dsp::Scalogram& scalogram, double split_hz);
+
+}  // namespace sid::core

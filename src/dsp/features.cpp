@@ -1,0 +1,146 @@
+#include "dsp/features.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/fft.h"
+#include "util/error.h"
+
+namespace sid::dsp {
+
+std::vector<SpectralPeak> find_peaks(std::span<const double> power,
+                                     double sample_rate_hz, std::size_t n_fft,
+                                     double min_relative_power,
+                                     std::size_t min_separation_bins) {
+  util::require(power.size() >= 3, "find_peaks: spectrum too short");
+  util::require(min_relative_power > 0.0 && min_relative_power <= 1.0,
+                "find_peaks: min_relative_power must be in (0, 1]");
+
+  const double max_power = *std::max_element(power.begin(), power.end());
+  if (max_power <= 0.0) return {};
+  const double floor_power = max_power * min_relative_power;
+
+  std::vector<SpectralPeak> peaks;
+  for (std::size_t k = 1; k + 1 < power.size(); ++k) {
+    if (power[k] < floor_power) continue;
+    if (power[k] < power[k - 1] || power[k] <= power[k + 1]) continue;
+
+    SpectralPeak p;
+    p.bin = k;
+    p.frequency_hz = bin_frequency(k, n_fft, sample_rate_hz);
+    p.power = power[k];
+
+    // Half-power width: walk both directions until power drops below half.
+    const double half = power[k] / 2.0;
+    std::size_t lo = k;
+    while (lo > 0 && power[lo] > half) --lo;
+    std::size_t hi = k;
+    while (hi + 1 < power.size() && power[hi] > half) ++hi;
+    p.half_power_width_hz = bin_frequency(hi - lo, n_fft, sample_rate_hz);
+    peaks.push_back(p);
+  }
+
+  std::sort(peaks.begin(), peaks.end(),
+            [](const SpectralPeak& a, const SpectralPeak& b) {
+              return a.power > b.power;
+            });
+
+  // Enforce minimum separation, keeping stronger peaks.
+  std::vector<SpectralPeak> kept;
+  for (const auto& p : peaks) {
+    const bool close_to_kept =
+        std::any_of(kept.begin(), kept.end(), [&](const SpectralPeak& q) {
+          const std::size_t d = p.bin > q.bin ? p.bin - q.bin : q.bin - p.bin;
+          return d < min_separation_bins;
+        });
+    if (!close_to_kept) kept.push_back(p);
+  }
+  return kept;
+}
+
+double spectral_flatness(std::span<const double> power) {
+  util::require(!power.empty(), "spectral_flatness: empty spectrum");
+  // Skip DC; use a tiny floor so zero bins do not collapse the geomean.
+  constexpr double kFloor = 1e-30;
+  double log_sum = 0.0;
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t k = 1; k < power.size(); ++k) {
+    const double p = std::max(power[k], kFloor);
+    log_sum += std::log(p);
+    sum += p;
+    ++count;
+  }
+  if (count == 0 || sum <= 0.0) return 1.0;
+  const double geo = std::exp(log_sum / static_cast<double>(count));
+  const double arith = sum / static_cast<double>(count);
+  return geo / arith;
+}
+
+double spectral_entropy(std::span<const double> power) {
+  util::require(!power.empty(), "spectral_entropy: empty spectrum");
+  double total = 0.0;
+  for (std::size_t k = 1; k < power.size(); ++k) total += power[k];
+  if (total <= 0.0) return 0.0;
+  double h = 0.0;
+  for (std::size_t k = 1; k < power.size(); ++k) {
+    const double p = power[k] / total;
+    if (p > 0.0) h -= p * std::log2(p);
+  }
+  return h;
+}
+
+double spectral_centroid(std::span<const double> power, double sample_rate_hz,
+                         std::size_t n_fft) {
+  util::require(!power.empty(), "spectral_centroid: empty spectrum");
+  double weighted = 0.0;
+  double total = 0.0;
+  for (std::size_t k = 1; k < power.size(); ++k) {
+    weighted += bin_frequency(k, n_fft, sample_rate_hz) * power[k];
+    total += power[k];
+  }
+  if (total <= 0.0) return 0.0;
+  return weighted / total;
+}
+
+double band_energy_ratio(std::span<const double> power, double sample_rate_hz,
+                         std::size_t n_fft, double lo_hz, double hi_hz) {
+  util::require(lo_hz < hi_hz, "band_energy_ratio: lo must be < hi");
+  double band = 0.0;
+  double total = 0.0;
+  for (std::size_t k = 1; k < power.size(); ++k) {
+    const double f = bin_frequency(k, n_fft, sample_rate_hz);
+    total += power[k];
+    if (f >= lo_hz && f < hi_hz) band += power[k];
+  }
+  if (total <= 0.0) return 0.0;
+  return band / total;
+}
+
+double peak_concentration(std::span<const double> power) {
+  util::require(!power.empty(), "peak_concentration: empty spectrum");
+  double max_p = 0.0;
+  double total = 0.0;
+  for (std::size_t k = 1; k < power.size(); ++k) {
+    max_p = std::max(max_p, power[k]);
+    total += power[k];
+  }
+  if (total <= 0.0) return 0.0;
+  return max_p / total;
+}
+
+SpectralFeatures extract_spectral_features(std::span<const double> power,
+                                           double sample_rate_hz,
+                                           std::size_t n_fft) {
+  SpectralFeatures f;
+  f.flatness = spectral_flatness(power);
+  f.entropy_bits = spectral_entropy(power);
+  f.centroid_hz = spectral_centroid(power, sample_rate_hz, n_fft);
+  f.concentration = peak_concentration(power);
+  const auto peaks = find_peaks(power, sample_rate_hz, n_fft);
+  f.significant_peaks = peaks.size();
+  f.dominant_frequency_hz = peaks.empty() ? 0.0 : peaks.front().frequency_hz;
+  return f;
+}
+
+}  // namespace sid::dsp

@@ -1,0 +1,65 @@
+// Spectral features used to discriminate ship-wave frames from pure swell
+// (§III, Fig. 6): the swell spectrum has "a high, single peak
+// concentration" while ship frames show "multiple peaks and wide crests
+// without distinct peaks". These features quantify exactly that contrast.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace sid::dsp {
+
+/// A local maximum in a one-sided power spectrum.
+struct SpectralPeak {
+  std::size_t bin = 0;
+  double frequency_hz = 0.0;
+  double power = 0.0;
+  /// Width (Hz) at half the peak power, estimated by walking down both
+  /// sides of the peak.
+  double half_power_width_hz = 0.0;
+};
+
+/// Finds local maxima above `min_relative_power` * max(power), separated by
+/// at least `min_separation_bins`. Bin 0 (DC) is excluded. Sorted by
+/// descending power.
+std::vector<SpectralPeak> find_peaks(std::span<const double> power,
+                                     double sample_rate_hz, std::size_t n_fft,
+                                     double min_relative_power = 0.1,
+                                     std::size_t min_separation_bins = 2);
+
+/// Geometric mean / arithmetic mean of the spectrum, in (0, 1]. Near 0 for
+/// a single sharp peak (swell), larger for distributed energy (ship train).
+double spectral_flatness(std::span<const double> power);
+
+/// Shannon entropy of the normalized spectrum, in bits. Low for a single
+/// peak, high for spread energy.
+double spectral_entropy(std::span<const double> power);
+
+/// Power-weighted mean frequency (Hz).
+double spectral_centroid(std::span<const double> power, double sample_rate_hz,
+                         std::size_t n_fft);
+
+/// Fraction of total power in [lo_hz, hi_hz).
+double band_energy_ratio(std::span<const double> power, double sample_rate_hz,
+                         std::size_t n_fft, double lo_hz, double hi_hz);
+
+/// Ratio of the strongest peak's power to the total power — the paper's
+/// "high, single peak concentration" in one number.
+double peak_concentration(std::span<const double> power);
+
+/// Scalar feature vector for the node-level spectral classifier.
+struct SpectralFeatures {
+  double flatness = 0.0;
+  double entropy_bits = 0.0;
+  double centroid_hz = 0.0;
+  double concentration = 0.0;
+  std::size_t significant_peaks = 0;
+  double dominant_frequency_hz = 0.0;
+};
+
+SpectralFeatures extract_spectral_features(std::span<const double> power,
+                                           double sample_rate_hz,
+                                           std::size_t n_fft);
+
+}  // namespace sid::dsp

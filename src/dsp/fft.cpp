@@ -1,0 +1,118 @@
+#include "dsp/fft.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.h"
+
+namespace sid::dsp {
+
+std::size_t next_power_of_two(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+namespace {
+
+void bit_reverse_permute(std::vector<std::complex<double>>& data) {
+  const std::size_t n = data.size();
+  std::size_t j = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+}
+
+void fft_core(std::vector<std::complex<double>>& data, bool inverse) {
+  const std::size_t n = data.size();
+  util::require(is_power_of_two(n), "fft: size must be a power of two");
+  bit_reverse_permute(data);
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * std::numbers::pi /
+                         static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (auto& x : data) x *= inv_n;
+  }
+}
+
+}  // namespace
+
+void fft_inplace(std::vector<std::complex<double>>& data) {
+  fft_core(data, /*inverse=*/false);
+}
+
+void ifft_inplace(std::vector<std::complex<double>>& data) {
+  fft_core(data, /*inverse=*/true);
+}
+
+std::vector<std::complex<double>> fft(
+    std::span<const std::complex<double>> input) {
+  std::vector<std::complex<double>> data(input.begin(), input.end());
+  fft_inplace(data);
+  return data;
+}
+
+std::vector<std::complex<double>> fft_real(std::span<const double> input) {
+  std::vector<std::complex<double>> data(input.size());
+  for (std::size_t i = 0; i < input.size(); ++i) data[i] = input[i];
+  fft_inplace(data);
+  return data;
+}
+
+std::vector<double> ifft_real(std::span<const std::complex<double>> input) {
+  std::vector<std::complex<double>> data(input.begin(), input.end());
+  ifft_inplace(data);
+  std::vector<double> out(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) out[i] = data[i].real();
+  return out;
+}
+
+std::vector<double> power_spectrum(std::span<const double> input) {
+  const auto spectrum = fft_real(input);
+  const std::size_t n = spectrum.size();
+  std::vector<double> power(n / 2 + 1);
+  for (std::size_t k = 0; k < power.size(); ++k) {
+    power[k] = std::norm(spectrum[k]);
+  }
+  return power;
+}
+
+double bin_frequency(std::size_t k, std::size_t n, double sample_rate_hz) {
+  util::require(n > 0, "bin_frequency: n must be positive");
+  return sample_rate_hz * static_cast<double>(k) / static_cast<double>(n);
+}
+
+std::vector<double> fft_convolve(std::span<const double> a,
+                                 std::span<const double> b) {
+  util::require(!a.empty() && !b.empty(), "fft_convolve: empty input");
+  const std::size_t out_len = a.size() + b.size() - 1;
+  const std::size_t n = next_power_of_two(out_len);
+  std::vector<std::complex<double>> fa(n), fb(n);
+  for (std::size_t i = 0; i < a.size(); ++i) fa[i] = a[i];
+  for (std::size_t i = 0; i < b.size(); ++i) fb[i] = b[i];
+  fft_inplace(fa);
+  fft_inplace(fb);
+  for (std::size_t i = 0; i < n; ++i) fa[i] *= fb[i];
+  ifft_inplace(fa);
+  std::vector<double> out(out_len);
+  for (std::size_t i = 0; i < out_len; ++i) out[i] = fa[i].real();
+  return out;
+}
+
+}  // namespace sid::dsp

@@ -1,0 +1,54 @@
+// Radix-2 fast Fourier transform.
+//
+// Implemented from scratch (no external FFT dependency): iterative
+// Cooley–Tukey with bit-reversal permutation. Sizes must be powers of two,
+// which matches the paper's 2048-point STFT frames. Real-input helpers
+// return only the non-redundant half of the spectrum.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace sid::dsp {
+
+/// True iff n is a power of two (and > 0).
+constexpr bool is_power_of_two(std::size_t n) {
+  return n != 0 && (n & (n - 1)) == 0;
+}
+
+/// Smallest power of two >= n.
+std::size_t next_power_of_two(std::size_t n);
+
+/// In-place complex FFT. `data.size()` must be a power of two.
+void fft_inplace(std::vector<std::complex<double>>& data);
+
+/// In-place inverse complex FFT (includes the 1/N normalization).
+void ifft_inplace(std::vector<std::complex<double>>& data);
+
+/// Forward FFT of a complex signal (copying).
+std::vector<std::complex<double>> fft(
+    std::span<const std::complex<double>> input);
+
+/// Forward FFT of a real signal. Returns the full complex spectrum of
+/// length equal to the (power-of-two) input length.
+std::vector<std::complex<double>> fft_real(std::span<const double> input);
+
+/// Inverse FFT returning the real part (for use after spectral products of
+/// conjugate-symmetric data, e.g. fast convolution).
+std::vector<double> ifft_real(std::span<const std::complex<double>> input);
+
+/// One-sided magnitude-squared spectrum of a real signal: bins 0..N/2.
+/// No window; callers that need leakage control window the frame first.
+std::vector<double> power_spectrum(std::span<const double> input);
+
+/// The frequency in Hz of one-sided bin k for an N-point transform at
+/// `sample_rate_hz`.
+double bin_frequency(std::size_t k, std::size_t n, double sample_rate_hz);
+
+/// Linear convolution of two real sequences via FFT (zero-padded).
+std::vector<double> fft_convolve(std::span<const double> a,
+                                 std::span<const double> b);
+
+}  // namespace sid::dsp

@@ -1,0 +1,77 @@
+#include "dsp/goertzel.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace sid::dsp {
+
+namespace {
+
+/// Nearest integer bin for `frequency_hz` over an n-point block.
+std::size_t nearest_bin(double frequency_hz, double sample_rate_hz,
+                        std::size_t n) {
+  const double k =
+      frequency_hz * static_cast<double>(n) / sample_rate_hz;
+  return static_cast<std::size_t>(std::llround(k));
+}
+
+double goertzel_coefficient(std::size_t bin, std::size_t n) {
+  return 2.0 * std::cos(2.0 * std::numbers::pi * static_cast<double>(bin) /
+                        static_cast<double>(n));
+}
+
+}  // namespace
+
+double goertzel_power(std::span<const double> signal, double frequency_hz,
+                      double sample_rate_hz) {
+  util::require(!signal.empty(), "goertzel_power: empty signal");
+  util::require(sample_rate_hz > 0.0, "goertzel_power: bad sample rate");
+  util::require(frequency_hz >= 0.0 &&
+                    frequency_hz <= sample_rate_hz / 2.0,
+                "goertzel_power: frequency outside [0, Nyquist]");
+
+  const std::size_t n = signal.size();
+  const std::size_t bin = nearest_bin(frequency_hz, sample_rate_hz, n);
+  const double coeff = goertzel_coefficient(bin, n);
+  double s1 = 0.0, s2 = 0.0;
+  for (double x : signal) {
+    const double s0 = x + coeff * s1 - s2;
+    s2 = s1;
+    s1 = s0;
+  }
+  return s1 * s1 + s2 * s2 - coeff * s1 * s2;
+}
+
+GoertzelDetector::GoertzelDetector(double frequency_hz,
+                                   double sample_rate_hz,
+                                   std::size_t block_size)
+    : block_size_(block_size) {
+  util::require(block_size >= 8, "GoertzelDetector: block too small");
+  util::require(sample_rate_hz > 0.0, "GoertzelDetector: bad sample rate");
+  util::require(frequency_hz >= 0.0 &&
+                    frequency_hz <= sample_rate_hz / 2.0,
+                "GoertzelDetector: frequency outside [0, Nyquist]");
+  const std::size_t bin =
+      nearest_bin(frequency_hz, sample_rate_hz, block_size);
+  coefficient_ = goertzel_coefficient(bin, block_size);
+  bin_frequency_hz_ = sample_rate_hz * static_cast<double>(bin) /
+                      static_cast<double>(block_size);
+}
+
+std::optional<double> GoertzelDetector::process(double sample) {
+  const double s0 = sample + coefficient_ * s1_ - s2_;
+  s2_ = s1_;
+  s1_ = s0;
+  if (++count_ < block_size_) return std::nullopt;
+  const double power = s1_ * s1_ + s2_ * s2_ - coefficient_ * s1_ * s2_;
+  reset();
+  return power;
+}
+
+void GoertzelDetector::reset() {
+  s1_ = 0.0;
+  s2_ = 0.0;
+  count_ = 0;
+}
+
+}  // namespace sid::dsp

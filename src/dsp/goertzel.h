@@ -1,0 +1,50 @@
+// Goertzel algorithm: single-bin spectral power without a full FFT.
+//
+// On iMote2-class hardware a node that only needs the power near the
+// swell peak and in the wake band (two or three bins) should not pay for
+// a 2048-point FFT. The Goertzel recurrence computes one DFT bin in O(N)
+// multiplies with O(1) state, and the streaming form emits band power
+// once per block — the cheap front end for a duty-cycled coarse detector
+// (§IV-A "coarse detection" sentinels).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+
+#include "util/error.h"
+
+namespace sid::dsp {
+
+/// Magnitude-squared DFT power of `signal` at `frequency_hz` (nearest
+/// bin of an N-point DFT at the signal's length).
+double goertzel_power(std::span<const double> signal, double frequency_hz,
+                      double sample_rate_hz);
+
+/// Streaming block Goertzel: feed samples one at a time; every
+/// `block_size` samples the power of the tracked bin is emitted.
+class GoertzelDetector {
+ public:
+  /// Tracks `frequency_hz` over blocks of `block_size` samples.
+  GoertzelDetector(double frequency_hz, double sample_rate_hz,
+                   std::size_t block_size);
+
+  /// Processes one sample; returns the block power when the current
+  /// block completes.
+  std::optional<double> process(double sample);
+
+  void reset();
+
+  double bin_frequency_hz() const { return bin_frequency_hz_; }
+  std::size_t block_size() const { return block_size_; }
+
+ private:
+  std::size_t block_size_;
+  double coefficient_;
+  double bin_frequency_hz_;
+  double s1_ = 0.0;
+  double s2_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace sid::dsp

@@ -1,0 +1,69 @@
+#include "dsp/spectrum.h"
+
+#include <algorithm>
+
+#include "dsp/fft.h"
+#include "util/error.h"
+
+namespace sid::dsp {
+
+double PsdEstimate::peak_frequency_hz() const {
+  util::require_state(psd.size() > 1, "PsdEstimate: empty");
+  std::size_t best = 1;
+  for (std::size_t k = 2; k < psd.size(); ++k) {
+    if (psd[k] > psd[best]) best = k;
+  }
+  return frequency_hz[best];
+}
+
+double PsdEstimate::band_power(double lo_hz, double hi_hz) const {
+  util::require(lo_hz < hi_hz, "PsdEstimate::band_power: lo must be < hi");
+  if (frequency_hz.size() < 2) return 0.0;
+  const double df = frequency_hz[1] - frequency_hz[0];
+  double sum = 0.0;
+  for (std::size_t k = 0; k < psd.size(); ++k) {
+    if (frequency_hz[k] >= lo_hz && frequency_hz[k] < hi_hz) sum += psd[k] * df;
+  }
+  return sum;
+}
+
+PsdEstimate welch_psd(std::span<const double> signal,
+                      const WelchConfig& config) {
+  util::require(is_power_of_two(config.segment_size),
+                "welch_psd: segment_size must be a power of two");
+  util::require(config.overlap < config.segment_size,
+                "welch_psd: overlap must be smaller than segment_size");
+  util::require(config.sample_rate_hz > 0.0, "welch_psd: bad sample rate");
+  util::require(signal.size() >= config.segment_size,
+                "welch_psd: signal shorter than one segment");
+
+  const std::size_t hop = config.segment_size - config.overlap;
+  const auto w = make_window(config.window, config.segment_size);
+  const double norm = window_power(w) * config.sample_rate_hz;
+
+  PsdEstimate out;
+  out.psd.assign(config.segment_size / 2 + 1, 0.0);
+  for (std::size_t start = 0; start + config.segment_size <= signal.size();
+       start += hop) {
+    const auto windowed =
+        apply_window(signal.subspan(start, config.segment_size), w);
+    const auto power = power_spectrum(windowed);
+    for (std::size_t k = 0; k < power.size(); ++k) {
+      // One-sided PSD: double the interior bins.
+      const double scale = (k == 0 || k == power.size() - 1) ? 1.0 : 2.0;
+      out.psd[k] += scale * power[k] / norm;
+    }
+    ++out.segments_averaged;
+  }
+  const auto segments = static_cast<double>(out.segments_averaged);
+  for (auto& p : out.psd) p /= segments;
+
+  out.frequency_hz.resize(out.psd.size());
+  for (std::size_t k = 0; k < out.frequency_hz.size(); ++k) {
+    out.frequency_hz[k] =
+        bin_frequency(k, config.segment_size, config.sample_rate_hz);
+  }
+  return out;
+}
+
+}  // namespace sid::dsp

@@ -1,0 +1,39 @@
+// Averaged spectral estimation (Welch's method).
+//
+// Used for stable spectrum estimates of long ocean records (sea-state
+// verification in tests and the wave_lab example); single STFT frames are
+// too noisy to validate a synthesized spectrum against its target shape.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dsp/window.h"
+
+namespace sid::dsp {
+
+struct WelchConfig {
+  std::size_t segment_size = 1024;  ///< power of two
+  std::size_t overlap = 512;        ///< samples shared by adjacent segments
+  WindowType window = WindowType::kHann;
+  double sample_rate_hz = 50.0;
+};
+
+struct PsdEstimate {
+  std::vector<double> frequency_hz;  ///< bins 0..segment/2
+  std::vector<double> psd;           ///< power spectral density, unit^2/Hz
+  std::size_t segments_averaged = 0;
+
+  /// Frequency of the largest PSD bin excluding DC.
+  double peak_frequency_hz() const;
+  /// Integrated power (variance) in [lo, hi) Hz by the rectangle rule.
+  double band_power(double lo_hz, double hi_hz) const;
+};
+
+/// Welch PSD of a real signal. Throws util::InvalidArgument when the
+/// signal is shorter than one segment or the config is inconsistent.
+PsdEstimate welch_psd(std::span<const double> signal,
+                      const WelchConfig& config);
+
+}  // namespace sid::dsp

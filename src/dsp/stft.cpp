@@ -1,0 +1,50 @@
+#include "dsp/stft.h"
+
+#include "dsp/fft.h"
+#include "util/error.h"
+
+namespace sid::dsp {
+
+double Spectrogram::frequency(std::size_t k) const {
+  return bin_frequency(k, config.frame_size, config.sample_rate_hz);
+}
+
+std::vector<double> frame_power_spectrum(std::span<const double> frame,
+                                         WindowType window) {
+  util::require(is_power_of_two(frame.size()),
+                "frame_power_spectrum: frame size must be a power of two");
+  const auto w = make_window(window, frame.size());
+  const auto windowed = apply_window(frame, w);
+  auto power = power_spectrum(windowed);
+  const double norm = window_power(w);
+  for (auto& p : power) p /= norm;
+  return power;
+}
+
+Spectrogram stft(std::span<const double> signal, const StftConfig& config) {
+  util::require(is_power_of_two(config.frame_size),
+                "stft: frame_size must be a power of two");
+  util::require(config.hop > 0, "stft: hop must be positive");
+  util::require(config.sample_rate_hz > 0.0,
+                "stft: sample_rate_hz must be positive");
+  util::require(signal.size() >= config.frame_size,
+                "stft: signal shorter than one frame");
+
+  Spectrogram out;
+  out.config = config;
+  const double dt = 1.0 / config.sample_rate_hz;
+  for (std::size_t start = 0; start + config.frame_size <= signal.size();
+       start += config.hop) {
+    StftFrame frame;
+    frame.start_time_s = static_cast<double>(start) * dt;
+    frame.center_time_s =
+        frame.start_time_s +
+        0.5 * static_cast<double>(config.frame_size) * dt;
+    frame.power = frame_power_spectrum(
+        signal.subspan(start, config.frame_size), config.window);
+    out.frames.push_back(std::move(frame));
+  }
+  return out;
+}
+
+}  // namespace sid::dsp

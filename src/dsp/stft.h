@@ -1,0 +1,50 @@
+// Short-time Fourier transform (the paper's "Windowed Fourier Transform",
+// §III-C1). The paper uses 2048-point frames at 50 Hz (40.96 s) to contrast
+// the single-peak swell spectrum with the multi-peak ship-wave spectrum.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dsp/window.h"
+
+namespace sid::dsp {
+
+struct StftConfig {
+  std::size_t frame_size = 2048;  ///< must be a power of two
+  std::size_t hop = 1024;         ///< frame advance in samples
+  WindowType window = WindowType::kHann;
+  double sample_rate_hz = 50.0;
+};
+
+/// One STFT frame: one-sided power spectrum plus its time anchor.
+struct StftFrame {
+  double start_time_s = 0.0;   ///< time of the first sample in the frame
+  double center_time_s = 0.0;  ///< time of the frame centre
+  std::vector<double> power;   ///< bins 0..frame_size/2 (window-normalized)
+};
+
+struct Spectrogram {
+  StftConfig config;
+  std::vector<StftFrame> frames;
+
+  std::size_t bins() const {
+    return frames.empty() ? 0 : frames.front().power.size();
+  }
+  /// Frequency of bin k in Hz.
+  double frequency(std::size_t k) const;
+};
+
+/// Computes the STFT of `signal`. Trailing samples that do not fill a whole
+/// frame are dropped (matching the paper's fixed 2048-sample segments).
+/// Throws util::InvalidArgument when the signal is shorter than one frame,
+/// the frame size is not a power of two, or hop is zero.
+Spectrogram stft(std::span<const double> signal, const StftConfig& config);
+
+/// Power spectrum of a single frame (window applied, normalized by the
+/// window power so different windows are comparable).
+std::vector<double> frame_power_spectrum(std::span<const double> frame,
+                                         WindowType window);
+
+}  // namespace sid::dsp

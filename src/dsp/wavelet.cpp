@@ -1,0 +1,114 @@
+#include "dsp/wavelet.h"
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+
+#include "dsp/fft.h"
+#include "util/error.h"
+
+namespace sid::dsp {
+
+std::vector<double> cwt_frequencies(const CwtConfig& config) {
+  util::require(config.num_scales >= 2, "cwt: need at least two scales");
+  util::require(config.min_frequency_hz > 0.0 &&
+                    config.max_frequency_hz > config.min_frequency_hz,
+                "cwt: bad frequency range");
+  util::require(config.max_frequency_hz <= config.sample_rate_hz / 2.0,
+                "cwt: max frequency above Nyquist");
+  std::vector<double> freqs(config.num_scales);
+  const double log_lo = std::log(config.min_frequency_hz);
+  const double log_hi = std::log(config.max_frequency_hz);
+  for (std::size_t i = 0; i < config.num_scales; ++i) {
+    const double t = static_cast<double>(i) /
+                     static_cast<double>(config.num_scales - 1);
+    freqs[i] = std::exp(log_lo + t * (log_hi - log_lo));
+  }
+  return freqs;
+}
+
+Scalogram cwt_morlet(std::span<const double> signal, const CwtConfig& config) {
+  util::require(!signal.empty(), "cwt_morlet: empty signal");
+  const auto freqs = cwt_frequencies(config);
+
+  Scalogram out;
+  out.config = config;
+  out.frequencies_hz = freqs;
+  out.samples = signal.size();
+  out.power.resize(freqs.size());
+
+  // FFT of the (zero-padded) signal, reused across scales.
+  const std::size_t n = next_power_of_two(2 * signal.size());
+  std::vector<std::complex<double>> sig_fft(n);
+  for (std::size_t i = 0; i < signal.size(); ++i) sig_fft[i] = signal[i];
+  fft_inplace(sig_fft);
+
+  const double dt = 1.0 / config.sample_rate_hz;
+  const double norm_const = std::pow(std::numbers::pi, -0.25);
+
+  for (std::size_t si = 0; si < freqs.size(); ++si) {
+    // scale (in seconds) for pseudo-frequency f: s = w0 / (2*pi*f)
+    const double scale_s = config.omega0 / (2.0 * std::numbers::pi * freqs[si]);
+
+    // Frequency-domain Morlet: psi_hat(w) = pi^{-1/4} * H(w) *
+    //   exp(-(s*w - w0)^2 / 2), evaluated at the FFT angular frequencies.
+    // Multiplying by sqrt(2*pi*s/dt) gives the standard L2 normalization
+    // (Torrence & Compo 1998).
+    const double amp = norm_const * std::sqrt(2.0 * std::numbers::pi *
+                                              scale_s / dt);
+    std::vector<std::complex<double>> prod(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      // Angular frequency of bin k (rad/s); negative for the upper half.
+      double w = 2.0 * std::numbers::pi * static_cast<double>(k) /
+                 (static_cast<double>(n) * dt);
+      if (k > n / 2) {
+        w -= 2.0 * std::numbers::pi / dt;
+      }
+      if (w <= 0.0) continue;  // analytic wavelet: zero for w <= 0
+      const double arg = scale_s * w - config.omega0;
+      const double psi_hat = amp * std::exp(-0.5 * arg * arg);
+      prod[k] = sig_fft[k] * psi_hat;
+    }
+    ifft_inplace(prod);
+    auto& row = out.power[si];
+    row.resize(signal.size());
+    for (std::size_t t = 0; t < signal.size(); ++t) {
+      row[t] = std::norm(prod[t]);
+    }
+  }
+  return out;
+}
+
+double Scalogram::band_energy(double lo_hz, double hi_hz) const {
+  double sum = 0.0;
+  for (std::size_t si = 0; si < frequencies_hz.size(); ++si) {
+    if (frequencies_hz[si] < lo_hz || frequencies_hz[si] >= hi_hz) continue;
+    for (double p : power[si]) sum += p;
+  }
+  return sum;
+}
+
+double Scalogram::total_energy() const {
+  double sum = 0.0;
+  for (const auto& row : power) {
+    for (double p : row) sum += p;
+  }
+  return sum;
+}
+
+double Scalogram::dominant_frequency() const {
+  util::require_state(!power.empty(), "Scalogram::dominant_frequency: empty");
+  double best_energy = -1.0;
+  double best_freq = 0.0;
+  for (std::size_t si = 0; si < power.size(); ++si) {
+    double row_sum = 0.0;
+    for (double p : power[si]) row_sum += p;
+    if (row_sum > best_energy) {
+      best_energy = row_sum;
+      best_freq = frequencies_hz[si];
+    }
+  }
+  return best_freq;
+}
+
+}  // namespace sid::dsp

@@ -1,0 +1,64 @@
+#include "dsp/window.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.h"
+
+namespace sid::dsp {
+
+std::vector<double> make_window(WindowType type, std::size_t n) {
+  util::require(n > 0, "make_window: n must be positive");
+  std::vector<double> w(n, 1.0);
+  if (type == WindowType::kRectangular || n == 1) return w;
+  const double denom = static_cast<double>(n);  // periodic window
+  const double two_pi = 2.0 * std::numbers::pi;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double phase = two_pi * static_cast<double>(i) / denom;
+    switch (type) {
+      case WindowType::kHann:
+        w[i] = 0.5 - 0.5 * std::cos(phase);
+        break;
+      case WindowType::kHamming:
+        w[i] = 0.54 - 0.46 * std::cos(phase);
+        break;
+      case WindowType::kBlackman:
+        w[i] = 0.42 - 0.5 * std::cos(phase) + 0.08 * std::cos(2.0 * phase);
+        break;
+      case WindowType::kRectangular:
+        break;
+    }
+  }
+  return w;
+}
+
+std::vector<double> apply_window(std::span<const double> frame,
+                                 std::span<const double> window) {
+  util::require(frame.size() == window.size(),
+                "apply_window: frame/window size mismatch");
+  std::vector<double> out(frame.size());
+  for (std::size_t i = 0; i < frame.size(); ++i) out[i] = frame[i] * window[i];
+  return out;
+}
+
+double window_power(std::span<const double> window) {
+  double sum = 0.0;
+  for (double w : window) sum += w * w;
+  return sum;
+}
+
+const char* window_name(WindowType type) {
+  switch (type) {
+    case WindowType::kRectangular:
+      return "rectangular";
+    case WindowType::kHann:
+      return "hann";
+    case WindowType::kHamming:
+      return "hamming";
+    case WindowType::kBlackman:
+      return "blackman";
+  }
+  return "unknown";
+}
+
+}  // namespace sid::dsp

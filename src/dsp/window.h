@@ -1,0 +1,33 @@
+// Analysis window functions for the STFT / Welch PSD front end.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace sid::dsp {
+
+enum class WindowType {
+  kRectangular,
+  kHann,
+  kHamming,
+  kBlackman,
+};
+
+/// Returns the window coefficients, length n (periodic form, suitable for
+/// spectral analysis with overlapping frames).
+std::vector<double> make_window(WindowType type, std::size_t n);
+
+/// Multiplies `frame` elementwise by `window` into a new vector.
+/// Sizes must match.
+std::vector<double> apply_window(std::span<const double> frame,
+                                 std::span<const double> window);
+
+/// Sum of squared window coefficients — used to normalize power spectra so
+/// windowed and rectangular estimates are comparable.
+double window_power(std::span<const double> window);
+
+/// Human-readable name (for bench output).
+const char* window_name(WindowType type);
+
+}  // namespace sid::dsp

@@ -1,0 +1,105 @@
+#include "ocean/wave_field.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.h"
+#include "util/units.h"
+
+namespace sid::ocean {
+
+double sample_spreading_offset(util::Rng& rng, double exponent) {
+  util::require(exponent >= 0.0,
+                "sample_spreading_offset: exponent must be non-negative");
+  if (exponent == 0.0) {
+    return rng.uniform(-std::numbers::pi / 2.0, std::numbers::pi / 2.0);
+  }
+  // Rejection sampling of p(theta) proportional to cos^{2s}(theta) on
+  // (-pi/2, pi/2); the mode is at 0 with density 1.
+  for (;;) {
+    const double theta =
+        rng.uniform(-std::numbers::pi / 2.0, std::numbers::pi / 2.0);
+    const double density = std::pow(std::cos(theta), 2.0 * exponent);
+    if (rng.uniform() < density) return theta;
+  }
+}
+
+WaveField::WaveField(const WaveSpectrum& spectrum,
+                     const WaveFieldConfig& config) {
+  util::require(config.num_components > 0,
+                "WaveField: need at least one component");
+  util::require(config.min_frequency_hz > 0.0 &&
+                    config.max_frequency_hz > config.min_frequency_hz,
+                "WaveField: bad frequency range");
+
+  util::Rng rng(config.seed);
+  components_.reserve(config.num_components);
+
+  const double df = (config.max_frequency_hz - config.min_frequency_hz) /
+                    static_cast<double>(config.num_components);
+  for (std::size_t i = 0; i < config.num_components; ++i) {
+    // Jitter the component frequency inside its bin to avoid periodicity
+    // artifacts in long records.
+    const double f = config.min_frequency_hz +
+                     (static_cast<double>(i) + rng.uniform()) * df;
+    const double s_f = spectrum.density(f);
+    WaveComponent c;
+    c.amplitude_m = std::sqrt(2.0 * s_f * df);
+    c.omega = 2.0 * std::numbers::pi * f;
+    c.wavenumber = c.omega * c.omega / util::kGravity;  // deep water
+    c.direction_rad = config.mean_direction_rad +
+                      sample_spreading_offset(rng, config.spreading_exponent);
+    c.phase = rng.angle();
+    components_.push_back(c);
+  }
+}
+
+double WaveField::elevation(util::Vec2 p, double t) const {
+  double eta = 0.0;
+  for (const auto& c : components_) {
+    const double kx = c.wavenumber * (std::cos(c.direction_rad) * p.x +
+                                      std::sin(c.direction_rad) * p.y);
+    eta += c.amplitude_m * std::cos(kx - c.omega * t + c.phase);
+  }
+  return eta;
+}
+
+Accel3 WaveField::acceleration(util::Vec2 p, double t) const {
+  Accel3 a;
+  for (const auto& c : components_) {
+    const double dir_x = std::cos(c.direction_rad);
+    const double dir_y = std::sin(c.direction_rad);
+    const double kx = c.wavenumber * (dir_x * p.x + dir_y * p.y);
+    const double phase = kx - c.omega * t + c.phase;
+    const double w2a = c.omega * c.omega * c.amplitude_m;
+    // Airy theory at the surface (z = 0): vertical particle acceleration
+    // -w^2 * A * cos(phase); horizontal +w^2 * A * sin(phase) along the
+    // propagation direction.
+    a.az += -w2a * std::cos(phase);
+    const double horizontal = w2a * std::sin(phase);
+    a.ax += horizontal * dir_x;
+    a.ay += horizontal * dir_y;
+  }
+  return a;
+}
+
+double WaveField::vertical_acceleration(util::Vec2 p, double t) const {
+  double az = 0.0;
+  for (const auto& c : components_) {
+    const double kx = c.wavenumber * (std::cos(c.direction_rad) * p.x +
+                                      std::sin(c.direction_rad) * p.y);
+    const double phase = kx - c.omega * t + c.phase;
+    az += -c.omega * c.omega * c.amplitude_m * std::cos(phase);
+  }
+  return az;
+}
+
+double WaveField::elevation_variance() const {
+  double var = 0.0;
+  for (const auto& c : components_) {
+    var += 0.5 * c.amplitude_m * c.amplitude_m;
+  }
+  return var;
+}
+
+}  // namespace sid::ocean

@@ -1,0 +1,82 @@
+// Random-phase linear (Airy) wave field synthesis.
+//
+// The sea surface is the sum of N sinusoidal components whose amplitudes
+// follow a target variance spectrum, with random phases and directions
+// drawn from a cos^{2s} spreading function. Deep-water dispersion
+// (omega^2 = g*k) links frequency and wavenumber. The field is evaluated
+// at arbitrary (position, time), giving elevation plus the surface-level
+// particle accelerations a buoy riding the surface experiences — the
+// quantity the paper's accelerometer actually measures.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ocean/wave_spectrum.h"
+#include "util/geometry.h"
+#include "util/rng.h"
+
+namespace sid::ocean {
+
+/// Surface-level particle acceleration in m/s^2 (x east, y north, z up;
+/// z excludes gravity).
+struct Accel3 {
+  double ax = 0.0;
+  double ay = 0.0;
+  double az = 0.0;
+};
+
+struct WaveFieldConfig {
+  std::size_t num_components = 160;
+  double min_frequency_hz = 0.03;
+  /// Extends well past 1 Hz so the raw trace carries realistic wind chop
+  /// (the paper's Fig. 5 shows hundreds of counts of fast fluctuation);
+  /// the node detector's 1 Hz low-pass removes it.
+  double max_frequency_hz = 3.0;
+  /// cos^{2s} directional spreading exponent; larger = narrower spread.
+  double spreading_exponent = 8.0;
+  /// Mean wave travel direction, radians from +x.
+  double mean_direction_rad = 0.0;
+  std::uint64_t seed = 1;
+};
+
+/// One spectral component of the synthesized field.
+struct WaveComponent {
+  double amplitude_m = 0.0;
+  double omega = 0.0;        ///< angular frequency, rad/s
+  double wavenumber = 0.0;   ///< rad/m (deep water: omega^2 / g)
+  double direction_rad = 0.0;
+  double phase = 0.0;        ///< random phase offset
+};
+
+class WaveField {
+ public:
+  /// Samples `config.num_components` components from `spectrum`.
+  WaveField(const WaveSpectrum& spectrum, const WaveFieldConfig& config);
+
+  /// Surface elevation (m) at position `p` and time `t` (s).
+  double elevation(util::Vec2 p, double t) const;
+
+  /// Surface particle acceleration at `p`, `t` (deep-water Airy theory,
+  /// evaluated at the mean surface level).
+  Accel3 acceleration(util::Vec2 p, double t) const;
+
+  /// Vertical acceleration only (the component the detector uses).
+  double vertical_acceleration(util::Vec2 p, double t) const;
+
+  const std::vector<WaveComponent>& components() const { return components_; }
+
+  /// Theoretical variance of the synthesized elevation:
+  /// sum of A_i^2 / 2.
+  double elevation_variance() const;
+
+ private:
+  std::vector<WaveComponent> components_;
+};
+
+/// Draws a direction offset from a cos^{2s} spreading function centred on
+/// zero via rejection sampling. Exposed for tests.
+double sample_spreading_offset(util::Rng& rng, double exponent);
+
+}  // namespace sid::ocean

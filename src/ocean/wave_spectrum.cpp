@@ -1,0 +1,137 @@
+#include "ocean/wave_spectrum.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.h"
+#include "util/units.h"
+
+namespace sid::ocean {
+
+namespace {
+constexpr double kPhillipsAlpha = 0.0081;
+}
+
+double WaveSpectrum::moment0(double f_lo_hz, double f_hi_hz,
+                             std::size_t steps) const {
+  util::require(f_lo_hz > 0.0 && f_hi_hz > f_lo_hz,
+                "WaveSpectrum::moment0: bad integration range");
+  util::require(steps >= 2, "WaveSpectrum::moment0: too few steps");
+  const double df = (f_hi_hz - f_lo_hz) / static_cast<double>(steps);
+  double sum = 0.5 * (density(f_lo_hz) + density(f_hi_hz));
+  for (std::size_t i = 1; i < steps; ++i) {
+    sum += density(f_lo_hz + static_cast<double>(i) * df);
+  }
+  return sum * df;
+}
+
+double WaveSpectrum::significant_height_m() const {
+  return 4.0 * std::sqrt(moment0());
+}
+
+PiersonMoskowitz::PiersonMoskowitz(double peak_frequency_hz)
+    : fp_(peak_frequency_hz) {
+  util::require(peak_frequency_hz > 0.0,
+                "PiersonMoskowitz: peak frequency must be positive");
+}
+
+PiersonMoskowitz PiersonMoskowitz::from_wind_speed(double wind_speed_mps) {
+  util::require(wind_speed_mps > 0.0,
+                "PiersonMoskowitz: wind speed must be positive");
+  const double fp = 0.8772 * util::kGravity /
+                    (2.0 * std::numbers::pi * wind_speed_mps);
+  return PiersonMoskowitz(fp);
+}
+
+double PiersonMoskowitz::density(double frequency_hz) const {
+  util::require(frequency_hz > 0.0,
+                "PiersonMoskowitz::density: frequency must be positive");
+  const double g2 = util::kGravity * util::kGravity;
+  const double two_pi4 = std::pow(2.0 * std::numbers::pi, 4);
+  const double ratio = fp_ / frequency_hz;
+  return kPhillipsAlpha * g2 / (two_pi4 * std::pow(frequency_hz, 5)) *
+         std::exp(-1.25 * std::pow(ratio, 4));
+}
+
+Jonswap::Jonswap(double peak_frequency_hz, double gamma, double alpha)
+    : fp_(peak_frequency_hz), gamma_(gamma), alpha_(alpha) {
+  util::require(peak_frequency_hz > 0.0,
+                "Jonswap: peak frequency must be positive");
+  util::require(gamma >= 1.0, "Jonswap: gamma must be >= 1");
+  util::require(alpha > 0.0, "Jonswap: alpha must be positive");
+}
+
+double Jonswap::density(double frequency_hz) const {
+  util::require(frequency_hz > 0.0,
+                "Jonswap::density: frequency must be positive");
+  const double g2 = util::kGravity * util::kGravity;
+  const double two_pi4 = std::pow(2.0 * std::numbers::pi, 4);
+  const double ratio = fp_ / frequency_hz;
+  const double pm = alpha_ * g2 / (two_pi4 * std::pow(frequency_hz, 5)) *
+                    std::exp(-1.25 * std::pow(ratio, 4));
+  const double sigma = frequency_hz <= fp_ ? 0.07 : 0.09;
+  const double dev = (frequency_hz - fp_) / (sigma * fp_);
+  const double r = std::exp(-0.5 * dev * dev);
+  return pm * std::pow(gamma_, r);
+}
+
+SeaStateParams sea_state_params(SeaState state) {
+  // Peak frequencies follow real coastal swell (the sub-1 Hz band the
+  // detector keeps); short wind chop above 1 Hz is added by the wave
+  // field's spectral tail and is removed by the node's low-pass filter.
+  switch (state) {
+    case SeaState::kCalm:
+      return {.peak_frequency_hz = 0.25,
+              .significant_height_m = 0.25,
+              .gamma = 3.3};
+    case SeaState::kModerate:
+      return {.peak_frequency_hz = 0.22,
+              .significant_height_m = 0.8,
+              .gamma = 3.3};
+    case SeaState::kRough:
+      return {.peak_frequency_hz = 0.15,
+              .significant_height_m = 2.0,
+              .gamma = 3.3};
+  }
+  return {};
+}
+
+const char* sea_state_name(SeaState state) {
+  switch (state) {
+    case SeaState::kCalm:
+      return "calm";
+    case SeaState::kModerate:
+      return "moderate";
+    case SeaState::kRough:
+      return "rough";
+  }
+  return "unknown";
+}
+
+ScaledSpectrum::ScaledSpectrum(std::unique_ptr<WaveSpectrum> base,
+                               double factor)
+    : base_(std::move(base)), factor_(factor) {
+  util::require(base_ != nullptr, "ScaledSpectrum: null base");
+  util::require(factor > 0.0, "ScaledSpectrum: factor must be positive");
+}
+
+double ScaledSpectrum::density(double frequency_hz) const {
+  return factor_ * base_->density(frequency_hz);
+}
+
+double ScaledSpectrum::peak_frequency_hz() const {
+  return base_->peak_frequency_hz();
+}
+
+std::unique_ptr<WaveSpectrum> make_sea_spectrum(SeaState state) {
+  const SeaStateParams params = sea_state_params(state);
+  auto base = std::make_unique<Jonswap>(params.peak_frequency_hz,
+                                        params.gamma);
+  // Rescale so Hs matches the preset exactly (Hs scales as sqrt(m0)).
+  const double hs = base->significant_height_m();
+  const double factor =
+      (params.significant_height_m * params.significant_height_m) / (hs * hs);
+  return std::make_unique<ScaledSpectrum>(std::move(base), factor);
+}
+
+}  // namespace sid::ocean

@@ -1,0 +1,112 @@
+// Ocean wave spectra.
+//
+// The paper's detector sees the open-sea background as a narrow-band
+// process with one dominant spectral peak (Fig. 6a). We synthesize that
+// background from standard empirical spectra:
+//  * Pierson–Moskowitz (fully developed sea, parameterized by wind speed
+//    or by peak frequency + significant height),
+//  * JONSWAP (fetch-limited, with the classic peak-enhancement gamma).
+//
+// Spectra are variance density S(f) in m^2/Hz over frequency f in Hz.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace sid::ocean {
+
+/// Interface for a one-dimensional (omnidirectional) wave variance
+/// spectrum.
+class WaveSpectrum {
+ public:
+  virtual ~WaveSpectrum() = default;
+
+  /// Variance density S(f) in m^2/Hz. f must be > 0.
+  virtual double density(double frequency_hz) const = 0;
+
+  /// Frequency of the spectral peak, Hz.
+  virtual double peak_frequency_hz() const = 0;
+
+  /// Zeroth spectral moment m0 = integral of S(f) df, computed numerically
+  /// over [f_lo, f_hi] with `steps` trapezoids.
+  double moment0(double f_lo_hz = 0.01, double f_hi_hz = 2.0,
+                 std::size_t steps = 4000) const;
+
+  /// Significant wave height Hs = 4 * sqrt(m0), metres.
+  double significant_height_m() const;
+};
+
+/// Pierson–Moskowitz spectrum for a fully developed sea.
+///
+///   S(f) = alpha * g^2 * (2*pi)^-4 * f^-5 * exp(-1.25 * (fp/f)^4)
+///
+/// with alpha = 0.0081 (Phillips constant).
+class PiersonMoskowitz final : public WaveSpectrum {
+ public:
+  /// From the peak frequency directly.
+  explicit PiersonMoskowitz(double peak_frequency_hz);
+
+  /// From the wind speed at 19.5 m (the classic parameterization):
+  /// fp = 0.8772 * g / (2*pi*U19.5).
+  static PiersonMoskowitz from_wind_speed(double wind_speed_mps);
+
+  double density(double frequency_hz) const override;
+  double peak_frequency_hz() const override { return fp_; }
+
+ private:
+  double fp_;
+};
+
+/// JONSWAP spectrum: Pierson–Moskowitz shape with peak enhancement.
+class Jonswap final : public WaveSpectrum {
+ public:
+  /// gamma is the peak-enhancement factor (mean North Sea value 3.3).
+  Jonswap(double peak_frequency_hz, double gamma = 3.3,
+          double alpha = 0.0081);
+
+  double density(double frequency_hz) const override;
+  double peak_frequency_hz() const override { return fp_; }
+  double gamma() const { return gamma_; }
+
+ private:
+  double fp_;
+  double gamma_;
+  double alpha_;
+};
+
+/// A named sea state preset: the synthetic stand-in for the paper's test
+/// site conditions. Calm/moderate/rough map to increasing wind sea.
+enum class SeaState {
+  kCalm,      ///< Beaufort ~2: Hs ~ 0.2 m, Tp ~ 2.2 s
+  kModerate,  ///< Beaufort ~4: Hs ~ 0.8 m, Tp ~ 3.8 s (default test site)
+  kRough,     ///< Beaufort ~6: Hs ~ 2.2 m, Tp ~ 5.5 s
+};
+
+struct SeaStateParams {
+  double peak_frequency_hz = 0.26;
+  double significant_height_m = 0.8;
+  double gamma = 3.3;
+};
+
+SeaStateParams sea_state_params(SeaState state);
+const char* sea_state_name(SeaState state);
+
+/// Builds a JONSWAP spectrum for the preset, rescaled so that its
+/// significant height matches the preset value.
+std::unique_ptr<WaveSpectrum> make_sea_spectrum(SeaState state);
+
+/// JONSWAP with density scaled by a constant factor (used to hit a target
+/// significant height exactly).
+class ScaledSpectrum final : public WaveSpectrum {
+ public:
+  ScaledSpectrum(std::unique_ptr<WaveSpectrum> base, double factor);
+  double density(double frequency_hz) const override;
+  double peak_frequency_hz() const override;
+
+ private:
+  std::unique_ptr<WaveSpectrum> base_;
+  double factor_;
+};
+
+}  // namespace sid::ocean

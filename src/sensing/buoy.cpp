@@ -1,0 +1,81 @@
+#include "sensing/buoy.h"
+
+#include <cmath>
+
+#include "util/error.h"
+#include "util/units.h"
+
+namespace sid::sense {
+
+Buoy::Buoy(const BuoyConfig& config) : config_(config), rng_(config.seed) {
+  util::require(config.drift_radius_m >= 0.0,
+                "Buoy: drift radius must be non-negative");
+  util::require(config.drift_time_constant_s > 0.0,
+                "Buoy: drift time constant must be positive");
+  util::require(config.tilt_stddev_rad >= 0.0,
+                "Buoy: tilt stddev must be non-negative");
+  util::require(config.tilt_time_constant_s > 0.0,
+                "Buoy: tilt time constant must be positive");
+}
+
+namespace {
+
+/// One exact Ornstein–Uhlenbeck step with stationary stddev `sigma` and
+/// time constant `tau`.
+double ou_step(double x, double dt, double tau, double sigma,
+               util::Rng& rng) {
+  const double decay = std::exp(-dt / tau);
+  const double noise_sd = sigma * std::sqrt(1.0 - decay * decay);
+  return x * decay + rng.normal(0.0, noise_sd);
+}
+
+}  // namespace
+
+void Buoy::step(double dt) {
+  util::require(dt > 0.0, "Buoy::step: dt must be positive");
+  if (config_.drift_radius_m > 0.0) {
+    // Stationary per-axis sd at half the radius keeps the walk inside the
+    // mooring circle almost always; clamp as a hard guarantee.
+    const double sigma = config_.drift_radius_m / 2.0;
+    drift_.x = ou_step(drift_.x, dt, config_.drift_time_constant_s, sigma,
+                       rng_);
+    drift_.y = ou_step(drift_.y, dt, config_.drift_time_constant_s, sigma,
+                       rng_);
+    const double r = drift_.norm();
+    if (r > config_.drift_radius_m) {
+      drift_ = drift_ * (config_.drift_radius_m / r);
+    }
+  }
+  if (config_.tilt_stddev_rad > 0.0) {
+    roll_ = ou_step(roll_, dt, config_.tilt_time_constant_s,
+                    config_.tilt_stddev_rad, rng_);
+    pitch_ = ou_step(pitch_, dt, config_.tilt_time_constant_s,
+                     config_.tilt_stddev_rad, rng_);
+  }
+}
+
+AccelG Buoy::sense(const ocean::Accel3& surface_accel_mps2) const {
+  // Specific force in the world frame (the accelerometer measures the
+  // reaction to gravity plus kinematic acceleration).
+  const double fx = surface_accel_mps2.ax;
+  const double fy = surface_accel_mps2.ay;
+  const double fz = surface_accel_mps2.az + util::kGravity;
+
+  // Rotate world -> sensor with R = Rx(roll) * Ry(pitch); v_s = R^T v_w.
+  const double cr = std::cos(roll_), sr = std::sin(roll_);
+  const double cp = std::cos(pitch_), sp = std::sin(pitch_);
+  // v1 = Rx^T * v_w
+  const double v1x = fx;
+  const double v1y = cr * fy + sr * fz;
+  const double v1z = -sr * fy + cr * fz;
+  // v2 = Ry^T * v1
+  const double v2x = cp * v1x - sp * v1z;
+  const double v2y = v1y;
+  const double v2z = sp * v1x + cp * v1z;
+
+  return AccelG{.x = util::mps2_to_g(v2x),
+                .y = util::mps2_to_g(v2y),
+                .z = util::mps2_to_g(v2z)};
+}
+
+}  // namespace sid::sense

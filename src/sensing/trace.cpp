@@ -1,0 +1,107 @@
+#include "sensing/trace.h"
+
+#include <cmath>
+
+#include "dsp/filter.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace sid::sense {
+
+bool SensorTrace::wake_active_at(std::size_t i) const {
+  const double t = time_at(i);
+  for (const auto& [start, end] : wake_intervals) {
+    if (t >= start && t <= end) return true;
+  }
+  return false;
+}
+
+std::vector<double> SensorTrace::z_centered(double counts_per_g) const {
+  std::vector<double> out(z.size());
+  for (std::size_t i = 0; i < z.size(); ++i) out[i] = z[i] - counts_per_g;
+  return out;
+}
+
+SensorTrace generate_trace(const ocean::WaveField& field,
+                           std::span<const wake::WakeTrain> trains,
+                           const TraceConfig& config) {
+  util::require(config.sample_rate_hz > 0.0,
+                "generate_trace: sample rate must be positive");
+  util::require(config.duration_s > 0.0,
+                "generate_trace: duration must be positive");
+
+  util::require(config.slam_noise_g >= 0.0,
+                "generate_trace: slam noise must be non-negative");
+  const auto n = static_cast<std::size_t>(
+      std::llround(config.duration_s * config.sample_rate_hz));
+  util::require(n > 0, "generate_trace: zero samples requested");
+
+  Buoy buoy(config.buoy);
+  Accelerometer accel(config.accel);
+  util::Rng slam_rng(config.buoy.seed * 0x9e3779b97f4a7c15ULL + 0x51A11ULL);
+  const double dt = 1.0 / config.sample_rate_hz;
+
+  // Buoy heave response: one causal low-pass per axis, primed to 0 (the
+  // wave-driven acceleration has zero mean).
+  const bool use_response = config.buoy_response_cutoff_hz > 0.0;
+  std::vector<dsp::IirCascade> response;
+  if (use_response) {
+    util::require(config.buoy_response_cutoff_hz <
+                      config.sample_rate_hz / 2.0,
+                  "generate_trace: buoy response cutoff above Nyquist");
+    for (int axis = 0; axis < 3; ++axis) {
+      response.emplace_back(dsp::butterworth_lowpass(
+          2, config.buoy_response_cutoff_hz, config.sample_rate_hz));
+    }
+  }
+
+  SensorTrace trace;
+  trace.sample_rate_hz = config.sample_rate_hz;
+  trace.start_time_s = config.start_time_s;
+  trace.x.reserve(n);
+  trace.y.reserve(n);
+  trace.z.reserve(n);
+  for (const auto& train : trains) {
+    trace.wake_intervals.emplace_back(
+        train.params().arrival_time_s,
+        train.params().arrival_time_s + train.params().duration_s);
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = config.start_time_s + static_cast<double>(i) * dt;
+    buoy.step(dt);
+    ocean::Accel3 a = field.acceleration(buoy.position(), t);
+    for (const auto& train : trains) {
+      const double wz = train.vertical_acceleration(t);
+      a.az += wz;
+      // Oblique arrival: part of the train's motion shows up horizontally,
+      // split between the axes by the wake side.
+      const double wh = config.wake_horizontal_fraction * wz;
+      a.ax += wh * 0.7 * train.params().side;
+      a.ay += wh * 0.3;
+    }
+    if (use_response) {
+      a.ax = response[0].process(a.ax);
+      a.ay = response[1].process(a.ay);
+      a.az = response[2].process(a.az);
+    }
+    AccelG g = buoy.sense(a);
+    if (config.slam_noise_g > 0.0) {
+      g.x += slam_rng.normal(0.0, 2.0 * config.slam_noise_g);
+      g.y += slam_rng.normal(0.0, 2.0 * config.slam_noise_g);
+      g.z += slam_rng.normal(0.0, config.slam_noise_g);
+    }
+    const CountSample counts = accel.sample(g);
+    trace.x.push_back(counts.x);
+    trace.y.push_back(counts.y);
+    trace.z.push_back(counts.z);
+  }
+  return trace;
+}
+
+SensorTrace generate_ocean_trace(const ocean::WaveField& field,
+                                 const TraceConfig& config) {
+  return generate_trace(field, {}, config);
+}
+
+}  // namespace sid::sense

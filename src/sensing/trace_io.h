@@ -1,0 +1,38 @@
+// SensorTrace serialization.
+//
+// Lets recorded deployments replace the synthetic substrate: a user with
+// real buoy accelerometer logs (the workflow the paper ran — iMote2
+// flash dumps) converts them to either format and feeds them straight
+// into NodeDetector / SpectralClassifier.
+//
+// Formats:
+//  * CSV: header `t,x,y,z[,wake]` — one row per sample, wake optional
+//    ground-truth flag (0/1). Times must be uniformly spaced.
+//  * SIDB (binary): little-endian, magic "SIDB", version, sample rate,
+//    start time, sample count, wake-interval count, then the x/y/z
+//    arrays as float32 and the wake intervals as double pairs. Compact
+//    and exact for round-tripping simulations.
+#pragma once
+
+#include <string>
+
+#include "sensing/trace.h"
+
+namespace sid::sense {
+
+/// Writes `trace` as CSV (with a `wake` column when ground-truth
+/// intervals exist). Throws util::Error on I/O failure.
+void write_trace_csv(const SensorTrace& trace, const std::string& path);
+
+/// Reads a CSV trace written by write_trace_csv (or hand-made with the
+/// same header). Sample rate is inferred from the first two timestamps;
+/// non-uniform spacing beyond 1 % is rejected. Consecutive wake-flagged
+/// runs become wake intervals.
+SensorTrace read_trace_csv(const std::string& path);
+
+/// Binary round-trip: exact except x/y/z stored as float32 (ADC counts
+/// fit losslessly).
+void write_trace_binary(const SensorTrace& trace, const std::string& path);
+SensorTrace read_trace_binary(const std::string& path);
+
+}  // namespace sid::sense

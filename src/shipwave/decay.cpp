@@ -1,0 +1,32 @@
+#include "shipwave/decay.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+#include "util/units.h"
+
+namespace sid::wake {
+
+double DecayModel::coefficient_c(double speed_mps) const {
+  util::require(speed_mps >= 0.0, "DecayModel: speed must be non-negative");
+  // Natural length scale of the hull wave system is V^2/g; the wake
+  // coefficient absorbs hull-shape effects.
+  return wake_coefficient * speed_mps * speed_mps / util::kGravity;
+}
+
+double DecayModel::cusp_height_m(double speed_mps, double distance_m) const {
+  util::require(distance_m >= 0.0, "DecayModel: distance must be >= 0");
+  const double d = std::max(distance_m, near_field_floor_m);
+  return coefficient_c(speed_mps) * std::pow(d, -1.0 / 3.0);
+}
+
+double DecayModel::transverse_height_m(double speed_mps,
+                                       double distance_m) const {
+  util::require(distance_m >= 0.0, "DecayModel: distance must be >= 0");
+  const double d = std::max(distance_m, near_field_floor_m);
+  const double near = cusp_height_m(speed_mps, near_field_floor_m);
+  return near * std::sqrt(near_field_floor_m / d);
+}
+
+}  // namespace sid::wake

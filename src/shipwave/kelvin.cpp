@@ -1,0 +1,51 @@
+#include "shipwave/kelvin.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+#include "util/units.h"
+
+namespace sid::wake {
+
+double kelvin_half_angle_rad() { return std::asin(1.0 / 3.0); }
+
+double froude_number(double speed_mps, double hull_length_m) {
+  util::require(speed_mps >= 0.0, "froude_number: speed must be non-negative");
+  util::require(hull_length_m > 0.0,
+                "froude_number: hull length must be positive");
+  return speed_mps / std::sqrt(util::kGravity * hull_length_m);
+}
+
+double wave_propagation_angle_rad(double froude) {
+  util::require(froude >= 0.0, "wave_propagation_angle: Fd must be >= 0");
+  const double theta_deg = 35.27 * (1.0 - std::exp(12.0 * (froude - 1.0)));
+  return util::deg_to_rad(std::clamp(theta_deg, 0.0, 35.27));
+}
+
+double wave_speed_mps(double ship_speed_mps, double froude) {
+  util::require(ship_speed_mps >= 0.0, "wave_speed: speed must be >= 0");
+  return ship_speed_mps * std::cos(wave_propagation_angle_rad(froude));
+}
+
+bool wake_contains(const ShipPose& pose, util::Vec2 point) {
+  const util::Vec2 back = util::Vec2::from_heading(pose.heading_rad) * -1.0;
+  const util::Vec2 to_point = point - pose.position;
+  const double behind = to_point.dot(back);
+  if (behind <= 0.0) return false;  // ahead of (or at) the ship
+  const double lateral = std::abs(back.cross(to_point));
+  return lateral <= behind * std::tan(kelvin_half_angle_rad());
+}
+
+double wake_front_arrival_time(util::Vec2 origin, double heading_rad,
+                               double speed_mps, util::Vec2 point) {
+  util::require(speed_mps > 0.0,
+                "wake_front_arrival_time: speed must be positive");
+  const util::Line2 track = util::Line2::through(origin, heading_rad);
+  const double along = track.along_track(point);   // abeam arc length
+  const double d = track.distance_to(point);       // perpendicular distance
+  const double t_abeam = along / speed_mps;
+  return t_abeam + d / (speed_mps * std::tan(kelvin_half_angle_rad()));
+}
+
+}  // namespace sid::wake

@@ -1,0 +1,53 @@
+// Kelvin wake geometry (§II-A of the paper).
+//
+// A ship moving on deep water generates a V-shaped wake bounded by the
+// cusp locus lines at 19 deg 28 min from the sailing line (independent of
+// ship size and speed — Lord Kelvin). Diverging wave crests meet the cusp
+// locus at 54 deg 44 min. These functions answer the geometric questions
+// the detector and the speed estimator need: is a point inside the wake,
+// and when does the advancing wake front sweep past a fixed point.
+#pragma once
+
+#include "util/geometry.h"
+
+namespace sid::wake {
+
+/// Exact Kelvin half-angle asin(1/3) in radians (~19.4712 deg; the paper
+/// rounds to 19 deg 28 min and uses theta = 20 deg inside Eq. 16).
+double kelvin_half_angle_rad();
+
+/// Froude number Fd = V / sqrt(g * L) for hull length L.
+double froude_number(double speed_mps, double hull_length_m);
+
+/// Paper Eq. 2 support: the angle Theta (radians) between the sailing
+/// line and the direction of ship-wave propagation,
+/// Theta = 35.27 * (1 - e^{12*(Fd - 1)}) degrees, clamped to [0, 35.27].
+/// At Fd -> 1 the wake collapses toward the sailing line (Theta -> 0);
+/// for slow ships Theta -> 35.27 deg.
+double wave_propagation_angle_rad(double froude);
+
+/// Paper Eq. 2: the propagation speed of the ship wave, Wv = V * cos(Theta).
+double wave_speed_mps(double ship_speed_mps, double froude);
+
+/// Instantaneous ship pose on the surface.
+struct ShipPose {
+  util::Vec2 position;
+  double heading_rad = 0.0;
+};
+
+/// True when `point` lies inside the Kelvin V behind the ship.
+bool wake_contains(const ShipPose& pose, util::Vec2 point);
+
+/// Time at which the wake front (the cusp locus line, trailing the ship at
+/// the Kelvin half-angle) first reaches `point`, for a ship on a straight
+/// track: position(t) = origin + speed * t * heading_dir.
+///
+/// The front reaches a point at perpendicular distance d once the ship has
+/// passed the point's abeam position by d / tan(half_angle):
+///   t = t_abeam + d / (speed * tan(half_angle))
+///
+/// Returns the absolute time (same clock as t = 0 at `origin`).
+double wake_front_arrival_time(util::Vec2 origin, double heading_rad,
+                               double speed_mps, util::Vec2 point);
+
+}  // namespace sid::wake

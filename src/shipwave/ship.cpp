@@ -1,0 +1,69 @@
+#include "shipwave/ship.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace sid::wake {
+
+ShipTrack::ShipTrack(const ShipTrackConfig& config) : config_(config) {
+  util::require(config.speed_mps > 0.0, "ShipTrack: speed must be positive");
+  util::require(config.hull_length_m > 0.0,
+                "ShipTrack: hull length must be positive");
+  util::require(config.wander_amplitude_m >= 0.0,
+                "ShipTrack: wander amplitude must be non-negative");
+  util::require(config.wander_period_s > 0.0,
+                "ShipTrack: wander period must be positive");
+  util::Rng rng(config.seed);
+  wander_phase_ = rng.angle();
+}
+
+util::Vec2 ShipTrack::position(double t) const {
+  const double elapsed = t - config_.start_time_s;
+  const util::Vec2 dir = util::Vec2::from_heading(config_.heading_rad);
+  util::Vec2 p = config_.start + dir * (config_.speed_mps * elapsed);
+  if (config_.wander_amplitude_m > 0.0) {
+    const double arg = 2.0 * std::numbers::pi * elapsed /
+                           config_.wander_period_s +
+                       wander_phase_;
+    p += dir.perp() * (config_.wander_amplitude_m * std::sin(arg));
+  }
+  return p;
+}
+
+ShipPose ShipTrack::pose(double t) const {
+  ShipPose pose;
+  pose.position = position(t);
+  double heading = config_.heading_rad;
+  if (config_.wander_amplitude_m > 0.0) {
+    const double elapsed = t - config_.start_time_s;
+    const double omega = 2.0 * std::numbers::pi / config_.wander_period_s;
+    const double lateral_velocity = config_.wander_amplitude_m * omega *
+                                    std::cos(omega * elapsed + wander_phase_);
+    heading += std::atan2(lateral_velocity, config_.speed_mps);
+  }
+  pose.heading_rad = heading;
+  return pose;
+}
+
+util::Line2 ShipTrack::sailing_line() const {
+  return util::Line2::through(config_.start, config_.heading_rad);
+}
+
+double ShipTrack::froude() const {
+  return froude_number(config_.speed_mps, config_.hull_length_m);
+}
+
+double ShipTrack::wake_arrival_time(util::Vec2 point) const {
+  return config_.start_time_s +
+         wake_front_arrival_time(config_.start, config_.heading_rad,
+                                 config_.speed_mps, point);
+}
+
+double ShipTrack::distance_to_track(util::Vec2 point) const {
+  return sailing_line().distance_to(point);
+}
+
+}  // namespace sid::wake

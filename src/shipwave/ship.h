@@ -1,0 +1,62 @@
+// Ship track model — the synthetic stand-in for the paper's fishing boat
+// driven across the test field at ~10 / ~16 knots.
+//
+// The track is nominally a straight line, with optional smooth lateral
+// wander reproducing the paper's observation that "the ship's traveling
+// line is not really a straight line due to the sea waves" (§V-B2, one of
+// the two stated sources of speed-estimation error).
+#pragma once
+
+#include <cstdint>
+
+#include "shipwave/kelvin.h"
+#include "util/geometry.h"
+
+namespace sid::wake {
+
+struct ShipTrackConfig {
+  util::Vec2 start;               ///< position at time t = start_time_s
+  double heading_rad = 0.0;       ///< nominal course
+  double speed_mps = 5.14;        ///< ~10 knots
+  double start_time_s = 0.0;
+  double hull_length_m = 12.0;    ///< small fishing boat
+  /// Smooth lateral deviation from the nominal line (0 disables wander).
+  double wander_amplitude_m = 0.0;
+  double wander_period_s = 45.0;
+  std::uint64_t seed = 7;         ///< phase of the wander oscillation
+};
+
+class ShipTrack {
+ public:
+  explicit ShipTrack(const ShipTrackConfig& config);
+
+  /// Actual ship position at absolute time t (includes wander).
+  util::Vec2 position(double t) const;
+
+  /// Pose (position + instantaneous heading including wander slope).
+  ShipPose pose(double t) const;
+
+  /// The nominal (wander-free) sailing line.
+  util::Line2 sailing_line() const;
+
+  double speed_mps() const { return config_.speed_mps; }
+  double heading_rad() const { return config_.heading_rad; }
+  double start_time_s() const { return config_.start_time_s; }
+  double hull_length_m() const { return config_.hull_length_m; }
+  double froude() const;
+
+  /// Time at which the wake front reaches `point` (nominal straight-line
+  /// geometry; the synthesized train adds wander-induced error on top).
+  double wake_arrival_time(util::Vec2 point) const;
+
+  /// Perpendicular distance from `point` to the nominal sailing line.
+  double distance_to_track(util::Vec2 point) const;
+
+  const ShipTrackConfig& config() const { return config_; }
+
+ private:
+  ShipTrackConfig config_;
+  double wander_phase_ = 0.0;
+};
+
+}  // namespace sid::wake

@@ -1,0 +1,198 @@
+#include "shipwave/wave_train.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/error.h"
+#include "util/units.h"
+
+namespace sid::wake {
+
+WakeTrain::WakeTrain(Params params, const WakeTrainConfig& config)
+    : params_(params), config_(config) {
+  util::require(params.duration_s > 0.0, "WakeTrain: duration must be > 0");
+  util::require(params.carrier_frequency_hz > 0.0,
+                "WakeTrain: carrier frequency must be > 0");
+  util::require(config.num_components >= 1,
+                "WakeTrain: need at least one component");
+
+  // Build the superposed divergent components. Deterministic layout:
+  // component k is delayed, slightly detuned and phase-shifted relative
+  // to the first, with geometrically decreasing amplitude. Amplitudes are
+  // normalized so the coherent sum equals the Eq. 1 height.
+  const std::size_t n = config.num_components;
+  const double f_lo = config.chirp_low * params_.carrier_frequency_hz;
+  const double f_hi = config.chirp_high * params_.carrier_frequency_hz;
+  components_.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    Component c;
+    const double frac =
+        n == 1 ? 0.0 : static_cast<double>(k) / static_cast<double>(n - 1);
+    c.amplitude_m = std::pow(0.72, static_cast<double>(k));  // rescaled below
+    // Later components carry the higher-frequency (slower-group) part of
+    // the sweep.
+    c.f_start_hz = f_lo + frac * 0.5 * (f_hi - f_lo);
+    c.f_end_hz = f_lo + (0.5 + 0.5 * frac) * (f_hi - f_lo);
+    c.phase0 = 2.39996 * static_cast<double>(k);  // golden-angle spacing
+    c.start_offset_s = 0.18 * params_.duration_s * frac;
+    c.duration_s = params_.duration_s - c.start_offset_s;
+    components_.push_back(c);
+  }
+
+  // Normalize so the superposition's actual crest equals the Eq. 1 height:
+  // detuned chirps interfere unpredictably, so fixed analytic weights can
+  // land anywhere between fully coherent and destructive. Scan the train
+  // and rescale.
+  double crest = 0.0;
+  const double step = params_.duration_s / 512.0;
+  for (double u = 0.0; u <= params_.duration_s; u += step) {
+    double eta = 0.0;
+    for (const auto& c : components_) {
+      eta += component_value(c, u, /*acceleration=*/false);
+    }
+    crest = std::max(crest, std::abs(eta));
+  }
+  util::require(crest > 0.0, "WakeTrain: degenerate component layout");
+  const double scale = 0.5 * params_.peak_height_m / crest;
+  for (auto& c : components_) c.amplitude_m *= scale;
+}
+
+double WakeTrain::component_value(const Component& c, double u,
+                                  bool acceleration) const {
+  const double w = u - c.start_offset_s;
+  if (w < 0.0 || w > c.duration_s) return 0.0;
+  const double frac = w / c.duration_s;
+  // Hann envelope: smooth onset and decay.
+  const double env = 0.5 * (1.0 - std::cos(2.0 * std::numbers::pi * frac));
+  // Linear chirp phase: phi(w) = 2*pi*(f0*w + slope*w^2/2).
+  const double slope = (c.f_end_hz - c.f_start_hz) / c.duration_s;
+  const double phase =
+      2.0 * std::numbers::pi * (c.f_start_hz * w + 0.5 * slope * w * w) +
+      c.phase0;
+  if (!acceleration) {
+    return c.amplitude_m * env * std::cos(phase);
+  }
+  const double f_inst = c.f_start_hz + slope * w;
+  const double omega = 2.0 * std::numbers::pi * f_inst;
+  // a_z = d^2(eta)/dt^2 ~ -A(t) * omega(t)^2 * cos(phi); envelope
+  // derivatives are an order smaller for trains of several carrier cycles.
+  return -c.amplitude_m * env * omega * omega * std::cos(phase);
+}
+
+double WakeTrain::transverse_value(double u, bool acceleration) const {
+  if (params_.transverse_height_m <= 0.0) return 0.0;
+  if (u < 0.0 || u > config_.transverse_tail_duration_s) return 0.0;
+  // Fade in over the first second so the tail does not pop on.
+  const double fade_in = std::min(u, 1.0);
+  const double env = fade_in * std::exp(-u / config_.transverse_tail_decay_s);
+  const double omega =
+      2.0 * std::numbers::pi * params_.transverse_frequency_hz;
+  const double amp = 0.5 * params_.transverse_height_m * env;
+  if (!acceleration) return amp * std::cos(omega * u);
+  return -amp * omega * omega * std::cos(omega * u);
+}
+
+bool WakeTrain::active(double t) const {
+  const double u = t - params_.arrival_time_s;
+  return u >= 0.0 && u <= params_.duration_s;
+}
+
+double WakeTrain::elevation(double t) const {
+  const double u = t - params_.arrival_time_s;
+  double sum = transverse_value(u, /*acceleration=*/false);
+  for (const auto& c : components_) {
+    sum += component_value(c, u, /*acceleration=*/false);
+  }
+  return sum;
+}
+
+double WakeTrain::vertical_acceleration(double t) const {
+  const double u = t - params_.arrival_time_s;
+  double sum = transverse_value(u, /*acceleration=*/true);
+  for (const auto& c : components_) {
+    sum += component_value(c, u, /*acceleration=*/true);
+  }
+  return sum;
+}
+
+namespace {
+
+/// Earliest time the Kelvin V of the (possibly wandering) track contains
+/// `point`, by coarse scan + bisection. nullopt if never within horizon.
+std::optional<double> arrival_search(const ShipTrack& track, util::Vec2 point,
+                                     double horizon_s) {
+  const double t0 = track.start_time_s();
+  const double coarse_step = 0.1;
+  double t_inside = -1.0;
+  for (double t = t0; t <= t0 + horizon_s; t += coarse_step) {
+    if (wake_contains(track.pose(t), point)) {
+      t_inside = t;
+      break;
+    }
+  }
+  if (t_inside < 0.0) return std::nullopt;
+  if (t_inside == t0) return t0;
+
+  double lo = t_inside - coarse_step;
+  double hi = t_inside;
+  for (int iter = 0; iter < 40; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (wake_contains(track.pose(mid), point)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+std::optional<WakeTrain> make_wake_train(const ShipTrack& track,
+                                         util::Vec2 point,
+                                         const WakeTrainConfig& config) {
+  util::require(config.base_duration_s > 0.0,
+                "make_wake_train: base duration must be positive");
+  util::require(config.reference_distance_m > 0.0,
+                "make_wake_train: reference distance must be positive");
+  util::require(config.chirp_low > 0.0 && config.chirp_high > config.chirp_low,
+                "make_wake_train: bad chirp range");
+
+  const auto arrival = arrival_search(track, point, config.arrival_horizon_s);
+  if (!arrival) return std::nullopt;
+
+  WakeTrain::Params p;
+  p.arrival_time_s = *arrival;
+  p.distance_m = track.distance_to_track(point);
+  p.side = track.sailing_line().signed_distance_to(point) >= 0.0 ? 1.0 : -1.0;
+  p.peak_height_m =
+      config.decay.cusp_height_m(track.speed_mps(), p.distance_m);
+
+  // Carrier from Eq. 2: divergent waves travel at Wv = V cos(Theta); the
+  // deep-water dispersion relation gives their frequency
+  // f = g / (2*pi*Wv).
+  const double wv = wave_speed_mps(track.speed_mps(), track.froude());
+  util::require(wv > 0.0, "make_wake_train: degenerate wave speed");
+  p.carrier_frequency_hz =
+      util::kGravity / (2.0 * std::numbers::pi * wv);
+
+  const double spread =
+      config.dispersion_spread *
+      (std::sqrt(std::max(p.distance_m, 1.0) / config.reference_distance_m) -
+       1.0);
+  p.duration_s = config.base_duration_s * std::max(1.0 + spread, 0.5);
+
+  if (config.transverse_tail_duration_s > 0.0) {
+    p.transverse_height_m = config.decay.transverse_height_m(
+        track.speed_mps(), p.distance_m);
+    // Transverse waves ride with the ship (phase speed V); a fixed point
+    // sees them at f = V / lambda_t = g / (2*pi*V).
+    p.transverse_frequency_hz =
+        util::kGravity / (2.0 * std::numbers::pi * track.speed_mps());
+  }
+
+  return WakeTrain(p, config);
+}
+
+}  // namespace sid::wake

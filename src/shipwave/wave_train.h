@@ -1,0 +1,117 @@
+// Ship-wave train synthesis at a fixed observation point (§II, §III).
+//
+// When the Kelvin wake front sweeps past a moored buoy, the buoy sees a
+// short train of waves ("2-3 seconds" at 25 m in the paper's experiments):
+// a chirped oscillation under a smooth envelope, with peak height given by
+// the decay law Hm = c * d^(-1/3) (Eq. 1) and carrier frequency set by the
+// divergent-wave dispersion relation through the paper's Eq. 2 wave speed
+// Wv = V * cos(Theta): deep-water waves with phase speed Wv have angular
+// frequency omega = g / Wv.
+//
+// Dispersion stretches the train with distance (longer components arrive
+// first), which we model as a linear up-chirp across the train and a
+// duration that grows as sqrt(d).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "shipwave/decay.h"
+#include "shipwave/ship.h"
+#include "util/geometry.h"
+
+namespace sid::wake {
+
+struct WakeTrainConfig {
+  DecayModel decay;
+  /// Train duration at the reference distance (paper: 2-3 s at 25 m).
+  double base_duration_s = 2.5;
+  double reference_distance_m = 25.0;
+  /// Duration scales as sqrt(d / reference); 0 freezes it.
+  double dispersion_spread = 1.0;
+  /// Chirp range as multiples of the carrier frequency. The divergent
+  /// system spans propagation angles from the cusp outward, so the
+  /// encounter frequency sweeps upward well past the cusp carrier as the
+  /// shorter abeam-propagating components arrive.
+  double chirp_low = 1.25;
+  double chirp_high = 2.2;
+  /// Number of superposed divergent components (>= 1). A real wake train
+  /// is several crests from distinct propagation angles; superposition
+  /// keeps the rectified envelope from collapsing to zero between crests
+  /// of a single carrier.
+  std::size_t num_components = 3;
+  /// Transverse-wave tail (§II-B): after the front passes, the transverse
+  /// system washes the point with period 2*pi*V/g and height decaying as
+  /// d^(-1/2), for tens of seconds. This is what stretches the Fig. 6b
+  /// disturbance across the whole STFT frame. 0 disables the tail.
+  double transverse_tail_duration_s = 25.0;
+  /// Exponential decay time of the tail envelope.
+  double transverse_tail_decay_s = 12.0;
+  /// Horizon for the numeric wake-front arrival search.
+  double arrival_horizon_s = 1200.0;
+};
+
+/// The synthesized train at one observation point.
+class WakeTrain {
+ public:
+  /// Metadata of the train.
+  struct Params {
+    double arrival_time_s = 0.0;   ///< wake front reaches the point
+    double duration_s = 0.0;       ///< divergent train duration
+    double peak_height_m = 0.0;    ///< crest-to-trough Hm of Eq. 1
+    double carrier_frequency_hz = 0.0;
+    double distance_m = 0.0;       ///< perpendicular distance to track
+    double side = 0.0;             ///< +1 left of track, -1 right
+    /// Transverse tail: crest-to-trough height and encounter frequency
+    /// (2*pi*V/g period); height 0 when the tail is disabled.
+    double transverse_height_m = 0.0;
+    double transverse_frequency_hz = 0.0;
+  };
+
+  WakeTrain(Params params, const WakeTrainConfig& config);
+
+  /// Surface elevation of the train at absolute time t (m).
+  double elevation(double t) const;
+
+  /// Vertical particle acceleration of the train at time t (m/s^2).
+  double vertical_acceleration(double t) const;
+
+  /// True if t falls within [arrival, arrival + duration].
+  bool active(double t) const;
+
+  const Params& params() const { return params_; }
+
+ private:
+  /// One superposed divergent component: a chirped carrier under a Hann
+  /// envelope, slightly offset in time/frequency from its siblings.
+  struct Component {
+    double amplitude_m = 0.0;
+    double f_start_hz = 0.0;   ///< instantaneous frequency at onset
+    double f_end_hz = 0.0;     ///< at the end of its envelope
+    double phase0 = 0.0;
+    double start_offset_s = 0.0;
+    double duration_s = 0.0;
+  };
+
+  double component_value(const Component& c, double u, bool acceleration)
+      const;
+  double transverse_value(double u, bool acceleration) const;
+
+  Params params_;
+  WakeTrainConfig config_;
+  std::vector<Component> components_;
+};
+
+/// Builds the wake train a ship lays down at `point`.
+///
+/// The arrival time is found against the *actual* (possibly wandering)
+/// track by searching for the first time the Kelvin V contains the point,
+/// so track curvature feeds realistic error into the speed estimator.
+/// Returns nullopt when the wake never reaches the point within the
+/// configured horizon.
+std::optional<WakeTrain> make_wake_train(const ShipTrack& track,
+                                         util::Vec2 point,
+                                         const WakeTrainConfig& config = {});
+
+}  // namespace sid::wake

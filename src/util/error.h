@@ -1,0 +1,44 @@
+// Error handling primitives shared by every sid library.
+//
+// The libraries throw sid::util::Error (derived from std::runtime_error) on
+// precondition violations in public APIs. Internal invariants use
+// SID_ASSERT-style checks via ensure() so failures carry a message instead
+// of aborting silently.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace sid::util {
+
+/// Base exception for all errors raised by the sid libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when an argument to a public API is out of its documented domain.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Raised when an operation is attempted on an object in the wrong state
+/// (e.g. reading results from a detector that has seen no samples).
+class StateError : public Error {
+ public:
+  explicit StateError(const std::string& what) : Error(what) {}
+};
+
+/// Throws InvalidArgument with `msg` unless `cond` holds.
+inline void require(bool cond, std::string_view msg) {
+  if (!cond) throw InvalidArgument(std::string(msg));
+}
+
+/// Throws StateError with `msg` unless `cond` holds.
+inline void require_state(bool cond, std::string_view msg) {
+  if (!cond) throw StateError(std::string(msg));
+}
+
+}  // namespace sid::util

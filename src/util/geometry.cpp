@@ -1,0 +1,33 @@
+#include "util/geometry.h"
+
+namespace sid::util {
+
+Vec2 Vec2::normalized() const {
+  const double n = norm();
+  if (n == 0.0) return *this;
+  return {x / n, y / n};
+}
+
+Vec2 Vec2::rotated(double rad) const {
+  const double c = std::cos(rad);
+  const double s = std::sin(rad);
+  return {c * x - s * y, s * x + c * y};
+}
+
+double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
+
+double Line2::distance_to(Vec2 q) const {
+  return std::abs(signed_distance_to(q));
+}
+
+double Line2::signed_distance_to(Vec2 q) const {
+  return direction.cross(q - point);
+}
+
+double Line2::along_track(Vec2 q) const { return direction.dot(q - point); }
+
+Vec2 Line2::project(Vec2 q) const {
+  return point + direction * along_track(q);
+}
+
+}  // namespace sid::util

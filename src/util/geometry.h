@@ -1,0 +1,86 @@
+// Minimal 2-D geometry used by the wake model, node deployment and the
+// speed estimator. The sea surface is modelled as the XY plane with x
+// pointing east and y pointing north; all distances are metres.
+#pragma once
+
+#include <cmath>
+
+namespace sid::util {
+
+/// 2-D vector / point on the sea surface (metres).
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+  constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  constexpr Vec2& operator+=(Vec2 o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  constexpr Vec2& operator-=(Vec2 o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+  constexpr bool operator==(const Vec2&) const = default;
+
+  constexpr double dot(Vec2 o) const { return x * o.x + y * o.y; }
+  /// z-component of the 3-D cross product; >0 when `o` is counterclockwise
+  /// from *this.
+  constexpr double cross(Vec2 o) const { return x * o.y - y * o.x; }
+  double norm() const { return std::sqrt(x * x + y * y); }
+  constexpr double norm_squared() const { return x * x + y * y; }
+
+  /// Unit vector in the same direction; the zero vector maps to itself.
+  Vec2 normalized() const;
+
+  /// Heading of the vector, radians in (-pi, pi], measured from +x.
+  double heading() const { return std::atan2(y, x); }
+
+  /// Rotated counterclockwise by `rad`.
+  Vec2 rotated(double rad) const;
+
+  /// Perpendicular vector (rotated +90 degrees).
+  constexpr Vec2 perp() const { return {-y, x}; }
+
+  static Vec2 from_heading(double rad) { return {std::cos(rad), std::sin(rad)}; }
+};
+
+constexpr Vec2 operator*(double s, Vec2 v) { return v * s; }
+
+double distance(Vec2 a, Vec2 b);
+
+/// Infinite directed line through `point` along unit `direction`.
+/// Used for the ship's sailing line.
+struct Line2 {
+  Vec2 point;
+  Vec2 direction;  ///< must be unit length
+
+  /// Builds a line through `p` with heading `rad`.
+  static Line2 through(Vec2 p, double heading_rad) {
+    return Line2{p, Vec2::from_heading(heading_rad)};
+  }
+
+  /// Perpendicular (unsigned) distance from `q` to the line.
+  double distance_to(Vec2 q) const;
+
+  /// Signed perpendicular distance: positive when `q` lies to the left of
+  /// the direction of travel.
+  double signed_distance_to(Vec2 q) const;
+
+  /// Arc-length coordinate of the projection of `q` onto the line,
+  /// relative to `point` (positive along `direction`).
+  double along_track(Vec2 q) const;
+
+  /// The closest point on the line to `q`.
+  Vec2 project(Vec2 q) const;
+};
+
+}  // namespace sid::util

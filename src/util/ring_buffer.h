@@ -1,0 +1,70 @@
+// Fixed-capacity ring buffer used by the streaming node detector to hold
+// the most recent samples of the anomaly-frequency window without
+// reallocation on the (simulated) sensor node.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/error.h"
+
+namespace sid::util {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity) : buffer_(capacity) {
+    require(capacity > 0, "RingBuffer: capacity must be positive");
+  }
+
+  /// Appends x, evicting the oldest element when full.
+  void push(const T& x) {
+    buffer_[head_] = x;
+    head_ = (head_ + 1) % buffer_.size();
+    if (size_ < buffer_.size()) ++size_;
+  }
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return buffer_.size(); }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == buffer_.size(); }
+
+  /// Element i positions back in time: at(0) is the oldest retained
+  /// element, at(size()-1) the newest. Returns by value so the vector<bool>
+  /// specialization (proxy references) works uniformly.
+  T at(std::size_t i) const {
+    require(i < size_, "RingBuffer::at: index out of range");
+    const std::size_t start = (head_ + buffer_.size() - size_) % buffer_.size();
+    return buffer_[(start + i) % buffer_.size()];
+  }
+
+  T newest() const {
+    require_state(size_ > 0, "RingBuffer::newest: empty");
+    return at(size_ - 1);
+  }
+
+  T oldest() const {
+    require_state(size_ > 0, "RingBuffer::oldest: empty");
+    return at(0);
+  }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+  /// Copies contents oldest-to-newest into a vector (for tests/analysis).
+  std::vector<T> to_vector() const {
+    std::vector<T> out;
+    out.reserve(size_);
+    for (std::size_t i = 0; i < size_; ++i) out.push_back(at(i));
+    return out;
+  }
+
+ private:
+  std::vector<T> buffer_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace sid::util

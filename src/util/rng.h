@@ -1,0 +1,113 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in the repository (ocean phases, sensor noise,
+// link loss, clock jitter, Monte-Carlo sweeps) draws from sid::util::Rng so
+// that experiments are exactly reproducible from a single seed. The
+// generator is xoshiro256** (Blackman & Vigna), seeded through SplitMix64;
+// it is faster than std::mt19937_64 and has no observable linear artifacts
+// for our use.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace sid::util {
+
+/// SplitMix64 — used to expand a single 64-bit seed into generator state.
+/// Also usable standalone for cheap hashing of (seed, stream-id) pairs.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** PRNG with convenience distributions.
+///
+/// Satisfies UniformRandomBitGenerator, so it can also be plugged into
+/// <random> distributions, but the members below avoid libstdc++
+/// implementation divergence and keep outputs portable.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from `seed` via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eedULL) { reseed(seed); }
+
+  /// Constructs an independent stream: same seed, different stream id.
+  /// Streams with distinct ids are statistically independent.
+  Rng(std::uint64_t seed, std::uint64_t stream) {
+    SplitMix64 mix(seed ^ (0x1234567887654321ULL * (stream + 1)));
+    for (auto& s : state_) s = mix.next();
+  }
+
+  void reseed(std::uint64_t seed) {
+    SplitMix64 mix(seed);
+    for (auto& s : state_) s = mix.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). Unbiased (rejection).
+  std::uint64_t uniform_int(std::uint64_t n);
+
+  /// Standard normal via Box–Muller with caching.
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Exponential with the given rate (lambda > 0).
+  double exponential(double rate);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Uniform angle in [0, 2*pi).
+  double angle();
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace sid::util

@@ -1,0 +1,193 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+
+namespace sid::util {
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::reset() { *this = RunningStats{}; }
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::sample_variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::min() const {
+  require_state(count_ > 0, "RunningStats::min: no samples");
+  return min_;
+}
+
+double RunningStats::max() const {
+  require_state(count_ > 0, "RunningStats::max: no samples");
+  return max_;
+}
+
+BatchStats compute_batch_stats(std::span<const double> xs) {
+  BatchStats out;
+  out.count = xs.size();
+  if (xs.empty()) return out;
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  out.mean = rs.mean();
+  out.stddev = rs.stddev();
+  return out;
+}
+
+ExponentialMeanStd::ExponentialMeanStd(double beta1, double beta2)
+    : beta1_(beta1), beta2_(beta2) {
+  require(beta1 >= 0.0 && beta1 < 1.0,
+          "ExponentialMeanStd: beta1 must be in [0, 1)");
+  require(beta2 >= 0.0 && beta2 < 1.0,
+          "ExponentialMeanStd: beta2 must be in [0, 1)");
+}
+
+void ExponentialMeanStd::update(const BatchStats& window) {
+  update(window.mean, window.stddev);
+}
+
+void ExponentialMeanStd::update(double window_mean, double window_stddev) {
+  require(window_stddev >= 0.0,
+          "ExponentialMeanStd::update: stddev must be non-negative");
+  if (!seeded_) {
+    mean_ = window_mean;
+    stddev_ = window_stddev;
+    seeded_ = true;
+    return;
+  }
+  mean_ = beta1_ * mean_ + window_mean * (1.0 - beta1_);
+  stddev_ = beta2_ * stddev_ + window_stddev * (1.0 - beta2_);
+}
+
+void ExponentialMeanStd::update_with_beta(double window_mean,
+                                          double window_stddev, double beta) {
+  require(beta >= 0.0 && beta < 1.0,
+          "ExponentialMeanStd::update_with_beta: beta must be in [0, 1)");
+  require(window_stddev >= 0.0,
+          "ExponentialMeanStd::update_with_beta: stddev must be >= 0");
+  if (!seeded_) {
+    mean_ = window_mean;
+    stddev_ = window_stddev;
+    seeded_ = true;
+    return;
+  }
+  mean_ = beta * mean_ + window_mean * (1.0 - beta);
+  stddev_ = beta * stddev_ + window_stddev * (1.0 - beta);
+}
+
+double ExponentialMeanStd::mean() const {
+  require_state(seeded_, "ExponentialMeanStd::mean: no window folded yet");
+  return mean_;
+}
+
+double ExponentialMeanStd::stddev() const {
+  require_state(seeded_, "ExponentialMeanStd::stddev: no window folded yet");
+  return stddev_;
+}
+
+Ewma::Ewma(double alpha) : alpha_(alpha) {
+  require(alpha > 0.0 && alpha <= 1.0, "Ewma: alpha must be in (0, 1]");
+}
+
+void Ewma::add(double x) {
+  if (!seeded_) {
+    value_ = x;
+    seeded_ = true;
+    return;
+  }
+  value_ = alpha_ * x + (1.0 - alpha_) * value_;
+}
+
+double Ewma::value() const {
+  require_state(seeded_, "Ewma::value: no samples");
+  return value_;
+}
+
+double mean_of(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double stddev_of(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean_of(xs);
+  double sum_sq = 0.0;
+  for (double x : xs) sum_sq += (x - m) * (x - m);
+  return std::sqrt(sum_sq / static_cast<double>(xs.size()));
+}
+
+double quantile_of(std::span<const double> xs, double p) {
+  require(!xs.empty(), "quantile_of: empty span");
+  require(p >= 0.0 && p <= 1.0, "quantile_of: p must be in [0, 1]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double idx = p * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double rms_of(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double sum_sq = 0.0;
+  for (double x : xs) sum_sq += x * x;
+  return std::sqrt(sum_sq / static_cast<double>(xs.size()));
+}
+
+namespace {
+
+// Shared LIS kernel: `strict` selects strictly-increasing vs non-decreasing.
+std::size_t lis_impl(std::span<const double> xs, bool strict) {
+  std::vector<double> tails;  // tails[k] = smallest tail of a subsequence of
+                              // length k+1
+  tails.reserve(xs.size());
+  for (double x : xs) {
+    auto it = strict ? std::lower_bound(tails.begin(), tails.end(), x)
+                     : std::upper_bound(tails.begin(), tails.end(), x);
+    if (it == tails.end()) {
+      tails.push_back(x);
+    } else {
+      *it = x;
+    }
+  }
+  return tails.size();
+}
+
+}  // namespace
+
+std::size_t longest_nondecreasing_subsequence(std::span<const double> xs) {
+  return lis_impl(xs, /*strict=*/false);
+}
+
+std::size_t longest_increasing_subsequence(std::span<const double> xs) {
+  return lis_impl(xs, /*strict=*/true);
+}
+
+}  // namespace sid::util

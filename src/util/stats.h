@@ -1,0 +1,123 @@
+// Streaming and batch statistics.
+//
+// ExponentialMeanStd implements the paper's environment-adaptive moving
+// average / standard deviation (Eq. 5): the long-term statistics m_T' and
+// d_T' are exponentially blended with each window's batch statistics
+// m_dt / d_dt using forgetting factors beta1, beta2 (0.99 in the paper).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace sid::util {
+
+/// Welford online mean / variance over an unbounded stream.
+class RunningStats {
+ public:
+  void add(double x);
+  void reset();
+
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Population variance (divides by n). Zero until two samples are seen.
+  double variance() const;
+  double stddev() const;
+  /// Unbiased sample variance (divides by n-1).
+  double sample_variance() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch statistics of a span (Eq. 4 of the paper: window mean and std).
+struct BatchStats {
+  double mean = 0.0;
+  double stddev = 0.0;  ///< population standard deviation
+  std::size_t count = 0;
+};
+
+BatchStats compute_batch_stats(std::span<const double> xs);
+
+/// Paper Eq. 5: exponentially-blended long-term mean and standard
+/// deviation. Each call to update() folds one window's batch statistics
+/// into the long-term estimate:
+///
+///   m_T' = beta1 * m_T' + m_dt * (1 - beta1)
+///   d_T' = beta2 * d_T' + d_dt * (1 - beta2)
+///
+/// The first update seeds the long-term values directly so the detector is
+/// usable immediately after its initialization window.
+class ExponentialMeanStd {
+ public:
+  /// beta1/beta2 in [0, 1); the paper determines both empirically as 0.99.
+  explicit ExponentialMeanStd(double beta1 = 0.99, double beta2 = 0.99);
+
+  /// Folds one window's statistics into the long-term estimate.
+  void update(const BatchStats& window);
+  void update(double window_mean, double window_stddev);
+
+  /// Folds with an explicit forgetting factor instead of beta1/beta2:
+  /// value' = beta * value + window * (1 - beta). Used by the detector's
+  /// slow "storm" adaptation path.
+  void update_with_beta(double window_mean, double window_stddev,
+                        double beta);
+
+  bool seeded() const { return seeded_; }
+  /// Long-term mean m_T'. Requires at least one update.
+  double mean() const;
+  /// Long-term standard deviation d_T'. Requires at least one update.
+  double stddev() const;
+
+  double beta1() const { return beta1_; }
+  double beta2() const { return beta2_; }
+
+ private:
+  double beta1_;
+  double beta2_;
+  double mean_ = 0.0;
+  double stddev_ = 0.0;
+  bool seeded_ = false;
+};
+
+/// Simple scalar EWMA, used by link-quality estimation in the WSN layer.
+class Ewma {
+ public:
+  explicit Ewma(double alpha);
+  void add(double x);
+  bool empty() const { return !seeded_; }
+  double value() const;
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool seeded_ = false;
+};
+
+/// Mean of a span; 0 for an empty span.
+double mean_of(std::span<const double> xs);
+
+/// Population standard deviation of a span; 0 for fewer than 2 samples.
+double stddev_of(std::span<const double> xs);
+
+/// p-quantile (0 <= p <= 1) by linear interpolation on a sorted copy.
+double quantile_of(std::span<const double> xs, double p);
+
+/// Root-mean-square of a span; 0 for an empty span.
+double rms_of(std::span<const double> xs);
+
+/// Length of the longest non-decreasing subsequence. O(n log n).
+/// Used by the cluster-level correlation (Crt/Cre): the number of reports
+/// consistent with the expected ordering.
+std::size_t longest_nondecreasing_subsequence(std::span<const double> xs);
+
+/// Length of the longest strictly increasing subsequence. O(n log n).
+std::size_t longest_increasing_subsequence(std::span<const double> xs);
+
+}  // namespace sid::util

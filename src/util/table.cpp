@@ -1,0 +1,113 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace sid::util {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  require(!header_.empty(), "TablePrinter: header must be non-empty");
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  require(cells.size() == header_.size(),
+          "TablePrinter::add_row: arity mismatch with header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::num(double value, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << value;
+  return os.str();
+}
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2) << row[c];
+    }
+    os << '\n';
+  };
+  print_row(header_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+namespace {
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void TablePrinter::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  require(out.good(), "TablePrinter::write_csv: cannot open " + path);
+  auto write_cells = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) out << ',';
+      out << csv_escape(cells[c]);
+    }
+    out << '\n';
+  };
+  write_cells(header_);
+  for (const auto& row : rows_) write_cells(row);
+  require(out.good(), "TablePrinter::write_csv: write failed for " + path);
+}
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header)
+    : out_(path), columns_(header.size()) {
+  require(!header.empty(), "CsvWriter: header must be non-empty");
+  require(out_.good(), "CsvWriter: cannot open " + path);
+  for (std::size_t c = 0; c < header.size(); ++c) {
+    if (c) out_ << ',';
+    out_ << csv_escape(header[c]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row(const std::vector<double>& values) {
+  require(values.size() == columns_, "CsvWriter::write_row: arity mismatch");
+  for (std::size_t c = 0; c < values.size(); ++c) {
+    if (c) out_ << ',';
+    out_ << values[c];
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  require(cells.size() == columns_, "CsvWriter::write_row: arity mismatch");
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    if (c) out_ << ',';
+    out_ << csv_escape(cells[c]);
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+}  // namespace sid::util

@@ -1,0 +1,56 @@
+// Console table and CSV emission for the benchmark harnesses.
+//
+// Every bench binary reproduces one of the paper's tables/figures; these
+// helpers keep their output format consistent: an aligned console table for
+// the human reading bench_output.txt plus optional CSV for plotting.
+#pragma once
+
+#include <cstddef>
+#include <fstream>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sid::util {
+
+/// Collects rows of string cells and prints them with aligned columns.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Adds one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats a double with the given number of decimals.
+  static std::string num(double value, int decimals = 3);
+
+  /// Prints the table to `os` with a separator under the header.
+  void print(std::ostream& os) const;
+
+  /// Writes the table as CSV to `path`. Throws util::Error on I/O failure.
+  void write_csv(const std::string& path) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Streaming CSV writer for long traces (time series dumps from wave_lab).
+class CsvWriter {
+ public:
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+
+  void write_row(const std::vector<double>& values);
+  void write_row(const std::vector<std::string>& cells);
+
+  std::size_t rows_written() const { return rows_; }
+
+ private:
+  std::ofstream out_;
+  std::size_t columns_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace sid::util

@@ -1,0 +1,22 @@
+#include "util/units.h"
+
+#include <cmath>
+
+namespace sid::util {
+
+double wrap_angle(double rad) {
+  const double two_pi = 2.0 * std::numbers::pi;
+  double wrapped = std::fmod(rad, two_pi);
+  if (wrapped <= -std::numbers::pi) wrapped += two_pi;
+  if (wrapped > std::numbers::pi) wrapped -= two_pi;
+  return wrapped;
+}
+
+double wrap_angle_positive(double rad) {
+  const double two_pi = 2.0 * std::numbers::pi;
+  double wrapped = std::fmod(rad, two_pi);
+  if (wrapped < 0.0) wrapped += two_pi;
+  return wrapped;
+}
+
+}  // namespace sid::util

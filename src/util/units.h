@@ -1,0 +1,46 @@
+// Unit conversions and physical constants used throughout the project.
+//
+// All internal computation is SI (metres, seconds, radians, m/s). The
+// paper reports ship speeds in knots and wake angles in degrees; these
+// helpers keep conversions explicit at API boundaries.
+#pragma once
+
+#include <numbers>
+
+namespace sid::util {
+
+/// Standard gravity, m/s^2. The LIS3L02DQ reports acceleration in g.
+inline constexpr double kGravity = 9.80665;
+
+/// One international knot in m/s.
+inline constexpr double kKnot = 0.514444;
+
+/// Kelvin half-angle of the wake envelope: 19 deg 28 min, in degrees.
+/// Independent of ship size and speed in deep water (Lord Kelvin, 1887).
+inline constexpr double kKelvinHalfAngleDeg = 19.0 + 28.0 / 60.0;
+
+/// Angle between the sailing line and the diverging wave crest lines at
+/// the cusp locus line: 54 deg 44 min, in degrees.
+inline constexpr double kKelvinCuspCrestAngleDeg = 54.0 + 44.0 / 60.0;
+
+constexpr double knots_to_mps(double knots) { return knots * kKnot; }
+constexpr double mps_to_knots(double mps) { return mps / kKnot; }
+
+constexpr double deg_to_rad(double deg) {
+  return deg * std::numbers::pi / 180.0;
+}
+constexpr double rad_to_deg(double rad) {
+  return rad * 180.0 / std::numbers::pi;
+}
+
+/// Acceleration in g to m/s^2 and back.
+constexpr double g_to_mps2(double g) { return g * kGravity; }
+constexpr double mps2_to_g(double mps2) { return mps2 / kGravity; }
+
+/// Wraps an angle to (-pi, pi].
+double wrap_angle(double rad);
+
+/// Wraps an angle to [0, 2*pi).
+double wrap_angle_positive(double rad);
+
+}  // namespace sid::util

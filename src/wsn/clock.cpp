@@ -1,0 +1,32 @@
+#include "wsn/clock.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace sid::wsn {
+
+NodeClock::NodeClock(const ClockConfig& config) : config_(config) {
+  util::require(config.sync_error_stddev_s >= 0.0,
+                "NodeClock: sync error stddev must be non-negative");
+  util::require(config.drift_ppm_stddev >= 0.0,
+                "NodeClock: drift stddev must be non-negative");
+  util::Rng rng(config.seed);
+  base_offset_s_ = rng.normal(0.0, config.sync_error_stddev_s);
+  drift_ppm_ = rng.normal(0.0, config.drift_ppm_stddev);
+}
+
+double NodeClock::offset_at(double t_true) const {
+  // Time since the last (re)synchronization.
+  double since_sync = t_true;
+  if (config_.resync_period_s > 0.0 && t_true > 0.0) {
+    since_sync = std::fmod(t_true, config_.resync_period_s);
+  }
+  return base_offset_s_ + drift_ppm_ * 1e-6 * since_sync;
+}
+
+double NodeClock::local_time(double t_true) const {
+  return t_true + offset_at(t_true);
+}
+
+}  // namespace sid::wsn

@@ -1,0 +1,82 @@
+// Message types exchanged by the SID protocol.
+//
+// Per §IV-A only extracted features travel over the radio, never raw
+// samples: a detection report is 32 bytes, not 2048-sample frames. Sizes
+// feed the energy model and the congestion emulation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <variant>
+
+#include "util/geometry.h"
+
+namespace sid::wsn {
+
+using NodeId = std::uint32_t;
+
+/// Reserved id for the sink (shore station).
+inline constexpr NodeId kSinkId = 0xFFFFFFFF;
+
+/// Node-level positive detection, sent to the temporary cluster head
+/// (§IV-B: "it reports E_dt and the onset time when the signal first
+/// exceeds the threshold").
+struct DetectionReport {
+  NodeId reporter = 0;
+  util::Vec2 position;            ///< believed (deployment) position
+  double onset_local_time_s = 0;  ///< local clock, first threshold crossing
+  double anomaly_frequency = 0;   ///< a_f over the trigger window
+  double average_energy = 0;      ///< E_dt of Eq. 8
+  double peak_energy = 0;         ///< max crossing deviation of the event
+  std::int32_t grid_row = 0;
+  std::int32_t grid_col = 0;
+
+  static constexpr std::size_t kWireBytes = 36;
+
+  /// Selection key for "the strongest report": the peak deviation where
+  /// available, falling back to the Eq. 8 average.
+  double strength() const {
+    return peak_energy > average_energy ? peak_energy : average_energy;
+  }
+};
+
+/// Temporary-cluster formation flood ("informs its neighbor nodes within
+/// N hops and becomes the temporary cluster head", §IV-C1).
+struct ClusterInvite {
+  NodeId head = 0;
+  double initiated_local_time_s = 0;
+  std::int32_t hops_remaining = 6;
+
+  static constexpr std::size_t kWireBytes = 12;
+};
+
+/// Temporary head's verdict forwarded toward the static head / sink.
+struct ClusterDecision {
+  NodeId head = 0;
+  double correlation = 0;          ///< C = CNt * CNe
+  double sweep_consistency = 0;    ///< R^2 of the Kelvin sweep regression
+  std::size_t report_count = 0;
+  bool intrusion = false;
+  /// Speed estimate (m/s); negative when unavailable.
+  double estimated_speed_mps = -1.0;
+  double estimated_heading_rad = 0.0;
+  /// Cluster's estimate of the vessel position (energy-weighted report
+  /// centroid projected on the travel line); valid when intrusion.
+  util::Vec2 estimated_position;
+  double decision_local_time_s = 0;
+
+  static constexpr std::size_t kWireBytes = 52;
+};
+
+struct Message {
+  NodeId src = 0;
+  NodeId dst = 0;
+  std::variant<DetectionReport, ClusterInvite, ClusterDecision> payload;
+
+  std::size_t wire_bytes() const {
+    return std::visit([](const auto& p) { return p.kWireBytes; }, payload) +
+           8;  // header
+  }
+};
+
+}  // namespace sid::wsn

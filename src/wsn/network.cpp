@@ -1,0 +1,219 @@
+#include "wsn/network.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+#include "util/error.h"
+
+namespace sid::wsn {
+
+Network::Network(const NetworkConfig& config)
+    : config_(config), radio_(config.radio) {
+  util::require(config.rows > 0 && config.cols > 0,
+                "Network: grid must be non-empty");
+  util::require(config.spacing_m > 0.0, "Network: spacing must be positive");
+  build_grid();
+  build_adjacency();
+}
+
+void Network::build_grid() {
+  nodes_.reserve(config_.rows * config_.cols);
+  NodeId id = 0;
+  for (std::size_t r = 0; r < config_.rows; ++r) {
+    for (std::size_t c = 0; c < config_.cols; ++c) {
+      const util::Vec2 anchor(static_cast<double>(c) * config_.spacing_m,
+                              static_cast<double>(r) * config_.spacing_m);
+      ClockConfig clock_cfg = config_.clock;
+      clock_cfg.seed = config_.seed * 1000003ULL + id;
+      EnergyConfig energy_cfg = config_.energy;
+      nodes_.emplace_back(id, anchor, static_cast<std::int32_t>(r),
+                          static_cast<std::int32_t>(c), clock_cfg,
+                          energy_cfg);
+      ++id;
+    }
+  }
+}
+
+void Network::build_adjacency() {
+  adjacency_.assign(nodes_.size(), {});
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    for (std::size_t j = i + 1; j < nodes_.size(); ++j) {
+      const double d = util::distance(nodes_[i].anchor, nodes_[j].anchor);
+      if (radio_.in_range(d) && radio_.prr(d) >= config_.min_link_prr) {
+        adjacency_[i].push_back(nodes_[j].id);
+        adjacency_[j].push_back(nodes_[i].id);
+      }
+    }
+  }
+}
+
+NodeInfo& Network::node(NodeId id) {
+  util::require(id < nodes_.size(), "Network::node: bad id");
+  return nodes_[id];
+}
+
+const NodeInfo& Network::node(NodeId id) const {
+  util::require(id < nodes_.size(), "Network::node: bad id");
+  return nodes_[id];
+}
+
+NodeId Network::id_at(std::size_t row, std::size_t col) const {
+  util::require(row < config_.rows && col < config_.cols,
+                "Network::id_at: out of grid");
+  return static_cast<NodeId>(row * config_.cols + col);
+}
+
+const std::vector<NodeId>& Network::neighbors(NodeId id) const {
+  util::require(id < adjacency_.size(), "Network::neighbors: bad id");
+  return adjacency_[id];
+}
+
+std::optional<std::vector<NodeId>> Network::shortest_path(NodeId from,
+                                                          NodeId to) const {
+  util::require(from < nodes_.size() && to < nodes_.size(),
+                "Network::shortest_path: bad id");
+  if (from == to) return std::vector<NodeId>{from};
+  std::vector<NodeId> parent(nodes_.size(), kSinkId);
+  std::deque<NodeId> queue{from};
+  parent[from] = from;
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    for (NodeId v : adjacency_[u]) {
+      if (parent[v] != kSinkId) continue;
+      parent[v] = u;
+      if (v == to) {
+        std::vector<NodeId> path{to};
+        NodeId cur = to;
+        while (cur != from) {
+          cur = parent[cur];
+          path.push_back(cur);
+        }
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      queue.push_back(v);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> Network::hop_distance(NodeId a, NodeId b) const {
+  const auto path = shortest_path(a, b);
+  if (!path) return std::nullopt;
+  return path->size() - 1;
+}
+
+void Network::set_delivery_handler(DeliveryHandler handler) {
+  handler_ = std::move(handler);
+}
+
+std::optional<double> Network::try_hop(const NodeInfo& from,
+                                       const NodeInfo& to,
+                                       std::size_t bytes) {
+  const double d = util::distance(from.anchor, to.anchor);
+  double delay = 0.0;
+  for (std::size_t attempt = 0; attempt <= config_.max_retransmissions;
+       ++attempt) {
+    delay += radio_.hop_delay();
+    nodes_[from.id].energy.spend_tx(bytes);
+    stats_.bytes_sent += bytes;
+    if (radio_.transmit_succeeds(d)) {
+      nodes_[to.id].energy.spend_rx(bytes);
+      return delay;
+    }
+  }
+  return std::nullopt;
+}
+
+void Network::unicast(Message msg) {
+  util::require(static_cast<bool>(handler_),
+                "Network::unicast: no delivery handler set");
+  ++stats_.unicasts_attempted;
+  const auto path = shortest_path(msg.src, msg.dst);
+  if (!path || path->size() < 2) {
+    if (msg.src == msg.dst && handler_) {
+      // Degenerate self-delivery: no radio involved.
+      ++stats_.unicasts_delivered;
+      const Message delivered = msg;
+      events_.schedule_after(0.0, [this, delivered] {
+        handler_(delivered.dst, delivered, events_.now());
+      });
+      return;
+    }
+    ++stats_.unicasts_dropped;
+    return;
+  }
+
+  double total_delay = 0.0;
+  const std::size_t bytes = msg.wire_bytes();
+  for (std::size_t i = 0; i + 1 < path->size(); ++i) {
+    const auto hop_delay =
+        try_hop(nodes_[(*path)[i]], nodes_[(*path)[i + 1]], bytes);
+    if (!hop_delay) {
+      ++stats_.unicasts_dropped;
+      return;
+    }
+    total_delay += *hop_delay;
+    ++stats_.hops_traversed;
+  }
+  ++stats_.unicasts_delivered;
+  const Message delivered = msg;
+  events_.schedule_after(total_delay, [this, delivered] {
+    handler_(delivered.dst, delivered, events_.now());
+  });
+}
+
+void Network::flood(Message msg, std::size_t hops) {
+  util::require(static_cast<bool>(handler_),
+                "Network::flood: no delivery handler set");
+  ++stats_.floods;
+  // BFS out to `hops`, applying per-hop loss and accumulating delay along
+  // the first successful path to each node.
+  struct Frontier {
+    NodeId id;
+    std::size_t depth;
+    double delay;
+  };
+  std::unordered_set<NodeId> reached{msg.src};
+  std::deque<Frontier> queue{{msg.src, 0, 0.0}};
+  const std::size_t bytes = msg.wire_bytes();
+  while (!queue.empty()) {
+    const Frontier f = queue.front();
+    queue.pop_front();
+    if (f.depth == hops) continue;
+    for (NodeId v : adjacency_[f.id]) {
+      if (reached.contains(v)) continue;
+      const auto hop_delay = try_hop(nodes_[f.id], nodes_[v], bytes);
+      if (!hop_delay) continue;
+      reached.insert(v);
+      const double delay = f.delay + *hop_delay;
+      ++stats_.flood_deliveries;
+      const Message delivered = msg;
+      events_.schedule_after(delay, [this, v, delivered] {
+        handler_(v, delivered, events_.now());
+      });
+      queue.push_back({v, f.depth + 1, delay});
+    }
+  }
+}
+
+double Network::local_time(NodeId id, double t_true) const {
+  return node(id).clock.local_time(t_true);
+}
+
+std::optional<double> Network::transmit_once(NodeId from, NodeId to,
+                                             std::size_t bytes) {
+  util::require(from < nodes_.size() && to < nodes_.size(),
+                "Network::transmit_once: bad id");
+  const double d = util::distance(nodes_[from].anchor, nodes_[to].anchor);
+  const double delay = radio_.hop_delay();
+  nodes_[from].energy.spend_tx(bytes);
+  stats_.bytes_sent += bytes;
+  if (!radio_.transmit_succeeds(d)) return std::nullopt;
+  nodes_[to].energy.spend_rx(bytes);
+  return delay;
+}
+
+}  // namespace sid::wsn

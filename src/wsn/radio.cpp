@@ -1,0 +1,48 @@
+#include "wsn/radio.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace sid::wsn {
+
+Radio::Radio(const RadioConfig& config) : config_(config), rng_(config.seed) {
+  util::require(config.prr50_distance_m > 0.0, "Radio: prr50 must be > 0");
+  util::require(config.transition_width_m > 0.0,
+                "Radio: transition width must be > 0");
+  util::require(config.max_range_m >= config.prr50_distance_m,
+                "Radio: max range must be >= prr50 distance");
+  util::require(config.extra_loss_probability >= 0.0 &&
+                    config.extra_loss_probability < 1.0,
+                "Radio: extra loss probability must be in [0, 1)");
+  util::require(config.hop_delay_fixed_s >= 0.0 &&
+                    config.hop_delay_jitter_mean_s >= 0.0,
+                "Radio: delays must be non-negative");
+}
+
+double Radio::prr(double distance_m) const {
+  util::require(distance_m >= 0.0, "Radio::prr: negative distance");
+  if (distance_m > config_.max_range_m) return 0.0;
+  const double z =
+      (distance_m - config_.prr50_distance_m) / config_.transition_width_m;
+  return 1.0 / (1.0 + std::exp(z));
+}
+
+bool Radio::transmit_succeeds(double distance_m) {
+  if (!rng_.bernoulli(prr(distance_m))) return false;
+  if (config_.extra_loss_probability > 0.0 &&
+      rng_.bernoulli(config_.extra_loss_probability)) {
+    return false;
+  }
+  return true;
+}
+
+double Radio::hop_delay() {
+  double delay = config_.hop_delay_fixed_s;
+  if (config_.hop_delay_jitter_mean_s > 0.0) {
+    delay += rng_.exponential(1.0 / config_.hop_delay_jitter_mean_s);
+  }
+  return delay;
+}
+
+}  // namespace sid::wsn

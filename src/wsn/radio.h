@@ -1,0 +1,60 @@
+// Radio link model.
+//
+// The cluster protocol must survive "wireless communication errors and
+// possible network congestions" (§IV-C). We model an 802.15.4-class link:
+// packet reception ratio (PRR) is ~1 inside a connected region, falls off
+// sigmoidally across a transitional region, and is 0 beyond; each hop
+// adds a CSMA-style delay (fixed service time + exponential backoff
+// jitter). Congestion is emulated with an extra loss probability applied
+// uniformly (burst reporting after an intrusion raises it in scenarios).
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace sid::wsn {
+
+struct RadioConfig {
+  /// Distance at which PRR has fallen to 50 %.
+  double prr50_distance_m = 45.0;
+  /// Width of the sigmoid transition (m); small = sharp cutoff.
+  double transition_width_m = 6.0;
+  /// Hard connectivity radius: beyond this PRR is exactly 0.
+  double max_range_m = 70.0;
+  /// Additional packet loss applied to every transmission (congestion,
+  /// interference).
+  double extra_loss_probability = 0.02;
+  /// Per-hop latency: fixed part + exponential jitter mean.
+  double hop_delay_fixed_s = 0.012;
+  double hop_delay_jitter_mean_s = 0.02;
+  std::uint64_t seed = 41;
+};
+
+class Radio {
+ public:
+  explicit Radio(const RadioConfig& config);
+
+  /// Packet reception ratio for a link of length `distance_m` in [0, 1].
+  double prr(double distance_m) const;
+
+  /// True when a transmission over `distance_m` succeeds (PRR and extra
+  /// loss both applied).
+  bool transmit_succeeds(double distance_m);
+
+  /// Samples the delay of one hop (seconds).
+  double hop_delay();
+
+  /// True if the link is usable at all (for neighbor discovery).
+  bool in_range(double distance_m) const {
+    return distance_m <= config_.max_range_m;
+  }
+
+  const RadioConfig& config() const { return config_; }
+
+ private:
+  RadioConfig config_;
+  util::Rng rng_;
+};
+
+}  // namespace sid::wsn

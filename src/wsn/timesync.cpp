@@ -1,0 +1,119 @@
+#include "wsn/timesync.h"
+
+#include <cmath>
+#include <deque>
+#include <limits>
+
+#include "util/error.h"
+
+namespace sid::wsn {
+
+double TimeSyncResult::rms_residual_s() const {
+  double sum_sq = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < residual_s.size(); ++i) {
+    if (depth[i] == std::numeric_limits<std::size_t>::max()) continue;
+    sum_sq += residual_s[i] * residual_s[i];
+    ++count;
+  }
+  return count == 0 ? 0.0 : std::sqrt(sum_sq / static_cast<double>(count));
+}
+
+double TimeSyncResult::max_abs_residual_s() const {
+  double max_abs = 0.0;
+  for (std::size_t i = 0; i < residual_s.size(); ++i) {
+    if (depth[i] == std::numeric_limits<std::size_t>::max()) continue;
+    max_abs = std::max(max_abs, std::abs(residual_s[i]));
+  }
+  return max_abs;
+}
+
+TimeSyncResult run_time_sync(Network& network, const TimeSyncConfig& config,
+                             double t_true) {
+  util::require(config.root < network.node_count(),
+                "run_time_sync: bad root id");
+  util::require(config.rounds >= 1, "run_time_sync: need at least 1 round");
+
+  const std::size_t n = network.node_count();
+  constexpr std::size_t kUnreached = std::numeric_limits<std::size_t>::max();
+
+  TimeSyncResult result;
+  result.estimated_offset_s.assign(n, 0.0);
+  result.residual_s.assign(n, 0.0);
+  result.depth.assign(n, kUnreached);
+
+  // BFS tree from the root.
+  std::vector<NodeId> parent(n, config.root);
+  std::deque<NodeId> queue{config.root};
+  result.depth[config.root] = 0;
+  std::vector<NodeId> bfs_order{config.root};
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    for (NodeId v : network.neighbors(u)) {
+      if (result.depth[v] != kUnreached) continue;
+      result.depth[v] = result.depth[u] + 1;
+      parent[v] = u;
+      bfs_order.push_back(v);
+      queue.push_back(v);
+    }
+  }
+
+  constexpr std::size_t kSyncPacketBytes = 16;
+  for (NodeId child : bfs_order) {
+    if (child == config.root) continue;
+    const NodeId par = parent[child];
+
+    // Average the per-round pairwise offset estimates.
+    double sum = 0.0;
+    std::size_t samples = 0;
+    for (std::size_t round = 0; round < config.rounds; ++round) {
+      std::optional<double> d1, d2;
+      for (std::size_t attempt = 0;
+           attempt <= config.max_retries && !d1; ++attempt) {
+        d1 = network.transmit_once(child, par, kSyncPacketBytes);
+      }
+      if (!d1) continue;
+      for (std::size_t attempt = 0;
+           attempt <= config.max_retries && !d2; ++attempt) {
+        d2 = network.transmit_once(par, child, kSyncPacketBytes);
+      }
+      if (!d2) continue;
+
+      // TPSN two-way timestamps.
+      const double t1 = network.local_time(child, t_true);
+      const double t2 = network.local_time(par, t_true + *d1);
+      const double t3 = t2;  // immediate reply
+      const double t4 = network.local_time(child, t_true + *d1 + *d2);
+      // ((t2 - t1) - (t4 - t3)) / 2 = offset(parent - child) + (d1-d2)/2
+      const double parent_minus_child = ((t2 - t1) - (t4 - t3)) / 2.0;
+      sum += -parent_minus_child;  // child relative to parent
+      ++samples;
+    }
+    if (samples == 0) {
+      // Exchange failed entirely: inherit the parent estimate (the child
+      // stays at its parent's correction, degraded accuracy).
+      result.estimated_offset_s[child] =
+          result.estimated_offset_s[par];
+    } else {
+      result.estimated_offset_s[child] =
+          result.estimated_offset_s[par] + sum / static_cast<double>(samples);
+    }
+  }
+
+  // Residuals vs ground truth.
+  const double root_offset =
+      network.node(config.root).clock.offset_at(t_true);
+  for (NodeId id = 0; id < n; ++id) {
+    if (result.depth[id] == kUnreached) {
+      ++result.unreachable;
+      continue;
+    }
+    const double true_relative =
+        network.node(id).clock.offset_at(t_true) - root_offset;
+    result.residual_s[id] = result.estimated_offset_s[id] - true_relative;
+  }
+  return result;
+}
+
+}  // namespace sid::wsn

@@ -1,0 +1,51 @@
+// Network time synchronization (§IV-A middleware: "some middleware
+// services should be considered, such as ... time synchronization").
+//
+// TPSN-style two-way sender-receiver synchronization over a BFS tree
+// rooted at the gateway: each child exchanges a request/response pair
+// with its parent and estimates its clock offset as
+//   ((t2 - t1) - (t4 - t3)) / 2
+// which cancels the propagation delay exactly when the two directions
+// are symmetric; the radio's random backoff jitter makes them asymmetric
+// and leaves a residual that accumulates with tree depth. Multiple
+// rounds average the jitter down. The result quantifies the timestamp
+// error that feeds the paper's speed estimator (Fig. 12 error sources).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "wsn/network.h"
+
+namespace sid::wsn {
+
+struct TimeSyncConfig {
+  NodeId root = 0;
+  /// Two-way exchanges per child per round are averaged.
+  std::size_t rounds = 4;
+  /// Exchanges lost to the radio are retried up to this many times.
+  std::size_t max_retries = 5;
+};
+
+struct TimeSyncResult {
+  /// Per node: estimated offset relative to the root clock (seconds);
+  /// the root's entry is 0.
+  std::vector<double> estimated_offset_s;
+  /// Per node: estimate minus the true relative offset.
+  std::vector<double> residual_s;
+  /// Per node: BFS depth from the root (root = 0); SIZE_MAX when
+  /// unreachable.
+  std::vector<std::size_t> depth;
+  std::size_t unreachable = 0;
+
+  double rms_residual_s() const;
+  double max_abs_residual_s() const;
+};
+
+/// Runs the protocol at true time `t_true` over the network's topology.
+/// Does not mutate node clocks (estimation only); callers may apply the
+/// estimates to correct report timestamps.
+TimeSyncResult run_time_sync(Network& network, const TimeSyncConfig& config,
+                             double t_true);
+
+}  // namespace sid::wsn

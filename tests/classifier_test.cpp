@@ -1,0 +1,195 @@
+// Tests for the frame-level spectral classifier (§III, Figs. 6-7): ship
+// frames carry new spectral energy relative to the calibrated ocean-only
+// baseline; swell-only frames do not.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "core/spectral_classifier.h"
+#include "ocean/wave_field.h"
+#include "ocean/wave_spectrum.h"
+#include "sensing/trace.h"
+#include "shipwave/ship.h"
+#include "shipwave/wave_train.h"
+#include "util/error.h"
+#include "util/units.h"
+
+namespace sid::core {
+namespace {
+
+/// One deployment's record: 320 s of a single sea realization. The first
+/// 180 s are guaranteed ocean-only (calibration history); when with_ship
+/// is true a 12 kn boat's wake arrives at ~250 s.
+struct Record {
+  std::vector<double> z;          ///< z-centered counts at 50 Hz
+  double arrival_s = 250.0;       ///< wake-front arrival (ship records)
+
+  std::span<const double> calibration_span() const {
+    return std::span<const double>(z).subspan(0, 9000);  // first 180 s
+  }
+  std::span<const double> ship_frame() const {
+    const auto start = static_cast<std::size_t>((arrival_s - 20.0) * 50.0);
+    return std::span<const double>(z).subspan(start, 2048);
+  }
+  std::span<const double> ocean_frame() const {
+    return std::span<const double>(z).subspan(9300, 2048);  // 186-227 s
+  }
+};
+
+Record make_record(bool with_ship, std::uint64_t seed) {
+  const auto spectrum = ocean::make_sea_spectrum(ocean::SeaState::kCalm);
+  ocean::WaveFieldConfig fcfg;
+  fcfg.seed = seed;
+  const ocean::WaveField field(*spectrum, fcfg);
+
+  sense::TraceConfig tcfg;
+  tcfg.duration_s = 320.0;
+  tcfg.buoy.anchor = {25.0, 0.0};
+  tcfg.buoy.seed = seed + 1;
+  tcfg.accel.seed = seed + 2;
+
+  Record record;
+  std::vector<wake::WakeTrain> trains;
+  if (with_ship) {
+    wake::ShipTrackConfig scfg;
+    scfg.start = {0.0, -250.0};
+    scfg.heading_rad = std::numbers::pi / 2;
+    scfg.speed_mps = util::knots_to_mps(12.0);
+    // Time the pass so the front reaches the buoy at ~250 s.
+    scfg.start_time_s =
+        250.0 - (250.0 + 25.0 / std::tan(0.3398)) / scfg.speed_mps;
+    const wake::ShipTrack track(scfg);
+    auto train = wake::make_wake_train(track, {25.0, 0.0});
+    if (train) {
+      record.arrival_s = train->params().arrival_time_s;
+      trains.push_back(*train);
+    }
+  }
+  record.z = sense::generate_trace(field, trains, tcfg).z_centered();
+  return record;
+}
+
+TEST(SpectralClassifierTest, FrameSizeMismatchThrows) {
+  SpectralClassifier classifier;
+  const std::vector<double> frame(100, 0.0);
+  EXPECT_THROW(classifier.classify_frame(frame), util::InvalidArgument);
+}
+
+TEST(SpectralClassifierTest, UncalibratedPureToneIsNotShip) {
+  SpectralClassifier classifier;
+  std::vector<double> frame(2048);
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    frame[i] = 100.0 * std::sin(2.0 * std::numbers::pi * 0.25 *
+                                static_cast<double>(i) / 50.0);
+  }
+  const auto verdict = classifier.classify_frame(frame);
+  EXPECT_FALSE(verdict.is_ship);
+  EXPECT_EQ(verdict.votes_available, 1u);
+}
+
+TEST(SpectralClassifierTest, UncalibratedMultiToneIsShip) {
+  SpectralClassifier classifier;
+  std::vector<double> frame(2048);
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    const double t = static_cast<double>(i) / 50.0;
+    frame[i] = 60.0 * std::sin(2.0 * std::numbers::pi * 0.25 * t) +
+               50.0 * std::sin(2.0 * std::numbers::pi * 0.55 * t + 0.3) +
+               45.0 * std::sin(2.0 * std::numbers::pi * 0.72 * t + 1.1) +
+               40.0 * std::sin(2.0 * std::numbers::pi * 0.91 * t + 2.0);
+  }
+  const auto verdict = classifier.classify_frame(frame);
+  EXPECT_TRUE(verdict.is_ship);
+  EXPECT_GE(verdict.features.significant_peaks, 3u);
+}
+
+TEST(SpectralClassifierTest, CalibrationRequiresFullFrame) {
+  SpectralClassifier classifier;
+  const std::vector<double> tiny(100, 0.0);
+  EXPECT_THROW(classifier.calibrate(tiny), util::InvalidArgument);
+  EXPECT_FALSE(classifier.calibrated());
+}
+
+TEST(SpectralClassifierTest, CalibratedSeparatesShipFromOcean) {
+  // Each deployment calibrates on its own recent (ocean-only) history —
+  // the first 180 s of the same sea realization — then classifies the
+  // frame containing the pass vs a later ocean-only frame.
+  int ship_hits = 0, ocean_hits = 0, n = 0;
+  for (std::uint64_t seed : {31, 57, 77, 93, 111}) {
+    const auto record = make_record(true, seed);
+    SpectralClassifier classifier;
+    classifier.calibrate(record.calibration_span());
+    ASSERT_TRUE(classifier.calibrated());
+    const auto ship_verdict = classifier.classify_frame(record.ship_frame());
+    const auto ocean_verdict =
+        classifier.classify_frame(record.ocean_frame());
+    ship_hits += ship_verdict.is_ship ? 1 : 0;
+    ocean_hits += ocean_verdict.is_ship ? 1 : 0;
+    ++n;
+    EXPECT_GT(ship_verdict.band_energy, ocean_verdict.band_energy)
+        << "seed " << seed;
+  }
+  EXPECT_GE(ship_hits, n - 1);  // ship frames detected
+  EXPECT_LE(ocean_hits, 1);     // ocean frames rejected
+}
+
+TEST(SpectralClassifierTest, EnergyRatioReportsBaselineMultiple) {
+  const auto record = make_record(true, 93);
+  SpectralClassifier classifier;
+  classifier.calibrate(record.calibration_span());
+  const auto verdict = classifier.classify_frame(record.ship_frame());
+  EXPECT_GT(verdict.energy_ratio, 1.5);
+  EXPECT_EQ(verdict.votes_available, 3u);
+  // The paired ocean frame sits near the baseline.
+  const auto ocean_verdict = classifier.classify_frame(record.ocean_frame());
+  EXPECT_LT(ocean_verdict.energy_ratio, 1.5);
+}
+
+TEST(SpectralClassifierTest, OceanRecordMostlyNotShip) {
+  const auto record = make_record(false, 31);
+  SpectralClassifier classifier;
+  classifier.calibrate(record.calibration_span());
+  EXPECT_LT(classifier.ship_frame_fraction(record.z), 0.5);
+}
+
+TEST(LowBandRatioTest, ShipTrainRaisesLowBandEnergy) {
+  // Fig. 7: ship-wave energy concentrates at low frequency relative to
+  // the full analysis band.
+  dsp::CwtConfig cfg;
+  cfg.min_frequency_hz = 0.1;
+  cfg.max_frequency_hz = 5.0;
+  cfg.num_scales = 32;
+
+  const auto ocean_rec = make_record(false, 77);
+  const auto ship_rec = make_record(true, 77);
+  const auto ocean_scalogram = dsp::cwt_morlet(ocean_rec.z, cfg);
+  const auto ship_scalogram = dsp::cwt_morlet(ship_rec.z, cfg);
+
+  const double split_hz = 1.0;
+  const double ocean_ratio = low_band_energy_ratio(ocean_scalogram, split_hz);
+  const double ship_ratio = low_band_energy_ratio(ship_scalogram, split_hz);
+  EXPECT_GE(ship_ratio, ocean_ratio * 0.99);
+  EXPECT_GT(ship_ratio, 0.3);
+}
+
+TEST(SpectralClassifierTest, ConfigValidation) {
+  SpectralClassifierConfig cfg;
+  cfg.votes_required = 0;
+  EXPECT_THROW(SpectralClassifier{cfg}, util::InvalidArgument);
+  cfg = {};
+  cfg.max_analysis_hz = 30.0;  // above Nyquist
+  EXPECT_THROW(SpectralClassifier{cfg}, util::InvalidArgument);
+  cfg = {};
+  cfg.min_energy_ratio = 0.5;
+  EXPECT_THROW(SpectralClassifier{cfg}, util::InvalidArgument);
+}
+
+TEST(SpectralClassifierTest, ShortSignalForFractionThrows) {
+  SpectralClassifier classifier;
+  const std::vector<double> tiny(100, 0.0);
+  EXPECT_THROW(classifier.ship_frame_fraction(tiny), util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace sid::core

@@ -1,0 +1,315 @@
+// Tests for the node-level detector (§IV-B): adaptive threshold, anomaly
+// frequency, onset timestamps and environment tracking.
+//
+// Backgrounds are swell-like (a slow sinusoid plus sensor noise) so the
+// adaptive statistics take realistic values; pure white noise makes the
+// envelope detector degenerate-sensitive and tests nothing meaningful.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "core/node_detector.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace sid::core {
+namespace {
+
+constexpr double kFs = 50.0;
+constexpr double kRest = 1024.0;
+
+/// Builds a z-count stream: rest level + swell + noise, with optional
+/// wake-like bursts.
+struct StreamBuilder {
+  util::Rng rng{42};
+  double noise_counts = 8.0;
+  double swell_counts = 30.0;
+  double swell_freq_hz = 0.29;
+  double swell_phase = 0.4;
+  std::vector<double> samples;
+
+  double time() const { return static_cast<double>(samples.size()) / kFs; }
+
+  void add_sea(double seconds) {
+    const auto n = static_cast<std::size_t>(seconds * kFs);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double t = time();
+      samples.push_back(
+          kRest +
+          swell_counts *
+              std::sin(2.0 * std::numbers::pi * swell_freq_hz * t +
+                       swell_phase) +
+          rng.normal(0.0, noise_counts));
+    }
+  }
+
+  /// Burst on top of the sea: modulated oscillation at `freq`.
+  void add_burst(double seconds, double amplitude, double freq = 0.6) {
+    const auto n = static_cast<std::size_t>(seconds * kFs);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double t = time();
+      const double u = static_cast<double>(i) / kFs;
+      const double env =
+          0.5 * (1.0 - std::cos(2.0 * std::numbers::pi * u / seconds));
+      samples.push_back(
+          kRest +
+          swell_counts *
+              std::sin(2.0 * std::numbers::pi * swell_freq_hz * t +
+                       swell_phase) +
+          amplitude * env * std::sin(2.0 * std::numbers::pi * freq * u) +
+          rng.normal(0.0, noise_counts));
+    }
+  }
+};
+
+NodeDetectorConfig quick_config() {
+  NodeDetectorConfig cfg;
+  cfg.warmup_samples = 100;
+  cfg.init_samples_u = 500;  // 10 s init for fast tests
+  cfg.update_batch_samples = 250;
+  cfg.anomaly_frequency_threshold = 0.6;
+  cfg.threshold_multiplier_m = 2.5;
+  return cfg;
+}
+
+std::vector<Alarm> run_detector(NodeDetector& det,
+                                const std::vector<double>& samples) {
+  std::vector<Alarm> alarms;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (auto alarm =
+            det.process_sample(samples[i], static_cast<double>(i) / kFs)) {
+      alarms.push_back(*alarm);
+    }
+  }
+  return alarms;
+}
+
+TEST(NodeDetectorTest, ArmsAfterInitWindow) {
+  NodeDetector det(quick_config());
+  StreamBuilder sb;
+  sb.add_sea(20.0);
+  std::size_t armed_at = 0;
+  for (std::size_t i = 0; i < sb.samples.size(); ++i) {
+    det.process_sample(sb.samples[i], static_cast<double>(i) / kFs);
+    if (det.armed() && armed_at == 0) armed_at = i;
+  }
+  EXPECT_TRUE(det.armed());
+  // warmup 100 + init 500.
+  EXPECT_NEAR(static_cast<double>(armed_at), 600.0, 2.0);
+}
+
+TEST(NodeDetectorTest, NoAlarmOnSteadySea) {
+  NodeDetector det(quick_config());
+  StreamBuilder sb;
+  sb.add_sea(180.0);
+  EXPECT_EQ(run_detector(det, sb.samples).size(), 0u);
+}
+
+TEST(NodeDetectorTest, DetectsStrongBurstWithOnsetTime) {
+  NodeDetector det(quick_config());
+  StreamBuilder sb;
+  sb.add_sea(30.0);
+  const double burst_start = 30.0;
+  sb.add_burst(3.0, 400.0);
+  sb.add_sea(20.0);
+
+  const auto alarms = run_detector(det, sb.samples);
+  ASSERT_GE(alarms.size(), 1u);
+  EXPECT_NEAR(alarms[0].onset_time_s, burst_start, 2.0);
+  EXPECT_GE(alarms[0].anomaly_frequency, 0.6);
+  EXPECT_GT(alarms[0].average_energy, 0.0);
+  EXPECT_GE(alarms[0].trigger_time_s, alarms[0].onset_time_s);
+}
+
+TEST(NodeDetectorTest, WeakBurstBelowSwellIgnored) {
+  NodeDetector det(quick_config());
+  StreamBuilder sb;
+  sb.add_sea(30.0);
+  sb.add_burst(3.0, 15.0);  // half the swell amplitude: invisible
+  sb.add_sea(20.0);
+  EXPECT_EQ(run_detector(det, sb.samples).size(), 0u);
+}
+
+TEST(NodeDetectorTest, RefractoryBlocksImmediateRetrigger) {
+  auto cfg = quick_config();
+  cfg.refractory_s = 30.0;
+  NodeDetector det(cfg);
+  StreamBuilder sb;
+  sb.add_sea(30.0);
+  sb.add_burst(3.0, 400.0);
+  sb.add_sea(2.0);
+  sb.add_burst(3.0, 400.0);  // within refractory
+  sb.add_sea(10.0);
+  EXPECT_EQ(run_detector(det, sb.samples).size(), 1u);
+}
+
+TEST(NodeDetectorTest, SeparatedBurstsBothDetected) {
+  auto cfg = quick_config();
+  cfg.refractory_s = 5.0;
+  NodeDetector det(cfg);
+  StreamBuilder sb;
+  sb.add_sea(30.0);
+  sb.add_burst(3.0, 400.0);
+  sb.add_sea(30.0);
+  sb.add_burst(3.0, 400.0);
+  sb.add_sea(10.0);
+  const auto alarms = run_detector(det, sb.samples);
+  ASSERT_GE(alarms.size(), 2u);
+  EXPECT_NEAR(alarms[0].onset_time_s, 30.0, 2.5);
+  EXPECT_NEAR(alarms[1].onset_time_s, 63.0, 2.5);
+}
+
+TEST(NodeDetectorTest, HigherMNeedsStrongerBurst) {
+  auto detect_with_m = [](double m, double amplitude) {
+    auto cfg = quick_config();
+    cfg.threshold_multiplier_m = m;
+    NodeDetector det(cfg);
+    StreamBuilder sb;
+    sb.add_sea(30.0);
+    sb.add_burst(3.0, amplitude);
+    sb.add_sea(10.0);
+    return !run_detector(det, sb.samples).empty();
+  };
+  // A mid-strength burst: visible at low M, invisible at high M.
+  bool found_separation = false;
+  for (double amp : {50.0, 70.0, 90.0, 120.0, 160.0}) {
+    if (detect_with_m(1.0, amp) && !detect_with_m(5.0, amp)) {
+      found_separation = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found_separation);
+}
+
+TEST(NodeDetectorTest, StormAdaptationFollowsRisingSea) {
+  // After the sea roughens 4x, the slow adaptation path must raise the
+  // long-term statistics even though most samples cross the old
+  // threshold (the Eq. 5 censored path alone would starve).
+  auto cfg = quick_config();
+  cfg.storm_adaptation_beta = 0.9;
+  NodeDetector det(cfg);
+  StreamBuilder calm;
+  calm.add_sea(30.0);
+  run_detector(det, calm.samples);
+  const double before_mean = det.adaptive_mean();
+
+  StreamBuilder rough;
+  rough.rng.reseed(99);
+  rough.swell_counts = 120.0;
+  rough.add_sea(180.0);
+  for (std::size_t i = 0; i < rough.samples.size(); ++i) {
+    det.process_sample(rough.samples[i],
+                       30.0 + static_cast<double>(i) / kFs);
+  }
+  EXPECT_GT(det.adaptive_mean(), before_mean * 2.0);
+}
+
+TEST(NodeDetectorTest, LiteralPaperModeStarvesInStorm) {
+  // Documents the behaviour the storm path exists to fix: with
+  // storm_adaptation_beta = 1.0 (paper-literal censored updates), the
+  // adaptive mean barely moves when the sea roughens.
+  auto cfg = quick_config();
+  cfg.storm_adaptation_beta = 1.0;
+  NodeDetector det(cfg);
+  StreamBuilder calm;
+  calm.add_sea(30.0);
+  run_detector(det, calm.samples);
+  const double before_mean = det.adaptive_mean();
+
+  StreamBuilder rough;
+  rough.rng.reseed(99);
+  rough.swell_counts = 120.0;
+  rough.add_sea(180.0);
+  for (std::size_t i = 0; i < rough.samples.size(); ++i) {
+    det.process_sample(rough.samples[i],
+                       30.0 + static_cast<double>(i) / kFs);
+  }
+  EXPECT_LT(det.adaptive_mean(), before_mean * 2.0);
+}
+
+TEST(NodeDetectorTest, AnomalyFrequencyReflectsWindowContent) {
+  NodeDetector det(quick_config());
+  StreamBuilder sb;
+  sb.add_sea(30.0);
+  for (std::size_t i = 0; i < sb.samples.size(); ++i) {
+    det.process_sample(sb.samples[i], static_cast<double>(i) / kFs);
+  }
+  EXPECT_LT(det.anomaly_frequency(), 0.3);  // quiet sea
+
+  StreamBuilder burst;
+  burst.add_burst(4.0, 500.0);
+  double t0 = 30.0;
+  double max_af = 0.0;
+  for (std::size_t i = 0; i < burst.samples.size(); ++i) {
+    det.process_sample(burst.samples[i], t0 + static_cast<double>(i) / kFs);
+    max_af = std::max(max_af, det.anomaly_frequency());
+  }
+  EXPECT_GT(max_af, 0.7);
+}
+
+TEST(NodeDetectorTest, ProcessTraceEquivalentToSampleLoop) {
+  StreamBuilder sb;
+  sb.add_sea(30.0);
+  sb.add_burst(3.0, 400.0);
+  sb.add_sea(10.0);
+  sense::SensorTrace trace;
+  trace.sample_rate_hz = kFs;
+  trace.z = sb.samples;
+  trace.x.assign(sb.samples.size(), 0.0);
+  trace.y.assign(sb.samples.size(), 0.0);
+
+  NodeDetector a(quick_config());
+  const auto alarms_trace = a.process_trace(trace);
+
+  NodeDetector b(quick_config());
+  const auto alarms_loop = run_detector(b, sb.samples);
+  ASSERT_EQ(alarms_trace.size(), alarms_loop.size());
+  for (std::size_t i = 0; i < alarms_trace.size(); ++i) {
+    EXPECT_EQ(alarms_trace[i].onset_time_s, alarms_loop[i].onset_time_s);
+  }
+}
+
+TEST(NodeDetectorTest, StateAccessorsThrowBeforeArming) {
+  NodeDetector det(quick_config());
+  EXPECT_THROW(det.adaptive_mean(), util::StateError);
+  EXPECT_THROW(det.adaptive_stddev(), util::StateError);
+}
+
+TEST(NodeDetectorTest, RejectsBadConfig) {
+  NodeDetectorConfig cfg;
+  cfg.threshold_multiplier_m = 0.0;
+  EXPECT_THROW(NodeDetector{cfg}, util::InvalidArgument);
+  cfg = {};
+  cfg.anomaly_frequency_threshold = 1.5;
+  EXPECT_THROW(NodeDetector{cfg}, util::InvalidArgument);
+  cfg = {};
+  cfg.init_samples_u = 1;
+  EXPECT_THROW(NodeDetector{cfg}, util::InvalidArgument);
+  cfg = {};
+  cfg.storm_adaptation_beta = 0.0;
+  EXPECT_THROW(NodeDetector{cfg}, util::InvalidArgument);
+}
+
+// ------------------------------------------ parameterized: M sweep
+
+class ThresholdSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ThresholdSweep, StrongBurstDetectedAtAllM) {
+  const double m = GetParam();
+  auto cfg = quick_config();
+  cfg.threshold_multiplier_m = m;
+  NodeDetector det(cfg);
+  StreamBuilder sb;
+  sb.add_sea(30.0);
+  sb.add_burst(3.0, 600.0);  // overwhelming burst
+  sb.add_sea(10.0);
+  EXPECT_FALSE(run_detector(det, sb.samples).empty()) << "M = " << m;
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperRange, ThresholdSweep,
+                         ::testing::Values(1.0, 1.5, 2.0, 2.5, 3.0));
+
+}  // namespace
+}  // namespace sid::core

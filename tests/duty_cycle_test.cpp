@@ -1,0 +1,132 @@
+// Tests for the duty-cycling evaluation (§IV-A sentinels + wake-on-alarm).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/duty_cycle.h"
+#include "core/scenario.h"
+#include "util/error.h"
+#include "util/units.h"
+
+namespace sid::core {
+namespace {
+
+/// A deterministic always-on run built by hand: node i (4x4 grid) has one
+/// matched alarm at 100 + row * 5 seconds (the pass sweeps row by row).
+struct Fixture {
+  wsn::Network network;
+  ScenarioRun run;
+
+  Fixture() : network(make_config()) {
+    for (const auto& info : network.nodes()) {
+      NodeRun nr;
+      nr.node = info.id;
+      NodeTruth truth;
+      truth.node = info.id;
+      const double t = 100.0 + 5.0 * info.grid_row;
+      truth.wake_arrivals.push_back(t);
+      Alarm alarm;
+      alarm.onset_time_s = t + 1.0;
+      alarm.trigger_time_s = t + 2.0;
+      alarm.anomaly_frequency = 0.8;
+      alarm.average_energy = 100.0;
+      nr.alarms.push_back(alarm);
+      wsn::DetectionReport report;
+      report.reporter = info.id;
+      nr.reports.push_back(report);
+      run.node_runs.push_back(std::move(nr));
+      run.truths.push_back(std::move(truth));
+    }
+  }
+
+  static wsn::NetworkConfig make_config() {
+    wsn::NetworkConfig cfg;
+    cfg.rows = 4;
+    cfg.cols = 4;
+    return cfg;
+  }
+};
+
+TEST(DutyCycleTest, StrideOneIsAlwaysOnBaseline) {
+  Fixture fx;
+  DutyCycleConfig cfg;
+  cfg.sentinel_stride = 1;
+  const auto outcome = evaluate_duty_cycle(fx.run, fx.network, cfg);
+  EXPECT_EQ(outcome.sentinels, 16u);
+  EXPECT_EQ(outcome.sleepers, 0u);
+  EXPECT_EQ(outcome.detecting_nodes, 16u);
+  EXPECT_EQ(outcome.baseline_detecting_nodes, 16u);
+  EXPECT_NEAR(outcome.coverage(), 1.0, 1e-12);
+  EXPECT_NEAR(outcome.mean_power_mw, cfg.active_power_mw, 1e-12);
+}
+
+TEST(DutyCycleTest, StrideTwoSavesPowerKeepsMostCoverage) {
+  Fixture fx;
+  DutyCycleConfig cfg;
+  cfg.sentinel_stride = 2;
+  cfg.wakeup_latency_s = 1.0;
+  cfg.ready_delay_s = 5.0;
+  const auto outcome = evaluate_duty_cycle(fx.run, fx.network, cfg);
+  EXPECT_EQ(outcome.sentinels, 4u);  // rows 0,2 x cols 0,2
+  EXPECT_EQ(outcome.sleepers, 12u);
+  // First sentinel detection at t=102 (row 0); sleepers ready at 108;
+  // rows 2 and 3 alarm at 112/117 -> detected; row 0/1 sleepers missed.
+  EXPECT_LT(outcome.detecting_nodes, 16u);
+  EXPECT_GT(outcome.detecting_nodes, 4u);
+  EXPECT_LT(outcome.mean_power_mw, cfg.active_power_mw / 2.0);
+  EXPECT_NEAR(outcome.first_detection_s, 102.0, 1e-9);
+}
+
+TEST(DutyCycleTest, SlowWakeupLosesSleeperDetections) {
+  Fixture fx;
+  DutyCycleConfig fast;
+  fast.sentinel_stride = 2;
+  fast.wakeup_latency_s = 0.5;
+  fast.ready_delay_s = 2.0;
+  DutyCycleConfig slow = fast;
+  slow.ready_delay_s = 60.0;  // the pass is long gone
+  const auto quick = evaluate_duty_cycle(fx.run, fx.network, fast);
+  const auto late = evaluate_duty_cycle(fx.run, fx.network, slow);
+  EXPECT_GT(quick.detecting_nodes, late.detecting_nodes);
+  // Late wake-up leaves only the sentinels detecting.
+  EXPECT_EQ(late.detecting_nodes, 4u);
+}
+
+TEST(DutyCycleTest, NoDetectionsMeansSentinelsIdle) {
+  Fixture fx;
+  // Strip all alarms.
+  for (auto& nr : fx.run.node_runs) nr.alarms.clear();
+  DutyCycleConfig cfg;
+  cfg.sentinel_stride = 2;
+  const auto outcome = evaluate_duty_cycle(fx.run, fx.network, cfg);
+  EXPECT_EQ(outcome.detecting_nodes, 0u);
+  EXPECT_EQ(outcome.baseline_detecting_nodes, 0u);
+  EXPECT_LT(outcome.first_detection_s, 0.0);
+  EXPECT_EQ(outcome.coverage(), 0.0);
+}
+
+TEST(DutyCycleTest, LargerStrideCheaperAndBlinder) {
+  Fixture fx;
+  DutyCycleConfig s2;
+  s2.sentinel_stride = 2;
+  DutyCycleConfig s4;
+  s4.sentinel_stride = 4;
+  const auto two = evaluate_duty_cycle(fx.run, fx.network, s2);
+  const auto four = evaluate_duty_cycle(fx.run, fx.network, s4);
+  EXPECT_LT(four.mean_power_mw, two.mean_power_mw);
+  EXPECT_LE(four.sentinels, two.sentinels);
+}
+
+TEST(DutyCycleTest, RejectsBadInputs) {
+  Fixture fx;
+  DutyCycleConfig cfg;
+  cfg.sentinel_stride = 0;
+  EXPECT_THROW(evaluate_duty_cycle(fx.run, fx.network, cfg),
+               util::InvalidArgument);
+  ScenarioRun empty;
+  EXPECT_THROW(evaluate_duty_cycle(empty, fx.network, DutyCycleConfig{}),
+               util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace sid::core

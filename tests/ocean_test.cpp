@@ -1,0 +1,269 @@
+// Tests for the ocean substrate: wave spectra and random-phase wave field
+// synthesis.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "dsp/spectrum.h"
+#include "ocean/wave_field.h"
+#include "ocean/wave_spectrum.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/units.h"
+
+namespace sid::ocean {
+namespace {
+
+// ---------------------------------------------------------------- spectra
+
+TEST(PiersonMoskowitzTest, PeaksNearNominalFrequency) {
+  const PiersonMoskowitz pm(0.3);
+  // Scan for the max.
+  double best_f = 0.0, best_s = -1.0;
+  for (double f = 0.05; f < 1.0; f += 0.001) {
+    const double s = pm.density(f);
+    if (s > best_s) {
+      best_s = s;
+      best_f = f;
+    }
+  }
+  // The f^-5 * exp form peaks slightly below the nominal fp given the
+  // exponent structure; within 10 %.
+  EXPECT_NEAR(best_f, 0.3, 0.03);
+}
+
+TEST(PiersonMoskowitzTest, DensityPositiveAndDecaysInTail) {
+  const PiersonMoskowitz pm(0.3);
+  EXPECT_GT(pm.density(0.3), 0.0);
+  EXPECT_GT(pm.density(0.3), pm.density(1.0));
+  EXPECT_GT(pm.density(1.0), pm.density(2.0));
+}
+
+TEST(PiersonMoskowitzTest, FromWindSpeedMatchesClassicRelation) {
+  const auto pm = PiersonMoskowitz::from_wind_speed(10.0);
+  const double expected_fp =
+      0.8772 * util::kGravity / (2.0 * std::numbers::pi * 10.0);
+  EXPECT_NEAR(pm.peak_frequency_hz(), expected_fp, 1e-12);
+}
+
+TEST(PiersonMoskowitzTest, HigherWindLowersPeakFrequency) {
+  EXPECT_LT(PiersonMoskowitz::from_wind_speed(15.0).peak_frequency_hz(),
+            PiersonMoskowitz::from_wind_speed(8.0).peak_frequency_hz());
+}
+
+TEST(PiersonMoskowitzTest, RejectsBadArgs) {
+  EXPECT_THROW(PiersonMoskowitz(0.0), util::InvalidArgument);
+  EXPECT_THROW(PiersonMoskowitz::from_wind_speed(-1.0),
+               util::InvalidArgument);
+  const PiersonMoskowitz pm(0.3);
+  EXPECT_THROW(pm.density(0.0), util::InvalidArgument);
+}
+
+TEST(JonswapTest, ReducesToPmAtGammaOne) {
+  const Jonswap j(0.3, 1.0);
+  const PiersonMoskowitz pm(0.3);
+  for (double f : {0.1, 0.2, 0.3, 0.5, 1.0}) {
+    EXPECT_NEAR(j.density(f), pm.density(f), pm.density(f) * 1e-12);
+  }
+}
+
+TEST(JonswapTest, PeakEnhancementRaisesPeakOnly) {
+  const Jonswap j(0.3, 3.3);
+  const PiersonMoskowitz pm(0.3);
+  EXPECT_NEAR(j.density(0.3), 3.3 * pm.density(0.3), 1e-9);
+  // Far from the peak the enhancement vanishes.
+  EXPECT_NEAR(j.density(1.2), pm.density(1.2), pm.density(1.2) * 0.02);
+}
+
+TEST(JonswapTest, RejectsGammaBelowOne) {
+  EXPECT_THROW(Jonswap(0.3, 0.5), util::InvalidArgument);
+}
+
+TEST(SpectrumMomentsTest, SignificantHeightScalesWithSqrtEnergy) {
+  const Jonswap base(0.3, 3.3);
+  ScaledSpectrum quadrupled(std::make_unique<Jonswap>(0.3, 3.3), 4.0);
+  EXPECT_NEAR(quadrupled.significant_height_m(),
+              2.0 * base.significant_height_m(),
+              base.significant_height_m() * 0.01);
+}
+
+TEST(SeaStateTest, PresetsHitTargetHeights) {
+  for (auto state :
+       {SeaState::kCalm, SeaState::kModerate, SeaState::kRough}) {
+    const auto params = sea_state_params(state);
+    const auto spectrum = make_sea_spectrum(state);
+    EXPECT_NEAR(spectrum->significant_height_m(),
+                params.significant_height_m,
+                params.significant_height_m * 0.02)
+        << sea_state_name(state);
+    EXPECT_NEAR(spectrum->peak_frequency_hz(), params.peak_frequency_hz,
+                1e-12);
+  }
+}
+
+TEST(SeaStateTest, RougherMeansTallerAndSlower) {
+  const auto calm = sea_state_params(SeaState::kCalm);
+  const auto moderate = sea_state_params(SeaState::kModerate);
+  const auto rough = sea_state_params(SeaState::kRough);
+  EXPECT_LT(calm.significant_height_m, moderate.significant_height_m);
+  EXPECT_LT(moderate.significant_height_m, rough.significant_height_m);
+  EXPECT_GT(calm.peak_frequency_hz, moderate.peak_frequency_hz);
+  EXPECT_GT(moderate.peak_frequency_hz, rough.peak_frequency_hz);
+}
+
+// ---------------------------------------------------------------- field
+
+TEST(WaveFieldTest, ElevationVarianceMatchesSpectrumEnergy) {
+  const auto spectrum = make_sea_spectrum(SeaState::kModerate);
+  WaveFieldConfig cfg;
+  cfg.num_components = 256;
+  const WaveField field(*spectrum, cfg);
+  // Time-average variance at a fixed point vs the theoretical sum A^2/2.
+  util::RunningStats stats;
+  for (double t = 0.0; t < 2000.0; t += 0.25) {
+    stats.add(field.elevation({0.0, 0.0}, t));
+  }
+  EXPECT_NEAR(stats.variance(), field.elevation_variance(),
+              field.elevation_variance() * 0.25);
+}
+
+TEST(WaveFieldTest, SignificantHeightReproduced) {
+  const auto spectrum = make_sea_spectrum(SeaState::kModerate);
+  WaveFieldConfig cfg;
+  cfg.num_components = 256;
+  const WaveField field(*spectrum, cfg);
+  const double hs_field = 4.0 * std::sqrt(field.elevation_variance());
+  EXPECT_NEAR(hs_field, 0.8, 0.12);
+}
+
+TEST(WaveFieldTest, DeterministicForSameSeed) {
+  const auto spectrum = make_sea_spectrum(SeaState::kCalm);
+  WaveFieldConfig cfg;
+  cfg.seed = 77;
+  const WaveField a(*spectrum, cfg);
+  const WaveField b(*spectrum, cfg);
+  for (double t : {0.0, 1.5, 100.0}) {
+    EXPECT_EQ(a.elevation({3.0, 4.0}, t), b.elevation({3.0, 4.0}, t));
+  }
+}
+
+TEST(WaveFieldTest, DifferentSeedsDiffer) {
+  const auto spectrum = make_sea_spectrum(SeaState::kCalm);
+  WaveFieldConfig cfg_a;
+  cfg_a.seed = 1;
+  WaveFieldConfig cfg_b;
+  cfg_b.seed = 2;
+  const WaveField a(*spectrum, cfg_a);
+  const WaveField b(*spectrum, cfg_b);
+  EXPECT_NE(a.elevation({0, 0}, 10.0), b.elevation({0, 0}, 10.0));
+}
+
+TEST(WaveFieldTest, DeepWaterDispersionHolds) {
+  const auto spectrum = make_sea_spectrum(SeaState::kCalm);
+  const WaveField field(*spectrum, {});
+  for (const auto& c : field.components()) {
+    EXPECT_NEAR(c.wavenumber, c.omega * c.omega / util::kGravity, 1e-12);
+  }
+}
+
+TEST(WaveFieldTest, VerticalAccelerationMatchesSecondDerivative) {
+  const auto spectrum = make_sea_spectrum(SeaState::kModerate);
+  const WaveField field(*spectrum, {});
+  const util::Vec2 p{10.0, -5.0};
+  const double dt = 1e-3;
+  for (double t : {5.0, 42.0, 99.5}) {
+    const double numeric =
+        (field.elevation(p, t + dt) - 2.0 * field.elevation(p, t) +
+         field.elevation(p, t - dt)) /
+        (dt * dt);
+    EXPECT_NEAR(field.vertical_acceleration(p, t), numeric, 0.05);
+  }
+}
+
+TEST(WaveFieldTest, AccelerationStructMatchesScalarPath) {
+  const auto spectrum = make_sea_spectrum(SeaState::kModerate);
+  const WaveField field(*spectrum, {});
+  const util::Vec2 p{1.0, 2.0};
+  for (double t : {0.0, 7.7, 31.4}) {
+    EXPECT_NEAR(field.acceleration(p, t).az, field.vertical_acceleration(p, t),
+                1e-12);
+  }
+}
+
+TEST(WaveFieldTest, SpatialDecorrelationWithDistance) {
+  // Nearby points see nearly identical elevation; distant points diverge.
+  const auto spectrum = make_sea_spectrum(SeaState::kModerate);
+  WaveFieldConfig cfg;
+  cfg.num_components = 256;
+  const WaveField field(*spectrum, cfg);
+  double close_err = 0.0, far_err = 0.0, scale = 0.0;
+  for (double t = 0.0; t < 400.0; t += 0.5) {
+    const double base = field.elevation({0, 0}, t);
+    close_err += std::abs(field.elevation({0.2, 0}, t) - base);
+    far_err += std::abs(field.elevation({500.0, 0}, t) - base);
+    scale += std::abs(base);
+  }
+  // 0.2 m apart: nearly identical (only the ~3 Hz chop, wavelength
+  // ~0.17 m, decorrelates). 500 m apart: substantially different.
+  EXPECT_LT(close_err, 0.3 * scale);
+  EXPECT_GT(far_err, 0.5 * scale);
+}
+
+TEST(WaveFieldTest, SynthesizedPsdPeaksNearSpectrumPeak) {
+  const auto spectrum = make_sea_spectrum(SeaState::kModerate);
+  WaveFieldConfig cfg;
+  cfg.num_components = 256;
+  const WaveField field(*spectrum, cfg);
+  std::vector<double> record;
+  const double fs = 10.0;
+  for (double t = 0.0; t < 3000.0; t += 1.0 / fs) {
+    record.push_back(field.elevation({0, 0}, t));
+  }
+  dsp::WelchConfig wcfg;
+  wcfg.segment_size = 2048;
+  wcfg.overlap = 1024;
+  wcfg.sample_rate_hz = fs;
+  const auto psd = dsp::welch_psd(record, wcfg);
+  EXPECT_NEAR(psd.peak_frequency_hz(), spectrum->peak_frequency_hz(), 0.06);
+}
+
+TEST(SpreadingTest, ZeroExponentIsUniform) {
+  util::Rng rng(5);
+  util::RunningStats stats;
+  for (int i = 0; i < 20000; ++i) {
+    const double theta = sample_spreading_offset(rng, 0.0);
+    EXPECT_GE(theta, -std::numbers::pi / 2);
+    EXPECT_LE(theta, std::numbers::pi / 2);
+    stats.add(theta);
+  }
+  EXPECT_NEAR(stats.mean(), 0.0, 0.03);
+  // Uniform variance on (-pi/2, pi/2) = pi^2/12.
+  EXPECT_NEAR(stats.variance(), std::numbers::pi * std::numbers::pi / 12.0,
+              0.1);
+}
+
+TEST(SpreadingTest, LargeExponentConcentrates) {
+  util::Rng rng(6);
+  util::RunningStats narrow, wide;
+  for (int i = 0; i < 5000; ++i) {
+    narrow.add(sample_spreading_offset(rng, 30.0));
+    wide.add(sample_spreading_offset(rng, 2.0));
+  }
+  EXPECT_LT(narrow.stddev(), wide.stddev() * 0.6);
+}
+
+TEST(WaveFieldTest, RejectsBadConfig) {
+  const auto spectrum = make_sea_spectrum(SeaState::kCalm);
+  WaveFieldConfig zero;
+  zero.num_components = 0;
+  EXPECT_THROW(WaveField(*spectrum, zero), util::InvalidArgument);
+  WaveFieldConfig inverted;
+  inverted.min_frequency_hz = 2.0;
+  inverted.max_frequency_hz = 1.0;
+  EXPECT_THROW(WaveField(*spectrum, inverted), util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace sid::ocean

@@ -1,0 +1,411 @@
+// Tests for the ship-wake substrate: Kelvin geometry, Froude relations,
+// decay laws, ship tracks and wave-train synthesis.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "shipwave/decay.h"
+#include "shipwave/kelvin.h"
+#include "shipwave/ship.h"
+#include "shipwave/wave_train.h"
+#include "util/error.h"
+#include "util/units.h"
+
+namespace sid::wake {
+namespace {
+
+constexpr double kTenKnots = 5.14444;
+
+// ---------------------------------------------------------------- kelvin
+
+TEST(KelvinTest, HalfAngleMatchesTheory) {
+  // asin(1/3) = 19.47 deg; the paper rounds to 19 deg 28 min.
+  EXPECT_NEAR(util::rad_to_deg(kelvin_half_angle_rad()), 19.4712, 1e-3);
+  EXPECT_NEAR(util::rad_to_deg(kelvin_half_angle_rad()),
+              util::kKelvinHalfAngleDeg, 0.01);
+}
+
+TEST(KelvinTest, FroudeNumberDefinition) {
+  EXPECT_NEAR(froude_number(5.0, 12.0),
+              5.0 / std::sqrt(util::kGravity * 12.0), 1e-12);
+  EXPECT_THROW(froude_number(-1.0, 12.0), util::InvalidArgument);
+  EXPECT_THROW(froude_number(5.0, 0.0), util::InvalidArgument);
+}
+
+TEST(KelvinTest, PropagationAngleLimits) {
+  // Slow ship (Fd << 1): Theta -> 35.27 deg.
+  EXPECT_NEAR(util::rad_to_deg(wave_propagation_angle_rad(0.1)), 35.27,
+              0.01);
+  // Fd = 1: Theta = 0 (paper Eq. 2).
+  EXPECT_NEAR(wave_propagation_angle_rad(1.0), 0.0, 1e-12);
+  // Monotone decrease in between.
+  EXPECT_GT(wave_propagation_angle_rad(0.5), wave_propagation_angle_rad(0.8));
+}
+
+TEST(KelvinTest, WaveSpeedIsCosineProjection) {
+  const double froude = 0.4;
+  const double expected =
+      kTenKnots * std::cos(wave_propagation_angle_rad(froude));
+  EXPECT_NEAR(wave_speed_mps(kTenKnots, froude), expected, 1e-12);
+  // Wave speed never exceeds ship speed.
+  for (double fd : {0.1, 0.3, 0.6, 0.9}) {
+    EXPECT_LE(wave_speed_mps(kTenKnots, fd), kTenKnots);
+    EXPECT_GT(wave_speed_mps(kTenKnots, fd), 0.0);
+  }
+}
+
+TEST(WakeContainsTest, BehindAndInsideVee) {
+  // Ship at origin heading east: the wake opens to the west.
+  const ShipPose pose{{0.0, 0.0}, 0.0};
+  EXPECT_TRUE(wake_contains(pose, {-10.0, 0.0}));
+  EXPECT_TRUE(wake_contains(pose, {-10.0, 3.0}));   // inside: 3 < 10*tan(19.47)
+  EXPECT_FALSE(wake_contains(pose, {-10.0, 4.0}));  // outside: 4 > 3.53
+  EXPECT_FALSE(wake_contains(pose, {10.0, 0.0}));   // ahead
+  EXPECT_FALSE(wake_contains(pose, {0.0, 1.0}));    // abeam
+}
+
+TEST(WakeContainsTest, RotatesWithHeading) {
+  const ShipPose pose{{0.0, 0.0}, std::numbers::pi / 2};  // heading north
+  EXPECT_TRUE(wake_contains(pose, {0.0, -10.0}));
+  EXPECT_TRUE(wake_contains(pose, {3.0, -10.0}));
+  EXPECT_FALSE(wake_contains(pose, {4.0, -10.0}));
+}
+
+TEST(WakeArrivalTest, MatchesClosedForm) {
+  // Ship along +x from origin at 5 m/s; point at (100, 20).
+  const double t = wake_front_arrival_time({0, 0}, 0.0, 5.0, {100.0, 20.0});
+  const double expected =
+      100.0 / 5.0 + 20.0 / (5.0 * std::tan(kelvin_half_angle_rad()));
+  EXPECT_NEAR(t, expected, 1e-9);
+}
+
+TEST(WakeArrivalTest, SymmetricAcrossTrack) {
+  const double left = wake_front_arrival_time({0, 0}, 0.0, 5.0, {50.0, 10.0});
+  const double right =
+      wake_front_arrival_time({0, 0}, 0.0, 5.0, {50.0, -10.0});
+  EXPECT_NEAR(left, right, 1e-9);
+}
+
+TEST(WakeArrivalTest, FasterShipArrivesEarlier) {
+  const double slow = wake_front_arrival_time({0, 0}, 0.0, 4.0, {100.0, 25.0});
+  const double fast = wake_front_arrival_time({0, 0}, 0.0, 8.0, {100.0, 25.0});
+  EXPECT_LT(fast, slow);
+}
+
+// ---------------------------------------------------------------- ship
+
+TEST(ShipTrackTest, StraightLineKinematics) {
+  ShipTrackConfig cfg;
+  cfg.start = {10.0, 20.0};
+  cfg.heading_rad = 0.0;
+  cfg.speed_mps = 5.0;
+  cfg.start_time_s = 100.0;
+  const ShipTrack track(cfg);
+  const auto p = track.position(110.0);
+  EXPECT_NEAR(p.x, 60.0, 1e-12);
+  EXPECT_NEAR(p.y, 20.0, 1e-12);
+  EXPECT_NEAR(track.pose(110.0).heading_rad, 0.0, 1e-12);
+}
+
+TEST(ShipTrackTest, WanderStaysWithinAmplitude) {
+  ShipTrackConfig cfg;
+  cfg.start = {0.0, 0.0};
+  cfg.heading_rad = 0.0;
+  cfg.speed_mps = 5.0;
+  cfg.wander_amplitude_m = 3.0;
+  const ShipTrack track(cfg);
+  const auto line = track.sailing_line();
+  for (double t = 0.0; t < 300.0; t += 1.0) {
+    EXPECT_LE(line.distance_to(track.position(t)), 3.0 + 1e-9);
+  }
+}
+
+TEST(ShipTrackTest, WanderTiltsInstantaneousHeading) {
+  ShipTrackConfig cfg;
+  cfg.heading_rad = 0.0;
+  cfg.speed_mps = 5.0;
+  cfg.wander_amplitude_m = 5.0;
+  cfg.wander_period_s = 30.0;
+  const ShipTrack track(cfg);
+  // Somewhere over a period the instantaneous heading deviates.
+  double max_dev = 0.0;
+  for (double t = 0.0; t < 30.0; t += 0.5) {
+    max_dev = std::max(max_dev, std::abs(track.pose(t).heading_rad));
+  }
+  EXPECT_GT(max_dev, 0.05);
+}
+
+TEST(ShipTrackTest, FroudeUsesHullLength) {
+  ShipTrackConfig cfg;
+  cfg.speed_mps = kTenKnots;
+  cfg.hull_length_m = 12.0;
+  const ShipTrack track(cfg);
+  EXPECT_NEAR(track.froude(), froude_number(kTenKnots, 12.0), 1e-12);
+}
+
+TEST(ShipTrackTest, DistanceToTrackIsPerpendicular) {
+  ShipTrackConfig cfg;
+  cfg.start = {0.0, 0.0};
+  cfg.heading_rad = std::numbers::pi / 2;  // north
+  const ShipTrack track(cfg);
+  EXPECT_NEAR(track.distance_to_track({25.0, 1000.0}), 25.0, 1e-9);
+}
+
+TEST(ShipTrackTest, RejectsBadConfig) {
+  ShipTrackConfig cfg;
+  cfg.speed_mps = 0.0;
+  EXPECT_THROW(ShipTrack{cfg}, util::InvalidArgument);
+}
+
+// ---------------------------------------------------------------- decay
+
+TEST(DecayTest, CuspFollowsInverseCubeRoot) {
+  const DecayModel decay;
+  const double h25 = decay.cusp_height_m(kTenKnots, 25.0);
+  const double h200 = decay.cusp_height_m(kTenKnots, 200.0);
+  EXPECT_NEAR(h200 / h25, std::pow(200.0 / 25.0, -1.0 / 3.0), 1e-9);
+}
+
+TEST(DecayTest, TransverseFollowsInverseSquareRoot) {
+  const DecayModel decay;
+  const double h25 = decay.transverse_height_m(kTenKnots, 25.0);
+  const double h100 = decay.transverse_height_m(kTenKnots, 100.0);
+  EXPECT_NEAR(h100 / h25, std::pow(100.0 / 25.0, -0.5), 1e-9);
+}
+
+TEST(DecayTest, TransverseDecaysFasterThanCusp) {
+  // §II-B: "transverse waves decay much faster than divergent waves. Only
+  // divergent waves can be observed far from the vessel."
+  const DecayModel decay;
+  const double ratio_near = decay.transverse_height_m(kTenKnots, 10.0) /
+                            decay.cusp_height_m(kTenKnots, 10.0);
+  const double ratio_far = decay.transverse_height_m(kTenKnots, 300.0) /
+                           decay.cusp_height_m(kTenKnots, 300.0);
+  EXPECT_LT(ratio_far, ratio_near);
+}
+
+TEST(DecayTest, CoefficientGrowsWithSpeed) {
+  const DecayModel decay;
+  EXPECT_GT(decay.coefficient_c(8.0), decay.coefficient_c(5.0));
+  // Quadratic in V.
+  EXPECT_NEAR(decay.coefficient_c(10.0) / decay.coefficient_c(5.0), 4.0,
+              1e-9);
+}
+
+TEST(DecayTest, NearFieldFloorPreventsBlowup) {
+  const DecayModel decay;
+  EXPECT_EQ(decay.cusp_height_m(kTenKnots, 0.0),
+            decay.cusp_height_m(kTenKnots, decay.near_field_floor_m));
+}
+
+TEST(DecayTest, CalibratedHeightAtReference) {
+  // wake_coefficient 0.50: a 10-knot boat raises ~0.45 m at 25 m.
+  const DecayModel decay;
+  EXPECT_NEAR(decay.cusp_height_m(kTenKnots, 25.0), 0.46, 0.05);
+}
+
+// ---------------------------------------------------------------- train
+
+ShipTrack make_northbound_track(double speed_mps = kTenKnots,
+                                double start_time = 0.0) {
+  ShipTrackConfig cfg;
+  cfg.start = {0.0, -400.0};
+  cfg.heading_rad = std::numbers::pi / 2;
+  cfg.speed_mps = speed_mps;
+  cfg.start_time_s = start_time;
+  return ShipTrack(cfg);
+}
+
+TEST(WakeTrainTest, ArrivalMatchesAnalyticFront) {
+  const auto track = make_northbound_track();
+  const auto train = make_wake_train(track, {25.0, 0.0});
+  ASSERT_TRUE(train.has_value());
+  const double analytic = track.wake_arrival_time({25.0, 0.0});
+  EXPECT_NEAR(train->params().arrival_time_s, analytic, 0.2);
+}
+
+TEST(WakeTrainTest, CrestHeightMatchesDecayLaw) {
+  const auto track = make_northbound_track();
+  WakeTrainConfig cfg;
+  // Eq. 1 is the *divergent* (cusp) wave height; disable the transverse
+  // tail so the crest measurement isolates the normalized train.
+  cfg.transverse_tail_duration_s = 0.0;
+  const auto train = make_wake_train(track, {25.0, 0.0}, cfg);
+  ASSERT_TRUE(train.has_value());
+  const double expected =
+      cfg.decay.cusp_height_m(track.speed_mps(), 25.0);
+  EXPECT_NEAR(train->params().peak_height_m, expected, 1e-9);
+
+  // The synthesized elevation crest equals half the crest-to-trough
+  // height (amplitude normalization).
+  double crest = 0.0;
+  const auto& p = train->params();
+  for (double t = p.arrival_time_s; t <= p.arrival_time_s + p.duration_s;
+       t += 0.002) {
+    crest = std::max(crest, std::abs(train->elevation(t)));
+  }
+  EXPECT_NEAR(crest, 0.5 * expected, 0.01 * expected);
+}
+
+TEST(WakeTrainTest, InactiveOutsideWindow) {
+  const auto track = make_northbound_track();
+  const auto train = make_wake_train(track, {25.0, 0.0});
+  ASSERT_TRUE(train.has_value());
+  const auto& p = train->params();
+  EXPECT_FALSE(train->active(p.arrival_time_s - 1.0));
+  EXPECT_TRUE(train->active(p.arrival_time_s + p.duration_s / 2));
+  EXPECT_FALSE(train->active(p.arrival_time_s + p.duration_s + 1.0));
+  EXPECT_EQ(train->elevation(p.arrival_time_s - 5.0), 0.0);
+  EXPECT_EQ(train->vertical_acceleration(p.arrival_time_s - 5.0), 0.0);
+}
+
+TEST(WakeTrainTest, CarrierMatchesEq2Dispersion) {
+  const auto track = make_northbound_track();
+  const auto train = make_wake_train(track, {25.0, 0.0});
+  ASSERT_TRUE(train.has_value());
+  const double wv = wave_speed_mps(track.speed_mps(), track.froude());
+  EXPECT_NEAR(train->params().carrier_frequency_hz,
+              util::kGravity / (2.0 * std::numbers::pi * wv), 1e-9);
+}
+
+TEST(WakeTrainTest, FartherPointsGetLowerAndLongerTrains) {
+  const auto track = make_northbound_track();
+  const auto near = make_wake_train(track, {25.0, 0.0});
+  const auto far = make_wake_train(track, {100.0, 0.0});
+  ASSERT_TRUE(near && far);
+  EXPECT_GT(near->params().peak_height_m, far->params().peak_height_m);
+  EXPECT_LT(near->params().duration_s, far->params().duration_s);
+  EXPECT_LT(near->params().arrival_time_s, far->params().arrival_time_s);
+}
+
+TEST(WakeTrainTest, SideSignTracksGeometry) {
+  const auto track = make_northbound_track();
+  const auto left = make_wake_train(track, {-25.0, 0.0});
+  const auto right = make_wake_train(track, {25.0, 0.0});
+  ASSERT_TRUE(left && right);
+  EXPECT_NE(left->params().side, right->params().side);
+}
+
+TEST(WakeTrainTest, NoTrainBeyondArrivalHorizon) {
+  // Point far ahead and far abeam: the front would take ~minutes to get
+  // there, past the configured search horizon.
+  ShipTrackConfig cfg;
+  cfg.start = {0.0, 0.0};
+  cfg.heading_rad = std::numbers::pi / 2;  // north
+  cfg.speed_mps = kTenKnots;
+  const ShipTrack track(cfg);
+  WakeTrainConfig wcfg;
+  wcfg.arrival_horizon_s = 60.0;
+  EXPECT_FALSE(make_wake_train(track, {200.0, 1000.0}, wcfg).has_value());
+  // The same point is reached with a longer horizon.
+  wcfg.arrival_horizon_s = 600.0;
+  EXPECT_TRUE(make_wake_train(track, {200.0, 1000.0}, wcfg).has_value());
+}
+
+TEST(WakeTrainTest, PointAlreadyInWakeGetsImmediateTrain) {
+  // A point inside the V at the track start is treated as disturbed from
+  // t0 (the ship was already sailing before the simulation window).
+  ShipTrackConfig cfg;
+  cfg.start = {0.0, 100.0};
+  cfg.heading_rad = std::numbers::pi / 2;
+  cfg.speed_mps = kTenKnots;
+  cfg.start_time_s = 50.0;
+  const ShipTrack track(cfg);
+  const auto train = make_wake_train(track, {0.0, -100.0});
+  ASSERT_TRUE(train.has_value());
+  EXPECT_NEAR(train->params().arrival_time_s, 50.0, 0.2);
+}
+
+TEST(WakeTrainTest, WanderPerturbsArrivalTime) {
+  ShipTrackConfig cfg;
+  cfg.start = {0.0, -400.0};
+  cfg.heading_rad = std::numbers::pi / 2;
+  cfg.speed_mps = kTenKnots;
+  cfg.wander_amplitude_m = 5.0;
+  cfg.wander_period_s = 40.0;
+  const ShipTrack wandering(cfg);
+  cfg.wander_amplitude_m = 0.0;
+  const ShipTrack straight(cfg);
+  const auto t_wander = make_wake_train(wandering, {25.0, 0.0});
+  const auto t_straight = make_wake_train(straight, {25.0, 0.0});
+  ASSERT_TRUE(t_wander && t_straight);
+  EXPECT_NE(t_wander->params().arrival_time_s,
+            t_straight->params().arrival_time_s);
+  // But not wildly different.
+  EXPECT_NEAR(t_wander->params().arrival_time_s,
+              t_straight->params().arrival_time_s, 5.0);
+}
+
+TEST(WakeTrainTest, FasterShipLaysTallerWake) {
+  // Height grows with V^2 (Eq. 1 coefficient); the *acceleration* does
+  // not grow as fast because the faster ship's divergent waves are
+  // longer (carrier f ~ 1/V).
+  const auto slow = make_wake_train(
+      make_northbound_track(util::knots_to_mps(8.0)), {25.0, 0.0});
+  const auto fast = make_wake_train(
+      make_northbound_track(util::knots_to_mps(16.0)), {25.0, 0.0});
+  ASSERT_TRUE(slow && fast);
+  EXPECT_NEAR(fast->params().peak_height_m / slow->params().peak_height_m,
+              4.0, 0.01);
+  EXPECT_LT(fast->params().carrier_frequency_hz,
+            slow->params().carrier_frequency_hz);
+}
+
+TEST(WakeTrainTest, AccelerationScalesWithWakeCoefficient) {
+  const auto track = make_northbound_track();
+  WakeTrainConfig weak_cfg;
+  weak_cfg.decay.wake_coefficient = 0.25;
+  WakeTrainConfig strong_cfg;
+  strong_cfg.decay.wake_coefficient = 0.75;
+  auto peak_accel = [](const WakeTrain& train) {
+    double peak = 0.0;
+    const auto& p = train.params();
+    for (double t = p.arrival_time_s; t <= p.arrival_time_s + p.duration_s;
+         t += 0.002) {
+      peak = std::max(peak, std::abs(train.vertical_acceleration(t)));
+    }
+    return peak;
+  };
+  const auto weak = make_wake_train(track, {25.0, 0.0}, weak_cfg);
+  const auto strong = make_wake_train(track, {25.0, 0.0}, strong_cfg);
+  ASSERT_TRUE(weak && strong);
+  EXPECT_NEAR(peak_accel(*strong) / peak_accel(*weak), 3.0, 0.05);
+}
+
+TEST(WakeTrainTest, RejectsBadConfig) {
+  const auto track = make_northbound_track();
+  WakeTrainConfig bad;
+  bad.chirp_low = 2.0;
+  bad.chirp_high = 1.0;
+  EXPECT_THROW(make_wake_train(track, {25.0, 0.0}, bad),
+               util::InvalidArgument);
+  WakeTrainConfig zero_dur;
+  zero_dur.base_duration_s = 0.0;
+  EXPECT_THROW(make_wake_train(track, {25.0, 0.0}, zero_dur),
+               util::InvalidArgument);
+}
+
+// -------------------------------------------- parameterized: arrival law
+
+class ArrivalSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(ArrivalSweep, FrontDelayMatchesKelvinGeometry) {
+  const auto [speed_knots, distance] = GetParam();
+  const double v = util::knots_to_mps(speed_knots);
+  // Time between the ship being abeam and the front arriving:
+  // d / (v * tan(theta_k)).
+  const double t_front =
+      wake_front_arrival_time({0, 0}, 0.0, v, {0.0, distance});
+  EXPECT_NEAR(t_front, distance / (v * std::tan(kelvin_half_angle_rad())),
+              1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SpeedsAndDistances, ArrivalSweep,
+    ::testing::Combine(::testing::Values(6.0, 10.0, 16.0, 24.0),
+                       ::testing::Values(12.5, 25.0, 50.0, 100.0)));
+
+}  // namespace
+}  // namespace sid::wake

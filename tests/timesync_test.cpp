@@ -1,0 +1,115 @@
+// Tests for the TPSN-style time synchronization protocol (§IV-A
+// middleware).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+#include "wsn/network.h"
+#include "wsn/timesync.h"
+
+namespace sid::wsn {
+namespace {
+
+NetworkConfig grid_config(std::size_t rows = 5, std::size_t cols = 5) {
+  NetworkConfig cfg;
+  cfg.rows = rows;
+  cfg.cols = cols;
+  // Deterministically bad clocks so sync has something to fix.
+  cfg.clock.sync_error_stddev_s = 0.05;
+  cfg.clock.drift_ppm_stddev = 0.0;
+  return cfg;
+}
+
+TEST(TimeSyncTest, EstimatesRecoverTrueOffsets) {
+  Network net(grid_config());
+  TimeSyncConfig cfg;
+  cfg.rounds = 8;
+  const auto result = run_time_sync(net, cfg, 100.0);
+  ASSERT_EQ(result.estimated_offset_s.size(), net.node_count());
+  EXPECT_EQ(result.unreachable, 0u);
+  // The raw clock disagreement is ~50 ms sigma (70 ms pairwise); after
+  // sync the residuals shrink to the radio-jitter floor.
+  EXPECT_LT(result.rms_residual_s(), 0.03);
+  EXPECT_EQ(result.residual_s[0], 0.0);  // root is its own reference
+  EXPECT_EQ(result.depth[0], 0u);
+}
+
+TEST(TimeSyncTest, MoreRoundsReduceResidual) {
+  // Jitter averages down ~ 1/sqrt(rounds); compare 1 vs 16 rounds over a
+  // few network seeds.
+  double rms1 = 0.0, rms16 = 0.0;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    auto cfg = grid_config();
+    cfg.seed = seed;
+    {
+      Network net(cfg);
+      TimeSyncConfig sync_cfg;
+      sync_cfg.rounds = 1;
+      rms1 += run_time_sync(net, sync_cfg, 50.0).rms_residual_s();
+    }
+    {
+      Network net(cfg);
+      TimeSyncConfig sync_cfg;
+      sync_cfg.rounds = 16;
+      rms16 += run_time_sync(net, sync_cfg, 50.0).rms_residual_s();
+    }
+  }
+  EXPECT_LT(rms16, rms1);
+}
+
+TEST(TimeSyncTest, ResidualGrowsWithDepth) {
+  NetworkConfig cfg = grid_config(1, 12);  // a 12-node line: depth up to 11
+  Network net(cfg);
+  TimeSyncConfig sync_cfg;
+  sync_cfg.rounds = 2;
+  const auto result = run_time_sync(net, sync_cfg, 10.0);
+  // Compare mean |residual| of the near half vs the far half.
+  double near = 0.0, far = 0.0;
+  std::size_t n_near = 0, n_far = 0;
+  for (std::size_t i = 0; i < net.node_count(); ++i) {
+    if (result.depth[i] == std::numeric_limits<std::size_t>::max()) continue;
+    if (result.depth[i] <= 2) {
+      near += std::abs(result.residual_s[i]);
+      ++n_near;
+    } else if (result.depth[i] >= 4) {
+      far += std::abs(result.residual_s[i]);
+      ++n_far;
+    }
+  }
+  ASSERT_GT(n_near, 0u);
+  ASSERT_GT(n_far, 0u);
+  EXPECT_LT(near / static_cast<double>(n_near),
+            far / static_cast<double>(n_far) + 0.02);
+}
+
+TEST(TimeSyncTest, DepthMatchesBfs) {
+  Network net(grid_config(3, 3));
+  const auto result = run_time_sync(net, TimeSyncConfig{}, 0.0);
+  // Root (0,0); its radio reaches the diagonal, so (1,1) is depth 1 and
+  // (2,2) is depth 2.
+  EXPECT_EQ(result.depth[net.id_at(0, 0)], 0u);
+  EXPECT_EQ(result.depth[net.id_at(1, 1)], 1u);
+  EXPECT_EQ(result.depth[net.id_at(2, 2)], 2u);
+}
+
+TEST(TimeSyncTest, SyncTrafficCostsEnergy) {
+  Network net(grid_config());
+  const double before = net.node(1).energy.spent_mj();
+  run_time_sync(net, TimeSyncConfig{}, 0.0);
+  EXPECT_GT(net.node(1).energy.spent_mj(), before);
+}
+
+TEST(TimeSyncTest, BadConfigThrows) {
+  Network net(grid_config());
+  TimeSyncConfig cfg;
+  cfg.root = 10000;
+  EXPECT_THROW(run_time_sync(net, cfg, 0.0), util::InvalidArgument);
+  cfg = {};
+  cfg.rounds = 0;
+  EXPECT_THROW(run_time_sync(net, cfg, 0.0), util::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace sid::wsn

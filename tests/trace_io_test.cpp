@@ -1,0 +1,153 @@
+// Tests for SensorTrace serialization (CSV and SIDB binary).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <numbers>
+
+#include "ocean/wave_field.h"
+#include "ocean/wave_spectrum.h"
+#include "sensing/trace.h"
+#include "sensing/trace_io.h"
+#include "shipwave/ship.h"
+#include "shipwave/wave_train.h"
+#include "util/error.h"
+#include "util/units.h"
+
+namespace sid::sense {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TraceIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("sid_trace_io_" + std::to_string(::getpid()));
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  static SensorTrace make_trace(bool with_wake) {
+    const auto spectrum = ocean::make_sea_spectrum(ocean::SeaState::kCalm);
+    ocean::WaveFieldConfig cfg;
+    cfg.seed = 17;
+    const ocean::WaveField field(*spectrum, cfg);
+    TraceConfig trace_cfg;
+    trace_cfg.duration_s = 20.0;
+    trace_cfg.start_time_s = 5.0;
+    trace_cfg.buoy.anchor = {25.0, 0.0};
+    std::vector<wake::WakeTrain> trains;
+    if (with_wake) {
+      wake::ShipTrackConfig ship;
+      ship.start = {0.0, -50.0};
+      ship.heading_rad = std::numbers::pi / 2;
+      ship.speed_mps = util::knots_to_mps(10.0);
+      if (auto train =
+              wake::make_wake_train(wake::ShipTrack(ship), {25.0, 0.0})) {
+        trains.push_back(*train);
+      }
+    }
+    return generate_trace(field, trains, trace_cfg);
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(TraceIoTest, BinaryRoundTripIsExact) {
+  const auto original = make_trace(true);
+  write_trace_binary(original, path("trace.sidb"));
+  const auto loaded = read_trace_binary(path("trace.sidb"));
+
+  EXPECT_EQ(loaded.size(), original.size());
+  EXPECT_EQ(loaded.sample_rate_hz, original.sample_rate_hz);
+  EXPECT_EQ(loaded.start_time_s, original.start_time_s);
+  ASSERT_EQ(loaded.wake_intervals.size(), original.wake_intervals.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    // ADC counts are small integers: float32 is lossless.
+    EXPECT_EQ(loaded.x[i], original.x[i]);
+    EXPECT_EQ(loaded.y[i], original.y[i]);
+    EXPECT_EQ(loaded.z[i], original.z[i]);
+  }
+  for (std::size_t i = 0; i < original.wake_intervals.size(); ++i) {
+    EXPECT_EQ(loaded.wake_intervals[i], original.wake_intervals[i]);
+  }
+}
+
+TEST_F(TraceIoTest, CsvRoundTripPreservesSignal) {
+  const auto original = make_trace(true);
+  write_trace_csv(original, path("trace.csv"));
+  const auto loaded = read_trace_csv(path("trace.csv"));
+
+  ASSERT_EQ(loaded.size(), original.size());
+  EXPECT_NEAR(loaded.sample_rate_hz, original.sample_rate_hz, 1e-6);
+  EXPECT_NEAR(loaded.start_time_s, original.start_time_s, 1e-9);
+  for (std::size_t i = 0; i < original.size(); i += 37) {
+    EXPECT_NEAR(loaded.z[i], original.z[i], 1e-6);
+  }
+  // Wake flags reconstruct intervals covering the same samples.
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded.wake_active_at(i), original.wake_active_at(i))
+        << "sample " << i;
+  }
+}
+
+TEST_F(TraceIoTest, CsvWithoutWakeColumn) {
+  const auto original = make_trace(false);
+  write_trace_csv(original, path("plain.csv"));
+  const auto loaded = read_trace_csv(path("plain.csv"));
+  EXPECT_EQ(loaded.size(), original.size());
+  EXPECT_TRUE(loaded.wake_intervals.empty());
+}
+
+TEST_F(TraceIoTest, LoadedTraceDrivesDetector) {
+  // The serialization path must feed cleanly into the detector API.
+  const auto original = make_trace(true);
+  write_trace_binary(original, path("d.sidb"));
+  const auto loaded = read_trace_binary(path("d.sidb"));
+  EXPECT_EQ(loaded.z_centered().size(), loaded.size());
+  EXPECT_EQ(loaded.duration_s(), original.duration_s());
+}
+
+TEST_F(TraceIoTest, RejectsMissingFile) {
+  EXPECT_THROW(read_trace_csv(path("nope.csv")), util::Error);
+  EXPECT_THROW(read_trace_binary(path("nope.sidb")), util::Error);
+}
+
+TEST_F(TraceIoTest, RejectsCorruptMagic) {
+  std::ofstream out(path("bad.sidb"), std::ios::binary);
+  out << "JUNKJUNKJUNK";
+  out.close();
+  EXPECT_THROW(read_trace_binary(path("bad.sidb")), util::Error);
+}
+
+TEST_F(TraceIoTest, RejectsBadHeaderCsv) {
+  std::ofstream out(path("bad.csv"));
+  out << "a,b,c\n1,2,3\n";
+  out.close();
+  EXPECT_THROW(read_trace_csv(path("bad.csv")), util::Error);
+}
+
+TEST_F(TraceIoTest, RejectsNonUniformSampling) {
+  std::ofstream out(path("jitter.csv"));
+  out << "t,x,y,z\n0,0,0,1024\n0.02,0,0,1024\n0.06,0,0,1024\n";
+  out.close();
+  EXPECT_THROW(read_trace_csv(path("jitter.csv")), util::Error);
+}
+
+TEST_F(TraceIoTest, RejectsTruncatedBinary) {
+  const auto original = make_trace(false);
+  write_trace_binary(original, path("t.sidb"));
+  // Truncate the file to half.
+  const auto full = fs::file_size(path("t.sidb"));
+  fs::resize_file(path("t.sidb"), full / 2);
+  EXPECT_THROW(read_trace_binary(path("t.sidb")), util::Error);
+}
+
+}  // namespace
+}  // namespace sid::sense

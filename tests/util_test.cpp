@@ -1,0 +1,378 @@
+// Tests for the util library: RNG determinism and distributions, unit
+// conversions, geometry, statistics, ring buffer, table emission.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/geometry.h"
+#include "util/ring_buffer.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace sid::util {
+namespace {
+
+// ---------------------------------------------------------------- Rng
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, StreamsAreIndependent) {
+  Rng a(7, 0), b(7, 1);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntUnbiasedMeanAndRange) {
+  Rng rng(5);
+  double sum = 0.0;
+  constexpr int kTrials = 60000;
+  for (int i = 0; i < kTrials; ++i) {
+    const auto v = rng.uniform_int(10);
+    ASSERT_LT(v, 10u);
+    sum += static_cast<double>(v);
+  }
+  EXPECT_NEAR(sum / kTrials, 4.5, 0.05);
+}
+
+TEST(RngTest, UniformIntRejectsZero) {
+  Rng rng(6);
+  EXPECT_THROW(rng.uniform_int(0), InvalidArgument);
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(8);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.normal());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.02);
+}
+
+TEST(RngTest, NormalWithParamsShiftsAndScales) {
+  Rng rng(9);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.add(rng.normal(5.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 5.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng(10);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.add(rng.exponential(4.0));
+  EXPECT_NEAR(stats.mean(), 0.25, 0.01);
+}
+
+TEST(RngTest, ExponentialRejectsNonPositiveRate) {
+  Rng rng(11);
+  EXPECT_THROW(rng.exponential(0.0), InvalidArgument);
+  EXPECT_THROW(rng.exponential(-1.0), InvalidArgument);
+}
+
+TEST(RngTest, BernoulliFrequencyTracksP) {
+  Rng rng(12);
+  int hits = 0;
+  constexpr int kTrials = 50000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kTrials, 0.3, 0.01);
+}
+
+// ---------------------------------------------------------------- units
+
+TEST(UnitsTest, KnotsRoundTrip) {
+  EXPECT_NEAR(knots_to_mps(10.0), 5.14444, 1e-5);
+  EXPECT_NEAR(mps_to_knots(knots_to_mps(16.0)), 16.0, 1e-12);
+}
+
+TEST(UnitsTest, DegreesRoundTrip) {
+  EXPECT_NEAR(deg_to_rad(180.0), std::numbers::pi, 1e-12);
+  EXPECT_NEAR(rad_to_deg(deg_to_rad(35.27)), 35.27, 1e-12);
+}
+
+TEST(UnitsTest, GravityConversions) {
+  EXPECT_NEAR(g_to_mps2(1.0), 9.80665, 1e-9);
+  EXPECT_NEAR(mps2_to_g(9.80665), 1.0, 1e-12);
+}
+
+TEST(UnitsTest, KelvinAngleConstant) {
+  // 19 deg 28 min in degrees.
+  EXPECT_NEAR(kKelvinHalfAngleDeg, 19.4667, 1e-3);
+  EXPECT_NEAR(kKelvinCuspCrestAngleDeg, 54.7333, 1e-3);
+}
+
+TEST(UnitsTest, WrapAngleIntoPrincipalRange) {
+  EXPECT_NEAR(wrap_angle(3.0 * std::numbers::pi), std::numbers::pi, 1e-12);
+  EXPECT_NEAR(wrap_angle(-3.0 * std::numbers::pi), std::numbers::pi, 1e-12);
+  EXPECT_NEAR(wrap_angle(0.5), 0.5, 1e-12);
+}
+
+TEST(UnitsTest, WrapAnglePositive) {
+  EXPECT_NEAR(wrap_angle_positive(-0.5), 2.0 * std::numbers::pi - 0.5, 1e-12);
+  EXPECT_NEAR(wrap_angle_positive(7.0), 7.0 - 2.0 * std::numbers::pi, 1e-12);
+}
+
+// ---------------------------------------------------------------- geometry
+
+TEST(GeometryTest, VectorArithmetic) {
+  const Vec2 a(1.0, 2.0), b(3.0, -1.0);
+  EXPECT_EQ(a + b, Vec2(4.0, 1.0));
+  EXPECT_EQ(a - b, Vec2(-2.0, 3.0));
+  EXPECT_EQ(a * 2.0, Vec2(2.0, 4.0));
+  EXPECT_EQ(2.0 * a, Vec2(2.0, 4.0));
+  EXPECT_NEAR(a.dot(b), 1.0, 1e-12);
+  EXPECT_NEAR(a.cross(b), -7.0, 1e-12);
+}
+
+TEST(GeometryTest, NormAndNormalize) {
+  const Vec2 v(3.0, 4.0);
+  EXPECT_NEAR(v.norm(), 5.0, 1e-12);
+  EXPECT_NEAR(v.normalized().norm(), 1.0, 1e-12);
+  EXPECT_EQ(Vec2(0, 0).normalized(), Vec2(0, 0));
+}
+
+TEST(GeometryTest, HeadingAndFromHeading) {
+  const Vec2 east = Vec2::from_heading(0.0);
+  EXPECT_NEAR(east.x, 1.0, 1e-12);
+  const Vec2 north = Vec2::from_heading(std::numbers::pi / 2);
+  EXPECT_NEAR(north.y, 1.0, 1e-12);
+  EXPECT_NEAR(Vec2(0.0, 2.0).heading(), std::numbers::pi / 2, 1e-12);
+}
+
+TEST(GeometryTest, RotationPreservesNorm) {
+  const Vec2 v(2.0, 1.0);
+  const Vec2 r = v.rotated(1.234);
+  EXPECT_NEAR(r.norm(), v.norm(), 1e-12);
+  // Rotation by 90 degrees equals perp().
+  const Vec2 p = v.rotated(std::numbers::pi / 2);
+  EXPECT_NEAR(p.x, v.perp().x, 1e-12);
+  EXPECT_NEAR(p.y, v.perp().y, 1e-12);
+}
+
+TEST(GeometryTest, LineDistanceSigned) {
+  // Line along +x through origin; (0, 3) is on the left.
+  const Line2 line = Line2::through({0, 0}, 0.0);
+  EXPECT_NEAR(line.signed_distance_to({5.0, 3.0}), 3.0, 1e-12);
+  EXPECT_NEAR(line.signed_distance_to({5.0, -3.0}), -3.0, 1e-12);
+  EXPECT_NEAR(line.distance_to({5.0, -3.0}), 3.0, 1e-12);
+}
+
+TEST(GeometryTest, LineAlongTrackAndProject) {
+  const Line2 line = Line2::through({1.0, 1.0}, std::numbers::pi / 4);
+  const Vec2 q(1.0 + std::sqrt(2.0), 1.0);
+  EXPECT_NEAR(line.along_track(q), 1.0, 1e-12);
+  const Vec2 proj = line.project(q);
+  EXPECT_NEAR(line.distance_to(proj), 0.0, 1e-9);
+}
+
+// ---------------------------------------------------------------- stats
+
+TEST(RunningStatsTest, MeanVarianceMinMax) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_NEAR(s.mean(), 5.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), 2.0, 1e-12);  // classic example
+  EXPECT_NEAR(s.min(), 2.0, 1e-12);
+  EXPECT_NEAR(s.max(), 9.0, 1e-12);
+}
+
+TEST(RunningStatsTest, EmptyThrowsOnMinMax) {
+  RunningStats s;
+  EXPECT_THROW(s.min(), StateError);
+  EXPECT_THROW(s.max(), StateError);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, SampleVarianceUsesNMinusOne) {
+  RunningStats s;
+  for (double x : {1.0, 2.0, 3.0}) s.add(x);
+  EXPECT_NEAR(s.sample_variance(), 1.0, 1e-12);
+  EXPECT_NEAR(s.variance(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(BatchStatsTest, MatchesRunningStats) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 10.0};
+  const auto batch = compute_batch_stats(xs);
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  EXPECT_NEAR(batch.mean, rs.mean(), 1e-12);
+  EXPECT_NEAR(batch.stddev, rs.stddev(), 1e-12);
+  EXPECT_EQ(batch.count, xs.size());
+}
+
+TEST(ExponentialMeanStdTest, SeedsFromFirstWindow) {
+  ExponentialMeanStd ems(0.99, 0.99);
+  EXPECT_FALSE(ems.seeded());
+  ems.update(10.0, 2.0);
+  EXPECT_TRUE(ems.seeded());
+  EXPECT_NEAR(ems.mean(), 10.0, 1e-12);
+  EXPECT_NEAR(ems.stddev(), 2.0, 1e-12);
+}
+
+TEST(ExponentialMeanStdTest, BlendsWithBeta) {
+  ExponentialMeanStd ems(0.99, 0.95);
+  ems.update(10.0, 2.0);
+  ems.update(20.0, 4.0);
+  // Eq. 5: m' = 0.99*10 + 20*0.01 = 10.1; d' = 0.95*2 + 4*0.05 = 2.1
+  EXPECT_NEAR(ems.mean(), 10.1, 1e-12);
+  EXPECT_NEAR(ems.stddev(), 2.1, 1e-12);
+}
+
+TEST(ExponentialMeanStdTest, ConvergesToStationaryInput) {
+  ExponentialMeanStd ems(0.9, 0.9);
+  ems.update(0.0, 1.0);
+  for (int i = 0; i < 200; ++i) ems.update(7.0, 3.0);
+  EXPECT_NEAR(ems.mean(), 7.0, 1e-6);
+  EXPECT_NEAR(ems.stddev(), 3.0, 1e-6);
+}
+
+TEST(ExponentialMeanStdTest, RejectsBadBeta) {
+  EXPECT_THROW(ExponentialMeanStd(1.0, 0.5), InvalidArgument);
+  EXPECT_THROW(ExponentialMeanStd(0.5, -0.1), InvalidArgument);
+}
+
+TEST(ExponentialMeanStdTest, ThrowsBeforeSeeding) {
+  ExponentialMeanStd ems;
+  EXPECT_THROW(ems.mean(), StateError);
+  EXPECT_THROW(ems.stddev(), StateError);
+}
+
+TEST(EwmaTest, TracksInput) {
+  Ewma ewma(0.5);
+  EXPECT_TRUE(ewma.empty());
+  ewma.add(4.0);
+  EXPECT_NEAR(ewma.value(), 4.0, 1e-12);
+  ewma.add(8.0);
+  EXPECT_NEAR(ewma.value(), 6.0, 1e-12);
+}
+
+TEST(SpanStatsTest, MeanStdQuantileRms) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_NEAR(mean_of(xs), 2.5, 1e-12);
+  EXPECT_NEAR(stddev_of(xs), std::sqrt(1.25), 1e-12);
+  EXPECT_NEAR(quantile_of(xs, 0.0), 1.0, 1e-12);
+  EXPECT_NEAR(quantile_of(xs, 1.0), 4.0, 1e-12);
+  EXPECT_NEAR(quantile_of(xs, 0.5), 2.5, 1e-12);
+  EXPECT_NEAR(rms_of(xs), std::sqrt(7.5), 1e-12);
+  EXPECT_EQ(mean_of({}), 0.0);
+  EXPECT_EQ(rms_of({}), 0.0);
+}
+
+TEST(LisTest, OrderedSequencesScoreFullLength) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_EQ(longest_nondecreasing_subsequence(xs), 5u);
+  EXPECT_EQ(longest_increasing_subsequence(xs), 5u);
+}
+
+TEST(LisTest, ReversedSequenceScoresOne) {
+  const std::vector<double> xs{5.0, 4.0, 3.0, 2.0, 1.0};
+  EXPECT_EQ(longest_nondecreasing_subsequence(xs), 1u);
+}
+
+TEST(LisTest, TiesCountForNondecreasingOnly) {
+  const std::vector<double> xs{2.0, 2.0, 2.0};
+  EXPECT_EQ(longest_nondecreasing_subsequence(xs), 3u);
+  EXPECT_EQ(longest_increasing_subsequence(xs), 1u);
+}
+
+TEST(LisTest, ClassicMixedCase) {
+  const std::vector<double> xs{3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0};
+  EXPECT_EQ(longest_increasing_subsequence(xs), 4u);  // 1,4,5,9 or 1,4,5,6
+}
+
+// ---------------------------------------------------------------- ring
+
+TEST(RingBufferTest, PushAndEvict) {
+  RingBuffer<int> rb(3);
+  EXPECT_TRUE(rb.empty());
+  rb.push(1);
+  rb.push(2);
+  rb.push(3);
+  EXPECT_TRUE(rb.full());
+  rb.push(4);
+  EXPECT_EQ(rb.oldest(), 2);
+  EXPECT_EQ(rb.newest(), 4);
+  EXPECT_EQ(rb.to_vector(), (std::vector<int>{2, 3, 4}));
+}
+
+TEST(RingBufferTest, AtOutOfRangeThrows) {
+  RingBuffer<int> rb(2);
+  rb.push(1);
+  EXPECT_THROW(rb.at(1), InvalidArgument);
+  EXPECT_THROW(RingBuffer<int>(0), InvalidArgument);
+}
+
+TEST(RingBufferTest, ClearResets) {
+  RingBuffer<int> rb(2);
+  rb.push(1);
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+  EXPECT_THROW(rb.newest(), StateError);
+}
+
+// ---------------------------------------------------------------- table
+
+TEST(TablePrinterTest, AlignedOutputContainsCells) {
+  TablePrinter table({"name", "value"});
+  table.add_row({"alpha", TablePrinter::num(1.2345, 2)});
+  std::ostringstream os;
+  table.print(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("1.23"), std::string::npos);
+  EXPECT_NE(text.find("----"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ArityMismatchThrows) {
+  TablePrinter table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), InvalidArgument);
+}
+
+TEST(TablePrinterTest, NumFormatsDecimals) {
+  EXPECT_EQ(TablePrinter::num(3.14159, 3), "3.142");
+  EXPECT_EQ(TablePrinter::num(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace sid::util
