@@ -1,0 +1,216 @@
+// Robustness sweep: detection rate and sink latency as the fault load
+// grows (node crash-stop failures, Gilbert–Elliott burst loss).
+//
+// Emits JSON: two curves of sink-level detection rate and median
+// first-intrusion sink latency, one vs the fraction of failed nodes and
+// one vs the burst-loss severity. The graceful-degradation machinery
+// (member fallback on head death, bounded decision retry, duplicate
+// suppression) is enabled, so the curves measure how the whole pipeline
+// degrades rather than how fast it collapses.
+//
+// A monotone-sanity check (fault-free detection rate must be at least the
+// heaviest-fault rate) makes the binary usable as a smoke test:
+//
+//   robustness_sweep [--smoke]
+//
+// --smoke runs a tiny grid with few trials (wired into ctest).
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/sid_system.h"
+#include "util/rng.h"
+#include "wsn/faults.h"
+
+namespace {
+
+using namespace sid;
+
+struct SweepSettings {
+  std::size_t rows = 6;
+  std::size_t cols = 6;
+  double duration_s = 220.0;
+  int trials = 3;
+  std::vector<double> failure_fractions{0.0, 0.1, 0.2, 0.3, 0.5};
+  std::vector<double> burst_loss_bad{0.0, 0.3, 0.6, 0.9};
+};
+
+struct SweepPoint {
+  double x = 0.0;            ///< failure fraction or burst loss_bad
+  int detections = 0;
+  int trials = 0;
+  std::optional<double> median_latency_s;
+  double detection_rate() const {
+    return trials == 0 ? 0.0
+                       : static_cast<double>(detections) /
+                             static_cast<double>(trials);
+  }
+};
+
+core::SidSystemConfig base_config(const SweepSettings& s,
+                                  std::uint64_t seed) {
+  core::SidSystemConfig cfg;
+  cfg.network.rows = s.rows;
+  cfg.network.cols = s.cols;
+  cfg.network.seed = seed;
+  cfg.scenario.seed = seed * 17;
+  cfg.scenario.trace.duration_s = s.duration_s;
+  cfg.scenario.detector.threshold_multiplier_m = 2.0;
+  cfg.scenario.detector.anomaly_frequency_threshold = 0.5;
+  cfg.cluster.collection_window_s = 70.0;
+  cfg.cluster.min_reports = 4;
+  cfg.resilience.max_decision_retries = 2;
+  return cfg;
+}
+
+/// Crash-stops `fraction` of the nodes (never the sink at grid (0, 0)) at
+/// staggered mid-run times, drawn deterministically from `seed`.
+void schedule_failures(core::SidSystemConfig& cfg, double fraction,
+                       std::uint64_t seed) {
+  const std::size_t n = cfg.network.rows * cfg.network.cols;
+  const auto kill_count =
+      static_cast<std::size_t>(fraction * static_cast<double>(n) + 0.5);
+  if (kill_count == 0) return;
+  std::vector<wsn::NodeId> candidates;
+  for (wsn::NodeId id = 1; id < n; ++id) candidates.push_back(id);
+  util::Rng rng(util::derive_seed(seed, 0xfa11));
+  for (std::size_t i = 0; i < kill_count && !candidates.empty(); ++i) {
+    const auto idx =
+        static_cast<std::size_t>(rng.uniform_int(candidates.size()));
+    const double when = rng.uniform(0.4, 0.8) * cfg.scenario.trace.duration_s;
+    cfg.network.faults.crashes.push_back({candidates[idx], when});
+    candidates.erase(candidates.begin() + static_cast<std::ptrdiff_t>(idx));
+  }
+}
+
+/// One simulated pass; returns the earliest intrusion decision's sink
+/// arrival time, or nullopt when the intrusion never reached the sink.
+std::optional<double> run_trial(const core::SidSystemConfig& cfg,
+                                int trial) {
+  core::SidSystem system(cfg);
+  const double grid_mid_x =
+      0.5 * static_cast<double>(cfg.network.cols - 1) *
+      cfg.network.spacing_m;
+  const auto ship = bench::crossing_ship(
+      10.0, 86.0 + 2.0 * static_cast<double>(trial % 3), grid_mid_x);
+  const auto result =
+      system.run(std::vector<wake::ShipTrackConfig>{ship});
+  std::optional<double> first;
+  for (const auto& r : result.sink_reports) {
+    if (!r.decision.intrusion) continue;
+    if (!first || r.sink_time_s < *first) first = r.sink_time_s;
+  }
+  return first;
+}
+
+SweepPoint sweep_point(const SweepSettings& s, double x,
+                       const std::function<void(core::SidSystemConfig&,
+                                                std::uint64_t)>& apply) {
+  SweepPoint point;
+  point.x = x;
+  std::vector<double> latencies;
+  for (int trial = 0; trial < s.trials; ++trial) {
+    const auto seed = static_cast<std::uint64_t>(51 + trial);
+    auto cfg = base_config(s, seed);
+    apply(cfg, seed);
+    ++point.trials;
+    if (const auto latency = run_trial(cfg, trial)) {
+      ++point.detections;
+      latencies.push_back(*latency);
+    }
+  }
+  if (!latencies.empty()) {
+    std::sort(latencies.begin(), latencies.end());
+    point.median_latency_s = latencies[latencies.size() / 2];
+  }
+  return point;
+}
+
+void emit_curve_json(const char* name, const char* x_key,
+                     const std::vector<SweepPoint>& curve, bool last) {
+  std::printf("  \"%s\": [\n", name);
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    const auto& p = curve[i];
+    std::printf("    {\"%s\": %.2f, \"detection_rate\": %.3f, "
+                "\"detections\": %d, \"trials\": %d, ",
+                x_key, p.x, p.detection_rate(), p.detections, p.trials);
+    if (p.median_latency_s) {
+      std::printf("\"median_sink_latency_s\": %.2f}", *p.median_latency_s);
+    } else {
+      std::printf("\"median_sink_latency_s\": null}");
+    }
+    std::printf("%s\n", i + 1 < curve.size() ? "," : "");
+  }
+  std::printf("  ]%s\n", last ? "" : ",");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SweepSettings settings;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      // Tiny grid, two sweep points per curve, enough to exercise every
+      // fault path and the monotone check inside a ctest budget.
+      settings.rows = 4;
+      settings.cols = 4;
+      settings.duration_s = 160.0;
+      settings.trials = 1;
+      settings.failure_fractions = {0.0, 0.5};
+      settings.burst_loss_bad = {0.0, 0.9};
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  std::vector<SweepPoint> failure_curve;
+  for (double f : settings.failure_fractions) {
+    failure_curve.push_back(sweep_point(
+        settings, f, [f](core::SidSystemConfig& cfg, std::uint64_t seed) {
+          schedule_failures(cfg, f, seed);
+        }));
+  }
+
+  std::vector<SweepPoint> burst_curve;
+  for (double loss_bad : settings.burst_loss_bad) {
+    burst_curve.push_back(sweep_point(
+        settings, loss_bad,
+        [loss_bad](core::SidSystemConfig& cfg, std::uint64_t) {
+          if (loss_bad <= 0.0) return;
+          wsn::GilbertElliottParams params;
+          params.p_enter_bad = 0.05;
+          params.p_exit_bad = 0.25;
+          params.loss_bad = loss_bad;
+          cfg.network.faults.all_links_burst = params;
+        }));
+  }
+
+  std::printf("{\n");
+  std::printf("  \"grid\": \"%zux%zu\", \"trials_per_point\": %d, "
+              "\"duration_s\": %.0f,\n",
+              settings.rows, settings.cols, settings.trials,
+              settings.duration_s);
+  emit_curve_json("node_failure_curve", "failure_fraction", failure_curve,
+                  false);
+  emit_curve_json("burst_loss_curve", "burst_loss_bad", burst_curve, true);
+  std::printf("}\n");
+
+  // Monotone sanity: adding faults must never *help* detection. (Rates
+  // are noisy at few trials, so only the endpoints are compared.)
+  const auto sane = [](const std::vector<SweepPoint>& curve) {
+    return curve.empty() ||
+           curve.front().detection_rate() >= curve.back().detection_rate();
+  };
+  if (!sane(failure_curve) || !sane(burst_curve)) {
+    std::fprintf(stderr,
+                 "robustness_sweep: detection rate increased with fault "
+                 "load; curve is not monotone-sane\n");
+    return 1;
+  }
+  return 0;
+}

@@ -73,10 +73,11 @@ int main() {
               result.clusters_formed, result.clusters_cancelled);
   std::printf("decisions sent to sink:    %zu\n", result.decisions_sent);
   const auto& net = result.network_stats;
-  std::printf("unicasts: %zu attempted, %zu delivered, %zu dropped "
-              "(%zu hops, %zu bytes)\n",
+  std::printf("unicasts: %zu attempted, %zu delivered, %zu dropped, "
+              "%zu unroutable (%zu hops, %zu bytes)\n",
               net.unicasts_attempted, net.unicasts_delivered,
-              net.unicasts_dropped, net.hops_traversed, net.bytes_sent);
+              net.unicasts_dropped, net.unicasts_unroutable,
+              net.hops_traversed, net.bytes_sent);
   std::printf("floods: %zu (%zu deliveries)\n", net.floods,
               net.flood_deliveries);
   std::printf("total energy spent:        %.1f mJ across %zu nodes\n",

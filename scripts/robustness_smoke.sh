@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Robustness smoke: build with ASan/UBSan and exercise the fault-injection
+# layer end to end — the fault unit/system tests plus the tiny-grid
+# robustness sweep (which self-checks that its detection curve is
+# monotone-sane and exits non-zero otherwise).
+#
+# Usage: scripts/robustness_smoke.sh [build-dir]   (default: build-asan)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build-asan}"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSID_SANITIZE=ON
+cmake --build "${build_dir}" -j \
+  --target faults_test system_test robustness_sweep
+
+"${build_dir}/tests/faults_test"
+"${build_dir}/tests/system_test" \
+  --gtest_filter='SidSystemTest.TwentyPercentNodeFailuresStillReachSinkViaFallback'
+"${build_dir}/bench/robustness_sweep" --smoke
+
+echo "robustness smoke: OK"

@@ -6,6 +6,31 @@
 
 namespace sid::core {
 
+namespace {
+
+/// Translates a wsn-level sensor fault schedule into the sensing-layer
+/// config (the two libraries are independent; core glues them).
+sense::SensorFaultConfig to_sensing_fault(const wsn::SensorFaultSpec& spec) {
+  sense::SensorFaultConfig fault;
+  switch (spec.kind) {
+    case wsn::SensorFaultKind::kStuckAt:
+      fault.mode = sense::SensorFaultMode::kStuckAt;
+      break;
+    case wsn::SensorFaultKind::kGainDrift:
+      fault.mode = sense::SensorFaultMode::kGainDrift;
+      fault.gain_drift_per_s = spec.gain_drift_per_s;
+      break;
+    case wsn::SensorFaultKind::kSaturation:
+      fault.mode = sense::SensorFaultMode::kSaturation;
+      fault.saturation_g = spec.saturation_g;
+      break;
+  }
+  fault.start_s = spec.start_s;
+  return fault;
+}
+
+}  // namespace
+
 std::vector<wsn::DetectionReport> ScenarioRun::all_reports() const {
   std::vector<wsn::DetectionReport> out;
   for (const auto& run : node_runs) {
@@ -61,6 +86,9 @@ ScenarioRun simulate_node_reports(const wsn::Network& network,
     trace_cfg.buoy.anchor = info.anchor;
     trace_cfg.buoy.seed = config.seed * 7919ULL + info.id * 2ULL + 1ULL;
     trace_cfg.accel.seed = config.seed * 104729ULL + info.id * 2ULL;
+    if (const auto spec = network.faults().sensor_fault(info.id)) {
+      trace_cfg.fault = to_sensing_fault(*spec);
+    }
     const auto trace = sense::generate_trace(field, trains, trace_cfg);
 
     NodeDetector detector(config.detector);

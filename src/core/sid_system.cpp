@@ -1,6 +1,7 @@
 #include "core/sid_system.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/error.h"
 #include "util/units.h"
@@ -59,6 +60,50 @@ wsn::NodeId SidSystem::static_head_of(wsn::NodeId id) const {
   return network_.id_at(head_row, head_col);
 }
 
+void SidSystem::track_submission(wsn::NodeId member_id, wsn::NodeId head,
+                                 const wsn::DetectionReport& report) {
+  MemberState& member = members_[member_id];
+  member.submitted.push_back(report);
+  if (member.fallback_check_scheduled) return;
+  member.fallback_check_scheduled = true;
+  const double check_at = std::max(
+      member.membership_expires_s + config_.resilience.head_fallback_grace_s,
+      network_.events().now());
+  network_.events().schedule_at(check_at, [this, member_id, head] {
+    head_fallback_check(member_id, head);
+  });
+}
+
+void SidSystem::head_fallback_check(wsn::NodeId member_id, wsn::NodeId head) {
+  MemberState& member = members_[member_id];
+  member.fallback_check_scheduled = false;
+  std::vector<wsn::DetectionReport> buffered = std::move(member.submitted);
+  member.submitted.clear();
+  const double now = network_.events().now();
+  // The head is alive: it collected the reports and evaluated normally.
+  if (network_.node_operational(head, now)) return;
+  // A member that died in the meantime stays silent.
+  if (!network_.node_operational(member_id, now)) return;
+  // Head death detected (all link-layer acks to it fail): re-submit the
+  // buffered reports to the dead head's static cluster head, so the whole
+  // orphan set pools at one place and a single fallback evaluation can
+  // span enough grid rows to pass the intrusion gates. When that static
+  // head is down as well (or was the dead head itself), go to the sink.
+  wsn::NodeId target = static_head_of(head);
+  if (target == head || !network_.node_operational(target, now)) {
+    target = sink_node_;
+  }
+  for (auto report : buffered) {
+    report.fallback = true;
+    wsn::Message msg;
+    msg.src = member_id;
+    msg.dst = target;
+    msg.payload = report;
+    ++result_.fallback_reports;
+    network_.unicast(msg);
+  }
+}
+
 void SidSystem::on_alarm(wsn::NodeId node, const wsn::DetectionReport& report,
                          double t) {
   ++result_.alarms_raised;
@@ -76,6 +121,7 @@ void SidSystem::on_alarm(wsn::NodeId node, const wsn::DetectionReport& report,
     msg.dst = *member.head;
     msg.payload = report;
     network_.unicast(msg);
+    track_submission(node, *member.head, report);
     return;
   }
 
@@ -110,6 +156,53 @@ void SidSystem::on_alarm(wsn::NodeId node, const wsn::DetectionReport& report,
                                 [this, node] { evaluate_head(node); });
 }
 
+void SidSystem::accept_at_sink(const wsn::ClusterDecision& decision,
+                               double t) {
+  if (!sink_seen_.insert(decision.seq).second) {
+    ++result_.duplicates_suppressed;
+    return;
+  }
+  result_.sink_reports.push_back(SinkReport{decision, t});
+  if (decision.intrusion) {
+    TrackObservation observation;
+    observation.time_s = t;
+    observation.position = decision.estimated_position;
+    if (decision.estimated_speed_mps > 0.0) {
+      observation.speed_mps = decision.estimated_speed_mps;
+      observation.heading_rad = decision.estimated_heading_rad;
+    }
+    tracker_.observe(observation);
+  }
+}
+
+void SidSystem::send_decision(wsn::NodeId from, wsn::NodeId dst,
+                              const wsn::ClusterDecision& decision,
+                              std::size_t attempt) {
+  wsn::Message msg;
+  msg.src = from;
+  msg.dst = dst;
+  msg.payload = decision;
+  const auto outcome = network_.unicast(msg);
+  if (outcome == wsn::UnicastOutcome::kDelivered) return;
+  if (attempt >= config_.resilience.max_decision_retries) {
+    ++result_.decisions_lost;
+    return;
+  }
+  // An unroutable relay (dead static head, partition) will not heal by
+  // itself within the backoff: retry straight toward the sink instead.
+  wsn::NodeId next_dst = dst;
+  if (outcome == wsn::UnicastOutcome::kUnroutable && dst != sink_node_) {
+    next_dst = sink_node_;
+  }
+  const double backoff = config_.resilience.retry_backoff_base_s *
+                         std::pow(2.0, static_cast<double>(attempt));
+  ++result_.decision_retries;
+  network_.events().schedule_after(
+      backoff, [this, from, next_dst, decision, attempt] {
+        send_decision(from, next_dst, decision, attempt + 1);
+      });
+}
+
 void SidSystem::on_deliver(wsn::NodeId receiver, const wsn::Message& msg,
                            double t) {
   if (const auto* invite = std::get_if<wsn::ClusterInvite>(&msg.payload)) {
@@ -122,17 +215,32 @@ void SidSystem::on_deliver(wsn::NodeId receiver, const wsn::Message& msg,
     // A node that alarmed before any cluster existed forwards its pending
     // report now.
     if (member.pending_report) {
+      const wsn::DetectionReport pending = *member.pending_report;
+      member.pending_report.reset();
       wsn::Message report_msg;
       report_msg.src = receiver;
       report_msg.dst = invite->head;
-      report_msg.payload = *member.pending_report;
-      member.pending_report.reset();
+      report_msg.payload = pending;
       network_.unicast(report_msg);
+      track_submission(receiver, invite->head, pending);
     }
     return;
   }
 
   if (const auto* report = std::get_if<wsn::DetectionReport>(&msg.payload)) {
+    if (report->fallback) {
+      // Static-head fallback: collect orphan reports and evaluate them
+      // after a bounded window.
+      FallbackState& state = fallbacks_[receiver];
+      state.reports.push_back(*report);
+      if (!state.scheduled) {
+        state.scheduled = true;
+        network_.events().schedule_after(
+            config_.resilience.fallback_window_s,
+            [this, receiver] { evaluate_fallback(receiver); });
+      }
+      return;
+    }
     auto it = heads_.find(receiver);
     if (it == heads_.end() || it->second.evaluated) return;
     it->second.reports.push_back(*report);
@@ -141,23 +249,10 @@ void SidSystem::on_deliver(wsn::NodeId receiver, const wsn::Message& msg,
 
   if (const auto* decision = std::get_if<wsn::ClusterDecision>(&msg.payload)) {
     if (receiver == sink_node_) {
-      result_.sink_reports.push_back(SinkReport{*decision, t});
-      if (decision->intrusion) {
-        TrackObservation observation;
-        observation.time_s = t;
-        observation.position = decision->estimated_position;
-        if (decision->estimated_speed_mps > 0.0) {
-          observation.speed_mps = decision->estimated_speed_mps;
-          observation.heading_rad = decision->estimated_heading_rad;
-        }
-        tracker_.observe(observation);
-      }
+      accept_at_sink(*decision, t);
     } else {
-      // Static cluster head relays to the sink.
-      wsn::Message relay = msg;
-      relay.src = receiver;
-      relay.dst = sink_node_;
-      network_.unicast(relay);
+      // Static cluster head relays to the sink (with retry/backoff).
+      send_decision(receiver, sink_node_, *decision, 0);
     }
     return;
   }
@@ -167,6 +262,15 @@ void SidSystem::evaluate_head(wsn::NodeId head) {
   auto it = heads_.find(head);
   if (it == heads_.end() || it->second.evaluated) return;
   it->second.evaluated = true;
+  const double now = network_.events().now();
+
+  // A head that died mid-window evaluates nothing; its members detect the
+  // death and fall back to the static head.
+  if (!network_.node_operational(head, now)) {
+    ++result_.clusters_abandoned;
+    members_[head].head.reset();
+    return;
+  }
 
   const ClusterDecisionResult verdict =
       evaluator_.evaluate(it->second.reports);
@@ -178,6 +282,7 @@ void SidSystem::evaluate_head(wsn::NodeId head) {
 
   wsn::ClusterDecision decision;
   decision.head = head;
+  decision.seq = next_seq_++;
   decision.correlation = verdict.correlation.c;
   decision.sweep_consistency = verdict.sweep_consistency;
   decision.report_count = verdict.reports_used;
@@ -194,25 +299,65 @@ void SidSystem::evaluate_head(wsn::NodeId head) {
       network_.local_time(head, network_.events().now());
 
   ++result_.decisions_sent;
-  const wsn::NodeId static_head = static_head_of(head);
-  wsn::Message msg;
-  msg.src = head;
-  msg.dst = static_head == head ? sink_node_ : static_head;
-  msg.payload = decision;
-  network_.unicast(msg);
+  wsn::NodeId target = static_head_of(head);
+  if (target == head || !network_.node_operational(target, now)) {
+    target = sink_node_;
+  }
+  send_decision(head, target, decision, 0);
   members_[head].head.reset();
+}
+
+void SidSystem::evaluate_fallback(wsn::NodeId head) {
+  auto it = fallbacks_.find(head);
+  if (it == fallbacks_.end()) return;
+  const std::vector<wsn::DetectionReport> reports =
+      std::move(it->second.reports);
+  fallbacks_.erase(it);
+  const double now = network_.events().now();
+  if (!network_.node_operational(head, now)) return;  // fallback head died
+
+  const ClusterDecisionResult verdict = evaluator_.evaluate(reports);
+  if (verdict.cancelled) {
+    ++result_.clusters_cancelled;
+    return;
+  }
+
+  wsn::ClusterDecision decision;
+  decision.head = head;
+  decision.seq = next_seq_++;
+  decision.correlation = verdict.correlation.c;
+  decision.sweep_consistency = verdict.sweep_consistency;
+  decision.report_count = verdict.reports_used;
+  decision.intrusion = verdict.intrusion;
+  if (verdict.speed) {
+    decision.estimated_speed_mps = verdict.speed->speed_mps;
+    decision.estimated_heading_rad = verdict.speed->heading_rad;
+  }
+  if (const auto observation =
+          to_observation(verdict, reports, now)) {
+    decision.estimated_position = observation->position;
+  }
+  decision.decision_local_time_s = network_.local_time(head, now);
+
+  ++result_.decisions_sent;
+  ++result_.fallback_decisions;
+  send_decision(head, sink_node_, decision, 0);
 }
 
 SystemResult SidSystem::run(std::span<const wake::ShipTrackConfig> ships) {
   result_ = SystemResult{};
   heads_.clear();
+  fallbacks_.clear();
+  sink_seen_.clear();
+  next_seq_ = 0;
   members_.assign(network_.node_count(), MemberState{});
   tracker_ = Tracker(config_.cluster_tracker);
 
   const ScenarioRun front_end =
       simulate_node_reports(network_, ships, config_.scenario);
 
-  // Schedule every alarm as a protocol event at its trigger time.
+  // Schedule every alarm as a protocol event at its trigger time. A node
+  // that is dead or depleted when the alarm would fire stays silent.
   for (const auto& node_run : front_end.node_runs) {
     for (std::size_t i = 0; i < node_run.alarms.size(); ++i) {
       const double t = node_run.alarms[i].trigger_time_s;
@@ -220,14 +365,21 @@ SystemResult SidSystem::run(std::span<const wake::ShipTrackConfig> ships) {
       const wsn::DetectionReport report = node_run.reports[i];
       network_.events().schedule_at(
           t, [this, node, report] {
-            on_alarm(node, report, network_.events().now());
+            const double now = network_.events().now();
+            if (!network_.node_operational(node, now)) return;
+            on_alarm(node, report, now);
           });
     }
-    // Sensing energy for the whole run.
+    // Sensing energy for the node's active portion of the run (a crashed
+    // node stops sampling at its crash time).
     auto& meter = network_.node(node_run.node).energy;
+    double active_s = config_.scenario.trace.duration_s;
+    if (const auto crash = network_.faults().crash_time(node_run.node)) {
+      active_s = std::clamp(*crash - config_.scenario.trace.start_time_s,
+                            0.0, active_s);
+    }
     meter.spend_samples(static_cast<std::size_t>(
-        config_.scenario.trace.duration_s *
-        config_.scenario.trace.sample_rate_hz));
+        active_s * config_.scenario.trace.sample_rate_hz));
   }
 
   network_.events().run_all();

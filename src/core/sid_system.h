@@ -12,9 +12,11 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <span>
+#include <unordered_set>
 #include <vector>
 
 #include "core/cluster.h"
@@ -23,6 +25,26 @@
 #include "wsn/network.h"
 
 namespace sid::core {
+
+/// Graceful-degradation knobs (§IV-C requires the protocol to survive
+/// "wireless communication errors and possible network congestions";
+/// the fault layer adds node death on top).
+struct ResilienceConfig {
+  /// Extra attempts (after the first) for forwarding a cluster decision
+  /// toward the sink. Defaults to 0 (fire-and-forget) so fault-free runs
+  /// draw exactly the historical RNG stream; robustness scenarios enable
+  /// retries explicitly.
+  std::size_t max_decision_retries = 0;
+  /// Backoff before retry k is base * 2^k seconds.
+  double retry_backoff_base_s = 0.5;
+  /// After a temporary cluster's collection window closes, members wait
+  /// this long, then check whether the head is still alive; if not they
+  /// re-submit their reports to the static head.
+  double head_fallback_grace_s = 5.0;
+  /// Orphan-report collection window at a static head before it runs the
+  /// fallback evaluation itself.
+  double fallback_window_s = 30.0;
+};
 
 struct SidSystemConfig {
   wsn::NetworkConfig network;
@@ -33,6 +55,7 @@ struct SidSystemConfig {
   std::size_t static_cell_size = 3;
   /// Sink-level vessel tracker configuration.
   TrackerConfig cluster_tracker;
+  ResilienceConfig resilience;
 };
 
 /// A decision that reached the sink.
@@ -49,7 +72,20 @@ struct SystemResult {
   std::size_t alarms_raised = 0;
   std::size_t clusters_formed = 0;
   std::size_t clusters_cancelled = 0;
+  /// Temporary clusters whose head died before evaluating (members fall
+  /// back to the static head).
+  std::size_t clusters_abandoned = 0;
   std::size_t decisions_sent = 0;
+  /// Decision retransmissions after a drop (bounded retry with backoff).
+  std::size_t decision_retries = 0;
+  /// Decisions that never reached the sink despite all retries.
+  std::size_t decisions_lost = 0;
+  /// Reports re-submitted to a static head after the temporary head died.
+  std::size_t fallback_reports = 0;
+  /// Decisions produced by a static head's fallback evaluation.
+  std::size_t fallback_decisions = 0;
+  /// Duplicate decisions suppressed at the sink by sequence number.
+  std::size_t duplicates_suppressed = 0;
   wsn::NetworkStats network_stats;
   double total_energy_mj = 0.0;
 
@@ -85,12 +121,38 @@ class SidSystem {
     std::optional<wsn::NodeId> head;   ///< temporary cluster membership
     double membership_expires_s = 0.0;
     std::optional<wsn::DetectionReport> pending_report;
+    /// Reports already sent to the current head, kept until the member
+    /// has verified the head survived the collection window.
+    std::vector<wsn::DetectionReport> submitted;
+    bool fallback_check_scheduled = false;
+  };
+  /// Orphan reports collected at a static head after a temporary head
+  /// died mid-window.
+  struct FallbackState {
+    std::vector<wsn::DetectionReport> reports;
+    bool scheduled = false;
   };
 
   void on_alarm(wsn::NodeId node, const wsn::DetectionReport& report,
                 double t);
   void on_deliver(wsn::NodeId receiver, const wsn::Message& msg, double t);
   void evaluate_head(wsn::NodeId head);
+  /// Records a report submitted to a (possibly doomed) temporary head and
+  /// arms the member-side liveness check.
+  void track_submission(wsn::NodeId member, wsn::NodeId head,
+                        const wsn::DetectionReport& report);
+  /// Member-side timeout: if the head died, re-submit the buffered
+  /// reports to the dead head's static cluster head (or straight to the
+  /// sink), pooling the orphan set for one fallback evaluation.
+  void head_fallback_check(wsn::NodeId member, wsn::NodeId head);
+  /// Static-head fallback evaluation over collected orphan reports.
+  void evaluate_fallback(wsn::NodeId head);
+  void accept_at_sink(const wsn::ClusterDecision& decision, double t);
+  /// Sends a decision toward `dst` with bounded retry + exponential
+  /// backoff; reroutes straight to the sink when the relay is unroutable.
+  void send_decision(wsn::NodeId from, wsn::NodeId dst,
+                     const wsn::ClusterDecision& decision,
+                     std::size_t attempt);
 
   SidSystemConfig config_;
   wsn::Network network_;
@@ -98,6 +160,9 @@ class SidSystem {
   Tracker tracker_;
   std::map<wsn::NodeId, HeadState> heads_;
   std::vector<MemberState> members_;
+  std::map<wsn::NodeId, FallbackState> fallbacks_;
+  std::unordered_set<std::uint32_t> sink_seen_;
+  std::uint32_t next_seq_ = 0;
   SystemResult result_;
   wsn::NodeId sink_node_ = 0;
 };

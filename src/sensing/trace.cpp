@@ -1,6 +1,8 @@
 #include "sensing/trace.h"
 
+#include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "dsp/filter.h"
 #include "util/error.h"
@@ -67,6 +69,7 @@ SensorTrace generate_trace(const ocean::WaveField& field,
         train.params().arrival_time_s + train.params().duration_s);
   }
 
+  std::optional<CountSample> stuck;  // frozen reading for kStuckAt
   for (std::size_t i = 0; i < n; ++i) {
     const double t = config.start_time_s + static_cast<double>(i) * dt;
     buoy.step(dt);
@@ -91,7 +94,41 @@ SensorTrace generate_trace(const ocean::WaveField& field,
       g.y += slam_rng.normal(0.0, 2.0 * config.slam_noise_g);
       g.z += slam_rng.normal(0.0, config.slam_noise_g);
     }
-    const CountSample counts = accel.sample(g);
+    const bool faulty = config.fault.mode != SensorFaultMode::kNone &&
+                        t >= config.fault.start_s;
+    if (faulty) {
+      switch (config.fault.mode) {
+        case SensorFaultMode::kGainDrift: {
+          // Sensitivity drift scales everything the ADC sees, gravity
+          // included, so the z rest level wanders with the gain.
+          const double gain = std::max(
+              0.0, 1.0 + config.fault.gain_drift_per_s *
+                             (t - config.fault.start_s));
+          g.x *= gain;
+          g.y *= gain;
+          g.z *= gain;
+          break;
+        }
+        case SensorFaultMode::kSaturation: {
+          const double lim = config.fault.saturation_g;
+          g.x = std::clamp(g.x, -lim, lim);
+          g.y = std::clamp(g.y, -lim, lim);
+          g.z = std::clamp(g.z, -lim, lim);
+          break;
+        }
+        case SensorFaultMode::kStuckAt:
+        case SensorFaultMode::kNone:
+          break;
+      }
+    }
+    CountSample counts = accel.sample(g);
+    if (faulty && config.fault.mode == SensorFaultMode::kStuckAt) {
+      if (stuck) {
+        counts = *stuck;
+      } else {
+        stuck = counts;  // freeze at the first faulty reading
+      }
+    }
     trace.x.push_back(counts.x);
     trace.y.push_back(counts.y);
     trace.z.push_back(counts.z);

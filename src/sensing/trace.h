@@ -43,6 +43,26 @@ struct SensorTrace {
   std::vector<double> z_centered(double counts_per_g = 1024.0) const;
 };
 
+/// Buoy sensor defect applied while synthesizing a trace. Mirrors
+/// wsn::SensorFaultSpec (the sensing library stays independent of the
+/// wsn library; core/scenario translates between the two).
+enum class SensorFaultMode {
+  kNone,
+  kStuckAt,     ///< counts freeze at the first faulty reading
+  kGainDrift,   ///< sensitivity drifts multiplicatively over time
+  kSaturation,  ///< dynamic range collapses; acceleration clips hard
+};
+
+struct SensorFaultConfig {
+  SensorFaultMode mode = SensorFaultMode::kNone;
+  double start_s = 0.0;  ///< fault onset (absolute trace time)
+  /// kGainDrift: fractional gain change per second after onset.
+  double gain_drift_per_s = 0.0;
+  /// kSaturation: readings clip to +/- this many g (a value below 1 g
+  /// pegs the gravity-biased z axis).
+  double saturation_g = 0.3;
+};
+
 struct TraceConfig {
   double sample_rate_hz = 50.0;
   double start_time_s = 0.0;
@@ -63,6 +83,8 @@ struct TraceConfig {
   /// Produces the fast hundreds-of-counts raw fluctuation of Fig. 5;
   /// removed by the node detector's 1 Hz filter.
   double slam_noise_g = 0.06;
+  /// Optional sensor defect (stuck-at / gain drift / saturation).
+  SensorFaultConfig fault;
 };
 
 /// Synthesizes the trace a buoy at `config.buoy.anchor` records while the

@@ -31,6 +31,17 @@ class SplitMix64 {
   std::uint64_t state_;
 };
 
+/// Derives a decorrelated sub-seed for stream `stream` of a root seed.
+/// Components that draw randomness inside a larger deterministic system
+/// (radio, per-node clocks, fault injector inside a Network) seed their
+/// generators with derive_seed(root, stream) so that a single root seed
+/// fully determines the whole run, while distinct streams stay
+/// statistically independent.
+constexpr std::uint64_t derive_seed(std::uint64_t root, std::uint64_t stream) {
+  SplitMix64 mix(root ^ (0x1234567887654321ULL * (stream + 1)));
+  return mix.next();
+}
+
 /// xoshiro256** PRNG with convenience distributions.
 ///
 /// Satisfies UniformRandomBitGenerator, so it can also be plugged into

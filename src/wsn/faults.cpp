@@ -1,0 +1,137 @@
+#include "wsn/faults.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace sid::wsn {
+
+namespace {
+
+void validate_ge(const GilbertElliottParams& p) {
+  util::require(p.p_enter_bad >= 0.0 && p.p_enter_bad <= 1.0 &&
+                    p.p_exit_bad >= 0.0 && p.p_exit_bad <= 1.0,
+                "GilbertElliott: transition probabilities must be in [0, 1]");
+  util::require(p.p_enter_bad + p.p_exit_bad > 0.0,
+                "GilbertElliott: chain must be able to move");
+  util::require(p.loss_good >= 0.0 && p.loss_good <= 1.0 &&
+                    p.loss_bad >= 0.0 && p.loss_bad <= 1.0,
+                "GilbertElliott: loss probabilities must be in [0, 1]");
+}
+
+std::pair<NodeId, NodeId> link_key(NodeId a, NodeId b) {
+  return {std::min(a, b), std::max(a, b)};
+}
+
+}  // namespace
+
+GilbertElliott::GilbertElliott(const GilbertElliottParams& params)
+    : params_(params) {
+  validate_ge(params);
+}
+
+bool GilbertElliott::drops(util::Rng& rng) {
+  if (bad_) {
+    if (rng.bernoulli(params_.p_exit_bad)) bad_ = false;
+  } else {
+    if (rng.bernoulli(params_.p_enter_bad)) bad_ = true;
+  }
+  return rng.bernoulli(bad_ ? params_.loss_bad : params_.loss_good);
+}
+
+double GilbertElliott::stationary_loss() const {
+  const double pi_bad =
+      params_.p_enter_bad / (params_.p_enter_bad + params_.p_exit_bad);
+  return pi_bad * params_.loss_bad + (1.0 - pi_bad) * params_.loss_good;
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan, std::uint64_t seed)
+    : plan_(plan), rng_(seed) {
+  for (const auto& crash : plan_.crashes) {
+    util::require(crash.time_s >= 0.0,
+                  "FaultPlan: crash time must be non-negative");
+  }
+  for (const auto& override_spec : plan_.battery_overrides) {
+    util::require(override_spec.battery_mj >= 0.0,
+                  "FaultPlan: battery override must be non-negative");
+  }
+  for (const auto& window : plan_.congestion) {
+    util::require(window.end_s >= window.start_s,
+                  "FaultPlan: congestion window must not end before start");
+    util::require(window.extra_loss_probability >= 0.0 &&
+                      window.extra_loss_probability <= 1.0,
+                  "FaultPlan: congestion loss must be in [0, 1]");
+  }
+  for (const auto& burst : plan_.link_bursts) {
+    validate_ge(burst.params);
+    chains_.emplace(link_key(burst.a, burst.b), GilbertElliott(burst.params));
+  }
+  if (plan_.all_links_burst) validate_ge(*plan_.all_links_burst);
+}
+
+bool FaultInjector::node_dead(NodeId node, double t) const {
+  for (const auto& crash : plan_.crashes) {
+    if (crash.node == node && t >= crash.time_s) return true;
+  }
+  return false;
+}
+
+std::optional<double> FaultInjector::crash_time(NodeId node) const {
+  std::optional<double> earliest;
+  for (const auto& crash : plan_.crashes) {
+    if (crash.node != node) continue;
+    if (!earliest || crash.time_s < *earliest) earliest = crash.time_s;
+  }
+  return earliest;
+}
+
+std::optional<double> FaultInjector::battery_override(NodeId node) const {
+  for (const auto& override_spec : plan_.battery_overrides) {
+    if (override_spec.node == node) return override_spec.battery_mj;
+  }
+  return std::nullopt;
+}
+
+double FaultInjector::congestion_loss(double t) const {
+  double loss = 0.0;
+  for (const auto& window : plan_.congestion) {
+    if (t >= window.start_s && t <= window.end_s) {
+      loss = std::max(loss, window.extra_loss_probability);
+    }
+  }
+  return loss;
+}
+
+bool FaultInjector::congestion_drops(double t) {
+  const double loss = congestion_loss(t);
+  if (loss <= 0.0) return false;
+  return rng_.bernoulli(loss);
+}
+
+GilbertElliott& FaultInjector::chain_for(NodeId a, NodeId b) {
+  // Per-link chains for explicit bursts were built in the constructor;
+  // under all_links_burst every link lazily gets its own chain so bursts
+  // on different links are independent.
+  const auto key = link_key(a, b);
+  auto it = chains_.find(key);
+  if (it == chains_.end()) {
+    it = chains_.emplace(key, GilbertElliott(*plan_.all_links_burst)).first;
+  }
+  return it->second;
+}
+
+bool FaultInjector::burst_drops(NodeId a, NodeId b) {
+  const auto key = link_key(a, b);
+  if (!plan_.all_links_burst && !chains_.contains(key)) return false;
+  return chain_for(a, b).drops(rng_);
+}
+
+std::optional<SensorFaultSpec> FaultInjector::sensor_fault(
+    NodeId node) const {
+  for (const auto& spec : plan_.sensor_faults) {
+    if (spec.node == node) return spec;
+  }
+  return std::nullopt;
+}
+
+}  // namespace sid::wsn

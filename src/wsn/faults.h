@@ -1,0 +1,174 @@
+// Fault-injection layer for the WSN substrate.
+//
+// The cluster protocol is required to survive "wireless communication
+// errors and possible network congestions" (§IV-C); a real buoy field
+// additionally loses nodes to battery depletion, storm damage and sensor
+// defects. A FaultPlan schedules, per node and per link:
+//
+//   - crash-stop node death at a given time (the node neither transmits,
+//     receives, routes, nor samples afterwards);
+//   - battery overrides (tiny budgets that make the enforced depletion
+//     path reachable within a scenario);
+//   - Gilbert–Elliott bursty link loss layered on the sigmoid PRR;
+//   - transient congestion windows (elevated extra loss over an interval);
+//   - sensor faults on buoys (stuck-at, gain drift, saturation), applied
+//     by the sensing layer via core/scenario.
+//
+// The layer is strictly opt-in: an empty plan adds no RNG draws and no
+// behavioural change, so un-faulted runs are bit-identical with or
+// without it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "util/rng.h"
+#include "wsn/messages.h"
+
+namespace sid::wsn {
+
+/// Crash-stop failure: the node is dead for all t >= time_s.
+struct NodeCrash {
+  NodeId node = 0;
+  double time_s = 0.0;
+};
+
+/// Replaces the node's battery budget (mJ). Used to make depletion —
+/// which the network now enforces — reachable inside a short scenario.
+struct BatteryOverride {
+  NodeId node = 0;
+  double battery_mj = 1.0;
+};
+
+/// Two-state Gilbert–Elliott burst-loss chain, advanced once per
+/// transmission attempt. Stationary loss rate:
+///   pi_bad = p_enter_bad / (p_enter_bad + p_exit_bad)
+///   loss   = pi_bad * loss_bad + (1 - pi_bad) * loss_good
+struct GilbertElliottParams {
+  double p_enter_bad = 0.05;  ///< P(good -> bad) per attempt
+  double p_exit_bad = 0.25;   ///< P(bad -> good) per attempt
+  double loss_good = 0.0;     ///< extra loss probability in the good state
+  double loss_bad = 0.8;      ///< extra loss probability in the bad state
+};
+
+/// Bursty loss on one undirected link (both directions share the chain).
+struct LinkBurst {
+  NodeId a = 0;
+  NodeId b = 0;
+  GilbertElliottParams params;
+};
+
+/// Elevated congestion loss applied to every transmission attempt whose
+/// send time falls inside [start_s, end_s].
+struct CongestionWindow {
+  double start_s = 0.0;
+  double end_s = 0.0;
+  double extra_loss_probability = 0.3;
+};
+
+/// Buoy sensor defect kinds (applied in src/sensing; see
+/// sense::SensorFaultConfig). The wsn layer only carries the schedule so
+/// that one FaultPlan describes the whole failure scenario.
+enum class SensorFaultKind {
+  kStuckAt,     ///< output freezes at the first faulty reading
+  kGainDrift,   ///< sensitivity drifts multiplicatively over time
+  kSaturation,  ///< dynamic range collapses; readings clip hard
+};
+
+struct SensorFaultSpec {
+  NodeId node = 0;
+  SensorFaultKind kind = SensorFaultKind::kStuckAt;
+  double start_s = 0.0;
+  /// kGainDrift: fractional gain change per second (e.g. -0.005).
+  double gain_drift_per_s = -0.005;
+  /// kSaturation: readings clip to +/- this many g.
+  double saturation_g = 0.3;
+};
+
+struct FaultPlan {
+  std::vector<NodeCrash> crashes;
+  std::vector<BatteryOverride> battery_overrides;
+  std::vector<LinkBurst> link_bursts;
+  /// When set, every link gets its own Gilbert–Elliott chain with these
+  /// parameters (channel-wide weather/interference bursts).
+  std::optional<GilbertElliottParams> all_links_burst;
+  std::vector<CongestionWindow> congestion;
+  std::vector<SensorFaultSpec> sensor_faults;
+
+  bool empty() const {
+    return crashes.empty() && battery_overrides.empty() &&
+           link_bursts.empty() && !all_links_burst && congestion.empty() &&
+           sensor_faults.empty();
+  }
+};
+
+/// One Gilbert–Elliott chain; state advances per transmission attempt.
+class GilbertElliott {
+ public:
+  explicit GilbertElliott(const GilbertElliottParams& params);
+
+  /// Advances the chain one attempt and samples whether that attempt is
+  /// lost to the burst process.
+  bool drops(util::Rng& rng);
+
+  bool in_bad_state() const { return bad_; }
+
+  /// Long-run loss probability of the chain (closed form).
+  double stationary_loss() const;
+
+  const GilbertElliottParams& params() const { return params_; }
+
+ private:
+  GilbertElliottParams params_;
+  bool bad_ = false;
+};
+
+/// Runtime interpreter of a FaultPlan. Owned by the Network; queried on
+/// every routing decision and transmission attempt.
+class FaultInjector {
+ public:
+  FaultInjector(const FaultPlan& plan, std::uint64_t seed);
+
+  /// True when the plan schedules anything at all. The network skips the
+  /// per-transmission fault checks entirely when inactive, keeping the
+  /// un-faulted RNG stream untouched.
+  bool active() const { return !plan_.empty(); }
+
+  /// True when `node` has crash-stopped at or before time `t`.
+  bool node_dead(NodeId node, double t) const;
+
+  /// Scheduled crash time for `node`, if any.
+  std::optional<double> crash_time(NodeId node) const;
+
+  /// Battery budget override for `node`, if any.
+  std::optional<double> battery_override(NodeId node) const;
+
+  /// Extra congestion loss probability in effect at time `t` (max over
+  /// overlapping windows; 0 outside every window).
+  double congestion_loss(double t) const;
+
+  /// Samples whether a transmission attempt at time `t` is lost to
+  /// congestion. Draws from the fault RNG only inside a window.
+  bool congestion_drops(double t);
+
+  /// Advances the burst chain for link {a, b} (if one is configured) and
+  /// returns true when this attempt is lost to the burst process.
+  bool burst_drops(NodeId a, NodeId b);
+
+  /// Sensor fault scheduled for `node`, if any (first match).
+  std::optional<SensorFaultSpec> sensor_fault(NodeId node) const;
+
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  GilbertElliott& chain_for(NodeId a, NodeId b);
+
+  FaultPlan plan_;
+  util::Rng rng_;
+  std::map<std::pair<NodeId, NodeId>, GilbertElliott> chains_;
+};
+
+}  // namespace sid::wsn

@@ -30,8 +30,12 @@ struct DetectionReport {
   double peak_energy = 0;         ///< max crossing deviation of the event
   std::int32_t grid_row = 0;
   std::int32_t grid_col = 0;
+  /// True when this report is a re-submission to a static head after the
+  /// member observed its temporary cluster head fail (graceful
+  /// degradation; see core/sid_system).
+  bool fallback = false;
 
-  static constexpr std::size_t kWireBytes = 36;
+  static constexpr std::size_t kWireBytes = 37;
 
   /// Selection key for "the strongest report": the peak deviation where
   /// available, falling back to the Eq. 8 average.
@@ -53,6 +57,10 @@ struct ClusterInvite {
 /// Temporary head's verdict forwarded toward the static head / sink.
 struct ClusterDecision {
   NodeId head = 0;
+  /// System-wide sequence number assigned by the decision's originator.
+  /// Retransmissions (bounded retry with backoff) reuse the number; the
+  /// sink suppresses duplicates by it.
+  std::uint32_t seq = 0;
   double correlation = 0;          ///< C = CNt * CNe
   double sweep_consistency = 0;    ///< R^2 of the Kelvin sweep regression
   std::size_t report_count = 0;
@@ -65,7 +73,7 @@ struct ClusterDecision {
   util::Vec2 estimated_position;
   double decision_local_time_s = 0;
 
-  static constexpr std::size_t kWireBytes = 52;
+  static constexpr std::size_t kWireBytes = 56;
 };
 
 struct Message {

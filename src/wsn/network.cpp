@@ -8,8 +8,35 @@
 
 namespace sid::wsn {
 
+namespace {
+
+// Stream ids for util::derive_seed under NetworkConfig::seed.
+constexpr std::uint64_t kRadioStream = 0x7261646900ULL;
+constexpr std::uint64_t kFaultStream = 0x6661756c74ULL;
+constexpr std::uint64_t kClockStream = 0x636c6f636bULL;
+
+// Every stochastic component's stream is offset by the master seed's
+// deviation from the default: changing NetworkConfig::seed re-randomizes
+// radio, clocks, and faults together (one seed determines the run), while
+// the default master seed leaves each component on its historical stream
+// so recorded baselines stay bit-identical.
+std::uint64_t stream_offset(std::uint64_t master, std::uint64_t stream) {
+  return util::derive_seed(master, stream) ^
+         util::derive_seed(kDefaultNetworkSeed, stream);
+}
+
+RadioConfig derive_radio_config(const NetworkConfig& config) {
+  RadioConfig radio = config.radio;
+  radio.seed ^= stream_offset(config.seed, kRadioStream + radio.seed);
+  return radio;
+}
+
+}  // namespace
+
 Network::Network(const NetworkConfig& config)
-    : config_(config), radio_(config.radio) {
+    : config_(config),
+      radio_(derive_radio_config(config)),
+      faults_(config.faults, util::derive_seed(config.seed, kFaultStream)) {
   util::require(config.rows > 0 && config.cols > 0,
                 "Network: grid must be non-empty");
   util::require(config.spacing_m > 0.0, "Network: spacing must be positive");
@@ -25,8 +52,12 @@ void Network::build_grid() {
       const util::Vec2 anchor(static_cast<double>(c) * config_.spacing_m,
                               static_cast<double>(r) * config_.spacing_m);
       ClockConfig clock_cfg = config_.clock;
-      clock_cfg.seed = config_.seed * 1000003ULL + id;
+      clock_cfg.seed = (config_.seed * 1000003ULL + id) ^
+                       stream_offset(config_.seed, kClockStream + clock_cfg.seed);
       EnergyConfig energy_cfg = config_.energy;
+      if (const auto battery = faults_.battery_override(id)) {
+        energy_cfg.battery_mj = *battery;
+      }
       nodes_.emplace_back(id, anchor, static_cast<std::int32_t>(r),
                           static_cast<std::int32_t>(c), clock_cfg,
                           energy_cfg);
@@ -69,10 +100,21 @@ const std::vector<NodeId>& Network::neighbors(NodeId id) const {
   return adjacency_[id];
 }
 
+bool Network::node_operational(NodeId id, double t) const {
+  util::require(id < nodes_.size(), "Network::node_operational: bad id");
+  if (nodes_[id].energy.depleted()) return false;
+  if (faults_.active() && faults_.node_dead(id, t)) return false;
+  return true;
+}
+
 std::optional<std::vector<NodeId>> Network::shortest_path(NodeId from,
-                                                          NodeId to) const {
+                                                          NodeId to,
+                                                          double t) const {
   util::require(from < nodes_.size() && to < nodes_.size(),
                 "Network::shortest_path: bad id");
+  if (!node_operational(from, t) || !node_operational(to, t)) {
+    return std::nullopt;
+  }
   if (from == to) return std::vector<NodeId>{from};
   std::vector<NodeId> parent(nodes_.size(), kSinkId);
   std::deque<NodeId> queue{from};
@@ -82,6 +124,7 @@ std::optional<std::vector<NodeId>> Network::shortest_path(NodeId from,
     queue.pop_front();
     for (NodeId v : adjacency_[u]) {
       if (parent[v] != kSinkId) continue;
+      if (!node_operational(v, t)) continue;  // route around dead nodes
       parent[v] = u;
       if (v == to) {
         std::vector<NodeId> path{to};
@@ -100,7 +143,7 @@ std::optional<std::vector<NodeId>> Network::shortest_path(NodeId from,
 }
 
 std::optional<std::size_t> Network::hop_distance(NodeId a, NodeId b) const {
-  const auto path = shortest_path(a, b);
+  const auto path = shortest_path(a, b, events_.now());
   if (!path) return std::nullopt;
   return path->size() - 1;
 }
@@ -112,6 +155,8 @@ void Network::set_delivery_handler(DeliveryHandler handler) {
 std::optional<double> Network::try_hop(const NodeInfo& from,
                                        const NodeInfo& to,
                                        std::size_t bytes) {
+  const double t = events_.now();
+  if (!node_operational(from.id, t)) return std::nullopt;
   const double d = util::distance(from.anchor, to.anchor);
   double delay = 0.0;
   for (std::size_t attempt = 0; attempt <= config_.max_retransmissions;
@@ -119,31 +164,63 @@ std::optional<double> Network::try_hop(const NodeInfo& from,
     delay += radio_.hop_delay();
     nodes_[from.id].energy.spend_tx(bytes);
     stats_.bytes_sent += bytes;
-    if (radio_.transmit_succeeds(d)) {
-      nodes_[to.id].energy.spend_rx(bytes);
-      return delay;
+    // A dead/depleted receiver silently wastes the attempt (the sender
+    // still paid for the transmission and will retry in vain).
+    if (!node_operational(to.id, t)) {
+      ++stats_.dead_receiver_drops;
+      continue;
     }
+    if (!radio_.transmit_succeeds(d)) continue;
+    if (faults_.active()) {
+      if (faults_.congestion_drops(t)) {
+        ++stats_.congestion_losses;
+        continue;
+      }
+      if (faults_.burst_drops(from.id, to.id)) {
+        ++stats_.burst_losses;
+        continue;
+      }
+    }
+    nodes_[to.id].energy.spend_rx(bytes);
+    return delay;
   }
   return std::nullopt;
 }
 
-void Network::unicast(Message msg) {
+UnicastOutcome Network::unicast(Message msg) {
   util::require(static_cast<bool>(handler_),
                 "Network::unicast: no delivery handler set");
+  util::require(msg.src < nodes_.size(), "Network::unicast: bad source id");
   ++stats_.unicasts_attempted;
-  const auto path = shortest_path(msg.src, msg.dst);
+  const double t = events_.now();
+
+  // A nonexistent or dead destination (or a dead source) is unroutable —
+  // reported distinctly from lossy in-flight drops.
+  if (msg.dst >= nodes_.size() || !node_operational(msg.src, t) ||
+      !node_operational(msg.dst, t)) {
+    ++stats_.unicasts_unroutable;
+    return UnicastOutcome::kUnroutable;
+  }
+
+  if (msg.src == msg.dst) {
+    // Degenerate self-delivery: no radio involved.
+    ++stats_.unicasts_delivered;
+    const Message delivered = msg;
+    events_.schedule_after(0.0, [this, delivered] {
+      handler_(delivered.dst, delivered, events_.now());
+    });
+    return UnicastOutcome::kDelivered;
+  }
+
+  const auto path = shortest_path(msg.src, msg.dst, t);
   if (!path || path->size() < 2) {
-    if (msg.src == msg.dst && handler_) {
-      // Degenerate self-delivery: no radio involved.
-      ++stats_.unicasts_delivered;
-      const Message delivered = msg;
-      events_.schedule_after(0.0, [this, delivered] {
-        handler_(delivered.dst, delivered, events_.now());
-      });
-      return;
-    }
-    ++stats_.unicasts_dropped;
-    return;
+    ++stats_.unicasts_unroutable;
+    return UnicastOutcome::kUnroutable;
+  }
+  // Routing invariant: a dead node must never be picked as a relay.
+  for (std::size_t i = 1; i + 1 < path->size(); ++i) {
+    util::require(node_operational((*path)[i], t),
+                  "Network::unicast: routed through a dead relay");
   }
 
   double total_delay = 0.0;
@@ -153,7 +230,7 @@ void Network::unicast(Message msg) {
         try_hop(nodes_[(*path)[i]], nodes_[(*path)[i + 1]], bytes);
     if (!hop_delay) {
       ++stats_.unicasts_dropped;
-      return;
+      return UnicastOutcome::kDropped;
     }
     total_delay += *hop_delay;
     ++stats_.hops_traversed;
@@ -163,12 +240,15 @@ void Network::unicast(Message msg) {
   events_.schedule_after(total_delay, [this, delivered] {
     handler_(delivered.dst, delivered, events_.now());
   });
+  return UnicastOutcome::kDelivered;
 }
 
 void Network::flood(Message msg, std::size_t hops) {
   util::require(static_cast<bool>(handler_),
                 "Network::flood: no delivery handler set");
   ++stats_.floods;
+  const double t = events_.now();
+  if (!node_operational(msg.src, t)) return;  // a dead source stays silent
   // BFS out to `hops`, applying per-hop loss and accumulating delay along
   // the first successful path to each node.
   struct Frontier {
@@ -185,6 +265,7 @@ void Network::flood(Message msg, std::size_t hops) {
     if (f.depth == hops) continue;
     for (NodeId v : adjacency_[f.id]) {
       if (reached.contains(v)) continue;
+      if (!node_operational(v, t)) continue;  // dead nodes don't relay
       const auto hop_delay = try_hop(nodes_[f.id], nodes_[v], bytes);
       if (!hop_delay) continue;
       reached.insert(v);
@@ -207,11 +288,27 @@ std::optional<double> Network::transmit_once(NodeId from, NodeId to,
                                              std::size_t bytes) {
   util::require(from < nodes_.size() && to < nodes_.size(),
                 "Network::transmit_once: bad id");
+  const double t = events_.now();
+  if (!node_operational(from, t)) return std::nullopt;
   const double d = util::distance(nodes_[from].anchor, nodes_[to].anchor);
   const double delay = radio_.hop_delay();
   nodes_[from].energy.spend_tx(bytes);
   stats_.bytes_sent += bytes;
+  if (!node_operational(to, t)) {
+    ++stats_.dead_receiver_drops;
+    return std::nullopt;
+  }
   if (!radio_.transmit_succeeds(d)) return std::nullopt;
+  if (faults_.active()) {
+    if (faults_.congestion_drops(t)) {
+      ++stats_.congestion_losses;
+      return std::nullopt;
+    }
+    if (faults_.burst_drops(from, to)) {
+      ++stats_.burst_losses;
+      return std::nullopt;
+    }
+  }
   nodes_[to].energy.spend_rx(bytes);
   return delay;
 }

@@ -18,6 +18,7 @@
 #include "wsn/clock.h"
 #include "wsn/energy.h"
 #include "wsn/event_queue.h"
+#include "wsn/faults.h"
 #include "wsn/messages.h"
 #include "wsn/radio.h"
 
@@ -42,6 +43,11 @@ struct NodeInfo {
         energy(energy_cfg) {}
 };
 
+/// Default master seed (see NetworkConfig::seed). Component streams are
+/// keyed to the master seed's deviation from this value, so runs at the
+/// default stay bit-identical to historical baselines.
+inline constexpr std::uint64_t kDefaultNetworkSeed = 51;
+
 struct NetworkConfig {
   std::size_t rows = 6;
   std::size_t cols = 6;
@@ -55,17 +61,46 @@ struct NetworkConfig {
   double min_link_prr = 0.7;
   /// Link-layer retransmissions per hop (0 = none).
   std::size_t max_retransmissions = 2;
-  std::uint64_t seed = 51;
+  /// Master seed. Every stochastic sub-component (radio, per-node
+  /// clocks, fault injector) derives its stream from this single value
+  /// via util::derive_seed, so one seed fully determines a run;
+  /// RadioConfig::seed and ClockConfig::seed act as stream ids under it.
+  /// Streams are keyed to the deviation from kDefaultNetworkSeed, so the
+  /// default seed reproduces the historical baseline streams exactly.
+  std::uint64_t seed = kDefaultNetworkSeed;
+  /// Scheduled faults (strictly opt-in; empty plan changes nothing).
+  FaultPlan faults;
 };
 
 struct NetworkStats {
   std::size_t unicasts_attempted = 0;
   std::size_t unicasts_delivered = 0;
   std::size_t unicasts_dropped = 0;
+  /// Unicasts that never left the source because no route existed: the
+  /// destination is dead/depleted, the source is dead, or the live
+  /// topology is partitioned. Distinct from lossy in-flight drops.
+  std::size_t unicasts_unroutable = 0;
   std::size_t hops_traversed = 0;
   std::size_t floods = 0;
   std::size_t flood_deliveries = 0;
   std::size_t bytes_sent = 0;
+  /// Transmission attempts killed by Gilbert–Elliott burst loss.
+  std::size_t burst_losses = 0;
+  /// Transmission attempts killed inside a congestion window.
+  std::size_t congestion_losses = 0;
+  /// Transmission attempts whose receiver was dead/depleted (the sender
+  /// still spent transmit energy).
+  std::size_t dead_receiver_drops = 0;
+};
+
+/// Synchronous outcome of a unicast (the simulator resolves every hop at
+/// send time; delivery-handler invocation is only deferred by the
+/// accumulated latency). Protocols use it as a transport-level ack to
+/// drive retry/backoff.
+enum class UnicastOutcome {
+  kDelivered,   ///< all hops succeeded; handler scheduled
+  kDropped,     ///< lost in flight (link loss after retransmissions)
+  kUnroutable,  ///< no live route from source to destination
 };
 
 class Network {
@@ -89,18 +124,31 @@ class Network {
   /// Node id at grid (row, col).
   NodeId id_at(std::size_t row, std::size_t col) const;
 
-  /// Ids of direct radio neighbors of `id`.
+  /// Ids of direct radio neighbors of `id` (static deployment topology;
+  /// dead nodes are excluded from routing/flooding at traversal time).
   const std::vector<NodeId>& neighbors(NodeId id) const;
 
-  /// Hop distance between two nodes (BFS); nullopt if disconnected.
+  /// Hop distance between two nodes over the live topology (BFS);
+  /// nullopt if disconnected or either endpoint is dead/depleted.
   std::optional<std::size_t> hop_distance(NodeId a, NodeId b) const;
+
+  /// True when `id` can participate in the network at time `t`: not
+  /// crash-stopped by the fault plan and battery not depleted. A
+  /// non-operational node neither transmits, receives, routes, nor
+  /// samples.
+  bool node_operational(NodeId id, double t) const;
+
+  /// Read access to the fault layer (crash schedule, sensor faults).
+  const FaultInjector& faults() const { return faults_; }
 
   void set_delivery_handler(DeliveryHandler handler);
 
-  /// Sends `msg` from msg.src to msg.dst over the shortest hop path.
-  /// Each hop may fail (after retransmissions the whole message drops).
-  /// On success the delivery handler fires at the accumulated delay.
-  void unicast(Message msg);
+  /// Sends `msg` from msg.src to msg.dst over the shortest hop path of
+  /// the live topology (routes are recomputed around dead/depleted
+  /// nodes). Each hop may fail (after retransmissions the whole message
+  /// drops). On success the delivery handler fires at the accumulated
+  /// delay.
+  UnicastOutcome unicast(Message msg);
 
   /// Floods `msg` from msg.src to every node within `hops` hops. The
   /// delivery handler fires once per reached node (not for the source).
@@ -121,8 +169,10 @@ class Network {
  private:
   void build_grid();
   void build_adjacency();
-  std::optional<std::vector<NodeId>> shortest_path(NodeId from,
-                                                   NodeId to) const;
+  /// Shortest path over the live topology at time `t`: dead/depleted
+  /// nodes are never picked as relays or endpoints.
+  std::optional<std::vector<NodeId>> shortest_path(NodeId from, NodeId to,
+                                                   double t) const;
   /// Simulates one hop; returns the delay on success.
   std::optional<double> try_hop(const NodeInfo& from, const NodeInfo& to,
                                 std::size_t bytes);
@@ -130,6 +180,7 @@ class Network {
   NetworkConfig config_;
   EventQueue events_;
   Radio radio_;
+  FaultInjector faults_;
   std::vector<NodeInfo> nodes_;
   std::vector<std::vector<NodeId>> adjacency_;
   DeliveryHandler handler_;

@@ -28,6 +28,10 @@ struct RadioConfig {
   /// Per-hop latency: fixed part + exponential jitter mean.
   double hop_delay_fixed_s = 0.012;
   double hop_delay_jitter_mean_s = 0.02;
+  /// Seed for a standalone Radio. Inside a Network this acts as a stream
+  /// id only: the effective seed is derived from NetworkConfig::seed via
+  /// util::derive_seed, so the network's master seed alone determines a
+  /// run.
   std::uint64_t seed = 41;
 };
 

@@ -1,0 +1,441 @@
+// Fault-injection layer: Gilbert–Elliott burst loss, crash-stop death,
+// battery depletion, congestion windows, sensor defects, and the
+// system-level graceful-degradation paths built on top of them.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "core/sid_system.h"
+#include "ocean/wave_field.h"
+#include "ocean/wave_spectrum.h"
+#include "sensing/trace.h"
+#include "util/rng.h"
+#include "util/units.h"
+#include "wsn/faults.h"
+#include "wsn/network.h"
+
+namespace sid {
+namespace {
+
+// ------------------------------------------------------- Gilbert–Elliott
+
+TEST(GilbertElliottTest, EmpiricalLossMatchesStationaryRate) {
+  // Property: over many attempts the chain's empirical loss converges to
+  // the closed-form stationary rate, across a spread of regimes.
+  const std::vector<wsn::GilbertElliottParams> regimes = {
+      {0.05, 0.25, 0.0, 0.8},   // default: short rare bursts
+      {0.02, 0.10, 0.01, 0.9},  // long bursts, slight background loss
+      {0.30, 0.30, 0.0, 0.5},   // fast-switching channel
+  };
+  std::uint64_t stream = 0;
+  for (const auto& params : regimes) {
+    wsn::GilbertElliott chain(params);
+    util::Rng rng(util::derive_seed(123, stream++));
+    const std::size_t attempts = 200'000;
+    std::size_t losses = 0;
+    for (std::size_t i = 0; i < attempts; ++i) {
+      if (chain.drops(rng)) ++losses;
+    }
+    const double empirical =
+        static_cast<double>(losses) / static_cast<double>(attempts);
+    EXPECT_NEAR(empirical, chain.stationary_loss(), 0.01)
+        << "p_enter=" << params.p_enter_bad << " p_exit=" << params.p_exit_bad;
+  }
+}
+
+TEST(GilbertElliottTest, RejectsInvalidParameters) {
+  wsn::GilbertElliottParams frozen;
+  frozen.p_enter_bad = 0.0;
+  frozen.p_exit_bad = 0.0;  // chain can never move
+  EXPECT_THROW(wsn::GilbertElliott{frozen}, util::InvalidArgument);
+
+  wsn::GilbertElliottParams out_of_range;
+  out_of_range.loss_bad = 1.5;
+  EXPECT_THROW(wsn::GilbertElliott{out_of_range}, util::InvalidArgument);
+}
+
+// --------------------------------------------------------- FaultInjector
+
+TEST(FaultInjectorTest, EmptyPlanIsInactive) {
+  const wsn::FaultInjector injector({}, 1);
+  EXPECT_FALSE(injector.active());
+  EXPECT_FALSE(injector.node_dead(0, 1e9));
+  EXPECT_FALSE(injector.crash_time(0).has_value());
+  EXPECT_EQ(injector.congestion_loss(10.0), 0.0);
+}
+
+TEST(FaultInjectorTest, CrashStopKillsNodeFromItsTime) {
+  wsn::FaultPlan plan;
+  plan.crashes.push_back({3, 50.0});
+  const wsn::FaultInjector injector(plan, 1);
+  EXPECT_TRUE(injector.active());
+  EXPECT_FALSE(injector.node_dead(3, 49.9));
+  EXPECT_TRUE(injector.node_dead(3, 50.0));
+  EXPECT_TRUE(injector.node_dead(3, 1e9));
+  EXPECT_FALSE(injector.node_dead(4, 1e9));
+  ASSERT_TRUE(injector.crash_time(3).has_value());
+  EXPECT_EQ(*injector.crash_time(3), 50.0);
+}
+
+TEST(FaultInjectorTest, CongestionLossIsMaxOverOverlappingWindows) {
+  wsn::FaultPlan plan;
+  plan.congestion.push_back({10.0, 30.0, 0.2});
+  plan.congestion.push_back({20.0, 40.0, 0.5});
+  const wsn::FaultInjector injector(plan, 1);
+  EXPECT_EQ(injector.congestion_loss(5.0), 0.0);
+  EXPECT_EQ(injector.congestion_loss(15.0), 0.2);
+  EXPECT_EQ(injector.congestion_loss(25.0), 0.5);
+  EXPECT_EQ(injector.congestion_loss(35.0), 0.5);
+  EXPECT_EQ(injector.congestion_loss(45.0), 0.0);
+}
+
+TEST(FaultInjectorTest, RejectsMalformedPlans) {
+  {
+    wsn::FaultPlan plan;
+    plan.crashes.push_back({0, -1.0});
+    EXPECT_THROW(wsn::FaultInjector(plan, 1), util::InvalidArgument);
+  }
+  {
+    wsn::FaultPlan plan;
+    plan.congestion.push_back({30.0, 10.0, 0.2});  // ends before start
+    EXPECT_THROW(wsn::FaultInjector(plan, 1), util::InvalidArgument);
+  }
+  {
+    wsn::FaultPlan plan;
+    plan.battery_overrides.push_back({0, -5.0});
+    EXPECT_THROW(wsn::FaultInjector(plan, 1), util::InvalidArgument);
+  }
+}
+
+// ------------------------------------------------------- Network + plan
+
+wsn::Message report_msg(wsn::NodeId src, wsn::NodeId dst) {
+  wsn::Message msg;
+  msg.src = src;
+  msg.dst = dst;
+  msg.payload = wsn::DetectionReport{};
+  return msg;
+}
+
+TEST(FaultyNetworkTest, DeadNodeGoesDarkAndRoutingDetours) {
+  // 3x3 grid, default spacing: the only 2-hop corner-to-corner route runs
+  // through the centre. Killing the centre must force a detour, never a
+  // dead relay.
+  wsn::NetworkConfig cfg;
+  cfg.rows = 3;
+  cfg.cols = 3;
+  cfg.faults.crashes.push_back({4, 100.0});  // centre node
+  wsn::Network net(cfg);
+  std::size_t deliveries = 0;
+  net.set_delivery_handler(
+      [&](wsn::NodeId, const wsn::Message&, double) { ++deliveries; });
+
+  const wsn::NodeId corner_a = net.id_at(0, 0);
+  const wsn::NodeId corner_b = net.id_at(2, 2);
+  const wsn::NodeId centre = net.id_at(1, 1);
+
+  net.events().schedule_at(50.0, [&] {
+    EXPECT_TRUE(net.node_operational(centre, 50.0));
+    const auto hops = net.hop_distance(corner_a, corner_b);
+    ASSERT_TRUE(hops.has_value());
+    EXPECT_EQ(*hops, 2u);  // through the centre
+  });
+  net.events().schedule_at(150.0, [&] {
+    EXPECT_FALSE(net.node_operational(centre, 150.0));
+    // Routing recomputes around the dead node: still connected, but the
+    // direct diagonal is gone.
+    const auto hops = net.hop_distance(corner_a, corner_b);
+    ASSERT_TRUE(hops.has_value());
+    EXPECT_EQ(*hops, 3u);
+    // Unicasts to the dead node are reported unroutable, not dropped.
+    EXPECT_EQ(net.unicast(report_msg(corner_a, centre)),
+              wsn::UnicastOutcome::kUnroutable);
+    // Traffic between live nodes keeps flowing (the in-path assertion in
+    // Network::unicast verifies no dead relay is ever picked).
+    for (int i = 0; i < 20; ++i) {
+      net.unicast(report_msg(corner_a, corner_b));
+    }
+  });
+  net.events().run_all();
+
+  EXPECT_GE(net.stats().unicasts_unroutable, 1u);
+  EXPECT_GT(deliveries, 0u);
+  EXPECT_EQ(net.stats().unicasts_attempted,
+            net.stats().unicasts_delivered + net.stats().unicasts_dropped +
+                net.stats().unicasts_unroutable);
+}
+
+TEST(FaultyNetworkTest, DepletedRelayGoesDarkAndReportsUnroutable) {
+  // 1x3 line: the ends are out of direct range, so the middle node is the
+  // only relay. A tiny battery override depletes it after a few relays.
+  wsn::NetworkConfig cfg;
+  cfg.rows = 1;
+  cfg.cols = 3;
+  cfg.faults.battery_overrides.push_back({1, 2.0});  // mJ; ~2 relayed msgs
+  wsn::Network net(cfg);
+  net.set_delivery_handler([](wsn::NodeId, const wsn::Message&, double) {});
+
+  const wsn::NodeId a = net.id_at(0, 0);
+  const wsn::NodeId relay = net.id_at(0, 1);
+  const wsn::NodeId b = net.id_at(0, 2);
+  const auto hops = net.hop_distance(a, b);
+  ASSERT_TRUE(hops.has_value());
+  ASSERT_EQ(*hops, 2u);  // the ends are out of direct range
+
+  std::size_t delivered = 0, unroutable = 0;
+  for (int i = 0; i < 30; ++i) {
+    const auto outcome = net.unicast(report_msg(a, b));
+    if (outcome == wsn::UnicastOutcome::kDelivered) ++delivered;
+    if (outcome == wsn::UnicastOutcome::kUnroutable) ++unroutable;
+  }
+  EXPECT_GT(delivered, 0u);   // worked until the battery ran out
+  EXPECT_GT(unroutable, 0u);  // then the line partitioned
+  EXPECT_TRUE(net.node(relay).energy.depleted());
+  EXPECT_FALSE(net.node_operational(relay, net.events().now()));
+  // Once depleted, everything else is unroutable: the depleted node
+  // neither transmits nor routes.
+  EXPECT_EQ(net.unicast(report_msg(a, b)), wsn::UnicastOutcome::kUnroutable);
+}
+
+TEST(FaultyNetworkTest, BurstLossDropsUnicastsAndIsCounted) {
+  wsn::NetworkConfig cfg;
+  cfg.rows = 1;
+  cfg.cols = 4;
+  cfg.max_retransmissions = 0;
+  wsn::GilbertElliottParams severe;
+  severe.p_enter_bad = 0.4;
+  severe.p_exit_bad = 0.1;
+  severe.loss_bad = 1.0;
+  cfg.faults.all_links_burst = severe;
+  wsn::Network net(cfg);
+  net.set_delivery_handler([](wsn::NodeId, const wsn::Message&, double) {});
+
+  std::size_t dropped = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (net.unicast(report_msg(net.id_at(0, 0), net.id_at(0, 3))) ==
+        wsn::UnicastOutcome::kDropped) {
+      ++dropped;
+    }
+  }
+  EXPECT_GT(net.stats().burst_losses, 0u);
+  EXPECT_GT(dropped, 20u);  // stationary loss ~0.8 per hop over 3 hops
+}
+
+TEST(FaultyNetworkTest, CongestionWindowOnlyAffectsItsInterval) {
+  wsn::NetworkConfig cfg;
+  cfg.rows = 1;
+  cfg.cols = 2;
+  cfg.max_retransmissions = 0;
+  cfg.faults.congestion.push_back({100.0, 200.0, 1.0});  // total loss
+  wsn::Network net(cfg);
+  std::size_t deliveries = 0;
+  net.set_delivery_handler(
+      [&](wsn::NodeId, const wsn::Message&, double) { ++deliveries; });
+
+  const auto send = [&] {
+    return net.unicast(report_msg(net.id_at(0, 0), net.id_at(0, 1)));
+  };
+  net.events().schedule_at(150.0, [&] {
+    // Inside the window every attempt is congestion-killed.
+    for (int i = 0; i < 10; ++i) {
+      EXPECT_EQ(send(), wsn::UnicastOutcome::kDropped);
+    }
+  });
+  net.events().schedule_at(250.0, [&] {
+    // Outside the window the short link is healthy again.
+    std::size_t ok = 0;
+    for (int i = 0; i < 10; ++i) {
+      if (send() == wsn::UnicastOutcome::kDelivered) ++ok;
+    }
+    EXPECT_GT(ok, 5u);
+  });
+  net.events().run_all();
+  // Most in-window attempts die to congestion (a few may fall to ordinary
+  // link loss before the congestion check).
+  EXPECT_GT(net.stats().congestion_losses, 5u);
+  EXPECT_GT(deliveries, 0u);
+}
+
+// ---------------------------------------------------- determinism / seed
+
+TEST(SeedDerivationTest, MasterSeedDrivesAllStreams) {
+  // Same master seed -> identical delivery outcomes; different master
+  // seed -> the radio stream differs even though RadioConfig is unchanged
+  // (the pre-refactor bug: radio kept its own hardcoded seed).
+  const auto run_once = [](std::uint64_t master) {
+    wsn::NetworkConfig cfg;
+    cfg.rows = 4;
+    cfg.cols = 4;
+    cfg.seed = master;
+    cfg.radio.extra_loss_probability = 0.3;
+    cfg.max_retransmissions = 0;
+    wsn::Network net(cfg);
+    net.set_delivery_handler([](wsn::NodeId, const wsn::Message&, double) {});
+    std::vector<int> outcomes;
+    for (int i = 0; i < 100; ++i) {
+      outcomes.push_back(static_cast<int>(
+          net.unicast(report_msg(net.id_at(0, 0), net.id_at(3, 3)))));
+    }
+    return outcomes;
+  };
+  const auto a = run_once(7);
+  EXPECT_EQ(a, run_once(7));
+  EXPECT_NE(a, run_once(8));
+}
+
+TEST(SeedDerivationTest, DeriveSeedSeparatesStreams) {
+  EXPECT_EQ(util::derive_seed(1, 2), util::derive_seed(1, 2));
+  EXPECT_NE(util::derive_seed(1, 2), util::derive_seed(1, 3));
+  EXPECT_NE(util::derive_seed(1, 2), util::derive_seed(2, 2));
+}
+
+// --------------------------------------------------------- sensor faults
+
+sense::TraceConfig quiet_trace_config() {
+  sense::TraceConfig cfg;
+  cfg.duration_s = 60.0;
+  return cfg;
+}
+
+TEST(SensorFaultTest, StuckAtFreezesTheOutput) {
+  const auto spectrum = ocean::make_sea_spectrum(ocean::SeaState::kModerate);
+  const ocean::WaveField field(*spectrum, {});
+  auto cfg = quiet_trace_config();
+  cfg.fault.mode = sense::SensorFaultMode::kStuckAt;
+  cfg.fault.start_s = 30.0;
+  const auto trace = sense::generate_ocean_trace(field, cfg);
+  // The tail (well past the fault onset) is one frozen reading; the head
+  // (before onset) still moves with the sea.
+  const std::size_t n = trace.z.size();
+  for (std::size_t i = 3 * n / 4; i < n; ++i) {
+    EXPECT_EQ(trace.z[i], trace.z[3 * n / 4]);
+    EXPECT_EQ(trace.x[i], trace.x[3 * n / 4]);
+  }
+  bool varied = false;
+  for (std::size_t i = 1; i < n / 4; ++i) {
+    if (trace.z[i] != trace.z[0]) varied = true;
+  }
+  EXPECT_TRUE(varied);
+}
+
+TEST(SensorFaultTest, SaturationClampsTheDynamicRange) {
+  const auto spectrum = ocean::make_sea_spectrum(ocean::SeaState::kRough);
+  const ocean::WaveField field(*spectrum, {});
+  auto healthy_cfg = quiet_trace_config();
+  auto faulty_cfg = healthy_cfg;
+  faulty_cfg.fault.mode = sense::SensorFaultMode::kSaturation;
+  faulty_cfg.fault.start_s = 0.0;
+  faulty_cfg.fault.saturation_g = 0.05;
+  const auto healthy = sense::generate_ocean_trace(field, healthy_cfg);
+  const auto faulty = sense::generate_ocean_trace(field, faulty_cfg);
+  const auto spread = [](const std::vector<double>& v) {
+    const auto [lo, hi] = std::minmax_element(v.begin(), v.end());
+    return *hi - *lo;
+  };
+  EXPECT_LT(spread(faulty.z), spread(healthy.z));
+}
+
+TEST(SensorFaultTest, GainDriftDecaysTheSignal) {
+  const auto spectrum = ocean::make_sea_spectrum(ocean::SeaState::kRough);
+  const ocean::WaveField field(*spectrum, {});
+  auto cfg = quiet_trace_config();
+  cfg.fault.mode = sense::SensorFaultMode::kGainDrift;
+  cfg.fault.start_s = 0.0;
+  cfg.fault.gain_drift_per_s = -0.02;  // -2 %/s: gone within the trace
+  const auto trace = sense::generate_ocean_trace(field, cfg);
+  const auto var = [&](std::size_t begin, std::size_t end) {
+    const double mean =
+        std::accumulate(trace.z.begin() + static_cast<std::ptrdiff_t>(begin),
+                        trace.z.begin() + static_cast<std::ptrdiff_t>(end),
+                        0.0) /
+        static_cast<double>(end - begin);
+    double acc = 0.0;
+    for (std::size_t i = begin; i < end; ++i) {
+      acc += (trace.z[i] - mean) * (trace.z[i] - mean);
+    }
+    return acc / static_cast<double>(end - begin);
+  };
+  const std::size_t n = trace.z.size();
+  EXPECT_LT(var(3 * n / 4, n), var(0, n / 4));
+}
+
+// ----------------------------------------------- system-level degradation
+
+wake::ShipTrackConfig crossing_ship(double speed_knots, double heading_deg,
+                                    double cross_x, double t0 = 0.0) {
+  wake::ShipTrackConfig ship;
+  const double phi = util::deg_to_rad(heading_deg);
+  ship.start = {cross_x - 400.0 / std::tan(phi), -400.0};
+  ship.heading_rad = phi;
+  ship.speed_mps = util::knots_to_mps(speed_knots);
+  ship.start_time_s = t0;
+  return ship;
+}
+
+core::SidSystemConfig fault_system_config() {
+  core::SidSystemConfig cfg;
+  cfg.network.rows = 6;
+  cfg.network.cols = 6;
+  cfg.scenario.trace.duration_s = 220.0;
+  cfg.scenario.detector.threshold_multiplier_m = 2.0;
+  cfg.scenario.detector.anomaly_frequency_threshold = 0.5;
+  cfg.cluster.collection_window_s = 70.0;
+  cfg.cluster.min_reports = 4;
+  cfg.resilience.max_decision_retries = 2;
+  return cfg;
+}
+
+TEST(SystemFaultTest, HeadDeathFallsBackToStaticHeadAndStillReports) {
+  // Two ship passes; the second pass's temporary head (node 1, cluster
+  // formed ~t=111) crashes mid-collection-window. Members time out, pool
+  // their reports at the dead head's static cluster head, and the
+  // fallback evaluation still flags the intrusion to the sink.
+  auto cfg = fault_system_config();
+  cfg.network.faults.crashes.push_back({1, 130.0});
+  core::SidSystem system(cfg);
+  const std::vector<wake::ShipTrackConfig> ships{
+      crossing_ship(10.0, 88.0, 62.0), crossing_ship(12.0, 85.0, 55.0, 60.0)};
+  const auto result = system.run(ships);
+
+  EXPECT_GE(result.clusters_abandoned, 1u);
+  EXPECT_GT(result.fallback_reports, 0u);
+  EXPECT_GE(result.fallback_decisions, 1u);
+  EXPECT_TRUE(result.intrusion_reported());
+  // The fallback decision itself carries the intrusion: an intrusion
+  // decision from the dead head's static head reached the sink.
+  const auto fallback_head = system.static_head_of(1);
+  bool fallback_intrusion = false;
+  for (const auto& r : result.sink_reports) {
+    if (r.decision.head == fallback_head && r.decision.intrusion) {
+      fallback_intrusion = true;
+    }
+  }
+  EXPECT_TRUE(fallback_intrusion);
+}
+
+TEST(SystemFaultTest, SensorFaultSilencesOnlyTheFaultyBuoy) {
+  // A stuck-at buoy stops contributing alarms, but the field around it
+  // still detects the passes.
+  auto cfg = fault_system_config();
+  wsn::SensorFaultSpec spec;
+  spec.node = 35;
+  spec.kind = wsn::SensorFaultKind::kStuckAt;
+  spec.start_s = 0.0;
+  cfg.network.faults.sensor_faults.push_back(spec);
+  core::SidSystem faulty(cfg);
+  core::SidSystem healthy(fault_system_config());
+  const std::vector<wake::ShipTrackConfig> ships{
+      crossing_ship(10.0, 88.0, 62.0), crossing_ship(12.0, 85.0, 55.0, 60.0)};
+  const auto faulty_result = faulty.run(ships);
+  const auto healthy_result = healthy.run(ships);
+
+  // The stuck node raises no alarms, so the faulty run has strictly fewer.
+  EXPECT_LT(faulty_result.alarms_raised, healthy_result.alarms_raised);
+  EXPECT_TRUE(faulty_result.intrusion_reported());
+}
+
+}  // namespace
+}  // namespace sid

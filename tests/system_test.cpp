@@ -15,13 +15,14 @@ namespace {
 
 wake::ShipTrackConfig crossing_ship(double speed_knots = 10.0,
                                     double heading_deg = 88.0,
-                                    double cross_x = 62.0) {
+                                    double cross_x = 62.0,
+                                    double start_time_s = 0.0) {
   wake::ShipTrackConfig ship;
   const double phi = util::deg_to_rad(heading_deg);
   ship.start = {cross_x - 400.0 / std::tan(phi), -400.0};
   ship.heading_rad = phi;
   ship.speed_mps = util::knots_to_mps(speed_knots);
-  ship.start_time_s = 0.0;
+  ship.start_time_s = start_time_s;
   return ship;
 }
 
@@ -223,6 +224,40 @@ TEST(SidSystemTest, RunIsRepeatable) {
   const auto rb = b.run(ships);
   EXPECT_EQ(ra.alarms_raised, rb.alarms_raised);
   EXPECT_EQ(ra.sink_reports.size(), rb.sink_reports.size());
+}
+
+TEST(SidSystemTest, TwentyPercentNodeFailuresStillReachSinkViaFallback) {
+  // Robustness acceptance scenario: a two-pass intrusion (two ships, one
+  // entering mid-run) on the default 6x6 grid with 20 % of the nodes
+  // (7 of 36) crash-stopping mid-run, including the second pass's
+  // temporary cluster head. The abandoned cluster's members time out,
+  // pool their reports at the dead head's static cluster head, and the
+  // fallback evaluation still delivers an intrusion decision to the sink.
+  auto cfg = system_config();
+  cfg.resilience.max_decision_retries = 2;
+  cfg.network.faults.crashes.push_back({1, 130.0});  // temp head, mid-window
+  for (wsn::NodeId n : {6u, 12u, 18u, 24u, 30u, 29u}) {
+    cfg.network.faults.crashes.push_back({n, 115.0});
+  }
+  SidSystem system(cfg);
+  const std::vector<wake::ShipTrackConfig> ships{
+      crossing_ship(), crossing_ship(12.0, 85.0, 55.0, 60.0)};
+  const auto result = system.run(ships);
+
+  EXPECT_GE(result.clusters_abandoned, 1u);
+  EXPECT_GT(result.fallback_reports, 0u);
+  EXPECT_GE(result.fallback_decisions, 1u);
+  EXPECT_GT(result.network_stats.unicasts_unroutable, 0u);
+  EXPECT_TRUE(result.intrusion_reported());
+  // The degraded network still produced an intrusion decision through the
+  // static-head fallback path, not only through the healthy first pass.
+  bool fallback_intrusion = false;
+  for (const auto& r : result.sink_reports) {
+    if (r.decision.head == system.static_head_of(1) && r.decision.intrusion) {
+      fallback_intrusion = true;
+    }
+  }
+  EXPECT_TRUE(fallback_intrusion);
 }
 
 TEST(SidSystemTest, FasterShipYieldsHigherReportedSpeed) {

@@ -331,8 +331,12 @@ TEST(NetworkTest, LossyLinksDropSomeUnicasts) {
   net.events().run_all();
   EXPECT_GT(net.stats().unicasts_dropped, 20u);
   EXPECT_GT(net.stats().unicasts_delivered, 5u);
+  // Every attempt is accounted for exactly once; with all nodes alive
+  // nothing is unroutable.
+  EXPECT_EQ(net.stats().unicasts_unroutable, 0u);
   EXPECT_EQ(net.stats().unicasts_attempted,
-            net.stats().unicasts_delivered + net.stats().unicasts_dropped);
+            net.stats().unicasts_delivered + net.stats().unicasts_dropped +
+                net.stats().unicasts_unroutable);
 }
 
 TEST(NetworkTest, RetransmissionsImproveDelivery) {
