@@ -3,6 +3,7 @@
 // synthesis (the simulation bottleneck).
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <vector>
 
 #include "core/correlation.h"
@@ -51,7 +52,8 @@ void BM_CorrelationEvaluate(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(core::compute_correlation(reports, line));
   }
-  state.SetItemsProcessed(state.iterations() * reports.size());
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(reports.size()));
 }
 BENCHMARK(BM_CorrelationEvaluate)->Arg(4)->Arg(6)->Arg(20);
 

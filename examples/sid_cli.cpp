@@ -16,6 +16,8 @@
 #include <cstring>
 #include <map>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "core/node_detector.h"
@@ -51,14 +53,17 @@ Args parse(int argc, char** argv) {
   Args args;
   if (argc >= 2) args.command = argv[1];
   for (int i = 2; i < argc; ++i) {
-    std::string key = argv[i];
-    if (key.rfind("--", 0) != 0) continue;
-    key = key.substr(2);
-    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-      args.options[key] = argv[++i];
-    } else {
-      args.options[key] = "1";
+    const std::string_view arg = argv[i];
+    if (!arg.starts_with("--")) continue;
+    std::string key(arg.substr(2));
+    // Flags without a value get "1". Built as a fresh string and
+    // move-assigned: assigning a char* into the map's string trips a GCC 12
+    // -O3 -Wrestrict false positive (GCC bug 105329).
+    std::string value = "1";
+    if (i + 1 < argc && !std::string_view(argv[i + 1]).starts_with("--")) {
+      value = argv[++i];
     }
+    args.options[std::move(key)] = std::move(value);
   }
   return args;
 }

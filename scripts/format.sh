@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# clang-format over the C++ tree (.clang-format at the repo root).
+#
+#   scripts/format.sh          # reformat in place
+#   scripts/format.sh --check  # verify only; non-zero exit on drift (CI)
+#
+# Skips with a warning (exit 0) when clang-format is not installed, so the
+# script is safe to call from environments that only have the compiler.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT="$(command -v clang-format || command -v clang-format-18 || command -v clang-format-17 || true)"
+if [ -z "$CLANG_FORMAT" ]; then
+  echo "format.sh: clang-format not found, skipping" >&2
+  exit 0
+fi
+
+mapfile -t FILES < <(find src tests bench examples -name '*.h' -o -name '*.cpp' | sort)
+
+if [ "${1:-}" = "--check" ]; then
+  "$CLANG_FORMAT" --dry-run -Werror "${FILES[@]}"
+  echo "format.sh: ${#FILES[@]} files clean"
+else
+  "$CLANG_FORMAT" -i "${FILES[@]}"
+  echo "format.sh: formatted ${#FILES[@]} files"
+fi

@@ -1,0 +1,243 @@
+#!/usr/bin/env python3
+"""Repo-invariant lint for the SID reproduction.
+
+Enforces the discipline clang-tidy cannot express:
+
+  rng-source        no std::random_device, rand()/srand(), ad-hoc
+                    std::mt19937 seeding or wall-clock reads outside
+                    src/util/rng.h — every stochastic stream must derive
+                    from the single master seed (see DESIGN.md).
+  pragma-once       every header starts translation with #pragma once.
+  header-using      no `using namespace` at header scope.
+  protocol-literal  no float/double literal in a protocol message struct
+                    (src/wsn/messages.h) whose decimal text is not exactly
+                    representable in binary — inexact defaults would break
+                    bit-identical replay of recorded decision streams.
+
+Exit status: 0 clean, 1 violations found, 2 internal error.
+
+A line can opt out of one rule with a trailing `// lint:allow <rule>`.
+`--self-test` plants one violation per rule in a temp tree and verifies
+each is caught (wired into ctest as `lint_selftest`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+import tempfile
+from fractions import Fraction
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SOURCE_DIRS = ("src", "tests", "bench", "examples")
+CXX_SUFFIXES = {".h", ".cpp"}
+
+# Files allowed to touch raw entropy sources: the single seed funnel.
+RNG_ALLOWED = {Path("src/util/rng.h"), Path("src/util/rng.cpp")}
+
+PROTOCOL_HEADERS = {Path("src/wsn/messages.h")}
+
+ALLOW_RE = re.compile(r"//\s*lint:allow\s+([a-z-]+)")
+
+RNG_PATTERNS = (
+    re.compile(r"std\s*::\s*random_device"),
+    re.compile(r"(?<![A-Za-z0-9_])s?rand\s*\("),
+    re.compile(r"std\s*::\s*mt19937(?:_64)?\b"),
+    re.compile(r"(?<![A-Za-z0-9_])time\s*\("),  # std::time / time(NULL)
+    re.compile(r"(?<![A-Za-z0-9_])gettimeofday\s*\("),
+    re.compile(r"(?:system|steady|high_resolution)_clock\s*::\s*now"),
+)
+
+USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\b")
+
+FLOAT_LITERAL_RE = re.compile(
+    r"(?<![\w.])(\d+\.\d+(?:[eE][-+]?\d+)?|\d+[eE][-+]?\d+)[fF]?(?![\w.])"
+)
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Blanks out // comments and string/char literals (single line only —
+    good enough for this codebase, which has no multi-line raw strings in
+    the linted dirs)."""
+    out = []
+    i = 0
+    n = len(line)
+    while i < n:
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if c == "/" and i + 1 < n and line[i + 1] == "*":
+            end = line.find("*/", i + 2)
+            if end == -1:
+                break
+            i = end + 2
+            continue
+        if c in "\"'":
+            quote = c
+            out.append(" ")
+            i += 1
+            while i < n and line[i] != quote:
+                if line[i] == "\\":
+                    i += 1
+                i += 1
+            i += 1
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def is_exact_decimal(text: str) -> bool:
+    """True when the decimal literal's value is exactly representable as an
+    IEEE-754 double (e.g. 0.5, -1.0, 2.25 — but not 0.1 or 3.3)."""
+    return Fraction(float(text)) == Fraction(text)
+
+
+class Linter:
+    def __init__(self, root: Path):
+        self.root = root
+        self.violations: list[str] = []
+
+    def report(self, rule: str, path: Path, lineno: int, detail: str):
+        rel = path.relative_to(self.root)
+        self.violations.append(f"{rel}:{lineno}: [{rule}] {detail}")
+
+    def lint_file(self, path: Path):
+        rel = path.relative_to(self.root)
+        try:
+            text = path.read_text(encoding="utf-8", errors="replace")
+        except OSError as err:
+            raise RuntimeError(f"cannot read {rel}: {err}") from err
+        lines = text.splitlines()
+
+        is_header = path.suffix == ".h"
+        if is_header and "#pragma once" not in text:
+            self.report("pragma-once", path, 1, "header lacks #pragma once")
+
+        check_protocol = rel in PROTOCOL_HEADERS
+        check_rng = rel not in RNG_ALLOWED
+
+        for lineno, raw in enumerate(lines, start=1):
+            allowed = {m for m in ALLOW_RE.findall(raw)}
+            code = strip_comments_and_strings(raw)
+
+            if check_rng and "rng-source" not in allowed:
+                for pat in RNG_PATTERNS:
+                    m = pat.search(code)
+                    if m:
+                        self.report(
+                            "rng-source", path, lineno,
+                            f"forbidden entropy/wall-clock source "
+                            f"'{m.group(0).strip()}' — derive randomness "
+                            f"from util::Rng / derive_seed instead")
+            if (is_header and "header-using" not in allowed
+                    and USING_NAMESPACE_RE.search(code)):
+                self.report("header-using", path, lineno,
+                            "`using namespace` at header scope")
+            if check_protocol and "protocol-literal" not in allowed:
+                for m in FLOAT_LITERAL_RE.finditer(code):
+                    if not is_exact_decimal(m.group(1)):
+                        self.report(
+                            "protocol-literal", path, lineno,
+                            f"inexact float literal {m.group(0)} in protocol "
+                            f"struct — would break bit-identical replay")
+
+    def run(self) -> int:
+        files = []
+        for d in SOURCE_DIRS:
+            base = self.root / d
+            if not base.is_dir():
+                continue
+            files.extend(p for p in sorted(base.rglob("*"))
+                         if p.suffix in CXX_SUFFIXES and p.is_file())
+        if not files:
+            print("lint.py: no source files found", file=sys.stderr)
+            return 2
+        for f in files:
+            self.lint_file(f)
+        if self.violations:
+            for v in self.violations:
+                print(v, file=sys.stderr)
+            print(f"lint.py: {len(self.violations)} violation(s) in "
+                  f"{len(files)} files", file=sys.stderr)
+            return 1
+        print(f"lint.py: OK ({len(files)} files clean)")
+        return 0
+
+
+def self_test() -> int:
+    """Plants one violation per rule and asserts the linter catches it."""
+    cases = {
+        "rng-source": "int f() { std::random_device rd; return rd(); }\n",
+        "rng-source-time": "long f() { return time(nullptr); }\n",
+        "rng-source-mt19937": "std::mt19937 gen(1234);\n",
+        "pragma-once": "// header without the pragma\nint x;\n",
+        "header-using": "#pragma once\nusing namespace std;\n",
+    }
+    failures = []
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        src = root / "src"
+        src.mkdir()
+        (src / "a.cpp").write_text(cases["rng-source"])
+        (src / "b.cpp").write_text(cases["rng-source-time"])
+        (src / "c.cpp").write_text(cases["rng-source-mt19937"])
+        (src / "d.h").write_text(cases["pragma-once"])
+        (src / "e.h").write_text(cases["header-using"])
+        # A protocol struct with an inexact default.
+        wsn = src / "wsn"
+        wsn.mkdir()
+        (wsn / "messages.h").write_text(
+            "#pragma once\nstruct R { double gain = 3.3; };\n")
+
+        linter = Linter(root)
+        rc = linter.run()
+        if rc != 1:
+            failures.append(f"expected exit 1, got {rc}")
+        for rule, needle in [
+                ("rng-source", "random_device"),
+                ("rng-source", "time"),
+                ("rng-source", "mt19937"),
+                ("pragma-once", "d.h"),
+                ("header-using", "e.h"),
+                ("protocol-literal", "3.3"),
+        ]:
+            if not any(f"[{rule}]" in v and needle in v
+                       for v in linter.violations):
+                failures.append(f"rule {rule} missed its {needle} plant")
+
+        # And a clean tree must pass, including the lint:allow escape.
+        clean = root / "clean"
+        (clean / "src").mkdir(parents=True)
+        (clean / "src" / "ok.h").write_text(
+            "#pragma once\n"
+            "inline long stamp() { return time(nullptr); }"
+            "  // lint:allow rng-source\n")
+        clean_linter = Linter(clean)
+        if clean_linter.run() != 0:
+            failures.append("clean tree with lint:allow did not pass: "
+                            + "\n".join(clean_linter.violations))
+    if failures:
+        for f in failures:
+            print(f"self-test FAILED: {f}", file=sys.stderr)
+        return 1
+    print("lint.py --self-test: all rules fire and lint:allow works")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", type=Path, default=REPO_ROOT,
+                        help="repository root to lint")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify every rule fires on a planted violation")
+    args = parser.parse_args()
+    if args.self_test:
+        return self_test()
+    return Linter(args.root.resolve()).run()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,7 +1,9 @@
 #include "core/cluster.h"
 
+#include <cmath>
 #include <set>
 
+#include "util/check.h"
 #include "util/error.h"
 
 namespace sid::core {
@@ -16,6 +18,17 @@ ClusterEvaluator::ClusterEvaluator(const ClusterConfig& config)
 
 ClusterDecisionResult ClusterEvaluator::evaluate(
     std::span<const wsn::DetectionReport> raw_reports) const {
+  // Fusion boundary: reports arrive over the (simulated) wire from every
+  // node pipeline; corrupt energies or timestamps must not reach the
+  // correlation/speed math.
+  for (const auto& r : raw_reports) {
+    SID_DCHECK(std::isfinite(r.onset_local_time_s) &&
+                   std::isfinite(r.average_energy) &&
+                   std::isfinite(r.peak_energy) &&
+                   std::isfinite(r.anomaly_frequency),
+               "ClusterEvaluator: non-finite field in report from node ",
+               r.reporter);
+  }
   ClusterDecisionResult result;
 
   // One observation per node: the wire can deliver several alarms per

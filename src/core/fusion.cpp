@@ -1,7 +1,9 @@
 #include "core/fusion.h"
 
 #include <algorithm>
+#include <cmath>
 
+#include "util/check.h"
 #include "util/error.h"
 
 namespace sid::core {
@@ -22,8 +24,16 @@ std::vector<FusedDetection> fuse_detections(
   };
   std::vector<Event> events;
   events.reserve(alarms.size() + contacts.size());
-  for (const auto& a : alarms) events.push_back({a.onset_time_s, true});
-  for (const auto& c : contacts) events.push_back({c.time_s, false});
+  for (const auto& a : alarms) {
+    SID_DCHECK(std::isfinite(a.onset_time_s),
+               "fuse_detections: non-finite alarm onset time");
+    events.push_back({a.onset_time_s, true});
+  }
+  for (const auto& c : contacts) {
+    SID_DCHECK(std::isfinite(c.time_s),
+               "fuse_detections: non-finite acoustic contact time");
+    events.push_back({c.time_s, false});
+  }
   std::sort(events.begin(), events.end(),
             [](const Event& a, const Event& b) { return a.time < b.time; });
 

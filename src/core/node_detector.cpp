@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/check.h"
 #include "util/error.h"
 
 namespace sid::core {
@@ -64,6 +65,11 @@ double NodeDetector::anomaly_frequency() const {
 }
 
 std::optional<Alarm> NodeDetector::process_sample(double z_counts, double t) {
+  // A single corrupt sample would poison the IIR filter state and the
+  // adaptive threshold statistics for the rest of the run.
+  SID_DCHECK(std::isfinite(z_counts),
+             "NodeDetector: non-finite sample at t=", t);
+  SID_DCHECK(std::isfinite(t), "NodeDetector: non-finite timestamp");
   if (!primed_) {
     // Kill the causal filter's start-up transient: begin at the DC steady
     // state of the first observed sample (~the 1 g rest level).

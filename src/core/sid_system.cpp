@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/check.h"
 #include "util/error.h"
 #include "util/units.h"
 
@@ -158,6 +159,14 @@ void SidSystem::on_alarm(wsn::NodeId node, const wsn::DetectionReport& report,
 
 void SidSystem::accept_at_sink(const wsn::ClusterDecision& decision,
                                double t) {
+  // Sink fusion input: the decision feeds the vessel tracker, whose state
+  // persists across the whole run.
+  SID_DCHECK(std::isfinite(decision.correlation) &&
+                 std::isfinite(decision.estimated_speed_mps) &&
+                 std::isfinite(decision.estimated_position.x) &&
+                 std::isfinite(decision.estimated_position.y),
+             "accept_at_sink: non-finite field in decision from head ",
+             decision.head);
   if (!sink_seen_.insert(decision.seq).second) {
     ++result_.duplicates_suppressed;
     return;

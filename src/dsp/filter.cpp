@@ -5,6 +5,7 @@
 #include <numbers>
 
 #include "dsp/fft.h"
+#include "util/check.h"
 #include "util/error.h"
 
 namespace sid::dsp {
@@ -52,6 +53,7 @@ std::vector<double> fir_filter(std::span<const double> signal,
   for (std::size_t i = 0; i < signal.size(); ++i) {
     out[i] = full[i + delay];
   }
+  SID_DCHECK_FINITE(out, "fir_filter output");
   return out;
 }
 
@@ -163,8 +165,11 @@ std::vector<double> filtfilt(const std::vector<Biquad>& sections,
   auto twice = backward.process_all(once);
   std::reverse(twice.begin(), twice.end());
 
-  return {twice.begin() + static_cast<std::ptrdiff_t>(pad),
-          twice.begin() + static_cast<std::ptrdiff_t>(pad + signal.size())};
+  std::vector<double> out(
+      twice.begin() + static_cast<std::ptrdiff_t>(pad),
+      twice.begin() + static_cast<std::ptrdiff_t>(pad + signal.size()));
+  SID_DCHECK_FINITE(out, "filtfilt output");
+  return out;
 }
 
 std::vector<double> lowpass_filter(std::span<const double> signal,

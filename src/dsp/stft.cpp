@@ -1,6 +1,7 @@
 #include "dsp/stft.h"
 
 #include "dsp/fft.h"
+#include "util/check.h"
 #include "util/error.h"
 
 namespace sid::dsp {
@@ -18,6 +19,7 @@ std::vector<double> frame_power_spectrum(std::span<const double> frame,
   auto power = power_spectrum(windowed);
   const double norm = window_power(w);
   for (auto& p : power) p /= norm;
+  SID_DCHECK_FINITE(power, "frame_power_spectrum output");
   return power;
 }
 

@@ -5,6 +5,7 @@
 #include <numbers>
 
 #include "dsp/fft.h"
+#include "util/check.h"
 #include "util/error.h"
 
 namespace sid::dsp {
@@ -75,6 +76,7 @@ Scalogram cwt_morlet(std::span<const double> signal, const CwtConfig& config) {
     for (std::size_t t = 0; t < signal.size(); ++t) {
       row[t] = std::norm(prod[t]);
     }
+    SID_DCHECK_FINITE(row, "cwt_morlet scalogram row");
   }
   return out;
 }

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <numbers>
 
+#include "util/check.h"
 #include "util/error.h"
 #include "util/units.h"
 
@@ -50,6 +51,10 @@ WaveField::WaveField(const WaveSpectrum& spectrum,
     c.direction_rad = config.mean_direction_rad +
                       sample_spreading_offset(rng, config.spreading_exponent);
     c.phase = rng.angle();
+    // A non-finite amplitude here (negative spectral density, bad spectrum
+    // parameters) would silently corrupt every downstream trace.
+    SID_DCHECK(std::isfinite(c.amplitude_m) && c.amplitude_m >= 0.0,
+               "WaveField: bad component amplitude at f=", f, " Hz");
     components_.push_back(c);
   }
 }

@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "dsp/filter.h"
+#include "util/check.h"
 #include "util/error.h"
 #include "util/rng.h"
 
@@ -133,6 +134,11 @@ SensorTrace generate_trace(const ocean::WaveField& field,
     trace.y.push_back(counts.y);
     trace.z.push_back(counts.z);
   }
+  // Synthesis boundary: the trace is what the node detector consumes, so a
+  // NaN/Inf sneaking out of the ocean/wake/buoy chain must stop here.
+  SID_DCHECK_FINITE(trace.x, "generate_trace x");
+  SID_DCHECK_FINITE(trace.y, "generate_trace y");
+  SID_DCHECK_FINITE(trace.z, "generate_trace z");
   return trace;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numbers>
 
+#include "util/check.h"
 #include "util/error.h"
 #include "util/units.h"
 
@@ -55,7 +56,12 @@ WakeTrain::WakeTrain(Params params, const WakeTrainConfig& config)
   }
   util::require(crest > 0.0, "WakeTrain: degenerate component layout");
   const double scale = 0.5 * params_.peak_height_m / crest;
-  for (auto& c : components_) c.amplitude_m *= scale;
+  for (auto& c : components_) {
+    c.amplitude_m *= scale;
+    SID_DCHECK(std::isfinite(c.amplitude_m),
+               "WakeTrain: non-finite component amplitude (peak_height_m=",
+               params_.peak_height_m, ", crest=", crest, ")");
+  }
 }
 
 double WakeTrain::component_value(const Component& c, double u,

@@ -1,0 +1,121 @@
+// Runtime invariant checks for the SID pipeline.
+//
+// SID_CHECK(cond, ...)    — always-on formatted assert; prints file:line,
+//                           the failed condition and an optional streamed
+//                           message, then aborts. Use for invariants whose
+//                           violation would silently corrupt results.
+// SID_DCHECK(cond, ...)   — same, but compiled out unless SID_ENABLE_DCHECKS
+//                           (on in Debug and sanitizer builds, off in
+//                           Release so the hot DSP loops pay nothing).
+// SID_DCHECK_FINITE(span, label)
+//                         — NaN/Inf guard over a span of doubles, placed at
+//                           the stage boundaries of the DSP pipeline
+//                           (filter -> STFT -> wavelet -> features), the
+//                           ship-wave/ocean synthesis outputs and the
+//                           cluster/sink fusion inputs. Debug-only, like
+//                           SID_DCHECK.
+//
+// The checks abort (rather than throw) so that a numeric-corruption bug
+// cannot be swallowed by a catch-all handler and so gtest death tests can
+// pin the behaviour down.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <span>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+// Debug + sanitizer builds keep the cheap invariant layer armed; Release
+// (NDEBUG) compiles it out. CMake forces it on for SID_SANITIZE builds even
+// though they default to an optimized build type.
+#ifndef SID_ENABLE_DCHECKS
+#ifdef NDEBUG
+#define SID_ENABLE_DCHECKS 0
+#else
+#define SID_ENABLE_DCHECKS 1
+#endif
+#endif
+
+namespace sid::util {
+namespace detail {
+
+/// Streams any mix of arguments into one message string.
+template <typename... Args>
+std::string format_check_message(const Args&... args) {
+  if constexpr (sizeof...(Args) == 0) {
+    return {};
+  } else {
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+  }
+}
+
+[[noreturn]] inline void check_failed(const char* file, int line,
+                                      const char* condition,
+                                      const std::string& message) {
+  std::fprintf(stderr, "SID_CHECK failed at %s:%d: %s%s%s\n", file, line,
+               condition, message.empty() ? "" : " — ", message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+[[noreturn]] inline void finite_failed(const char* file, int line,
+                                       std::string_view label,
+                                       std::size_t index, double value) {
+  std::fprintf(stderr,
+               "SID_CHECK failed at %s:%d: non-finite value %g at index %zu "
+               "in %.*s\n",
+               file, line, value, index, static_cast<int>(label.size()),
+               label.data());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace detail
+
+/// Aborts with a diagnostic if any element of `values` is NaN or ±Inf.
+/// An empty span trivially passes. Call through SID_DCHECK_FINITE at
+/// pipeline stage boundaries so Release builds skip the scan.
+inline void assert_finite(std::span<const double> values,
+                          std::string_view label, const char* file = "?",
+                          int line = 0) {
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (!std::isfinite(values[i])) {
+      detail::finite_failed(file, line, label, i, values[i]);
+    }
+  }
+}
+
+/// Scalar overload for single stage outputs (e.g. a correlation score).
+inline void assert_finite(double value, std::string_view label,
+                          const char* file = "?", int line = 0) {
+  if (!std::isfinite(value)) {
+    detail::finite_failed(file, line, label, 0, value);
+  }
+}
+
+}  // namespace sid::util
+
+#define SID_CHECK(cond, ...)                                         \
+  (static_cast<bool>(cond)                                           \
+       ? static_cast<void>(0)                                        \
+       : ::sid::util::detail::check_failed(                          \
+             __FILE__, __LINE__, #cond,                              \
+             ::sid::util::detail::format_check_message(__VA_ARGS__)))
+
+#if SID_ENABLE_DCHECKS
+#define SID_DCHECK(cond, ...) SID_CHECK(cond __VA_OPT__(, ) __VA_ARGS__)
+#define SID_DCHECK_FINITE(values, label) \
+  ::sid::util::assert_finite((values), (label), __FILE__, __LINE__)
+#else
+// Compiled out: the condition is not evaluated, but stays parsed so it
+// cannot rot, and variables it names do not become "unused".
+#define SID_DCHECK(cond, ...) \
+  static_cast<void>(sizeof(static_cast<bool>(cond)))
+#define SID_DCHECK_FINITE(values, label) \
+  static_cast<void>(sizeof((values), (label)))
+#endif

@@ -1,0 +1,101 @@
+// Death/unit tests for the runtime invariant layer (src/util/check.h):
+// SID_CHECK, SID_DCHECK and assert_finite across NaN, ±Inf and empty-span
+// cases, in both armed (Debug/sanitizer) and disarmed (Release) builds.
+#include "util/check.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace sid::util {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(SidCheckTest, PassingConditionIsSilent) {
+  SID_CHECK(1 + 1 == 2);
+  SID_CHECK(true, "never printed ", 42);
+}
+
+TEST(SidCheckDeathTest, FailingConditionAborts) {
+  EXPECT_DEATH(SID_CHECK(false), "SID_CHECK failed");
+}
+
+TEST(SidCheckDeathTest, MessageArgumentsAreFormatted) {
+  EXPECT_DEATH(SID_CHECK(2 < 1, "expected ", 2, " < ", 1),
+               "2 < 1.*expected 2 < 1");
+}
+
+TEST(SidCheckDeathTest, ConditionTextAppearsInDiagnostic) {
+  const int answer = 41;
+  EXPECT_DEATH(SID_CHECK(answer == 42), "answer == 42");
+}
+
+#if SID_ENABLE_DCHECKS
+
+TEST(SidDcheckDeathTest, ArmedDcheckAborts) {
+  EXPECT_DEATH(SID_DCHECK(false, "debug invariant"), "debug invariant");
+}
+
+TEST(SidDcheckDeathTest, ArmedFiniteGuardAborts) {
+  const std::vector<double> values{0.0, 1.0, kNan};
+  EXPECT_DEATH(SID_DCHECK_FINITE(values, "pipeline stage"),
+               "non-finite value.*index 2.*pipeline stage");
+}
+
+#else
+
+TEST(SidDcheckTest, DisarmedDcheckDoesNotEvaluateCondition) {
+  int evaluations = 0;
+  auto touch = [&evaluations] { return ++evaluations > 0; };
+  SID_DCHECK(touch(), "compiled out");
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(SidDcheckTest, DisarmedFiniteGuardIgnoresNan) {
+  const std::vector<double> values{kNan, kInf};
+  SID_DCHECK_FINITE(values, "release build");
+}
+
+#endif  // SID_ENABLE_DCHECKS
+
+TEST(AssertFiniteTest, FiniteSpanPasses) {
+  const std::vector<double> values{-1.5, 0.0, 3.25, 1e300, -1e-300};
+  assert_finite(values, "finite");
+}
+
+TEST(AssertFiniteTest, EmptySpanPasses) {
+  assert_finite(std::span<const double>{}, "empty");
+}
+
+TEST(AssertFiniteTest, FiniteScalarPasses) {
+  assert_finite(0.0, "zero");
+  assert_finite(-1e308, "large");
+}
+
+TEST(AssertFiniteDeathTest, NanAborts) {
+  const std::vector<double> values{1.0, kNan};
+  EXPECT_DEATH(assert_finite(values, "nan stage"),
+               "non-finite value.*index 1.*nan stage");
+}
+
+TEST(AssertFiniteDeathTest, PositiveInfinityAborts) {
+  const std::vector<double> values{kInf};
+  EXPECT_DEATH(assert_finite(values, "inf stage"), "inf stage");
+}
+
+TEST(AssertFiniteDeathTest, NegativeInfinityAborts) {
+  const std::vector<double> values{0.0, 0.0, -kInf};
+  EXPECT_DEATH(assert_finite(values, "neg-inf stage"),
+               "index 2.*neg-inf stage");
+}
+
+TEST(AssertFiniteDeathTest, ScalarNanAborts) {
+  EXPECT_DEATH(assert_finite(kNan, "scalar"), "scalar");
+}
+
+}  // namespace
+}  // namespace sid::util

@@ -116,7 +116,7 @@ TEST(SpectralClassifierTest, CalibratedSeparatesShipFromOcean) {
   // the first 180 s of the same sea realization — then classifies the
   // frame containing the pass vs a later ocean-only frame.
   int ship_hits = 0, ocean_hits = 0, n = 0;
-  for (std::uint64_t seed : {31, 57, 77, 93, 111}) {
+  for (std::uint64_t seed : {31u, 57u, 77u, 93u, 111u}) {
     const auto record = make_record(true, seed);
     SpectralClassifier classifier;
     classifier.calibrate(record.calibration_span());

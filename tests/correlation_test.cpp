@@ -395,7 +395,9 @@ TEST(DedupTest, KeepsStrongestPerReporter) {
   ASSERT_EQ(deduped.size(), 2u);
   // Reporter 7 keeps the higher-peak report (onset 120).
   for (const auto& r : deduped) {
-    if (r.reporter == 7) EXPECT_EQ(r.onset_local_time_s, 120.0);
+    if (r.reporter == 7) {
+      EXPECT_EQ(r.onset_local_time_s, 120.0);
+    }
   }
 }
 

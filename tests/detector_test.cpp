@@ -30,12 +30,14 @@ struct StreamBuilder {
   double swell_phase = 0.4;
   std::vector<double> samples;
 
-  double time() const { return static_cast<double>(samples.size()) / kFs; }
+  double elapsed_s() const {
+    return static_cast<double>(samples.size()) / kFs;
+  }
 
   void add_sea(double seconds) {
     const auto n = static_cast<std::size_t>(seconds * kFs);
     for (std::size_t i = 0; i < n; ++i) {
-      const double t = time();
+      const double t = elapsed_s();
       samples.push_back(
           kRest +
           swell_counts *
@@ -49,7 +51,7 @@ struct StreamBuilder {
   void add_burst(double seconds, double amplitude, double freq = 0.6) {
     const auto n = static_cast<std::size_t>(seconds * kFs);
     for (std::size_t i = 0; i < n; ++i) {
-      const double t = time();
+      const double t = elapsed_s();
       const double u = static_cast<double>(i) / kFs;
       const double env =
           0.5 * (1.0 - std::cos(2.0 * std::numbers::pi * u / seconds));

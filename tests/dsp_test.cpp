@@ -117,7 +117,9 @@ TEST(FftTest, PureToneLandsInOneBin) {
   EXPECT_EQ(peak, 32u);
   // Energy elsewhere is negligible.
   for (std::size_t k = 1; k < power.size(); ++k) {
-    if (k != 32) EXPECT_LT(power[k], power[32] * 1e-12);
+    if (k != 32) {
+      EXPECT_LT(power[k], power[32] * 1e-12);
+    }
   }
 }
 
