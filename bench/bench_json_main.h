@@ -1,0 +1,68 @@
+// Shared main() for the google-benchmark binaries. Adds two flags on top
+// of the standard benchmark ones:
+//
+//   --smoke          fast CI mode: tiny min-time per benchmark, and the
+//                    stage-timing dump defaults on
+//   --json-out FILE  dump the obs profiling registry (per-stage wall-time
+//                    histograms recorded by SID_PROFILE_STAGE while the
+//                    benchmarks ran) as sid-metrics-v1 JSON
+//
+// The dump is what scripts/check_obs_schema.py validates in CI.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/profile.h"
+
+inline int sid_bench_main(int argc, char** argv, const char* default_out) {
+  bool smoke = false;
+  std::string json_out;
+  std::vector<char*> bench_args;
+  bench_args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+      continue;
+    }
+    if (arg == "--json-out" && i + 1 < argc) {
+      json_out = argv[++i];
+      continue;
+    }
+    bench_args.push_back(argv[i]);
+  }
+  // benchmark 1.7 takes plain seconds (no unit suffix).
+  static char min_time[] = "--benchmark_min_time=0.01";
+  if (smoke) {
+    bench_args.push_back(min_time);
+    if (json_out.empty()) json_out = default_out;
+  }
+
+  int bench_argc = static_cast<int>(bench_args.size());
+  benchmark::Initialize(&bench_argc, bench_args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_args.data())) {
+    return 1;
+  }
+  sid::obs::reset_profile();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  if (!json_out.empty()) {
+    std::ofstream os(json_out);
+    if (!os) {
+      std::fprintf(stderr, "cannot open %s\n", json_out.c_str());
+      return 1;
+    }
+    sid::obs::profile_registry().write_json(os, /*include_wall=*/true);
+    os << '\n';
+    std::fprintf(stderr, "wrote %s\n", json_out.c_str());
+  }
+  return 0;
+}

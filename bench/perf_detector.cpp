@@ -6,9 +6,11 @@
 #include <cstdint>
 #include <vector>
 
+#include "bench_json_main.h"
 #include "core/correlation.h"
 #include "core/node_detector.h"
 #include "core/speed_estimator.h"
+#include "obs/profile.h"
 #include "ocean/wave_field.h"
 #include "ocean/wave_spectrum.h"
 #include "util/rng.h"
@@ -22,6 +24,8 @@ void BM_NodeDetectorStream(benchmark::State& state) {
   std::vector<double> samples(static_cast<std::size_t>(state.range(0)));
   for (auto& s : samples) s = 1024.0 + rng.normal(0.0, 30.0);
   for (auto _ : state) {
+    // Streaming path bypasses process_trace, so record the stage here.
+    SID_PROFILE_STAGE(obs::Stage::kDetector);
     core::NodeDetector detector{core::NodeDetectorConfig{}};
     double t = 0.0;
     for (double s : samples) {
@@ -85,4 +89,6 @@ BENCHMARK(BM_WaveFieldAcceleration)->Arg(64)->Arg(160)->Arg(512);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return sid_bench_main(argc, argv, "BENCH_detector.json");
+}

@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "bench_json_main.h"
 #include "dsp/fft.h"
 #include "dsp/filter.h"
 #include "dsp/stft.h"
@@ -91,4 +92,6 @@ BENCHMARK(BM_FirFilter)->Arg(12000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return sid_bench_main(argc, argv, "BENCH_dsp.json");
+}

@@ -6,7 +6,8 @@
 //                    [--seed 1] [--csv]
 //   sid_cli detect --in trace.sidb [--m 2.0] [--af 0.5]
 //   sid_cli scenario [--ship-knots 10] [--heading 88] [--rows 6]
-//                    [--cols 6] [--seed 1]
+//                    [--cols 6] [--seed 1] [--metrics-out metrics.json]
+//                    [--trace-out trace.jsonl] [--trace-categories net,sink]
 //
 // `simulate` writes a synthetic buoy recording (SIDB binary, or CSV with
 // --csv); `detect` runs the paper's node-level detector over any trace
@@ -14,6 +15,7 @@
 // distributed pipeline and prints the sink log.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <string>
 #include <string_view>
@@ -22,6 +24,8 @@
 
 #include "core/node_detector.h"
 #include "core/sid_system.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 #include "ocean/wave_field.h"
 #include "ocean/wave_spectrum.h"
 #include "sensing/trace_io.h"
@@ -183,7 +187,39 @@ int cmd_scenario(const Args& args) {
   }
 
   core::SidSystem system(cfg);
+  const std::string trace_out = args.str("trace-out", "");
+  if (!trace_out.empty()) {
+    system.tracer().open(
+        trace_out,
+        obs::parse_category_list(args.str("trace-categories", "all")));
+  }
   const auto result = system.run(ships);
+  const std::uint64_t trace_events = system.tracer().events_emitted();
+  if (!trace_out.empty()) system.tracer().close();
+
+  const std::string metrics_out = args.str("metrics-out", "");
+  if (!metrics_out.empty()) {
+    std::ofstream os(metrics_out);
+    if (!os) {
+      throw util::InvalidArgument("cannot open metrics file: " + metrics_out);
+    }
+    system.registry().write_json(os, /*include_wall=*/true,
+                                 &obs::profile_registry());
+    os << '\n';
+  }
+
+  // One-line observability digest on stderr (stdout stays the sink log).
+  const auto& detector_h = obs::stage_histogram(obs::Stage::kDetector);
+  const auto& dispatch_h = obs::stage_histogram(obs::Stage::kEventDispatch);
+  std::fprintf(
+      stderr,
+      "[obs] alarms=%zu sink_decisions=%zu drops=%llu trace_events=%llu "
+      "detector p50=%.2fms p99=%.2fms dispatch p50=%.1fus p99=%.1fus\n",
+      result.alarms_raised, result.sink_reports.size(),
+      static_cast<unsigned long long>(result.network_stats.unicasts_dropped),
+      static_cast<unsigned long long>(trace_events),
+      detector_h.percentile(0.50) / 1e6, detector_h.percentile(0.99) / 1e6,
+      dispatch_h.percentile(0.50) / 1e3, dispatch_h.percentile(0.99) / 1e3);
   std::printf("alarms=%zu clusters=%zu cancelled=%zu sink_reports=%zu\n",
               result.alarms_raised, result.clusters_formed,
               result.clusters_cancelled, result.sink_reports.size());
@@ -223,6 +259,7 @@ int main(int argc, char** argv) {
                "[--csv]\n"
                "  detect   --in FILE [--m M] [--af F]\n"
                "  scenario [--ship-knots N] [--heading DEG] [--rows R] "
-               "[--cols C] [--seed N]\n");
+               "[--cols C] [--seed N] [--metrics-out FILE] "
+               "[--trace-out FILE] [--trace-categories LIST]\n");
   return 2;
 }

@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Schema check for SID observability artifacts (CI gate).
+
+Validates:
+  * a sid-metrics-v1 metrics/profile dump (Registry::write_json output:
+    sid_cli --metrics-out, perf_detector/perf_dsp --smoke BENCH_*.json)
+  * optionally, a JSONL event trace (obs::Tracer / sid_cli --trace-out)
+
+Usage:
+    check_obs_schema.py BENCH_detector.json [--trace trace.jsonl]
+        [--require-stage detector] [--min-trace-events 1]
+
+Exit status: 0 valid, 1 schema violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+SCHEMA = "sid-metrics-v1"
+TRACE_CATEGORIES = {"net", "node", "cluster", "sink", "energy", "fault"}
+HISTOGRAM_KEYS = {"count", "sum", "min", "max", "mean",
+                  "p50", "p95", "p99", "buckets"}
+
+
+class SchemaError(Exception):
+    pass
+
+
+def fail(context: str, message: str):
+    raise SchemaError(f"{context}: {message}")
+
+
+def check_histogram(name: str, h):
+    if not isinstance(h, dict):
+        fail(name, "histogram is not an object")
+    missing = HISTOGRAM_KEYS - h.keys()
+    if missing:
+        fail(name, f"missing keys {sorted(missing)}")
+    if not isinstance(h["count"], int) or h["count"] < 0:
+        fail(name, "count must be a non-negative integer")
+    for key in ("sum", "min", "max", "mean", "p50", "p95", "p99"):
+        if not isinstance(h[key], (int, float)):
+            fail(name, f"{key} must be a number")
+    buckets = h["buckets"]
+    if not isinstance(buckets, list) or len(buckets) < 2:
+        fail(name, "buckets must be a list with at least one bound + inf")
+    if buckets[-1].get("le") != "inf":
+        fail(name, "last bucket must have le == \"inf\"")
+    prev = None
+    total = 0
+    for i, b in enumerate(buckets):
+        if not isinstance(b, dict) or "le" not in b or "count" not in b:
+            fail(name, f"bucket {i} must have le and count")
+        if not isinstance(b["count"], int) or b["count"] < 0:
+            fail(name, f"bucket {i} count must be a non-negative integer")
+        total += b["count"]
+        le = b["le"]
+        if le != "inf":
+            if not isinstance(le, (int, float)):
+                fail(name, f"bucket {i} le must be a number or \"inf\"")
+            if prev is not None and le <= prev:
+                fail(name, f"bucket bounds not ascending at index {i}")
+            prev = le
+        elif i != len(buckets) - 1:
+            fail(name, "\"inf\" bucket must be last")
+    if total != h["count"]:
+        fail(name, f"bucket counts sum to {total}, count says {h['count']}")
+    if h["count"] > 0 and not (h["min"] <= h["p50"] <= h["max"]):
+        fail(name, "p50 outside [min, max]")
+
+
+def check_metrics(path: Path, require_stages: list[str]):
+    with path.open(encoding="utf-8") as fh:
+        doc = json.load(fh)
+    ctx = str(path)
+    if not isinstance(doc, dict):
+        fail(ctx, "top level is not an object")
+    if doc.get("schema") != SCHEMA:
+        fail(ctx, f"schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(doc.get(section), dict):
+            fail(ctx, f"missing object section {section!r}")
+    for name, value in doc["counters"].items():
+        if not isinstance(value, int) or value < 0:
+            fail(f"{ctx}:{name}", "counter must be a non-negative integer")
+    for name, value in doc["gauges"].items():
+        if not isinstance(value, (int, float)):
+            fail(f"{ctx}:{name}", "gauge must be a number")
+    profile = doc.get("profile", {})
+    if not isinstance(profile, dict):
+        fail(ctx, "profile section must be an object")
+    for name, h in list(doc["histograms"].items()) + list(profile.items()):
+        check_histogram(f"{ctx}:{name}", h)
+    for stage in require_stages:
+        name = f"profile.{stage}_ns"
+        if name not in profile:
+            fail(ctx, f"required stage histogram {name!r} missing")
+        if profile[name]["count"] == 0:
+            fail(ctx, f"required stage histogram {name!r} is empty")
+    n_hist = len(doc["histograms"]) + len(profile)
+    print(f"{path}: OK ({len(doc['counters'])} counters, "
+          f"{len(doc['gauges'])} gauges, {n_hist} histograms)")
+
+
+def check_trace(path: Path, min_events: int):
+    n = 0
+    with path.open(encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            ctx = f"{path}:{lineno}"
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as err:
+                fail(ctx, f"not valid JSON: {err}")
+            if not isinstance(record, dict):
+                fail(ctx, "event is not an object")
+            if not isinstance(record.get("t"), (int, float)):
+                fail(ctx, "t must be a number (simulation seconds)")
+            if record.get("cat") not in TRACE_CATEGORIES:
+                fail(ctx, f"unknown category {record.get('cat')!r}")
+            if not isinstance(record.get("name"), str) or not record["name"]:
+                fail(ctx, "name must be a non-empty string")
+            if not isinstance(record.get("args"), dict):
+                fail(ctx, "args must be an object")
+            n += 1
+    if n < min_events:
+        fail(str(path), f"only {n} events, expected at least {min_events}")
+    print(f"{path}: OK ({n} trace events)")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("metrics", type=Path,
+                        help="sid-metrics-v1 JSON dump to validate")
+    parser.add_argument("--trace", type=Path,
+                        help="JSONL event trace to validate as well")
+    parser.add_argument("--require-stage", action="append", default=[],
+                        metavar="STAGE",
+                        help="require a non-empty profile.<STAGE>_ns "
+                             "histogram (repeatable)")
+    parser.add_argument("--min-trace-events", type=int, default=1,
+                        help="minimum events the trace must contain")
+    args = parser.parse_args()
+    try:
+        check_metrics(args.metrics, args.require_stage)
+        if args.trace:
+            check_trace(args.trace, args.min_trace_events)
+    except SchemaError as err:
+        print(f"schema violation — {err}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,10 @@ Enforces the discipline clang-tidy cannot express:
                     (src/wsn/messages.h) whose decimal text is not exactly
                     representable in binary — inexact defaults would break
                     bit-identical replay of recorded decision streams.
+  raw-io            no raw std::cout/std::cerr/printf-family output in
+                    src/ outside src/obs/ and src/util/table.* — library
+                    code reports through the metrics registry, the event
+                    tracer, or returned values, never by printing.
 
 Exit status: 0 clean, 1 violations found, 2 internal error.
 
@@ -39,6 +43,11 @@ RNG_ALLOWED = {Path("src/util/rng.h"), Path("src/util/rng.cpp")}
 
 PROTOCOL_HEADERS = {Path("src/wsn/messages.h")}
 
+# Library code must stay silent: only the observability layer and the
+# table formatter may write to stdout/stderr. The rule covers src/ only —
+# tests, benches and examples are user-facing programs.
+RAW_IO_ALLOWED_PREFIXES = ("src/obs/", "src/util/table")
+
 ALLOW_RE = re.compile(r"//\s*lint:allow\s+([a-z-]+)")
 
 RNG_PATTERNS = (
@@ -51,6 +60,13 @@ RNG_PATTERNS = (
 )
 
 USING_NAMESPACE_RE = re.compile(r"^\s*using\s+namespace\b")
+
+RAW_IO_PATTERNS = (
+    re.compile(r"std\s*::\s*(cout|cerr)\b"),
+    # printf/fprintf/puts/fputs; the lookbehind keeps snprintf (string
+    # formatting, no output) out of scope.
+    re.compile(r"(?<![A-Za-z0-9_])(?:f?printf|f?puts)\s*\("),
+)
 
 FLOAT_LITERAL_RE = re.compile(
     r"(?<![\w.])(\d+\.\d+(?:[eE][-+]?\d+)?|\d+[eE][-+]?\d+)[fF]?(?![\w.])"
@@ -118,6 +134,9 @@ class Linter:
 
         check_protocol = rel in PROTOCOL_HEADERS
         check_rng = rel not in RNG_ALLOWED
+        rel_posix = rel.as_posix()
+        check_raw_io = (rel_posix.startswith("src/")
+                        and not rel_posix.startswith(RAW_IO_ALLOWED_PREFIXES))
 
         for lineno, raw in enumerate(lines, start=1):
             allowed = {m for m in ALLOW_RE.findall(raw)}
@@ -132,6 +151,15 @@ class Linter:
                             f"forbidden entropy/wall-clock source "
                             f"'{m.group(0).strip()}' — derive randomness "
                             f"from util::Rng / derive_seed instead")
+            if check_raw_io and "raw-io" not in allowed:
+                for pat in RAW_IO_PATTERNS:
+                    m = pat.search(code)
+                    if m:
+                        self.report(
+                            "raw-io", path, lineno,
+                            f"raw output '{m.group(0).strip()}' in library "
+                            f"code — report via obs metrics/trace or return "
+                            f"values instead")
             if (is_header and "header-using" not in allowed
                     and USING_NAMESPACE_RE.search(code)):
                 self.report("header-using", path, lineno,
@@ -175,6 +203,8 @@ def self_test() -> int:
         "rng-source-mt19937": "std::mt19937 gen(1234);\n",
         "pragma-once": "// header without the pragma\nint x;\n",
         "header-using": "#pragma once\nusing namespace std;\n",
+        "raw-io": "#include <iostream>\nvoid f() { std::cout << 1; }\n",
+        "raw-io-printf": "void g() { printf(\"x\"); }\n",
     }
     failures = []
     with tempfile.TemporaryDirectory() as tmp:
@@ -186,6 +216,12 @@ def self_test() -> int:
         (src / "c.cpp").write_text(cases["rng-source-mt19937"])
         (src / "d.h").write_text(cases["pragma-once"])
         (src / "e.h").write_text(cases["header-using"])
+        (src / "f.cpp").write_text(cases["raw-io"])
+        (src / "g.cpp").write_text(cases["raw-io-printf"])
+        # The observability layer itself may print (it IS the reporter).
+        obs = src / "obs"
+        obs.mkdir()
+        (obs / "ok.cpp").write_text(cases["raw-io"])
         # A protocol struct with an inexact default.
         wsn = src / "wsn"
         wsn.mkdir()
@@ -202,11 +238,15 @@ def self_test() -> int:
                 ("rng-source", "mt19937"),
                 ("pragma-once", "d.h"),
                 ("header-using", "e.h"),
+                ("raw-io", "f.cpp"),
+                ("raw-io", "g.cpp"),
                 ("protocol-literal", "3.3"),
         ]:
             if not any(f"[{rule}]" in v and needle in v
                        for v in linter.violations):
                 failures.append(f"rule {rule} missed its {needle} plant")
+        if any("obs/ok.cpp" in v for v in linter.violations):
+            failures.append("raw-io fired inside the exempt src/obs/ tree")
 
         # And a clean tree must pass, including the lint:allow escape.
         clean = root / "clean"

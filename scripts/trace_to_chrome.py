@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Convert a SID JSONL event trace into Chrome trace-event format.
+
+Input lines (written by obs::Tracer, sid_cli --trace-out):
+
+    {"t": <sim seconds>, "cat": "net", "name": "msg_tx", "args": {...}}
+
+Output is a single JSON object loadable in chrome://tracing or Perfetto
+(https://ui.perfetto.dev). Each category becomes its own track (tid), so
+network traffic, cluster protocol and sink decisions line up on one
+simulation timeline. All events are instants; simulation seconds map to
+trace microseconds 1:1, so "1 ms" in the viewer is 1 ms of sim time.
+
+Usage:
+    trace_to_chrome.py trace.jsonl -o trace_chrome.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+# Stable track order: protocol layers top to bottom.
+CATEGORY_TRACKS = ("node", "cluster", "sink", "net", "energy", "fault")
+
+
+def convert(lines, strict: bool) -> dict:
+    events = []
+    tids = {cat: i for i, cat in enumerate(CATEGORY_TRACKS)}
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+            t_us = float(record["t"]) * 1e6
+            cat = str(record["cat"])
+            name = str(record["name"])
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as err:
+            if strict:
+                raise SystemExit(f"line {lineno}: malformed event: {err}")
+            continue
+        tid = tids.setdefault(cat, len(tids))
+        events.append({
+            "name": name,
+            "cat": cat,
+            "ph": "i",       # instant event
+            "s": "t",        # thread-scoped flag
+            "ts": t_us,
+            "pid": 0,
+            "tid": tid,
+            "args": record.get("args", {}),
+        })
+    # Metadata: label each track with its category name.
+    meta = [{
+        "name": "thread_name",
+        "ph": "M",
+        "pid": 0,
+        "tid": tid,
+        "args": {"name": cat},
+    } for cat, tid in sorted(tids.items(), key=lambda kv: kv[1])]
+    return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", type=Path, help="JSONL trace file")
+    parser.add_argument("-o", "--out", type=Path,
+                        help="output file (default: <trace>_chrome.json)")
+    parser.add_argument("--strict", action="store_true",
+                        help="fail on malformed lines instead of skipping")
+    args = parser.parse_args()
+
+    out = args.out or args.trace.with_name(args.trace.stem + "_chrome.json")
+    with args.trace.open(encoding="utf-8") as fh:
+        doc = convert(fh, strict=args.strict)
+    with out.open("w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+        fh.write("\n")
+    n = sum(1 for e in doc["traceEvents"] if e["ph"] == "i")
+    print(f"wrote {out} ({n} events, "
+          f"{len(doc['traceEvents']) - n} track labels)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

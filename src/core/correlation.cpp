@@ -4,6 +4,7 @@
 #include <cmath>
 #include <map>
 
+#include "obs/profile.h"
 #include "util/error.h"
 #include "util/stats.h"
 
@@ -64,6 +65,7 @@ double aggregate(const std::vector<double>& per_row,
 CorrelationResult compute_correlation(
     std::span<const wsn::DetectionReport> reports,
     const util::Line2& travel_line, const CorrelationConfig& config) {
+  SID_PROFILE_STAGE(obs::Stage::kCorrelation);
   CorrelationResult result;
   result.total_reports = reports.size();
   if (reports.empty()) return result;

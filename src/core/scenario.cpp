@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/profile.h"
 #include "util/error.h"
 
 namespace sid::core {
@@ -89,12 +90,18 @@ ScenarioRun simulate_node_reports(const wsn::Network& network,
     if (const auto spec = network.faults().sensor_fault(info.id)) {
       trace_cfg.fault = to_sensing_fault(*spec);
     }
-    const auto trace = sense::generate_trace(field, trains, trace_cfg);
+    const auto trace = [&] {
+      SID_PROFILE_STAGE(obs::Stage::kSynthesis);
+      return sense::generate_trace(field, trains, trace_cfg);
+    }();
 
     NodeDetector detector(config.detector);
     NodeRun node_run;
     node_run.node = info.id;
-    node_run.alarms = detector.process_trace(trace);
+    node_run.alarms = [&] {
+      SID_PROFILE_STAGE(obs::Stage::kDetector);
+      return detector.process_trace(trace);
+    }();
 
     node_run.reports.reserve(node_run.alarms.size());
     for (const auto& alarm : node_run.alarms) {

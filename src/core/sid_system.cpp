@@ -34,9 +34,46 @@ std::optional<double> SystemResult::reported_speed_knots() const {
   return util::mps_to_knots(best->decision.estimated_speed_mps);
 }
 
+SidSystem::SidCounters::SidCounters(obs::Registry& registry)
+    : alarms_raised(registry.counter("sid.alarms_raised")),
+      clusters_formed(registry.counter("sid.clusters_formed")),
+      clusters_cancelled(registry.counter("sid.clusters_cancelled")),
+      clusters_abandoned(registry.counter("sid.clusters_abandoned")),
+      decisions_sent(registry.counter("sid.decisions_sent")),
+      decision_retries(registry.counter("sid.decision_retries")),
+      decisions_lost(registry.counter("sid.decisions_lost")),
+      fallback_reports(registry.counter("sid.fallback_reports")),
+      fallback_decisions(registry.counter("sid.fallback_decisions")),
+      duplicates_suppressed(registry.counter("sid.duplicates_suppressed")),
+      true_alarms(registry.counter("detect.true_alarms")),
+      false_alarms(registry.counter("detect.false_alarms")),
+      missed_wakes(registry.counter("detect.missed_wakes")),
+      decision_latency_s(registry.histogram(
+          "sid.decision_latency_s",
+          {0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 30.0, 60.0, 120.0, 300.0, 600.0},
+          obs::Histogram::Clock::kSim)) {}
+
+void SidSystem::SidCounters::reset() {
+  alarms_raised.reset();
+  clusters_formed.reset();
+  clusters_cancelled.reset();
+  clusters_abandoned.reset();
+  decisions_sent.reset();
+  decision_retries.reset();
+  decisions_lost.reset();
+  fallback_reports.reset();
+  fallback_decisions.reset();
+  duplicates_suppressed.reset();
+  true_alarms.reset();
+  false_alarms.reset();
+  missed_wakes.reset();
+  decision_latency_s.reset();
+}
+
 SidSystem::SidSystem(const SidSystemConfig& config)
     : config_(config),
       network_(config.network),
+      counters_(network_.registry()),
       evaluator_(config.cluster),
       members_(network_.node_count()) {
   util::require(config.static_cell_size >= 1,
@@ -94,20 +131,29 @@ void SidSystem::head_fallback_check(wsn::NodeId member_id, wsn::NodeId head) {
   if (target == head || !network_.node_operational(target, now)) {
     target = sink_node_;
   }
+  SID_TRACE(&network_.tracer(), obs::Category::kCluster, "head_fallback", now,
+            {{"member", member_id},
+             {"dead_head", head},
+             {"target", target},
+             {"reports", buffered.size()}});
   for (auto report : buffered) {
     report.fallback = true;
     wsn::Message msg;
     msg.src = member_id;
     msg.dst = target;
     msg.payload = report;
-    ++result_.fallback_reports;
+    counters_.fallback_reports.add(1);
     network_.unicast(msg);
   }
 }
 
 void SidSystem::on_alarm(wsn::NodeId node, const wsn::DetectionReport& report,
                          double t) {
-  ++result_.alarms_raised;
+  counters_.alarms_raised.add(1);
+  SID_TRACE(&network_.tracer(), obs::Category::kNode, "alarm", t,
+            {{"node", node},
+             {"freq_hz", report.anomaly_frequency},
+             {"avg_energy", report.average_energy}});
   MemberState& member = members_[node];
 
   // Expire stale membership.
@@ -133,8 +179,10 @@ void SidSystem::on_alarm(wsn::NodeId node, const wsn::DetectionReport& report,
   }
 
   // Become a temporary cluster head (Algorithm SID, SetUpTempCluster).
-  ++result_.clusters_formed;
+  counters_.clusters_formed.add(1);
   const double deadline = t + config_.cluster.collection_window_s;
+  SID_TRACE(&network_.tracer(), obs::Category::kCluster, "cluster_formed", t,
+            {{"head", node}, {"deadline_s", deadline}});
   HeadState state;
   state.reports.push_back(report);
   state.deadline_s = deadline;
@@ -168,9 +216,21 @@ void SidSystem::accept_at_sink(const wsn::ClusterDecision& decision,
              "accept_at_sink: non-finite field in decision from head ",
              decision.head);
   if (!sink_seen_.insert(decision.seq).second) {
-    ++result_.duplicates_suppressed;
+    counters_.duplicates_suppressed.add(1);
+    SID_TRACE(&network_.tracer(), obs::Category::kSink, "sink_duplicate", t,
+              {{"seq", decision.seq}, {"head", decision.head}});
     return;
   }
+  if (const auto created = decision_created_s_.find(decision.seq);
+      created != decision_created_s_.end()) {
+    counters_.decision_latency_s.record(t - created->second);
+  }
+  SID_TRACE(&network_.tracer(), obs::Category::kSink, "sink_decision", t,
+            {{"seq", decision.seq},
+             {"head", decision.head},
+             {"intrusion", decision.intrusion},
+             {"correlation", decision.correlation},
+             {"speed_mps", decision.estimated_speed_mps}});
   result_.sink_reports.push_back(SinkReport{decision, t});
   if (decision.intrusion) {
     TrackObservation observation;
@@ -194,7 +254,10 @@ void SidSystem::send_decision(wsn::NodeId from, wsn::NodeId dst,
   const auto outcome = network_.unicast(msg);
   if (outcome == wsn::UnicastOutcome::kDelivered) return;
   if (attempt >= config_.resilience.max_decision_retries) {
-    ++result_.decisions_lost;
+    counters_.decisions_lost.add(1);
+    SID_TRACE(&network_.tracer(), obs::Category::kCluster, "decision_lost",
+              network_.events().now(),
+              {{"from", from}, {"seq", decision.seq}});
     return;
   }
   // An unroutable relay (dead static head, partition) will not heal by
@@ -205,7 +268,13 @@ void SidSystem::send_decision(wsn::NodeId from, wsn::NodeId dst,
   }
   const double backoff = config_.resilience.retry_backoff_base_s *
                          std::pow(2.0, static_cast<double>(attempt));
-  ++result_.decision_retries;
+  counters_.decision_retries.add(1);
+  SID_TRACE(&network_.tracer(), obs::Category::kCluster, "decision_retry",
+            network_.events().now(),
+            {{"from", from},
+             {"next_dst", next_dst},
+             {"seq", decision.seq},
+             {"attempt", attempt}});
   network_.events().schedule_after(
       backoff, [this, from, next_dst, decision, attempt] {
         send_decision(from, next_dst, decision, attempt + 1);
@@ -276,7 +345,9 @@ void SidSystem::evaluate_head(wsn::NodeId head) {
   // A head that died mid-window evaluates nothing; its members detect the
   // death and fall back to the static head.
   if (!network_.node_operational(head, now)) {
-    ++result_.clusters_abandoned;
+    counters_.clusters_abandoned.add(1);
+    SID_TRACE(&network_.tracer(), obs::Category::kCluster,
+              "cluster_abandoned", now, {{"head", head}});
     members_[head].head.reset();
     return;
   }
@@ -284,7 +355,10 @@ void SidSystem::evaluate_head(wsn::NodeId head) {
   const ClusterDecisionResult verdict =
       evaluator_.evaluate(it->second.reports);
   if (verdict.cancelled) {
-    ++result_.clusters_cancelled;
+    counters_.clusters_cancelled.add(1);
+    SID_TRACE(&network_.tracer(), obs::Category::kCluster,
+              "cluster_cancelled", now,
+              {{"head", head}, {"reports", it->second.reports.size()}});
     members_[head].head.reset();
     return;
   }
@@ -307,7 +381,15 @@ void SidSystem::evaluate_head(wsn::NodeId head) {
   decision.decision_local_time_s =
       network_.local_time(head, network_.events().now());
 
-  ++result_.decisions_sent;
+  counters_.decisions_sent.add(1);
+  decision_created_s_.emplace(decision.seq, now);
+  SID_TRACE(&network_.tracer(), obs::Category::kCluster, "cluster_decision",
+            now,
+            {{"head", head},
+             {"seq", decision.seq},
+             {"intrusion", decision.intrusion},
+             {"correlation", decision.correlation},
+             {"reports", decision.report_count}});
   wsn::NodeId target = static_head_of(head);
   if (target == head || !network_.node_operational(target, now)) {
     target = sink_node_;
@@ -327,7 +409,10 @@ void SidSystem::evaluate_fallback(wsn::NodeId head) {
 
   const ClusterDecisionResult verdict = evaluator_.evaluate(reports);
   if (verdict.cancelled) {
-    ++result_.clusters_cancelled;
+    counters_.clusters_cancelled.add(1);
+    SID_TRACE(&network_.tracer(), obs::Category::kCluster,
+              "cluster_cancelled", now,
+              {{"head", head}, {"reports", reports.size()}, {"fallback", true}});
     return;
   }
 
@@ -348,16 +433,25 @@ void SidSystem::evaluate_fallback(wsn::NodeId head) {
   }
   decision.decision_local_time_s = network_.local_time(head, now);
 
-  ++result_.decisions_sent;
-  ++result_.fallback_decisions;
+  counters_.decisions_sent.add(1);
+  counters_.fallback_decisions.add(1);
+  decision_created_s_.emplace(decision.seq, now);
+  SID_TRACE(&network_.tracer(), obs::Category::kCluster, "fallback_decision",
+            now,
+            {{"head", head},
+             {"seq", decision.seq},
+             {"intrusion", decision.intrusion},
+             {"correlation", decision.correlation}});
   send_decision(head, sink_node_, decision, 0);
 }
 
 SystemResult SidSystem::run(std::span<const wake::ShipTrackConfig> ships) {
   result_ = SystemResult{};
+  counters_.reset();
   heads_.clear();
   fallbacks_.clear();
   sink_seen_.clear();
+  decision_created_s_.clear();
   next_seq_ = 0;
   members_.assign(network_.node_count(), MemberState{});
   tracker_ = Tracker(config_.cluster_tracker);
@@ -393,10 +487,50 @@ SystemResult SidSystem::run(std::span<const wake::ShipTrackConfig> ships) {
 
   network_.events().run_all();
 
+  // Detection outcomes against ground truth (observability only): each
+  // alarm either matches a wake arrival or is spurious; each arrival with
+  // no matching alarm at that node was missed.
+  const double tolerance = config_.detection_match_tolerance_s;
+  for (std::size_t i = 0; i < front_end.node_runs.size(); ++i) {
+    const auto& node_run = front_end.node_runs[i];
+    const auto& truth = front_end.truths[i];
+    for (const auto& alarm : node_run.alarms) {
+      if (alarm_matches_truth(alarm, truth.wake_arrivals, tolerance)) {
+        counters_.true_alarms.add(1);
+      } else {
+        counters_.false_alarms.add(1);
+      }
+    }
+    for (const double arrival : truth.wake_arrivals) {
+      const bool detected = std::any_of(
+          node_run.alarms.begin(), node_run.alarms.end(),
+          [&](const Alarm& alarm) {
+            return alarm_matches_truth(alarm, std::span(&arrival, 1),
+                                       tolerance);
+          });
+      if (!detected) counters_.missed_wakes.add(1);
+    }
+  }
+
+  // SystemResult fields are snapshots of the registry counters.
+  result_.alarms_raised = counters_.alarms_raised.value();
+  result_.clusters_formed = counters_.clusters_formed.value();
+  result_.clusters_cancelled = counters_.clusters_cancelled.value();
+  result_.clusters_abandoned = counters_.clusters_abandoned.value();
+  result_.decisions_sent = counters_.decisions_sent.value();
+  result_.decision_retries = counters_.decision_retries.value();
+  result_.decisions_lost = counters_.decisions_lost.value();
+  result_.fallback_reports = counters_.fallback_reports.value();
+  result_.fallback_decisions = counters_.fallback_decisions.value();
+  result_.duplicates_suppressed = counters_.duplicates_suppressed.value();
+
   result_.network_stats = network_.stats();
   for (const auto& info : network_.nodes()) {
     result_.total_energy_mj += info.energy.spent_mj();
   }
+  registry().gauge("energy.total_mj").set(result_.total_energy_mj);
+  registry().gauge("sim.events_executed")
+      .set(static_cast<double>(network_.events().executed_total()));
   result_.tracks = tracker_.active_tracks();
   result_.tracks.insert(result_.tracks.end(),
                         tracker_.retired_tracks().begin(),

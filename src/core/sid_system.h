@@ -56,6 +56,10 @@ struct SidSystemConfig {
   /// Sink-level vessel tracker configuration.
   TrackerConfig cluster_tracker;
   ResilienceConfig resilience;
+  /// Tolerance when matching node alarms against ground-truth wake
+  /// arrivals for the detect.* outcome counters (observability only;
+  /// does not influence the protocol).
+  double detection_match_tolerance_s = 6.0;
 };
 
 /// A decision that reached the sink.
@@ -108,6 +112,15 @@ class SidSystem {
 
   const wsn::Network& network() const { return network_; }
 
+  /// The metrics registry the whole pipeline records into (owned by the
+  /// network so "net.*", "sid.*" and "detect.*" share one dump).
+  obs::Registry& registry() { return network_.registry(); }
+  const obs::Registry& registry() const { return network_.registry(); }
+
+  /// The structured event tracer (disabled until opened/attached).
+  obs::Tracer& tracer() { return network_.tracer(); }
+  const obs::Tracer& tracer() const { return network_.tracer(); }
+
   /// Static cluster head node for a given node (the centre of its cell).
   wsn::NodeId static_head_of(wsn::NodeId id) const;
 
@@ -131,6 +144,30 @@ class SidSystem {
   struct FallbackState {
     std::vector<wsn::DetectionReport> reports;
     bool scheduled = false;
+  };
+  /// Protocol counters live in the registry; the SystemResult fields are
+  /// snapshots of these at the end of run() (never a second copy). The
+  /// references are resolved once at construction so the hot path is a
+  /// relaxed atomic add.
+  struct SidCounters {
+    explicit SidCounters(obs::Registry& registry);
+    void reset();
+    obs::Counter& alarms_raised;
+    obs::Counter& clusters_formed;
+    obs::Counter& clusters_cancelled;
+    obs::Counter& clusters_abandoned;
+    obs::Counter& decisions_sent;
+    obs::Counter& decision_retries;
+    obs::Counter& decisions_lost;
+    obs::Counter& fallback_reports;
+    obs::Counter& fallback_decisions;
+    obs::Counter& duplicates_suppressed;
+    obs::Counter& true_alarms;
+    obs::Counter& false_alarms;
+    obs::Counter& missed_wakes;
+    /// Sim-time seconds from decision creation at a cluster head to
+    /// acceptance at the sink (first copy only).
+    obs::Histogram& decision_latency_s;
   };
 
   void on_alarm(wsn::NodeId node, const wsn::DetectionReport& report,
@@ -156,12 +193,15 @@ class SidSystem {
 
   SidSystemConfig config_;
   wsn::Network network_;
+  SidCounters counters_;
   ClusterEvaluator evaluator_;
   Tracker tracker_;
   std::map<wsn::NodeId, HeadState> heads_;
   std::vector<MemberState> members_;
   std::map<wsn::NodeId, FallbackState> fallbacks_;
   std::unordered_set<std::uint32_t> sink_seen_;
+  /// Decision seq -> sim time it was created, for the latency histogram.
+  std::map<std::uint32_t, double> decision_created_s_;
   std::uint32_t next_seq_ = 0;
   SystemResult result_;
   wsn::NodeId sink_node_ = 0;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "dsp/fft.h"
+#include "obs/profile.h"
 #include "util/check.h"
 #include "util/error.h"
 
@@ -133,6 +134,7 @@ double peak_concentration(std::span<const double> power) {
 SpectralFeatures extract_spectral_features(std::span<const double> power,
                                            double sample_rate_hz,
                                            std::size_t n_fft) {
+  SID_PROFILE_STAGE(obs::Stage::kFeatures);
   SID_DCHECK_FINITE(power, "extract_spectral_features input spectrum");
   SpectralFeatures f;
   f.flatness = spectral_flatness(power);

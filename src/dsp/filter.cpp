@@ -5,6 +5,7 @@
 #include <numbers>
 
 #include "dsp/fft.h"
+#include "obs/profile.h"
 #include "util/check.h"
 #include "util/error.h"
 
@@ -45,6 +46,7 @@ std::vector<double> fir_lowpass_design(double cutoff_hz, double sample_rate_hz,
 
 std::vector<double> fir_filter(std::span<const double> signal,
                                std::span<const double> taps) {
+  SID_PROFILE_STAGE(obs::Stage::kFilter);
   util::require(!taps.empty(), "fir_filter: empty taps");
   util::require(!signal.empty(), "fir_filter: empty signal");
   const auto full = fft_convolve(signal, taps);
@@ -138,6 +140,7 @@ void IirCascade::prime(double x) {
 }
 
 std::vector<double> IirCascade::process_all(std::span<const double> signal) {
+  SID_PROFILE_STAGE(obs::Stage::kFilter);
   std::vector<double> out(signal.size());
   for (std::size_t i = 0; i < signal.size(); ++i) out[i] = process(signal[i]);
   return out;
@@ -145,6 +148,7 @@ std::vector<double> IirCascade::process_all(std::span<const double> signal) {
 
 std::vector<double> filtfilt(const std::vector<Biquad>& sections,
                              std::span<const double> signal) {
+  SID_PROFILE_STAGE(obs::Stage::kFilter);
   util::require(!signal.empty(), "filtfilt: empty signal");
   // Reflect-pad both ends to suppress transients; pad length heuristic.
   const std::size_t pad = std::min<std::size_t>(signal.size() - 1, 300);

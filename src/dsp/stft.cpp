@@ -1,6 +1,7 @@
 #include "dsp/stft.h"
 
 #include "dsp/fft.h"
+#include "obs/profile.h"
 #include "util/check.h"
 #include "util/error.h"
 
@@ -24,6 +25,7 @@ std::vector<double> frame_power_spectrum(std::span<const double> frame,
 }
 
 Spectrogram stft(std::span<const double> signal, const StftConfig& config) {
+  SID_PROFILE_STAGE(obs::Stage::kStft);
   util::require(is_power_of_two(config.frame_size),
                 "stft: frame_size must be a power of two");
   util::require(config.hop > 0, "stft: hop must be positive");

@@ -5,6 +5,7 @@
 #include <numbers>
 
 #include "dsp/fft.h"
+#include "obs/profile.h"
 #include "util/check.h"
 #include "util/error.h"
 
@@ -29,6 +30,7 @@ std::vector<double> cwt_frequencies(const CwtConfig& config) {
 }
 
 Scalogram cwt_morlet(std::span<const double> signal, const CwtConfig& config) {
+  SID_PROFILE_STAGE(obs::Stage::kWavelet);
   util::require(!signal.empty(), "cwt_morlet: empty signal");
   const auto freqs = cwt_frequencies(config);
 

@@ -1,0 +1,241 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace sid::obs {
+
+namespace {
+
+/// Round-trip-exact double formatting: identical values always produce
+/// identical text, which is what makes to_json(false) usable as a
+/// determinism digest.
+std::string fmt_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void write_escaped(std::ostream& os, std::string_view s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else {
+      os << c;
+    }
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds, Clock clock)
+    : bounds_(std::move(bounds)), clock_(clock) {
+  util::require(!bounds_.empty(), "Histogram: needs at least one bound");
+  util::require(std::is_sorted(bounds_.begin(), bounds_.end()),
+                "Histogram: bounds must be ascending");
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::record(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  sum_ += value;
+  ++count_;
+}
+
+void Histogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+double Histogram::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::percentile(double p) const {
+  util::require(p >= 0.0 && p <= 1.0, "Histogram::percentile: p in [0,1]");
+  if (count_ == 0) return 0.0;
+  const double target = p * static_cast<double>(count_);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const double before = static_cast<double>(seen);
+    seen += counts_[i];
+    if (static_cast<double>(seen) < target) continue;
+    // Interpolate inside bucket i between its edges, clamped to the
+    // observed [min, max] so percentiles never leave the data range.
+    const double lo = std::max(i == 0 ? min_ : bounds_[i - 1], min_);
+    const double hi = std::min(i < bounds_.size() ? bounds_[i] : max_, max_);
+    const double frac =
+        (target - before) / static_cast<double>(counts_[i]);
+    return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+  }
+  return max_;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  for (auto& entry : counters_) {
+    if (entry.name == name) return entry.instrument;
+  }
+  util::require(!find_gauge(name) && !find_histogram(name),
+                "Registry::counter: name already used by another kind");
+  counters_.push_back({std::string(name), Counter{}});
+  return counters_.back().instrument;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  for (auto& entry : gauges_) {
+    if (entry.name == name) return entry.instrument;
+  }
+  util::require(!find_counter(name) && !find_histogram(name),
+                "Registry::gauge: name already used by another kind");
+  gauges_.push_back({std::string(name), Gauge{}});
+  return gauges_.back().instrument;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::vector<double> bounds,
+                               Histogram::Clock clock) {
+  for (auto& entry : histograms_) {
+    if (entry.name == name) return entry.instrument;
+  }
+  util::require(!find_counter(name) && !find_gauge(name),
+                "Registry::histogram: name already used by another kind");
+  histograms_.push_back({std::string(name),
+                         Histogram(std::move(bounds), clock)});
+  return histograms_.back().instrument;
+}
+
+const Counter* Registry::find_counter(std::string_view name) const {
+  for (const auto& entry : counters_) {
+    if (entry.name == name) return &entry.instrument;
+  }
+  return nullptr;
+}
+
+const Gauge* Registry::find_gauge(std::string_view name) const {
+  for (const auto& entry : gauges_) {
+    if (entry.name == name) return &entry.instrument;
+  }
+  return nullptr;
+}
+
+const Histogram* Registry::find_histogram(std::string_view name) const {
+  for (const auto& entry : histograms_) {
+    if (entry.name == name) return &entry.instrument;
+  }
+  return nullptr;
+}
+
+void Registry::reset() {
+  for (auto& entry : counters_) entry.instrument.reset();
+  for (auto& entry : gauges_) entry.instrument.reset();
+  for (auto& entry : histograms_) entry.instrument.reset();
+}
+
+namespace {
+
+void write_histogram_json(std::ostream& os, const Histogram& h) {
+  os << "{\"count\":" << h.count() << ",\"sum\":" << fmt_double(h.sum())
+     << ",\"min\":" << fmt_double(h.min())
+     << ",\"max\":" << fmt_double(h.max())
+     << ",\"mean\":" << fmt_double(h.mean())
+     << ",\"p50\":" << fmt_double(h.percentile(0.50))
+     << ",\"p95\":" << fmt_double(h.percentile(0.95))
+     << ",\"p99\":" << fmt_double(h.percentile(0.99)) << ",\"buckets\":[";
+  const auto& bounds = h.bounds();
+  const auto& counts = h.bucket_counts();
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (i > 0) os << ',';
+    os << "{\"le\":";
+    if (i < bounds.size()) {
+      os << fmt_double(bounds[i]);
+    } else {
+      os << "\"inf\"";
+    }
+    os << ",\"count\":" << counts[i] << '}';
+  }
+  os << "]}";
+}
+
+}  // namespace
+
+void Registry::write_json(std::ostream& os, bool include_wall,
+                          const Registry* wall_overlay) const {
+  os << "{\"schema\":\"sid-metrics-v1\",\"counters\":{";
+  bool first = true;
+  for (const auto& entry : counters_) {
+    if (!first) os << ',';
+    first = false;
+    os << '"';
+    write_escaped(os, entry.name);
+    os << "\":" << entry.instrument.value();
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& entry : gauges_) {
+    if (!first) os << ',';
+    first = false;
+    os << '"';
+    write_escaped(os, entry.name);
+    os << "\":" << fmt_double(entry.instrument.value());
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& entry : histograms_) {
+    if (entry.instrument.clock() != Histogram::Clock::kSim) continue;
+    if (!first) os << ',';
+    first = false;
+    os << '"';
+    write_escaped(os, entry.name);
+    os << "\":";
+    write_histogram_json(os, entry.instrument);
+  }
+  os << '}';
+  if (include_wall) {
+    os << ",\"profile\":{";
+    first = true;
+    const auto write_wall = [&](const std::deque<Named<Histogram>>& entries) {
+      for (const auto& entry : entries) {
+        if (entry.instrument.clock() != Histogram::Clock::kWall) continue;
+        if (!first) os << ',';
+        first = false;
+        os << '"';
+        write_escaped(os, entry.name);
+        os << "\":";
+        write_histogram_json(os, entry.instrument);
+      }
+    };
+    write_wall(histograms_);
+    if (wall_overlay != nullptr && wall_overlay != this) {
+      write_wall(wall_overlay->histograms_);
+    }
+    os << '}';
+  }
+  os << '}';
+}
+
+std::string Registry::to_json(bool include_wall,
+                              const Registry* wall_overlay) const {
+  std::ostringstream oss;
+  write_json(oss, include_wall, wall_overlay);
+  return oss.str();
+}
+
+}  // namespace sid::obs

@@ -1,0 +1,162 @@
+// Metrics registry: named counters, gauges and fixed-bucket histograms
+// for the whole simulation (DESIGN.md §5e).
+//
+// Instruments are owned by a Registry and handed out as stable references,
+// so recording is a single inline add with no lookup on the hot path.
+// Two clock domains are kept apart:
+//
+//   kSim   values measured in simulation time / simulation events. These
+//          are deterministic (same seed => bit-identical dump) and are
+//          included in the determinism gate.
+//   kWall  wall-clock profiling measurements (obs/profile.h). These vary
+//          run to run and are excluded from deterministic dumps.
+//
+// Counters that back simulation results (NetworkStats, SystemResult) stay
+// live in every build: they ARE the result surface, not optional
+// diagnostics. The SID_ENABLE_METRICS=OFF build compiles out only the
+// observability-only instrumentation sites — the SID_METRIC_* /
+// SID_TRACE / SID_PROFILE_STAGE macros below and in trace.h/profile.h.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+// Central gate for observability instrumentation sites. The CMake option
+// SID_ENABLE_METRICS=OFF defines this to 0, turning every macro site into
+// a no-op with zero runtime cost.
+#ifndef SID_METRICS_ENABLED
+#define SID_METRICS_ENABLED 1
+#endif
+
+namespace sid::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_ += n; }
+  void reset() { value_ = 0; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-written scalar (energy totals, run length, configuration facts).
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void add(double v) { value_ += v; }
+  void reset() { value_ = 0.0; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram: `bounds` are ascending inclusive upper edges,
+/// with an implicit final +inf bucket. Tracks count/sum/min/max exactly
+/// and answers percentile queries by linear interpolation inside the
+/// selected bucket.
+class Histogram {
+ public:
+  enum class Clock {
+    kSim,   ///< deterministic simulation-time values
+    kWall,  ///< wall-clock profiling values (nondeterministic)
+  };
+
+  Histogram(std::vector<double> bounds, Clock clock);
+
+  void record(double value);
+  void reset();
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return min_; }  ///< 0 when empty
+  double max() const { return max_; }  ///< 0 when empty
+  double mean() const;
+  /// p in [0, 1]. Returns 0 when empty; values in the +inf bucket clamp
+  /// to the observed max.
+  double percentile(double p) const;
+
+  Clock clock() const { return clock_; }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// bucket_counts().size() == bounds().size() + 1 (the +inf bucket).
+  const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  Clock clock_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Insertion-ordered collection of named instruments. References returned
+/// by counter()/gauge()/histogram() stay valid for the registry's
+/// lifetime (deque storage), so call sites resolve the name once and
+/// record through the reference.
+class Registry {
+ public:
+  /// Finds or creates. A name identifies exactly one instrument kind;
+  /// re-requesting an existing name with a different kind throws.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// `bounds` are used only on first creation for a given name.
+  Histogram& histogram(std::string_view name, std::vector<double> bounds,
+                       Histogram::Clock clock = Histogram::Clock::kSim);
+
+  const Counter* find_counter(std::string_view name) const;
+  const Gauge* find_gauge(std::string_view name) const;
+  const Histogram* find_histogram(std::string_view name) const;
+
+  /// Zeroes every instrument (bucket layouts are kept).
+  void reset();
+
+  /// Dumps `{"schema":"sid-metrics-v1","counters":{...},"gauges":{...},
+  /// "histograms":{...},"profile":{...}}`. Wall-clock histograms go under
+  /// "profile"; with include_wall=false that section is omitted entirely,
+  /// making the dump bit-deterministic for a given seed. `wall_overlay`,
+  /// when given, contributes its wall-clock histograms to the "profile"
+  /// section too (used to fold the process-global profiling registry into
+  /// a simulation registry's dump).
+  void write_json(std::ostream& os, bool include_wall = true,
+                  const Registry* wall_overlay = nullptr) const;
+  std::string to_json(bool include_wall = true,
+                      const Registry* wall_overlay = nullptr) const;
+
+  std::size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+ private:
+  template <typename T>
+  struct Named {
+    std::string name;
+    T instrument;
+  };
+
+  std::deque<Named<Counter>> counters_;
+  std::deque<Named<Gauge>> gauges_;
+  std::deque<Named<Histogram>> histograms_;
+};
+
+}  // namespace sid::obs
+
+// Observability-only recording sites. Simulation-result counters call the
+// instruments directly instead of going through these macros.
+#if SID_METRICS_ENABLED
+#define SID_METRIC_ADD(counter, n) ((counter).add(n))
+#define SID_METRIC_SET(gauge, v) ((gauge).set(v))
+#define SID_METRIC_RECORD(histogram, v) ((histogram).record(v))
+#else
+#define SID_METRIC_ADD(counter, n) ((void)0)
+#define SID_METRIC_SET(gauge, v) ((void)0)
+#define SID_METRIC_RECORD(histogram, v) ((void)0)
+#endif

@@ -1,0 +1,133 @@
+// Structured event tracer: sim-time-stamped JSONL, one event per line,
+// behind per-category enable flags (DESIGN.md §5e).
+//
+//   {"t":123.456,"cat":"net","name":"msg_tx","args":{"src":3,"dst":0}}
+//
+// A disabled tracer (the default) costs one pointer test and one bitmask
+// test per site; instrumentation sites go through the SID_TRACE macro so
+// the SID_ENABLE_METRICS=OFF build removes them entirely. The JSONL file
+// converts to Chrome about://tracing format with
+// scripts/trace_to_chrome.py.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <initializer_list>
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"  // SID_METRICS_ENABLED
+
+namespace sid::obs {
+
+/// Event categories (bitmask). Keep category_name() in sync.
+enum class Category : unsigned {
+  kNet = 1U << 0,      ///< message tx/rx/drop, floods
+  kNode = 1U << 1,     ///< node-level detection events (alarms)
+  kCluster = 1U << 2,  ///< temporary-cluster lifecycle, fallbacks
+  kSink = 1U << 3,     ///< sink decisions, duplicates
+  kEnergy = 1U << 4,   ///< energy accounting milestones
+  kFault = 1U << 5,    ///< fault-injection effects (burst/congestion loss)
+};
+
+inline constexpr unsigned kAllCategories = (1U << 6) - 1;
+
+std::string_view category_name(Category cat);
+
+/// Parses one category name ("net", "node", ...); nullopt when unknown.
+std::optional<Category> parse_category(std::string_view name);
+
+/// Parses a comma-separated list ("net,sink"); "all" (or "") selects every
+/// category. Throws util::InvalidArgument on an unknown name.
+unsigned parse_category_list(std::string_view csv);
+
+/// One typed key/value pair of an event's "args" object.
+struct Field {
+  enum class Type { kDouble, kInt, kUInt, kBool, kString };
+
+  constexpr Field(std::string_view k, double v)
+      : key(k), type(Type::kDouble), num(v) {}
+  constexpr Field(std::string_view k, int v)
+      : key(k), type(Type::kInt), i(v) {}
+  constexpr Field(std::string_view k, long v)
+      : key(k), type(Type::kInt), i(v) {}
+  constexpr Field(std::string_view k, long long v)
+      : key(k), type(Type::kInt), i(v) {}
+  constexpr Field(std::string_view k, unsigned v)
+      : key(k), type(Type::kUInt), u(v) {}
+  constexpr Field(std::string_view k, unsigned long v)
+      : key(k), type(Type::kUInt), u(v) {}
+  constexpr Field(std::string_view k, unsigned long long v)
+      : key(k), type(Type::kUInt), u(v) {}
+  constexpr Field(std::string_view k, bool v)
+      : key(k), type(Type::kBool), b(v) {}
+  constexpr Field(std::string_view k, std::string_view v)
+      : key(k), type(Type::kString), s(v) {}
+  constexpr Field(std::string_view k, const char* v)
+      : key(k), type(Type::kString), s(v) {}
+
+  std::string_view key;
+  Type type;
+  double num = 0.0;
+  std::int64_t i = 0;
+  std::uint64_t u = 0;
+  bool b = false;
+  std::string_view s;
+};
+
+/// JSONL event sink. Default-constructed tracers are disabled; open() or
+/// attach() arms them for the selected categories.
+class Tracer {
+ public:
+  Tracer() = default;
+
+  /// Opens `path` for writing (truncates). Throws util::Error on failure.
+  void open(const std::string& path, unsigned categories = kAllCategories);
+
+  /// Writes to an externally owned stream (tests, stringstreams).
+  void attach(std::ostream* os, unsigned categories = kAllCategories);
+
+  /// Flushes and detaches; the tracer returns to the disabled state.
+  void close();
+
+  void set_categories(unsigned mask) { categories_ = mask; }
+  unsigned categories() const { return categories_; }
+
+  bool active() const { return out_ != nullptr; }
+  bool enabled(Category cat) const {
+    return out_ != nullptr &&
+           (categories_ & static_cast<unsigned>(cat)) != 0;
+  }
+
+  /// Writes one event line. Callers must check enabled() first (the
+  /// SID_TRACE macro does); emit() on a disabled category is a no-op.
+  void emit(Category cat, std::string_view name, double sim_time_s,
+            std::initializer_list<Field> fields = {});
+
+  std::uint64_t events_emitted() const { return events_; }
+
+ private:
+  std::ostream* out_ = nullptr;
+  std::unique_ptr<std::ofstream> file_;
+  unsigned categories_ = kAllCategories;
+  std::uint64_t events_ = 0;
+};
+
+}  // namespace sid::obs
+
+// Instrumentation-site macro: compiled out with SID_ENABLE_METRICS=OFF.
+// `tracer` is a Tracer*; everything after `cat` forwards to emit().
+#if SID_METRICS_ENABLED
+#define SID_TRACE(tracer, cat, ...)                        \
+  do {                                                     \
+    ::sid::obs::Tracer* sid_trace_ptr = (tracer);          \
+    if (sid_trace_ptr != nullptr && sid_trace_ptr->enabled(cat)) {     \
+      sid_trace_ptr->emit(cat, __VA_ARGS__);               \
+    }                                                      \
+  } while (0)
+#else
+#define SID_TRACE(tracer, cat, ...) ((void)0)
+#endif

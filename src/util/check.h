@@ -57,7 +57,9 @@ std::string format_check_message(const Args&... args) {
 [[noreturn]] inline void check_failed(const char* file, int line,
                                       const char* condition,
                                       const std::string& message) {
-  std::fprintf(stderr, "SID_CHECK failed at %s:%d: %s%s%s\n", file, line,
+  // Crash reporting writes straight to stderr.
+  std::fprintf(stderr,  // lint:allow raw-io
+               "SID_CHECK failed at %s:%d: %s%s%s\n", file, line,
                condition, message.empty() ? "" : " — ", message.c_str());
   std::fflush(stderr);
   std::abort();
@@ -66,7 +68,7 @@ std::string format_check_message(const Args&... args) {
 [[noreturn]] inline void finite_failed(const char* file, int line,
                                        std::string_view label,
                                        std::size_t index, double value) {
-  std::fprintf(stderr,
+  std::fprintf(stderr,  // lint:allow raw-io
                "SID_CHECK failed at %s:%d: non-finite value %g at index %zu "
                "in %.*s\n",
                file, line, value, index, static_cast<int>(label.size()),

@@ -1,5 +1,6 @@
 #include "wsn/event_queue.h"
 
+#include "obs/profile.h"
 #include "util/error.h"
 
 namespace sid::wsn {
@@ -15,15 +16,21 @@ void EventQueue::schedule_after(double delay, Callback cb) {
   schedule_at(now_ + delay, std::move(cb));
 }
 
+void EventQueue::dispatch_top() {
+  // Copy out before pop so the callback may schedule new events.
+  Event ev = heap_.top();
+  heap_.pop();
+  now_ = ev.time;
+  SID_PROFILE_STAGE(obs::Stage::kEventDispatch);
+  ev.cb();
+  ++executed_total_;
+}
+
 std::size_t EventQueue::run_until(double t_end) {
   util::require(t_end >= now_, "EventQueue::run_until: t_end in the past");
   std::size_t executed = 0;
   while (!heap_.empty() && heap_.top().time <= t_end) {
-    // Copy out before pop so the callback may schedule new events.
-    Event ev = heap_.top();
-    heap_.pop();
-    now_ = ev.time;
-    ev.cb();
+    dispatch_top();
     ++executed;
   }
   now_ = t_end;
@@ -33,10 +40,7 @@ std::size_t EventQueue::run_until(double t_end) {
 std::size_t EventQueue::run_all() {
   std::size_t executed = 0;
   while (!heap_.empty()) {
-    Event ev = heap_.top();
-    heap_.pop();
-    now_ = ev.time;
-    ev.cb();
+    dispatch_top();
     ++executed;
   }
   return executed;

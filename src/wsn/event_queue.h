@@ -36,6 +36,9 @@ class EventQueue {
 
   bool empty() const { return heap_.empty(); }
   std::size_t pending() const { return heap_.size(); }
+  /// Total events executed over this queue's lifetime (observability:
+  /// mirrored into the metrics registry as "sim.events_executed").
+  std::uint64_t executed_total() const { return executed_total_; }
 
  private:
   struct Event {
@@ -50,9 +53,14 @@ class EventQueue {
     }
   };
 
+  /// Pops the top event, advances now, dispatches the callback under the
+  /// kEventDispatch profiling stage.
+  void dispatch_top();
+
   std::priority_queue<Event, std::vector<Event>, Later> heap_;
   double now_ = 0.0;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_total_ = 0;
 };
 
 }  // namespace sid::wsn

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <string_view>
 #include <unordered_set>
 
 #include "util/error.h"
@@ -31,10 +32,35 @@ RadioConfig derive_radio_config(const NetworkConfig& config) {
   return radio;
 }
 
+// Only referenced from SID_TRACE sites, which the metrics-off build
+// compiles out.
+[[maybe_unused]] std::string_view payload_name(const Message& msg) {
+  switch (msg.payload.index()) {
+    case 0: return "report";
+    case 1: return "invite";
+    case 2: return "decision";
+    default: return "unknown";
+  }
+}
+
 }  // namespace
+
+Network::NetCounters::NetCounters(obs::Registry& registry)
+    : unicasts_attempted(registry.counter("net.unicasts_attempted")),
+      unicasts_delivered(registry.counter("net.unicasts_delivered")),
+      unicasts_dropped(registry.counter("net.unicasts_dropped")),
+      unicasts_unroutable(registry.counter("net.unicasts_unroutable")),
+      hops_traversed(registry.counter("net.hops_traversed")),
+      floods(registry.counter("net.floods")),
+      flood_deliveries(registry.counter("net.flood_deliveries")),
+      bytes_sent(registry.counter("net.bytes_sent")),
+      burst_losses(registry.counter("net.burst_losses")),
+      congestion_losses(registry.counter("net.congestion_losses")),
+      dead_receiver_drops(registry.counter("net.dead_receiver_drops")) {}
 
 Network::Network(const NetworkConfig& config)
     : config_(config),
+      counters_(registry_),
       radio_(derive_radio_config(config)),
       faults_(config.faults, util::derive_seed(config.seed, kFaultStream)) {
   util::require(config.rows > 0 && config.cols > 0,
@@ -42,6 +68,9 @@ Network::Network(const NetworkConfig& config)
   util::require(config.spacing_m > 0.0, "Network: spacing must be positive");
   build_grid();
   build_adjacency();
+  registry_.gauge("net.nodes").set(static_cast<double>(nodes_.size()));
+  registry_.gauge("net.grid_rows").set(static_cast<double>(config_.rows));
+  registry_.gauge("net.grid_cols").set(static_cast<double>(config_.cols));
 }
 
 void Network::build_grid() {
@@ -163,21 +192,27 @@ std::optional<double> Network::try_hop(const NodeInfo& from,
        ++attempt) {
     delay += radio_.hop_delay();
     nodes_[from.id].energy.spend_tx(bytes);
-    stats_.bytes_sent += bytes;
+    counters_.bytes_sent.add(bytes);
     // A dead/depleted receiver silently wastes the attempt (the sender
     // still paid for the transmission and will retry in vain).
     if (!node_operational(to.id, t)) {
-      ++stats_.dead_receiver_drops;
+      counters_.dead_receiver_drops.add();
+      SID_TRACE(&tracer_, obs::Category::kFault, "dead_receiver_drop", t,
+                {{"from", from.id}, {"to", to.id}});
       continue;
     }
     if (!radio_.transmit_succeeds(d)) continue;
     if (faults_.active()) {
       if (faults_.congestion_drops(t)) {
-        ++stats_.congestion_losses;
+        counters_.congestion_losses.add();
+        SID_TRACE(&tracer_, obs::Category::kFault, "congestion_loss", t,
+                  {{"from", from.id}, {"to", to.id}});
         continue;
       }
       if (faults_.burst_drops(from.id, to.id)) {
-        ++stats_.burst_losses;
+        counters_.burst_losses.add();
+        SID_TRACE(&tracer_, obs::Category::kFault, "burst_loss", t,
+                  {{"from", from.id}, {"to", to.id}});
         continue;
       }
     }
@@ -191,20 +226,30 @@ UnicastOutcome Network::unicast(Message msg) {
   util::require(static_cast<bool>(handler_),
                 "Network::unicast: no delivery handler set");
   util::require(msg.src < nodes_.size(), "Network::unicast: bad source id");
-  ++stats_.unicasts_attempted;
+  counters_.unicasts_attempted.add();
   const double t = events_.now();
+  SID_TRACE(&tracer_, obs::Category::kNet, "msg_tx", t,
+            {{"src", msg.src},
+             {"dst", msg.dst},
+             {"type", payload_name(msg)},
+             {"bytes", msg.wire_bytes()}});
 
   // A nonexistent or dead destination (or a dead source) is unroutable —
   // reported distinctly from lossy in-flight drops.
   if (msg.dst >= nodes_.size() || !node_operational(msg.src, t) ||
       !node_operational(msg.dst, t)) {
-    ++stats_.unicasts_unroutable;
+    counters_.unicasts_unroutable.add();
+    SID_TRACE(&tracer_, obs::Category::kNet, "msg_drop", t,
+              {{"src", msg.src},
+               {"dst", msg.dst},
+               {"type", payload_name(msg)},
+               {"reason", "unroutable"}});
     return UnicastOutcome::kUnroutable;
   }
 
   if (msg.src == msg.dst) {
     // Degenerate self-delivery: no radio involved.
-    ++stats_.unicasts_delivered;
+    counters_.unicasts_delivered.add();
     const Message delivered = msg;
     events_.schedule_after(0.0, [this, delivered] {
       handler_(delivered.dst, delivered, events_.now());
@@ -214,7 +259,12 @@ UnicastOutcome Network::unicast(Message msg) {
 
   const auto path = shortest_path(msg.src, msg.dst, t);
   if (!path || path->size() < 2) {
-    ++stats_.unicasts_unroutable;
+    counters_.unicasts_unroutable.add();
+    SID_TRACE(&tracer_, obs::Category::kNet, "msg_drop", t,
+              {{"src", msg.src},
+               {"dst", msg.dst},
+               {"type", payload_name(msg)},
+               {"reason", "no_route"}});
     return UnicastOutcome::kUnroutable;
   }
   // Routing invariant: a dead node must never be picked as a relay.
@@ -229,15 +279,25 @@ UnicastOutcome Network::unicast(Message msg) {
     const auto hop_delay =
         try_hop(nodes_[(*path)[i]], nodes_[(*path)[i + 1]], bytes);
     if (!hop_delay) {
-      ++stats_.unicasts_dropped;
+      counters_.unicasts_dropped.add();
+      SID_TRACE(&tracer_, obs::Category::kNet, "msg_drop", t,
+                {{"src", msg.src},
+                 {"dst", msg.dst},
+                 {"type", payload_name(msg)},
+                 {"reason", "link_loss"},
+                 {"hop", (*path)[i]}});
       return UnicastOutcome::kDropped;
     }
     total_delay += *hop_delay;
-    ++stats_.hops_traversed;
+    counters_.hops_traversed.add();
   }
-  ++stats_.unicasts_delivered;
+  counters_.unicasts_delivered.add();
   const Message delivered = msg;
   events_.schedule_after(total_delay, [this, delivered] {
+    SID_TRACE(&tracer_, obs::Category::kNet, "msg_rx", events_.now(),
+              {{"src", delivered.src},
+               {"dst", delivered.dst},
+               {"type", payload_name(delivered)}});
     handler_(delivered.dst, delivered, events_.now());
   });
   return UnicastOutcome::kDelivered;
@@ -246,8 +306,12 @@ UnicastOutcome Network::unicast(Message msg) {
 void Network::flood(Message msg, std::size_t hops) {
   util::require(static_cast<bool>(handler_),
                 "Network::flood: no delivery handler set");
-  ++stats_.floods;
+  counters_.floods.add();
   const double t = events_.now();
+  SID_TRACE(&tracer_, obs::Category::kNet, "flood", t,
+            {{"src", msg.src},
+             {"type", payload_name(msg)},
+             {"hops", hops}});
   if (!node_operational(msg.src, t)) return;  // a dead source stays silent
   // BFS out to `hops`, applying per-hop loss and accumulating delay along
   // the first successful path to each node.
@@ -270,14 +334,36 @@ void Network::flood(Message msg, std::size_t hops) {
       if (!hop_delay) continue;
       reached.insert(v);
       const double delay = f.delay + *hop_delay;
-      ++stats_.flood_deliveries;
+      counters_.flood_deliveries.add();
       const Message delivered = msg;
       events_.schedule_after(delay, [this, v, delivered] {
+        SID_TRACE(&tracer_, obs::Category::kNet, "msg_rx", events_.now(),
+                  {{"src", delivered.src},
+                   {"dst", v},
+                   {"type", payload_name(delivered)},
+                   {"flood", true}});
         handler_(v, delivered, events_.now());
       });
       queue.push_back({v, f.depth + 1, delay});
     }
   }
+}
+
+const NetworkStats& Network::stats() const {
+  // The registry counters are the single source of truth; the struct is
+  // only a stable-ABI view assembled on demand.
+  stats_view_.unicasts_attempted = counters_.unicasts_attempted.value();
+  stats_view_.unicasts_delivered = counters_.unicasts_delivered.value();
+  stats_view_.unicasts_dropped = counters_.unicasts_dropped.value();
+  stats_view_.unicasts_unroutable = counters_.unicasts_unroutable.value();
+  stats_view_.hops_traversed = counters_.hops_traversed.value();
+  stats_view_.floods = counters_.floods.value();
+  stats_view_.flood_deliveries = counters_.flood_deliveries.value();
+  stats_view_.bytes_sent = counters_.bytes_sent.value();
+  stats_view_.burst_losses = counters_.burst_losses.value();
+  stats_view_.congestion_losses = counters_.congestion_losses.value();
+  stats_view_.dead_receiver_drops = counters_.dead_receiver_drops.value();
+  return stats_view_;
 }
 
 double Network::local_time(NodeId id, double t_true) const {
@@ -293,19 +379,19 @@ std::optional<double> Network::transmit_once(NodeId from, NodeId to,
   const double d = util::distance(nodes_[from].anchor, nodes_[to].anchor);
   const double delay = radio_.hop_delay();
   nodes_[from].energy.spend_tx(bytes);
-  stats_.bytes_sent += bytes;
+  counters_.bytes_sent.add(bytes);
   if (!node_operational(to, t)) {
-    ++stats_.dead_receiver_drops;
+    counters_.dead_receiver_drops.add();
     return std::nullopt;
   }
   if (!radio_.transmit_succeeds(d)) return std::nullopt;
   if (faults_.active()) {
     if (faults_.congestion_drops(t)) {
-      ++stats_.congestion_losses;
+      counters_.congestion_losses.add();
       return std::nullopt;
     }
     if (faults_.burst_drops(from, to)) {
-      ++stats_.burst_losses;
+      counters_.burst_losses.add();
       return std::nullopt;
     }
   }

@@ -14,6 +14,8 @@
 #include <optional>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/geometry.h"
 #include "wsn/clock.h"
 #include "wsn/energy.h"
@@ -72,6 +74,10 @@ struct NetworkConfig {
   FaultPlan faults;
 };
 
+/// Network-layer statistics. Since the observability PR this struct is a
+/// *view*: the authoritative values live as counters ("net.*") in the
+/// network's obs::Registry, and Network::stats() rebuilds the struct from
+/// them on demand, so the two can never disagree.
 struct NetworkStats {
   std::size_t unicasts_attempted = 0;
   std::size_t unicasts_delivered = 0;
@@ -154,7 +160,20 @@ class Network {
   /// delivery handler fires once per reached node (not for the source).
   void flood(Message msg, std::size_t hops);
 
-  const NetworkStats& stats() const { return stats_; }
+  /// Network statistics, rebuilt from the registry counters on each call
+  /// (the returned reference stays valid but is overwritten by the next
+  /// call).
+  const NetworkStats& stats() const;
+
+  /// The simulation-wide metrics registry. The network registers its own
+  /// "net.*" counters here; higher layers (SidSystem) add theirs so one
+  /// dump covers the whole run.
+  obs::Registry& registry() { return registry_; }
+  const obs::Registry& registry() const { return registry_; }
+
+  /// The structured event tracer (disabled until opened/attached).
+  obs::Tracer& tracer() { return tracer_; }
+  const obs::Tracer& tracer() const { return tracer_; }
 
   /// True time -> local timestamp for a node (convenience).
   double local_time(NodeId id, double t_true) const;
@@ -177,14 +196,35 @@ class Network {
   std::optional<double> try_hop(const NodeInfo& from, const NodeInfo& to,
                                 std::size_t bytes);
 
+  /// Stable references into registry_ for the hot-path counters; the
+  /// NetworkStats view is assembled from exactly these (never a second
+  /// copy).
+  struct NetCounters {
+    explicit NetCounters(obs::Registry& registry);
+    obs::Counter& unicasts_attempted;
+    obs::Counter& unicasts_delivered;
+    obs::Counter& unicasts_dropped;
+    obs::Counter& unicasts_unroutable;
+    obs::Counter& hops_traversed;
+    obs::Counter& floods;
+    obs::Counter& flood_deliveries;
+    obs::Counter& bytes_sent;
+    obs::Counter& burst_losses;
+    obs::Counter& congestion_losses;
+    obs::Counter& dead_receiver_drops;
+  };
+
   NetworkConfig config_;
+  obs::Registry registry_;
+  obs::Tracer tracer_;
+  NetCounters counters_;
   EventQueue events_;
   Radio radio_;
   FaultInjector faults_;
   std::vector<NodeInfo> nodes_;
   std::vector<std::vector<NodeId>> adjacency_;
   DeliveryHandler handler_;
-  NetworkStats stats_;
+  mutable NetworkStats stats_view_;
 };
 
 }  // namespace sid::wsn

@@ -12,6 +12,7 @@
 #include <cmath>
 #include <cstdint>
 #include <numbers>
+#include <string>
 #include <vector>
 
 #include "core/scenario.h"
@@ -189,6 +190,30 @@ TEST(DeterminismTest, SinkDecisionsAreBitIdenticalForSameSeed) {
   core::SidSystem sys_c(system_config(2));
   const auto result_c = sys_c.run(ships);
   EXPECT_NE(hash_system_result(result_a), hash_system_result(result_c));
+}
+
+// --------------------------------------------------------- metrics dumps
+
+TEST(DeterminismTest, MetricsDumpIsBitIdenticalForSameSeed) {
+  const std::vector<wake::ShipTrackConfig> ships{crossing_ship()};
+
+  core::SidSystem sys_a(system_config(1));
+  core::SidSystem sys_b(system_config(1));
+  sys_a.run(ships);
+  sys_b.run(ships);
+
+  // include_wall=false excludes the wall-clock profiling section, so the
+  // textual dump (%.17g doubles) is a determinism digest of every sim
+  // counter, gauge and histogram at once.
+  const std::string dump_a = sys_a.registry().to_json(false);
+  const std::string dump_b = sys_b.registry().to_json(false);
+  ASSERT_NE(dump_a.find("\"sid.alarms_raised\""), std::string::npos);
+  ASSERT_NE(dump_a.find("\"sid.decision_latency_s\""), std::string::npos);
+  EXPECT_EQ(dump_a, dump_b);
+
+  core::SidSystem sys_c(system_config(2));
+  sys_c.run(ships);
+  EXPECT_NE(dump_a, sys_c.registry().to_json(false));
 }
 
 }  // namespace

@@ -1,0 +1,58 @@
+// The SID_ENABLE_METRICS=OFF contract, checked from within a normal
+// build: with SID_METRICS_ENABLED forced to 0 in this translation unit,
+// every instrumentation macro must still compile against real call-site
+// argument shapes (initializer lists with commas, RAII scopes) and must
+// record nothing. Class definitions are identical in both modes — only
+// the macros change — so mixing this TU with the enabled ones is ODR-safe
+// by construction.
+#define SID_METRICS_ENABLED 0
+
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace sid::obs {
+namespace {
+
+TEST(ObsNoopTest, MetricMacrosRecordNothing) {
+  Registry registry;
+  Counter& counter = registry.counter("noop.counter");
+  Gauge& gauge = registry.gauge("noop.gauge");
+  Histogram& hist = registry.histogram("noop.hist", {1.0, 2.0});
+  SID_METRIC_ADD(counter, 5);
+  SID_METRIC_SET(gauge, 1.5);
+  SID_METRIC_RECORD(hist, 1.0);
+  EXPECT_EQ(counter.value(), 0u);
+  EXPECT_EQ(gauge.value(), 0.0);
+  EXPECT_EQ(hist.count(), 0u);
+  // Direct instrument calls (the result surface) stay live regardless.
+  counter.add(2);
+  EXPECT_EQ(counter.value(), 2u);
+}
+
+TEST(ObsNoopTest, TraceMacroCompilesOutFieldLists) {
+  std::ostringstream sink;
+  Tracer tracer;
+  tracer.attach(&sink, kAllCategories);
+  SID_TRACE(&tracer, Category::kNet, "msg_tx", 1.0,
+            {{"src", 1}, {"dst", 2}, {"type", "report"}});
+  EXPECT_EQ(tracer.events_emitted(), 0u);
+  EXPECT_TRUE(sink.str().empty());
+}
+
+TEST(ObsNoopTest, ProfileMacroLeavesHistogramsEmpty) {
+  reset_profile();
+  {
+    SID_PROFILE_STAGE(Stage::kFilter);
+    SID_PROFILE_STAGE(Stage::kStft);
+  }
+  EXPECT_EQ(stage_histogram(Stage::kFilter).count(), 0u);
+  EXPECT_EQ(stage_histogram(Stage::kStft).count(), 0u);
+}
+
+}  // namespace
+}  // namespace sid::obs
