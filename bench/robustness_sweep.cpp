@@ -1,20 +1,29 @@
 // Robustness sweep: detection rate and sink latency as the fault load
-// grows (node crash-stop failures, Gilbert–Elliott burst loss).
+// grows (node crash-stop failures, Gilbert–Elliott burst loss), plus the
+// self-healing recovery curve: detection recall and median end-to-end
+// recovery time vs the fraction of failed nodes, oracle routing vs the
+// beacon-driven self-healing substrate.
 //
-// Emits JSON: two curves of sink-level detection rate and median
-// first-intrusion sink latency, one vs the fraction of failed nodes and
-// one vs the burst-loss severity. The graceful-degradation machinery
-// (member fallback on head death, bounded decision retry, duplicate
+// Emits schema-stable JSON (same keys regardless of values; missing
+// medians are null): "node_failure_curve", "burst_loss_curve" and
+// "recovery_curve". The graceful-degradation machinery (member fallback
+// on head death, end-to-end ARQ with explicit give-up, duplicate
 // suppression) is enabled, so the curves measure how the whole pipeline
 // degrades rather than how fast it collapses.
 //
-// A monotone-sanity check (fault-free detection rate must be at least the
-// heaviest-fault rate) makes the binary usable as a smoke test:
+// Two built-in sanity gates make the binary usable as a smoke test:
+//   1. monotone: the fault-free detection rate must be at least the
+//      heaviest-fault rate (adding faults must never *help*);
+//   2. acceptance: at ~20 % node failures, self-healing recall must stay
+//      within max(0.1, 1/trials) of the oracle baseline, and any recorded
+//      sid.recovery_time_s median must be finite.
 //
 //   robustness_sweep [--smoke]
 //
-// --smoke runs a tiny grid with few trials (wired into ctest).
+// --smoke runs a tiny grid with few trials (wired into ctest under the
+// `robustness` label).
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <functional>
@@ -23,6 +32,7 @@
 
 #include "bench_common.h"
 #include "core/sid_system.h"
+#include "obs/metrics.h"
 #include "util/rng.h"
 #include "wsn/faults.h"
 
@@ -35,15 +45,28 @@ struct SweepSettings {
   std::size_t cols = 6;
   double duration_s = 220.0;
   int trials = 3;
-  std::vector<double> failure_fractions{0.0, 0.1, 0.2, 0.3, 0.5};
+  std::vector<double> failure_fractions{0.0, 0.1, 0.2, 0.3, 0.4};
   std::vector<double> burst_loss_bad{0.0, 0.3, 0.6, 0.9};
 };
 
+struct TrialResult {
+  bool detected = false;
+  std::optional<double> first_sink_s;
+  /// Median of sid.recovery_time_s for this run (absent when no delivery
+  /// needed a retry).
+  std::optional<double> median_recovery_s;
+  std::uint64_t route_repairs = 0;
+  std::uint64_t false_suspicions = 0;
+};
+
 struct SweepPoint {
-  double x = 0.0;            ///< failure fraction or burst loss_bad
+  double x = 0.0;  ///< failure fraction or burst loss_bad
   int detections = 0;
   int trials = 0;
   std::optional<double> median_latency_s;
+  std::optional<double> median_recovery_s;
+  std::uint64_t route_repairs = 0;
+  std::uint64_t false_suspicions = 0;
   double detection_rate() const {
     return trials == 0 ? 0.0
                        : static_cast<double>(detections) /
@@ -63,7 +86,6 @@ core::SidSystemConfig base_config(const SweepSettings& s,
   cfg.scenario.detector.anomaly_frequency_threshold = 0.5;
   cfg.cluster.collection_window_s = 70.0;
   cfg.cluster.min_reports = 4;
-  cfg.resilience.max_decision_retries = 2;
   return cfg;
 }
 
@@ -87,10 +109,8 @@ void schedule_failures(core::SidSystemConfig& cfg, double fraction,
   }
 }
 
-/// One simulated pass; returns the earliest intrusion decision's sink
-/// arrival time, or nullopt when the intrusion never reached the sink.
-std::optional<double> run_trial(const core::SidSystemConfig& cfg,
-                                int trial) {
+/// One simulated pass.
+TrialResult run_trial(const core::SidSystemConfig& cfg, int trial) {
   core::SidSystem system(cfg);
   const double grid_mid_x =
       0.5 * static_cast<double>(cfg.network.cols - 1) *
@@ -99,12 +119,22 @@ std::optional<double> run_trial(const core::SidSystemConfig& cfg,
       10.0, 86.0 + 2.0 * static_cast<double>(trial % 3), grid_mid_x);
   const auto result =
       system.run(std::vector<wake::ShipTrackConfig>{ship});
-  std::optional<double> first;
+  TrialResult out;
   for (const auto& r : result.sink_reports) {
     if (!r.decision.intrusion) continue;
-    if (!first || r.sink_time_s < *first) first = r.sink_time_s;
+    out.detected = true;
+    if (!out.first_sink_s || r.sink_time_s < *out.first_sink_s) {
+      out.first_sink_s = r.sink_time_s;
+    }
   }
-  return first;
+  if (const auto* recovery =
+          system.registry().find_histogram("sid.recovery_time_s");
+      recovery != nullptr && recovery->count() > 0) {
+    out.median_recovery_s = recovery->percentile(0.5);
+  }
+  out.route_repairs = result.network_stats.route_repairs;
+  out.false_suspicions = result.network_stats.false_suspicions;
+  return out;
 }
 
 SweepPoint sweep_point(const SweepSettings& s, double x,
@@ -113,21 +143,38 @@ SweepPoint sweep_point(const SweepSettings& s, double x,
   SweepPoint point;
   point.x = x;
   std::vector<double> latencies;
+  std::vector<double> recoveries;
   for (int trial = 0; trial < s.trials; ++trial) {
     const auto seed = static_cast<std::uint64_t>(51 + trial);
     auto cfg = base_config(s, seed);
     apply(cfg, seed);
     ++point.trials;
-    if (const auto latency = run_trial(cfg, trial)) {
+    const TrialResult r = run_trial(cfg, trial);
+    if (r.detected) {
       ++point.detections;
-      latencies.push_back(*latency);
+      latencies.push_back(*r.first_sink_s);
     }
+    if (r.median_recovery_s) recoveries.push_back(*r.median_recovery_s);
+    point.route_repairs += r.route_repairs;
+    point.false_suspicions += r.false_suspicions;
   }
-  if (!latencies.empty()) {
-    std::sort(latencies.begin(), latencies.end());
-    point.median_latency_s = latencies[latencies.size() / 2];
-  }
+  const auto median = [](std::vector<double>& v) -> std::optional<double> {
+    if (v.empty()) return std::nullopt;
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+  };
+  point.median_latency_s = median(latencies);
+  point.median_recovery_s = median(recoveries);
   return point;
+}
+
+void emit_optional(const char* key, const std::optional<double>& v,
+                   const char* suffix) {
+  if (v) {
+    std::printf("\"%s\": %.2f%s", key, *v, suffix);
+  } else {
+    std::printf("\"%s\": null%s", key, suffix);
+  }
 }
 
 void emit_curve_json(const char* name, const char* x_key,
@@ -138,12 +185,34 @@ void emit_curve_json(const char* name, const char* x_key,
     std::printf("    {\"%s\": %.2f, \"detection_rate\": %.3f, "
                 "\"detections\": %d, \"trials\": %d, ",
                 x_key, p.x, p.detection_rate(), p.detections, p.trials);
-    if (p.median_latency_s) {
-      std::printf("\"median_sink_latency_s\": %.2f}", *p.median_latency_s);
-    } else {
-      std::printf("\"median_sink_latency_s\": null}");
-    }
+    emit_optional("median_sink_latency_s", p.median_latency_s, "}");
     std::printf("%s\n", i + 1 < curve.size() ? "," : "");
+  }
+  std::printf("  ]%s\n", last ? "" : ",");
+}
+
+void emit_mode_json(const SweepPoint& p) {
+  std::printf("{\"detection_rate\": %.3f, \"detections\": %d, "
+              "\"trials\": %d, ",
+              p.detection_rate(), p.detections, p.trials);
+  emit_optional("median_recovery_s", p.median_recovery_s, ", ");
+  std::printf("\"route_repairs\": %llu, \"false_suspicions\": %llu}",
+              static_cast<unsigned long long>(p.route_repairs),
+              static_cast<unsigned long long>(p.false_suspicions));
+}
+
+void emit_recovery_json(const std::vector<double>& fractions,
+                        const std::vector<SweepPoint>& oracle,
+                        const std::vector<SweepPoint>& selfheal,
+                        bool last) {
+  std::printf("  \"recovery_curve\": [\n");
+  for (std::size_t i = 0; i < fractions.size(); ++i) {
+    std::printf("    {\"failure_fraction\": %.2f, \"oracle\": ",
+                fractions[i]);
+    emit_mode_json(oracle[i]);
+    std::printf(", \"self_healing\": ");
+    emit_mode_json(selfheal[i]);
+    std::printf("}%s\n", i + 1 < fractions.size() ? "," : "");
   }
   std::printf("  ]%s\n", last ? "" : ",");
 }
@@ -155,12 +224,12 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       // Tiny grid, two sweep points per curve, enough to exercise every
-      // fault path and the monotone check inside a ctest budget.
+      // fault path and the sanity gates inside a ctest budget.
       settings.rows = 4;
       settings.cols = 4;
       settings.duration_s = 160.0;
       settings.trials = 1;
-      settings.failure_fractions = {0.0, 0.5};
+      settings.failure_fractions = {0.0, 0.4};
       settings.burst_loss_bad = {0.0, 0.9};
     } else {
       std::fprintf(stderr, "usage: %s [--smoke]\n", argv[0]);
@@ -190,6 +259,24 @@ int main(int argc, char** argv) {
         }));
   }
 
+  // Recovery curve: oracle routing (ground-truth liveness, the
+  // upper-bound baseline) vs the self-healing substrate, same failure
+  // plans.
+  std::vector<SweepPoint> oracle_curve;
+  std::vector<SweepPoint> selfheal_curve;
+  for (double f : settings.failure_fractions) {
+    oracle_curve.push_back(sweep_point(
+        settings, f, [f](core::SidSystemConfig& cfg, std::uint64_t seed) {
+          cfg.network.routing = wsn::RoutingMode::kOracle;
+          schedule_failures(cfg, f, seed);
+        }));
+    selfheal_curve.push_back(sweep_point(
+        settings, f, [f](core::SidSystemConfig& cfg, std::uint64_t seed) {
+          cfg.network.routing = wsn::RoutingMode::kSelfHealing;
+          schedule_failures(cfg, f, seed);
+        }));
+  }
+
   std::printf("{\n");
   std::printf("  \"grid\": \"%zux%zu\", \"trials_per_point\": %d, "
               "\"duration_s\": %.0f,\n",
@@ -197,7 +284,9 @@ int main(int argc, char** argv) {
               settings.duration_s);
   emit_curve_json("node_failure_curve", "failure_fraction", failure_curve,
                   false);
-  emit_curve_json("burst_loss_curve", "burst_loss_bad", burst_curve, true);
+  emit_curve_json("burst_loss_curve", "burst_loss_bad", burst_curve, false);
+  emit_recovery_json(settings.failure_fractions, oracle_curve,
+                     selfheal_curve, true);
   std::printf("}\n");
 
   // Monotone sanity: adding faults must never *help* detection. (Rates
@@ -211,6 +300,40 @@ int main(int argc, char** argv) {
                  "robustness_sweep: detection rate increased with fault "
                  "load; curve is not monotone-sane\n");
     return 1;
+  }
+
+  // Acceptance gate: at the sweep point closest to 20 % failures,
+  // self-healing recall must stay within max(0.1, 1/trials) of the
+  // oracle baseline (1/trials absorbs quantization at few trials), and
+  // any recorded recovery-time median must be finite.
+  std::size_t at = 0;
+  for (std::size_t i = 0; i < settings.failure_fractions.size(); ++i) {
+    if (std::abs(settings.failure_fractions[i] - 0.2) <
+        std::abs(settings.failure_fractions[at] - 0.2)) {
+      at = i;
+    }
+  }
+  const double tolerance =
+      std::max(0.1, 1.0 / static_cast<double>(settings.trials));
+  const double gap = oracle_curve[at].detection_rate() -
+                     selfheal_curve[at].detection_rate();
+  if (gap > tolerance) {
+    std::fprintf(stderr,
+                 "robustness_sweep: self-healing recall %.3f trails oracle "
+                 "%.3f by more than %.3f at failure fraction %.2f\n",
+                 selfheal_curve[at].detection_rate(),
+                 oracle_curve[at].detection_rate(), tolerance,
+                 settings.failure_fractions[at]);
+    return 1;
+  }
+  for (const auto& p : selfheal_curve) {
+    if (p.median_recovery_s && !std::isfinite(*p.median_recovery_s)) {
+      std::fprintf(stderr,
+                   "robustness_sweep: non-finite recovery-time median at "
+                   "failure fraction %.2f\n",
+                   p.x);
+      return 1;
+    }
   }
   return 0;
 }

@@ -9,6 +9,8 @@ Validates:
 Usage:
     check_obs_schema.py BENCH_detector.json [--trace trace.jsonl]
         [--require-stage detector] [--min-trace-events 1]
+        [--require-counter net.e2e_retries]
+        [--require-histogram sid.recovery_time_s]
 
 Exit status: 0 valid, 1 schema violation.
 """
@@ -73,7 +75,9 @@ def check_histogram(name: str, h):
         fail(name, "p50 outside [min, max]")
 
 
-def check_metrics(path: Path, require_stages: list[str]):
+def check_metrics(path: Path, require_stages: list[str],
+                  require_counters: list[str] = [],
+                  require_histograms: list[str] = []):
     with path.open(encoding="utf-8") as fh:
         doc = json.load(fh)
     ctx = str(path)
@@ -101,6 +105,12 @@ def check_metrics(path: Path, require_stages: list[str]):
             fail(ctx, f"required stage histogram {name!r} missing")
         if profile[name]["count"] == 0:
             fail(ctx, f"required stage histogram {name!r} is empty")
+    for name in require_counters:
+        if name not in doc["counters"]:
+            fail(ctx, f"required counter {name!r} missing")
+    for name in require_histograms:
+        if name not in doc["histograms"]:
+            fail(ctx, f"required histogram {name!r} missing")
     n_hist = len(doc["histograms"]) + len(profile)
     print(f"{path}: OK ({len(doc['counters'])} counters, "
           f"{len(doc['gauges'])} gauges, {n_hist} histograms)")
@@ -146,9 +156,20 @@ def main() -> int:
                              "histogram (repeatable)")
     parser.add_argument("--min-trace-events", type=int, default=1,
                         help="minimum events the trace must contain")
+    parser.add_argument("--require-counter", action="append", default=[],
+                        metavar="NAME",
+                        help="require a counter with this exact name, e.g. "
+                             "the self-healing set net.e2e_retries / "
+                             "net.route_repairs / net.false_suspicions "
+                             "(repeatable)")
+    parser.add_argument("--require-histogram", action="append", default=[],
+                        metavar="NAME",
+                        help="require a (sim-clock) histogram with this "
+                             "name, e.g. sid.recovery_time_s (repeatable)")
     args = parser.parse_args()
     try:
-        check_metrics(args.metrics, args.require_stage)
+        check_metrics(args.metrics, args.require_stage,
+                      args.require_counter, args.require_histogram)
         if args.trace:
             check_trace(args.trace, args.min_trace_events)
     except SchemaError as err:

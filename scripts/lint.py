@@ -17,6 +17,14 @@ Enforces the discipline clang-tidy cannot express:
                     src/ outside src/obs/ and src/util/table.* — library
                     code reports through the metrics registry, the event
                     tracer, or returned values, never by printing.
+  oracle-liveness   no protocol code reads the global liveness oracle
+                    (node_operational) or the radio's ground-truth PRR
+                    outside the physical delivery layer itself
+                    (src/wsn/network.*, src/wsn/radio.*). Routing,
+                    clustering and fallback decisions must rely on
+                    in-band evidence only: can_execute (self), beacons,
+                    suspicion (suspects()), and reliable-transport
+                    outcomes (kGaveUp).
 
 Exit status: 0 clean, 1 violations found, 2 internal error.
 
@@ -47,6 +55,20 @@ PROTOCOL_HEADERS = {Path("src/wsn/messages.h")}
 # table formatter may write to stdout/stderr. The rule covers src/ only —
 # tests, benches and examples are user-facing programs.
 RAW_IO_ALLOWED_PREFIXES = ("src/obs/", "src/util/table")
+
+# The liveness/PRR oracle funnel: ground truth about other nodes (alive?
+# true link PRR?) exists only inside the physical delivery layer. Tests
+# and benches may consult it freely (they assert against ground truth);
+# protocol code in src/ may not.
+ORACLE_ALLOWED = {
+    Path("src/wsn/network.h"), Path("src/wsn/network.cpp"),
+    Path("src/wsn/radio.h"), Path("src/wsn/radio.cpp"),
+}
+
+ORACLE_PATTERNS = (
+    re.compile(r"(?<![A-Za-z0-9_])node_operational\s*\("),
+    re.compile(r"(?<![A-Za-z0-9_])prr\s*\("),
+)
 
 ALLOW_RE = re.compile(r"//\s*lint:allow\s+([a-z-]+)")
 
@@ -137,6 +159,8 @@ class Linter:
         rel_posix = rel.as_posix()
         check_raw_io = (rel_posix.startswith("src/")
                         and not rel_posix.startswith(RAW_IO_ALLOWED_PREFIXES))
+        check_oracle = (rel_posix.startswith("src/")
+                        and rel not in ORACLE_ALLOWED)
 
         for lineno, raw in enumerate(lines, start=1):
             allowed = {m for m in ALLOW_RE.findall(raw)}
@@ -160,6 +184,16 @@ class Linter:
                             f"raw output '{m.group(0).strip()}' in library "
                             f"code — report via obs metrics/trace or return "
                             f"values instead")
+            if check_oracle and "oracle-liveness" not in allowed:
+                for pat in ORACLE_PATTERNS:
+                    m = pat.search(code)
+                    if m:
+                        self.report(
+                            "oracle-liveness", path, lineno,
+                            f"ground-truth oracle read "
+                            f"'{m.group(0).strip()}' outside the physical "
+                            f"delivery layer — use can_execute/suspects/"
+                            f"beacons/kGaveUp instead")
             if (is_header and "header-using" not in allowed
                     and USING_NAMESPACE_RE.search(code)):
                 self.report("header-using", path, lineno,
@@ -205,6 +239,9 @@ def self_test() -> int:
         "header-using": "#pragma once\nusing namespace std;\n",
         "raw-io": "#include <iostream>\nvoid f() { std::cout << 1; }\n",
         "raw-io-printf": "void g() { printf(\"x\"); }\n",
+        "oracle-liveness":
+            "bool f() { return net.node_operational(3, t); }\n",
+        "oracle-prr": "double q() { return radio.prr(35.0); }\n",
     }
     failures = []
     with tempfile.TemporaryDirectory() as tmp:
@@ -222,11 +259,17 @@ def self_test() -> int:
         obs = src / "obs"
         obs.mkdir()
         (obs / "ok.cpp").write_text(cases["raw-io"])
+        (src / "h.cpp").write_text(cases["oracle-liveness"])
+        (src / "i.cpp").write_text(cases["oracle-prr"])
         # A protocol struct with an inexact default.
         wsn = src / "wsn"
         wsn.mkdir()
         (wsn / "messages.h").write_text(
             "#pragma once\nstruct R { double gain = 3.3; };\n")
+        # The delivery layer itself IS the oracle: exempt.
+        (wsn / "network.cpp").write_text(
+            "bool ok(unsigned id, double t) {"
+            " return node_operational(id, t); }\n")
 
         linter = Linter(root)
         rc = linter.run()
@@ -240,6 +283,8 @@ def self_test() -> int:
                 ("header-using", "e.h"),
                 ("raw-io", "f.cpp"),
                 ("raw-io", "g.cpp"),
+                ("oracle-liveness", "h.cpp"),
+                ("oracle-liveness", "i.cpp"),
                 ("protocol-literal", "3.3"),
         ]:
             if not any(f"[{rule}]" in v and needle in v
@@ -247,6 +292,10 @@ def self_test() -> int:
                 failures.append(f"rule {rule} missed its {needle} plant")
         if any("obs/ok.cpp" in v for v in linter.violations):
             failures.append("raw-io fired inside the exempt src/obs/ tree")
+        if any("wsn/network.cpp" in v and "[oracle-liveness]" in v
+               for v in linter.violations):
+            failures.append(
+                "oracle-liveness fired inside the exempt delivery layer")
 
         # And a clean tree must pass, including the lint:allow escape.
         clean = root / "clean"

@@ -13,9 +13,10 @@ build_dir="${1:-${repo_root}/build-asan}"
 cmake -B "${build_dir}" -S "${repo_root}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSID_SANITIZE=ON
 cmake --build "${build_dir}" -j \
-  --target faults_test system_test robustness_sweep
+  --target faults_test selfheal_test system_test robustness_sweep
 
 "${build_dir}/tests/faults_test"
+"${build_dir}/tests/selfheal_test"
 "${build_dir}/tests/system_test" \
   --gtest_filter='SidSystemTest.TwentyPercentNodeFailuresStillReachSinkViaFallback'
 "${build_dir}/bench/robustness_sweep" --smoke

@@ -75,6 +75,7 @@ SidSystem::SidSystem(const SidSystemConfig& config)
       network_(config.network),
       counters_(network_.registry()),
       evaluator_(config.cluster),
+      reliable_(network_, config.resilience.e2e),
       members_(network_.node_count()) {
   util::require(config.static_cell_size >= 1,
                 "SidSystem: static cell size must be >= 1");
@@ -98,8 +99,13 @@ wsn::NodeId SidSystem::static_head_of(wsn::NodeId id) const {
   return network_.id_at(head_row, head_col);
 }
 
-void SidSystem::track_submission(wsn::NodeId member_id, wsn::NodeId head,
-                                 const wsn::DetectionReport& report) {
+void SidSystem::submit_report(wsn::NodeId member_id, wsn::NodeId head,
+                              const wsn::DetectionReport& report) {
+  wsn::Message msg;
+  msg.src = member_id;
+  msg.dst = head;
+  msg.payload = report;
+  reliable_.send(std::move(msg));
   MemberState& member = members_[member_id];
   member.submitted.push_back(report);
   if (member.fallback_check_scheduled) return;
@@ -118,32 +124,74 @@ void SidSystem::head_fallback_check(wsn::NodeId member_id, wsn::NodeId head) {
   std::vector<wsn::DetectionReport> buffered = std::move(member.submitted);
   member.submitted.clear();
   const double now = network_.events().now();
-  // The head is alive: it collected the reports and evaluated normally.
-  if (network_.node_operational(head, now)) return;
-  // A member that died in the meantime stays silent.
-  if (!network_.node_operational(member_id, now)) return;
-  // Head death detected (all link-layer acks to it fail): re-submit the
-  // buffered reports to the dead head's static cluster head, so the whole
-  // orphan set pools at one place and a single fallback evaluation can
-  // span enough grid rows to pass the intrusion gates. When that static
-  // head is down as well (or was the dead head itself), go to the sink.
+  // A member that died in the meantime stays silent (its own state).
+  if (!network_.can_execute(member_id, now)) return;
+  // In-band liveness, never the oracle: if the member's own neighbor
+  // table already suspects the head dead, fall back immediately.
+  // Otherwise probe the head end-to-end — the transport ack is the proof
+  // of life, and an exhausted retry budget (kGaveUp) is the distributed
+  // death verdict.
+  if (network_.suspects(member_id, head)) {
+    do_fallback(member_id, head, std::move(buffered), now);
+    return;
+  }
+  wsn::Message probe;
+  probe.src = member_id;
+  probe.dst = head;
+  probe.payload = wsn::LivenessProbe{member_id};
+  reliable_.send(std::move(probe),
+                 [this, member_id, head,
+                  buffered = std::move(buffered)](wsn::ReliableOutcome outcome,
+                                                  double t) mutable {
+                   if (outcome == wsn::ReliableOutcome::kAcked) {
+                     // Head alive: it collected the reports and evaluated
+                     // normally; nothing to repair.
+                     return;
+                   }
+                   if (!network_.can_execute(member_id, t)) return;
+                   do_fallback(member_id, head, std::move(buffered), t);
+                 });
+}
+
+void SidSystem::do_fallback(wsn::NodeId member_id, wsn::NodeId head,
+                            std::vector<wsn::DetectionReport> buffered,
+                            double t) {
+  // Re-submit the orphaned reports to the dead head's static cluster
+  // head, so the whole orphan set pools at one place and a single
+  // fallback evaluation can span enough grid rows to pass the intrusion
+  // gates. When that static head is the dead head itself (or the member
+  // suspects it too), go straight to the sink; a give-up on the static-
+  // head leg escalates to the sink per report.
   wsn::NodeId target = static_head_of(head);
-  if (target == head || !network_.node_operational(target, now)) {
+  if (target == head || network_.suspects(member_id, target)) {
     target = sink_node_;
   }
-  SID_TRACE(&network_.tracer(), obs::Category::kCluster, "head_fallback", now,
+  SID_TRACE(&network_.tracer(), obs::Category::kCluster, "head_fallback", t,
             {{"member", member_id},
              {"dead_head", head},
              {"target", target},
              {"reports", buffered.size()}});
   for (auto report : buffered) {
     report.fallback = true;
+    counters_.fallback_reports.add(1);
     wsn::Message msg;
     msg.src = member_id;
     msg.dst = target;
     msg.payload = report;
-    counters_.fallback_reports.add(1);
-    network_.unicast(msg);
+    const wsn::NodeId first_target = target;
+    reliable_.send(msg, [this, member_id, report, first_target](
+                            wsn::ReliableOutcome outcome, double t2) {
+      if (outcome == wsn::ReliableOutcome::kAcked) return;
+      if (first_target == sink_node_) return;  // explicit loss, surfaced
+      if (!network_.can_execute(member_id, t2)) return;
+      // The static head is unreachable as well: last resort, the sink
+      // runs the fallback evaluation itself.
+      wsn::Message retry;
+      retry.src = member_id;
+      retry.dst = sink_node_;
+      retry.payload = report;
+      reliable_.send(std::move(retry));
+    });
   }
 }
 
@@ -162,13 +210,9 @@ void SidSystem::on_alarm(wsn::NodeId node, const wsn::DetectionReport& report,
   }
 
   if (member.head && *member.head != node) {
-    // Already in someone's temporary cluster: report to that head.
-    wsn::Message msg;
-    msg.src = node;
-    msg.dst = *member.head;
-    msg.payload = report;
-    network_.unicast(msg);
-    track_submission(node, *member.head, report);
+    // Already in someone's temporary cluster: report to that head
+    // (reliably — the ack-or-give-up loop replaces silent loss).
+    submit_report(node, *member.head, report);
     return;
   }
 
@@ -215,13 +259,24 @@ void SidSystem::accept_at_sink(const wsn::ClusterDecision& decision,
                  std::isfinite(decision.estimated_position.y),
              "accept_at_sink: non-finite field in decision from head ",
              decision.head);
-  if (!sink_seen_.insert(decision.seq).second) {
+  // Wraparound-safe dedup per originating head: retransmissions and
+  // multi-path copies (head -> static head -> sink racing head -> sink)
+  // collapse to one accepted decision.
+  auto window = sink_windows_.find(decision.head);
+  if (window == sink_windows_.end()) {
+    window = sink_windows_
+                 .emplace(decision.head,
+                          wsn::SequenceWindow{
+                              config_.resilience.e2e.dedup_span})
+                 .first;
+  }
+  if (!window->second.accept(decision.seq)) {
     counters_.duplicates_suppressed.add(1);
     SID_TRACE(&network_.tracer(), obs::Category::kSink, "sink_duplicate", t,
               {{"seq", decision.seq}, {"head", decision.head}});
     return;
   }
-  if (const auto created = decision_created_s_.find(decision.seq);
+  if (const auto created = decision_created_s_.find(decision_key(decision));
       created != decision_created_s_.end()) {
     counters_.decision_latency_s.record(t - created->second);
   }
@@ -245,44 +300,43 @@ void SidSystem::accept_at_sink(const wsn::ClusterDecision& decision,
 }
 
 void SidSystem::send_decision(wsn::NodeId from, wsn::NodeId dst,
-                              const wsn::ClusterDecision& decision,
-                              std::size_t attempt) {
+                              const wsn::ClusterDecision& decision) {
   wsn::Message msg;
   msg.src = from;
   msg.dst = dst;
   msg.payload = decision;
-  const auto outcome = network_.unicast(msg);
-  if (outcome == wsn::UnicastOutcome::kDelivered) return;
-  if (attempt >= config_.resilience.max_decision_retries) {
+  reliable_.send(std::move(msg), [this, from, dst, decision](
+                                     wsn::ReliableOutcome outcome, double t) {
+    if (outcome == wsn::ReliableOutcome::kAcked) return;
+    if (dst != sink_node_ && network_.can_execute(from, t)) {
+      // The static-head relay leg exhausted its retry budget (dead relay
+      // target or persistent partition): re-target the sink directly.
+      counters_.decision_retries.add(1);
+      SID_TRACE(&network_.tracer(), obs::Category::kCluster,
+                "decision_retry", t,
+                {{"from", from},
+                 {"next_dst", sink_node_},
+                 {"seq", decision.seq}});
+      send_decision(from, sink_node_, decision);
+      return;
+    }
+    // Final give-up: surfaced explicitly, never a silent hang.
     counters_.decisions_lost.add(1);
     SID_TRACE(&network_.tracer(), obs::Category::kCluster, "decision_lost",
-              network_.events().now(),
-              {{"from", from}, {"seq", decision.seq}});
-    return;
-  }
-  // An unroutable relay (dead static head, partition) will not heal by
-  // itself within the backoff: retry straight toward the sink instead.
-  wsn::NodeId next_dst = dst;
-  if (outcome == wsn::UnicastOutcome::kUnroutable && dst != sink_node_) {
-    next_dst = sink_node_;
-  }
-  const double backoff = config_.resilience.retry_backoff_base_s *
-                         std::pow(2.0, static_cast<double>(attempt));
-  counters_.decision_retries.add(1);
-  SID_TRACE(&network_.tracer(), obs::Category::kCluster, "decision_retry",
-            network_.events().now(),
-            {{"from", from},
-             {"next_dst", next_dst},
-             {"seq", decision.seq},
-             {"attempt", attempt}});
-  network_.events().schedule_after(
-      backoff, [this, from, next_dst, decision, attempt] {
-        send_decision(from, next_dst, decision, attempt + 1);
-      });
+              t, {{"from", from}, {"seq", decision.seq}});
+  });
 }
 
 void SidSystem::on_deliver(wsn::NodeId receiver, const wsn::Message& msg,
                            double t) {
+  // Transport tap first: acks terminate here, reliable data is acked and
+  // deduped, duplicates never reach the protocol twice.
+  if (!reliable_.on_deliver(receiver, msg, t)) return;
+
+  if (std::get_if<wsn::LivenessProbe>(&msg.payload) != nullptr) {
+    return;  // the transport ack already answered the probe
+  }
+
   if (const auto* invite = std::get_if<wsn::ClusterInvite>(&msg.payload)) {
     MemberState& member = members_[receiver];
     if (heads_.contains(receiver)) return;  // heads ignore invites
@@ -295,12 +349,7 @@ void SidSystem::on_deliver(wsn::NodeId receiver, const wsn::Message& msg,
     if (member.pending_report) {
       const wsn::DetectionReport pending = *member.pending_report;
       member.pending_report.reset();
-      wsn::Message report_msg;
-      report_msg.src = receiver;
-      report_msg.dst = invite->head;
-      report_msg.payload = pending;
-      network_.unicast(report_msg);
-      track_submission(receiver, invite->head, pending);
+      submit_report(receiver, invite->head, pending);
     }
     return;
   }
@@ -329,11 +378,38 @@ void SidSystem::on_deliver(wsn::NodeId receiver, const wsn::Message& msg,
     if (receiver == sink_node_) {
       accept_at_sink(*decision, t);
     } else {
-      // Static cluster head relays to the sink (with retry/backoff).
-      send_decision(receiver, sink_node_, *decision, 0);
+      // Static cluster head relays to the sink (reliably; the sink's
+      // per-head window suppresses any multi-path duplicate).
+      send_decision(receiver, sink_node_, *decision);
     }
     return;
   }
+}
+
+wsn::ClusterDecision SidSystem::make_decision(
+    wsn::NodeId head, const ClusterDecisionResult& verdict,
+    std::span<const wsn::DetectionReport> reports, double now) {
+  wsn::ClusterDecision decision;
+  decision.head = head;
+  // Per-head sequence numbers: no global coordination between heads
+  // (which a distributed field could not provide); the sink dedups per
+  // (head, seq) through a wraparound-safe window.
+  decision.seq = next_decision_seq_[head]++;
+  decision.correlation = verdict.correlation.c;
+  decision.sweep_consistency = verdict.sweep_consistency;
+  decision.report_count = verdict.reports_used;
+  decision.intrusion = verdict.intrusion;
+  if (verdict.speed) {
+    decision.estimated_speed_mps = verdict.speed->speed_mps;
+    decision.estimated_heading_rad = verdict.speed->heading_rad;
+  }
+  if (const auto observation = to_observation(verdict, reports, now)) {
+    decision.estimated_position = observation->position;
+  }
+  decision.decision_local_time_s = network_.local_time(head, now);
+  counters_.decisions_sent.add(1);
+  decision_created_s_.emplace(decision_key(decision), now);
+  return decision;
 }
 
 void SidSystem::evaluate_head(wsn::NodeId head) {
@@ -342,9 +418,10 @@ void SidSystem::evaluate_head(wsn::NodeId head) {
   it->second.evaluated = true;
   const double now = network_.events().now();
 
-  // A head that died mid-window evaluates nothing; its members detect the
-  // death and fall back to the static head.
-  if (!network_.node_operational(head, now)) {
+  // The collection-window timer runs *on* the head: a head that died
+  // mid-window evaluates nothing (dead code does not run). Its members'
+  // probes will fail and they fall back to the static head.
+  if (!network_.can_execute(head, now)) {
     counters_.clusters_abandoned.add(1);
     SID_TRACE(&network_.tracer(), obs::Category::kCluster,
               "cluster_abandoned", now, {{"head", head}});
@@ -363,26 +440,8 @@ void SidSystem::evaluate_head(wsn::NodeId head) {
     return;
   }
 
-  wsn::ClusterDecision decision;
-  decision.head = head;
-  decision.seq = next_seq_++;
-  decision.correlation = verdict.correlation.c;
-  decision.sweep_consistency = verdict.sweep_consistency;
-  decision.report_count = verdict.reports_used;
-  decision.intrusion = verdict.intrusion;
-  if (verdict.speed) {
-    decision.estimated_speed_mps = verdict.speed->speed_mps;
-    decision.estimated_heading_rad = verdict.speed->heading_rad;
-  }
-  if (const auto observation = to_observation(
-          verdict, it->second.reports, network_.events().now())) {
-    decision.estimated_position = observation->position;
-  }
-  decision.decision_local_time_s =
-      network_.local_time(head, network_.events().now());
-
-  counters_.decisions_sent.add(1);
-  decision_created_s_.emplace(decision.seq, now);
+  const wsn::ClusterDecision decision =
+      make_decision(head, verdict, it->second.reports, now);
   SID_TRACE(&network_.tracer(), obs::Category::kCluster, "cluster_decision",
             now,
             {{"head", head},
@@ -390,11 +449,14 @@ void SidSystem::evaluate_head(wsn::NodeId head) {
              {"intrusion", decision.intrusion},
              {"correlation", decision.correlation},
              {"reports", decision.report_count}});
+  // Forwarding target: the static head, unless it is this head itself or
+  // the head's own table suspects it dead (suspicion-driven re-election;
+  // a kGaveUp on this leg re-targets the sink anyway).
   wsn::NodeId target = static_head_of(head);
-  if (target == head || !network_.node_operational(target, now)) {
+  if (target == head || network_.suspects(head, target)) {
     target = sink_node_;
   }
-  send_decision(head, target, decision, 0);
+  send_decision(head, target, decision);
   members_[head].head.reset();
 }
 
@@ -405,7 +467,8 @@ void SidSystem::evaluate_fallback(wsn::NodeId head) {
       std::move(it->second.reports);
   fallbacks_.erase(it);
   const double now = network_.events().now();
-  if (!network_.node_operational(head, now)) return;  // fallback head died
+  // The fallback timer runs on the fallback head itself.
+  if (!network_.can_execute(head, now)) return;
 
   const ClusterDecisionResult verdict = evaluator_.evaluate(reports);
   if (verdict.cancelled) {
@@ -416,33 +479,21 @@ void SidSystem::evaluate_fallback(wsn::NodeId head) {
     return;
   }
 
-  wsn::ClusterDecision decision;
-  decision.head = head;
-  decision.seq = next_seq_++;
-  decision.correlation = verdict.correlation.c;
-  decision.sweep_consistency = verdict.sweep_consistency;
-  decision.report_count = verdict.reports_used;
-  decision.intrusion = verdict.intrusion;
-  if (verdict.speed) {
-    decision.estimated_speed_mps = verdict.speed->speed_mps;
-    decision.estimated_heading_rad = verdict.speed->heading_rad;
-  }
-  if (const auto observation =
-          to_observation(verdict, reports, now)) {
-    decision.estimated_position = observation->position;
-  }
-  decision.decision_local_time_s = network_.local_time(head, now);
-
-  counters_.decisions_sent.add(1);
+  const wsn::ClusterDecision decision =
+      make_decision(head, verdict, reports, now);
   counters_.fallback_decisions.add(1);
-  decision_created_s_.emplace(decision.seq, now);
   SID_TRACE(&network_.tracer(), obs::Category::kCluster, "fallback_decision",
             now,
             {{"head", head},
              {"seq", decision.seq},
              {"intrusion", decision.intrusion},
              {"correlation", decision.correlation}});
-  send_decision(head, sink_node_, decision, 0);
+  if (head == sink_node_) {
+    // The sink itself pooled the orphans: accept locally, no radio leg.
+    accept_at_sink(decision, now);
+    return;
+  }
+  send_decision(head, sink_node_, decision);
 }
 
 SystemResult SidSystem::run(std::span<const wake::ShipTrackConfig> ships) {
@@ -450,14 +501,22 @@ SystemResult SidSystem::run(std::span<const wake::ShipTrackConfig> ships) {
   counters_.reset();
   heads_.clear();
   fallbacks_.clear();
-  sink_seen_.clear();
+  reliable_.reset();
+  sink_windows_.clear();
   decision_created_s_.clear();
-  next_seq_ = 0;
+  next_decision_seq_.clear();
   members_.assign(network_.node_count(), MemberState{});
   tracker_ = Tracker(config_.cluster_tracker);
 
   const ScenarioRun front_end =
       simulate_node_reports(network_, ships, config_.scenario);
+
+  // Beacon processes run for the sensing window plus slack, so retries
+  // and fallback evaluations late in the run still see fresh liveness
+  // state (no-op in oracle routing mode).
+  network_.start_beacons(config_.scenario.trace.start_time_s +
+                         config_.scenario.trace.duration_s +
+                         config_.resilience.beacon_horizon_slack_s);
 
   // Schedule every alarm as a protocol event at its trigger time. A node
   // that is dead or depleted when the alarm would fire stays silent.
@@ -469,7 +528,7 @@ SystemResult SidSystem::run(std::span<const wake::ShipTrackConfig> ships) {
       network_.events().schedule_at(
           t, [this, node, report] {
             const double now = network_.events().now();
-            if (!network_.node_operational(node, now)) return;
+            if (!network_.can_execute(node, now)) return;
             on_alarm(node, report, now);
           });
     }

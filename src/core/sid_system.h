@@ -16,13 +16,14 @@
 #include <map>
 #include <optional>
 #include <span>
-#include <unordered_set>
 #include <vector>
 
 #include "core/cluster.h"
 #include "core/scenario.h"
 #include "core/tracker.h"
 #include "wsn/network.h"
+#include "wsn/reliable.h"
+#include "wsn/seqnum.h"
 
 namespace sid::core {
 
@@ -30,20 +31,20 @@ namespace sid::core {
 /// "wireless communication errors and possible network congestions";
 /// the fault layer adds node death on top).
 struct ResilienceConfig {
-  /// Extra attempts (after the first) for forwarding a cluster decision
-  /// toward the sink. Defaults to 0 (fire-and-forget) so fault-free runs
-  /// draw exactly the historical RNG stream; robustness scenarios enable
-  /// retries explicitly.
-  std::size_t max_decision_retries = 0;
-  /// Backoff before retry k is base * 2^k seconds.
-  double retry_backoff_base_s = 0.5;
+  /// End-to-end ARQ for report/decision/probe traffic (ack by sequence
+  /// number, capped exponential backoff + jitter, explicit give-up).
+  wsn::ReliableConfig e2e;
   /// After a temporary cluster's collection window closes, members wait
-  /// this long, then check whether the head is still alive; if not they
-  /// re-submit their reports to the static head.
+  /// this long, then probe the head end-to-end; a give-up verdict means
+  /// they re-submit their reports to the static head.
   double head_fallback_grace_s = 5.0;
   /// Orphan-report collection window at a static head before it runs the
   /// fallback evaluation itself.
   double fallback_window_s = 30.0;
+  /// Beacon processes outlive the sensing window by this much so late
+  /// protocol traffic (retries, fallback evaluations) still routes over
+  /// fresh liveness state.
+  double beacon_horizon_slack_s = 90.0;
 };
 
 struct SidSystemConfig {
@@ -80,9 +81,11 @@ struct SystemResult {
   /// back to the static head).
   std::size_t clusters_abandoned = 0;
   std::size_t decisions_sent = 0;
-  /// Decision retransmissions after a drop (bounded retry with backoff).
+  /// Decision sends re-targeted at the sink after the static-head relay
+  /// leg exhausted its end-to-end retry budget.
   std::size_t decision_retries = 0;
-  /// Decisions that never reached the sink despite all retries.
+  /// Decisions whose final reliable send gave up (explicit kGaveUp, never
+  /// a silent hang).
   std::size_t decisions_lost = 0;
   /// Reports re-submitted to a static head after the temporary head died.
   std::size_t fallback_reports = 0;
@@ -174,35 +177,54 @@ class SidSystem {
                 double t);
   void on_deliver(wsn::NodeId receiver, const wsn::Message& msg, double t);
   void evaluate_head(wsn::NodeId head);
-  /// Records a report submitted to a (possibly doomed) temporary head and
-  /// arms the member-side liveness check.
-  void track_submission(wsn::NodeId member, wsn::NodeId head,
-                        const wsn::DetectionReport& report);
-  /// Member-side timeout: if the head died, re-submit the buffered
-  /// reports to the dead head's static cluster head (or straight to the
-  /// sink), pooling the orphan set for one fallback evaluation.
+  /// Sends a detection report to the member's temporary head over the
+  /// reliable transport and arms the member-side liveness check.
+  void submit_report(wsn::NodeId member, wsn::NodeId head,
+                     const wsn::DetectionReport& report);
+  /// Member-side timeout after the collection window: probe the head
+  /// end-to-end; a kGaveUp verdict is the in-band death signal that
+  /// triggers the fallback re-submission. A member whose own neighbor
+  /// table already suspects the head skips the probe round-trip.
   void head_fallback_check(wsn::NodeId member, wsn::NodeId head);
+  /// Re-submits the member's buffered reports to the dead head's static
+  /// cluster head (escalating to the sink when that leg also gives up).
+  void do_fallback(wsn::NodeId member, wsn::NodeId head,
+                   std::vector<wsn::DetectionReport> buffered, double t);
   /// Static-head fallback evaluation over collected orphan reports.
   void evaluate_fallback(wsn::NodeId head);
   void accept_at_sink(const wsn::ClusterDecision& decision, double t);
-  /// Sends a decision toward `dst` with bounded retry + exponential
-  /// backoff; reroutes straight to the sink when the relay is unroutable.
+  /// Sends a decision toward `dst` over the reliable transport; when the
+  /// static-head relay leg gives up, re-targets the sink directly.
   void send_decision(wsn::NodeId from, wsn::NodeId dst,
-                     const wsn::ClusterDecision& decision,
-                     std::size_t attempt);
+                     const wsn::ClusterDecision& decision);
+  /// Fills protocol fields (per-head seq, timestamps) of a new decision.
+  wsn::ClusterDecision make_decision(wsn::NodeId head,
+                                     const ClusterDecisionResult& verdict,
+                                     std::span<const wsn::DetectionReport>
+                                         reports,
+                                     double now);
+  static std::uint64_t decision_key(const wsn::ClusterDecision& decision) {
+    return (static_cast<std::uint64_t>(decision.head) << 32) |
+           decision.seq;
+  }
 
   SidSystemConfig config_;
   wsn::Network network_;
   SidCounters counters_;
   ClusterEvaluator evaluator_;
   Tracker tracker_;
+  wsn::ReliableTransport reliable_;
   std::map<wsn::NodeId, HeadState> heads_;
   std::vector<MemberState> members_;
   std::map<wsn::NodeId, FallbackState> fallbacks_;
-  std::unordered_set<std::uint32_t> sink_seen_;
-  /// Decision seq -> sim time it was created, for the latency histogram.
-  std::map<std::uint32_t, double> decision_created_s_;
-  std::uint32_t next_seq_ = 0;
+  /// Sink-side duplicate suppression: one wraparound-safe sequence
+  /// window per originating head (multi-path duplicates and retransmits
+  /// alike land here).
+  std::map<wsn::NodeId, wsn::SequenceWindow> sink_windows_;
+  /// (head, seq) -> sim time the decision was created (latency metric).
+  std::map<std::uint64_t, double> decision_created_s_;
+  /// Per-head decision sequence counters (no global coordination).
+  std::map<wsn::NodeId, std::uint32_t> next_decision_seq_;
   SystemResult result_;
   wsn::NodeId sink_node_ = 0;
 };

@@ -57,9 +57,11 @@ struct ClusterInvite {
 /// Temporary head's verdict forwarded toward the static head / sink.
 struct ClusterDecision {
   NodeId head = 0;
-  /// System-wide sequence number assigned by the decision's originator.
-  /// Retransmissions (bounded retry with backoff) reuse the number; the
-  /// sink suppresses duplicates by it.
+  /// Per-head sequence number assigned by the decision's originator.
+  /// Retransmissions reuse the number; the sink suppresses duplicates
+  /// through a wraparound-safe serial-number window keyed by (head, seq)
+  /// (RFC 1982 arithmetic; see wsn/seqnum.h), so dedup survives both
+  /// multi-path delivery and ring wraparound of long-lived sources.
   std::uint32_t seq = 0;
   double correlation = 0;          ///< C = CNt * CNe
   double sweep_consistency = 0;    ///< R^2 of the Kelvin sweep regression
@@ -76,14 +78,42 @@ struct ClusterDecision {
   static constexpr std::size_t kWireBytes = 56;
 };
 
+/// End-to-end acknowledgement for the reliable transport (wsn/reliable):
+/// `acker` confirms receipt of the message `seq` that `Message::src` (the
+/// original sender, carried as the ack's dst) addressed to it.
+struct ReliableAck {
+  NodeId acker = 0;
+  std::uint32_t seq = 0;
+
+  static constexpr std::size_t kWireBytes = 8;
+};
+
+/// Explicit liveness probe: the requester asks the destination to prove
+/// it is alive. Carried over the reliable transport, whose end-to-end ack
+/// *is* the proof; an exhausted retry budget (kGaveUp) is the in-band
+/// death verdict that drives cluster-head fallback.
+struct LivenessProbe {
+  NodeId requester = 0;
+
+  static constexpr std::size_t kWireBytes = 5;
+};
+
 struct Message {
   NodeId src = 0;
   NodeId dst = 0;
-  std::variant<DetectionReport, ClusterInvite, ClusterDecision> payload;
+  /// End-to-end ARQ header (wsn/reliable). When `reliable` is set the
+  /// receiver acks `e2e_seq` back to src and dedups retransmissions
+  /// through a wraparound-safe sequence window.
+  bool reliable = false;
+  std::uint32_t e2e_seq = 0;
+  std::variant<DetectionReport, ClusterInvite, ClusterDecision, ReliableAck,
+               LivenessProbe>
+      payload;
 
   std::size_t wire_bytes() const {
     return std::visit([](const auto& p) { return p.kWireBytes; }, payload) +
-           8;  // header
+           8 +                    // header
+           (reliable ? 5 : 0);    // e2e seq + flags
   }
 };
 

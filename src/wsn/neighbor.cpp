@@ -1,0 +1,167 @@
+#include "wsn/neighbor.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/error.h"
+
+namespace sid::wsn {
+
+namespace {
+
+/// Quality floor used only inside the ETX division, so a nearly-dead link
+/// costs a large-but-finite number of expected transmissions.
+constexpr double kEtxQualityFloor = 0.05;
+
+}  // namespace
+
+NeighborEntry* NeighborTable::find(NodeId id) {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), id,
+      [](const NeighborEntry& e, NodeId v) { return e.id < v; });
+  if (it == entries_.end() || it->id != id) return nullptr;
+  return &*it;
+}
+
+const NeighborEntry* NeighborTable::find(NodeId id) const {
+  return const_cast<NeighborTable*>(this)->find(id);
+}
+
+void NeighborTable::boot_neighbor(NodeId id,
+                                  const std::vector<bool>& receptions) {
+  util::require(id != self_, "NeighborTable: node cannot neighbor itself");
+  util::require(find(id) == nullptr,
+                "NeighborTable: duplicate boot neighbor");
+  NeighborEntry entry;
+  entry.id = id;
+  entry.quality = 0.5;  // uninformed prior, sharpened by the boot rounds
+  for (const bool heard : receptions) {
+    entry.slot_bits = (entry.slot_bits << 1) | (heard ? 1u : 0u);
+    entry.slots_observed =
+        std::min(entry.slots_observed + 1, config_.liveness_window_n);
+    entry.quality = (1.0 - config_.ewma_alpha) * entry.quality +
+                    config_.ewma_alpha * (heard ? 1.0 : 0.0);
+    if (heard) entry.last_heard_s = 0.0;
+  }
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), id,
+      [](const NeighborEntry& e, NodeId v) { return e.id < v; });
+  entries_.insert(it, entry);
+}
+
+bool NeighborTable::mark_suspected(NeighborEntry& entry, double t) {
+  if (entry.suspected && t < entry.blacklist_until_s) {
+    return false;  // quarantine already running
+  }
+  const bool fresh = !entry.suspected;
+  entry.suspected = true;
+  entry.suspicion_streak += 1;
+  const double backoff =
+      std::min(config_.blacklist_cap_s,
+               config_.blacklist_base_s *
+                   static_cast<double>(1ULL << std::min<std::size_t>(
+                                           entry.suspicion_streak - 1, 32)));
+  entry.blacklist_until_s = t + backoff;
+  // Post-quarantine re-confirmations double the backoff silently; only a
+  // fresh alive -> suspected transition is reported to the caller.
+  return fresh;
+}
+
+bool NeighborTable::clear_suspicion(NeighborEntry& entry) {
+  entry.consecutive_tx_failures = 0;
+  if (!entry.suspected) return false;
+  entry.suspected = false;
+  entry.suspicion_streak = 0;  // decay: a recovered neighbor starts clean
+  entry.blacklist_until_s = 0.0;
+  return true;
+}
+
+bool NeighborTable::on_beacon(NodeId from, double t) {
+  NeighborEntry* entry = find(from);
+  if (entry == nullptr) return false;  // not a deployment neighbor
+  entry->heard_this_slot = true;
+  entry->last_heard_s = t;
+  return clear_suspicion(*entry);
+}
+
+std::vector<NodeId> NeighborTable::sweep(double t) {
+  std::vector<NodeId> newly_suspected;
+  const std::uint32_t window_mask =
+      config_.liveness_window_n >= 32
+          ? 0xFFFFFFFFu
+          : ((1u << config_.liveness_window_n) - 1u);
+  for (NeighborEntry& entry : entries_) {
+    const bool heard = entry.heard_this_slot;
+    entry.heard_this_slot = false;
+    entry.slot_bits = ((entry.slot_bits << 1) | (heard ? 1u : 0u));
+    entry.slots_observed =
+        std::min(entry.slots_observed + 1, config_.liveness_window_n);
+    entry.quality = (1.0 - config_.ewma_alpha) * entry.quality +
+                    config_.ewma_alpha * (heard ? 1.0 : 0.0);
+    // K-of-N: count silent slots among the last N observed.
+    const std::uint32_t recent = entry.slot_bits & window_mask;
+    const std::size_t observed =
+        std::min(entry.slots_observed, config_.liveness_window_n);
+    const std::size_t heard_slots =
+        static_cast<std::size_t>(std::popcount(recent));
+    const std::size_t missed = observed - std::min(heard_slots, observed);
+    if (missed >= config_.suspect_missed_k) {
+      if (mark_suspected(entry, t)) newly_suspected.push_back(entry.id);
+    }
+  }
+  return newly_suspected;
+}
+
+bool NeighborTable::on_tx_success(NodeId to, double t) {
+  NeighborEntry* entry = find(to);
+  if (entry == nullptr) return false;
+  entry->last_heard_s = t;
+  entry->quality = (1.0 - config_.ewma_alpha) * entry->quality +
+                   config_.ewma_alpha;
+  return clear_suspicion(*entry);
+}
+
+bool NeighborTable::on_tx_failure(NodeId to, double t) {
+  NeighborEntry* entry = find(to);
+  if (entry == nullptr) return false;
+  entry->consecutive_tx_failures += 1;
+  entry->quality = (1.0 - config_.ewma_alpha) * entry->quality;
+  if (entry->consecutive_tx_failures >= config_.suspect_tx_failures) {
+    return mark_suspected(*entry, t);
+  }
+  return false;
+}
+
+bool NeighborTable::usable(NodeId id, double t) const {
+  const NeighborEntry* entry = find(id);
+  if (entry == nullptr) return false;
+  if (entry->quality < config_.min_quality) return false;
+  if (entry->suspected && t < entry->blacklist_until_s) return false;
+  return true;
+}
+
+bool NeighborTable::suspects(NodeId id, double t) const {
+  const NeighborEntry* entry = find(id);
+  if (entry == nullptr) return false;
+  return entry->suspected && t < entry->blacklist_until_s;
+}
+
+double NeighborTable::quality(NodeId id) const {
+  const NeighborEntry* entry = find(id);
+  return entry == nullptr ? 0.0 : entry->quality;
+}
+
+double NeighborTable::etx(NodeId id) const {
+  const NeighborEntry* entry = find(id);
+  const double q =
+      entry == nullptr ? kEtxQualityFloor
+                       : std::max(entry->quality, kEtxQualityFloor);
+  return 1.0 / q;
+}
+
+bool NeighborTable::any_usable(double t) const {
+  return std::any_of(entries_.begin(), entries_.end(),
+                     [&](const NeighborEntry& e) { return usable(e.id, t); });
+}
+
+}  // namespace sid::wsn

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <deque>
+#include <limits>
+#include <queue>
 #include <string_view>
 #include <unordered_set>
+#include <utility>
 
 #include "util/error.h"
 
@@ -15,6 +18,11 @@ namespace {
 constexpr std::uint64_t kRadioStream = 0x7261646900ULL;
 constexpr std::uint64_t kFaultStream = 0x6661756c74ULL;
 constexpr std::uint64_t kClockStream = 0x636c6f636bULL;
+// Beacon stream (new with the self-healing layer, so it has no historical
+// baseline to preserve): all boot-discovery sampling and beacon jitter
+// draws from this dedicated derived stream, keeping the data-path radio
+// and fault streams on their own draw order.
+constexpr std::uint64_t kBeaconStream = 0x626561636fULL;
 
 // Every stochastic component's stream is offset by the master seed's
 // deviation from the default: changing NetworkConfig::seed re-randomizes
@@ -39,6 +47,8 @@ RadioConfig derive_radio_config(const NetworkConfig& config) {
     case 0: return "report";
     case 1: return "invite";
     case 2: return "decision";
+    case 3: return "ack";
+    case 4: return "probe";
     default: return "unknown";
   }
 }
@@ -56,18 +66,25 @@ Network::NetCounters::NetCounters(obs::Registry& registry)
       bytes_sent(registry.counter("net.bytes_sent")),
       burst_losses(registry.counter("net.burst_losses")),
       congestion_losses(registry.counter("net.congestion_losses")),
-      dead_receiver_drops(registry.counter("net.dead_receiver_drops")) {}
+      dead_receiver_drops(registry.counter("net.dead_receiver_drops")),
+      beacons_sent(registry.counter("net.beacons_sent")),
+      beacon_receptions(registry.counter("net.beacon_receptions")),
+      suspicions(registry.counter("net.suspicions")),
+      false_suspicions(registry.counter("net.false_suspicions")),
+      route_repairs(registry.counter("net.route_repairs")) {}
 
 Network::Network(const NetworkConfig& config)
     : config_(config),
       counters_(registry_),
       radio_(derive_radio_config(config)),
-      faults_(config.faults, util::derive_seed(config.seed, kFaultStream)) {
+      faults_(config.faults, util::derive_seed(config.seed, kFaultStream)),
+      beacon_rng_(util::derive_seed(config.seed, kBeaconStream)) {
   util::require(config.rows > 0 && config.cols > 0,
                 "Network: grid must be non-empty");
   util::require(config.spacing_m > 0.0, "Network: spacing must be positive");
   build_grid();
   build_adjacency();
+  if (config_.routing == RoutingMode::kSelfHealing) boot_discovery();
   registry_.gauge("net.nodes").set(static_cast<double>(nodes_.size()));
   registry_.gauge("net.grid_rows").set(static_cast<double>(config_.rows));
   registry_.gauge("net.grid_cols").set(static_cast<double>(config_.cols));
@@ -97,13 +114,48 @@ void Network::build_grid() {
 
 void Network::build_adjacency() {
   adjacency_.assign(nodes_.size(), {});
+  // Oracle mode reproduces the legacy baseline: links enter the topology
+  // by thresholding the ground-truth PRR. Self-healing mode admits every
+  // physically-reachable link; whether a link is *used* is decided by the
+  // learned neighbor tables, never by the model's true PRR.
+  const bool oracle = config_.routing == RoutingMode::kOracle;
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     for (std::size_t j = i + 1; j < nodes_.size(); ++j) {
       const double d = util::distance(nodes_[i].anchor, nodes_[j].anchor);
-      if (radio_.in_range(d) && radio_.prr(d) >= config_.min_link_prr) {
-        adjacency_[i].push_back(nodes_[j].id);
-        adjacency_[j].push_back(nodes_[i].id);
+      if (!radio_.in_range(d)) continue;
+      if (oracle && radio_.prr(d) < config_.min_link_prr) continue;
+      adjacency_[i].push_back(nodes_[j].id);
+      adjacency_[j].push_back(nodes_[i].id);
+    }
+  }
+}
+
+void Network::boot_discovery() {
+  // Deployment-time handshake (§III-A: buoys are placed manually and
+  // pre-synchronized): a few beacon rounds are exchanged while the field
+  // is commissioned, seeding every table with a physically-sampled
+  // estimate of each inbound link. Reception is sampled from the true
+  // PRR + static extra loss through the dedicated beacon stream — the
+  // estimate is *derived from samples* a real node would observe, never
+  // from the model parameters themselves. Commissioning energy is out of
+  // scope (batteries are topped up at deployment).
+  tables_.clear();
+  tables_.reserve(nodes_.size());
+  for (const NodeInfo& info : nodes_) {
+    tables_.emplace_back(info.id, config_.neighbor);
+  }
+  const double extra_loss = radio_.config().extra_loss_probability;
+  std::vector<bool> receptions(config_.neighbor.boot_rounds);
+  for (std::size_t u = 0; u < nodes_.size(); ++u) {
+    for (const NodeId v : adjacency_[u]) {
+      const double d = util::distance(nodes_[u].anchor, nodes_[v].anchor);
+      const double p = radio_.prr(d) * (1.0 - extra_loss);
+      for (std::size_t r = 0; r < receptions.size(); ++r) {
+        receptions[r] = beacon_rng_.bernoulli(p);
       }
+      // Orientation: entry (u, v) estimates the v -> u inbound link from
+      // v's boot beacons as heard at u.
+      tables_[u].boot_neighbor(v, receptions);
     }
   }
 }
@@ -136,11 +188,158 @@ bool Network::node_operational(NodeId id, double t) const {
   return true;
 }
 
+bool Network::can_execute(NodeId id, double t) const {
+  // A node's *own* liveness is not oracle knowledge — dead code does not
+  // run. This is the only liveness read protocols are allowed.
+  return node_operational(id, t);
+}
+
+bool Network::suspects(NodeId observer, NodeId subject) const {
+  if (config_.routing != RoutingMode::kSelfHealing) return false;
+  util::require(observer < tables_.size(), "Network::suspects: bad id");
+  return tables_[observer].suspects(subject, events_.now());
+}
+
+const NeighborTable& Network::neighbor_table(NodeId id) const {
+  util::require(id < tables_.size(),
+                "Network::neighbor_table: no table (oracle mode?)");
+  return tables_[id];
+}
+
+void Network::note_suspicion(NodeId observer, NodeId subject, double t) {
+  counters_.suspicions.add();
+  // Local route repair: the suspecting node drops the link from its
+  // forwarding set; when another usable neighbor remains, traffic can be
+  // recomputed around the suspect immediately.
+  if (tables_[observer].any_usable(t)) counters_.route_repairs.add();
+  SID_TRACE(&tracer_, obs::Category::kNet, "suspect", t,
+            {{"observer", observer}, {"subject", subject}});
+}
+
+void Network::note_false_suspicion(NodeId observer, NodeId subject,
+                                   double t) {
+  counters_.false_suspicions.add();
+  SID_TRACE(&tracer_, obs::Category::kNet, "suspicion_cleared", t,
+            {{"observer", observer}, {"subject", subject}});
+}
+
+void Network::start_beacons(double until_s) {
+  if (config_.routing != RoutingMode::kSelfHealing) return;
+  if (until_s <= beacons_until_) return;  // already covered
+  const bool running = beacons_until_ > 0.0;
+  beacons_until_ = until_s;
+  if (running) return;  // live ticks reschedule against the new horizon
+  const double now = events_.now();
+  const double period = config_.neighbor.beacon_period_s;
+  util::require(period > 0.0, "Network: beacon period must be positive");
+  // Stagger first beacons uniformly over one period so the field
+  // desynchronizes from the start (randomized jitter keeps it so).
+  for (const NodeInfo& info : nodes_) {
+    const NodeId id = info.id;
+    const double offset = beacon_rng_.uniform(0.0, period);
+    events_.schedule_at(now + offset, [this, id] { beacon_tick(id); });
+  }
+}
+
+void Network::beacon_tick(NodeId id) {
+  const double t = events_.now();
+  // Crash-stop / depletion: a dead node falls silent for good, which is
+  // exactly what its neighbors' missed-beacon rules will notice.
+  if (!node_operational(id, t)) return;
+  for (const NodeId suspect : tables_[id].sweep(t)) {
+    note_suspicion(id, suspect, t);
+  }
+  counters_.beacons_sent.add();
+  const std::size_t bytes = config_.neighbor.beacon_bytes;
+  nodes_[id].energy.spend_tx(bytes);
+  counters_.bytes_sent.add(bytes);
+  const double extra_loss = radio_.config().extra_loss_probability;
+  for (const NodeId v : adjacency_[id]) {
+    if (!node_operational(v, t)) continue;  // dead radios hear nothing
+    const double d = util::distance(nodes_[id].anchor, nodes_[v].anchor);
+    const double p = radio_.prr(d) * (1.0 - extra_loss);
+    if (!beacon_rng_.bernoulli(p)) continue;
+    if (faults_.active()) {
+      if (faults_.congestion_drops(t)) {
+        counters_.congestion_losses.add();
+        continue;
+      }
+      if (faults_.burst_drops(id, v)) {
+        counters_.burst_losses.add();
+        continue;
+      }
+    }
+    nodes_[v].energy.spend_rx(bytes);
+    counters_.beacon_receptions.add();
+    if (tables_[v].on_beacon(id, t)) note_false_suspicion(v, id, t);
+  }
+  const double next =
+      t + config_.neighbor.beacon_period_s +
+      beacon_rng_.uniform(0.0, config_.neighbor.beacon_jitter_s);
+  if (next <= beacons_until_) {
+    events_.schedule_at(next, [this, id] { beacon_tick(id); });
+  }
+}
+
 std::optional<std::vector<NodeId>> Network::shortest_path(NodeId from,
                                                           NodeId to,
                                                           double t) const {
   util::require(from < nodes_.size() && to < nodes_.size(),
                 "Network::shortest_path: bad id");
+  if (config_.routing == RoutingMode::kSelfHealing) {
+    return learned_path(from, to, t);
+  }
+  return oracle_path(from, to, t);
+}
+
+std::optional<std::vector<NodeId>> Network::learned_path(NodeId from,
+                                                         NodeId to,
+                                                         double t) const {
+  // ETX Dijkstra over what each relay's own table currently believes:
+  // edge u -> v exists iff u's table holds v usable, weighted by the
+  // expected transmission count of the estimated link. No oracle input;
+  // a stale belief simply routes into a failed hop, which feeds back
+  // into the estimate.
+  // A dead source cannot transmit at all — that is the node's own state
+  // (can_execute), not oracle knowledge about a peer.
+  if (!can_execute(from, t)) return std::nullopt;
+  if (from == to) return std::vector<NodeId>{from};
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(nodes_.size(), kInf);
+  std::vector<NodeId> parent(nodes_.size(), kSinkId);
+  using Item = std::pair<double, NodeId>;  // (cost, node); node breaks ties
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[from] = 0.0;
+  heap.emplace(0.0, from);
+  while (!heap.empty()) {
+    const auto [cost, u] = heap.top();
+    heap.pop();
+    if (cost > dist[u]) continue;  // stale heap entry
+    if (u == to) break;
+    for (const NodeId v : adjacency_[u]) {
+      if (!tables_[u].usable(v, t)) continue;
+      const double next = cost + tables_[u].etx(v);
+      if (next < dist[v]) {
+        dist[v] = next;
+        parent[v] = u;
+        heap.emplace(next, v);
+      }
+    }
+  }
+  if (parent[to] == kSinkId) return std::nullopt;
+  std::vector<NodeId> path{to};
+  NodeId cur = to;
+  while (cur != from) {
+    cur = parent[cur];
+    path.push_back(cur);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::optional<std::vector<NodeId>> Network::oracle_path(NodeId from,
+                                                        NodeId to,
+                                                        double t) const {
   if (!node_operational(from, t) || !node_operational(to, t)) {
     return std::nullopt;
   }
@@ -187,6 +386,7 @@ std::optional<double> Network::try_hop(const NodeInfo& from,
   const double t = events_.now();
   if (!node_operational(from.id, t)) return std::nullopt;
   const double d = util::distance(from.anchor, to.anchor);
+  const bool learning = config_.routing == RoutingMode::kSelfHealing;
   double delay = 0.0;
   for (std::size_t attempt = 0; attempt <= config_.max_retransmissions;
        ++attempt) {
@@ -217,7 +417,18 @@ std::optional<double> Network::try_hop(const NodeInfo& from,
       }
     }
     nodes_[to.id].energy.spend_rx(bytes);
+    // The link-layer ack doubles as an observation of the link (and of
+    // the neighbor being alive).
+    if (learning && tables_[from.id].on_tx_success(to.id, t)) {
+      note_false_suspicion(from.id, to.id, t);
+    }
     return delay;
+  }
+  // ARQ budget exhausted: negative evidence about the link. Enough of it
+  // in a row fast-tracks a liveness suspicion without waiting for the
+  // missed-beacon window.
+  if (learning && tables_[from.id].on_tx_failure(to.id, t)) {
+    note_suspicion(from.id, to.id, t);
   }
   return std::nullopt;
 }
@@ -234,16 +445,24 @@ UnicastOutcome Network::unicast(Message msg) {
              {"type", payload_name(msg)},
              {"bytes", msg.wire_bytes()}});
 
-  // A nonexistent or dead destination (or a dead source) is unroutable —
-  // reported distinctly from lossy in-flight drops.
-  if (msg.dst >= nodes_.size() || !node_operational(msg.src, t) ||
-      !node_operational(msg.dst, t)) {
+  // No route cases, all reported under the single "no_route" trace
+  // reason so counter, trace and outcome always agree (one msg_drop
+  // "no_route" event per kUnroutable — asserted in wsn_test):
+  //   - nonexistent destination;
+  //   - dead source (its own state: dead code does not send);
+  //   - oracle mode only: a dead destination is known unroutable up
+  //     front. Self-healing mode has no such knowledge — the learned
+  //     path below decides, and a stale belief plays out as in-flight
+  //     hop failures.
+  if (msg.dst >= nodes_.size() || !can_execute(msg.src, t) ||
+      (config_.routing == RoutingMode::kOracle &&
+       !node_operational(msg.dst, t))) {
     counters_.unicasts_unroutable.add();
     SID_TRACE(&tracer_, obs::Category::kNet, "msg_drop", t,
               {{"src", msg.src},
                {"dst", msg.dst},
                {"type", payload_name(msg)},
-               {"reason", "unroutable"}});
+               {"reason", "no_route"}});
     return UnicastOutcome::kUnroutable;
   }
 
@@ -267,10 +486,14 @@ UnicastOutcome Network::unicast(Message msg) {
                {"reason", "no_route"}});
     return UnicastOutcome::kUnroutable;
   }
-  // Routing invariant: a dead node must never be picked as a relay.
-  for (std::size_t i = 1; i + 1 < path->size(); ++i) {
-    util::require(node_operational((*path)[i], t),
-                  "Network::unicast: routed through a dead relay");
+  // Oracle routing invariant: a dead node must never be picked as a
+  // relay. (Learned routes have no such guarantee — beliefs can lag
+  // reality, and the failed hop is the signal that updates them.)
+  if (config_.routing == RoutingMode::kOracle) {
+    for (std::size_t i = 1; i + 1 < path->size(); ++i) {
+      util::require(node_operational((*path)[i], t),
+                    "Network::unicast: routed through a dead relay");
+    }
   }
 
   double total_delay = 0.0;
@@ -294,6 +517,9 @@ UnicastOutcome Network::unicast(Message msg) {
   counters_.unicasts_delivered.add();
   const Message delivered = msg;
   events_.schedule_after(total_delay, [this, delivered] {
+    // A receiver that died between radio delivery and protocol
+    // processing acts on nothing (dead code does not run).
+    if (!node_operational(delivered.dst, events_.now())) return;
     SID_TRACE(&tracer_, obs::Category::kNet, "msg_rx", events_.now(),
               {{"src", delivered.src},
                {"dst", delivered.dst},
@@ -312,9 +538,11 @@ void Network::flood(Message msg, std::size_t hops) {
             {{"src", msg.src},
              {"type", payload_name(msg)},
              {"hops", hops}});
-  if (!node_operational(msg.src, t)) return;  // a dead source stays silent
+  if (!can_execute(msg.src, t)) return;  // a dead source stays silent
+  const bool learned = config_.routing == RoutingMode::kSelfHealing;
   // BFS out to `hops`, applying per-hop loss and accumulating delay along
-  // the first successful path to each node.
+  // the first successful path to each node. In self-healing mode each
+  // relay forwards only over links its own table believes usable.
   struct Frontier {
     NodeId id;
     std::size_t depth;
@@ -329,7 +557,13 @@ void Network::flood(Message msg, std::size_t hops) {
     if (f.depth == hops) continue;
     for (NodeId v : adjacency_[f.id]) {
       if (reached.contains(v)) continue;
-      if (!node_operational(v, t)) continue;  // dead nodes don't relay
+      if (learned) {
+        // The relay's belief, not the oracle: quarantined or known-bad
+        // links are skipped; stale beliefs just waste the hop attempt.
+        if (!tables_[f.id].usable(v, t)) continue;
+      } else {
+        if (!node_operational(v, t)) continue;  // dead nodes don't relay
+      }
       const auto hop_delay = try_hop(nodes_[f.id], nodes_[v], bytes);
       if (!hop_delay) continue;
       reached.insert(v);
@@ -337,6 +571,7 @@ void Network::flood(Message msg, std::size_t hops) {
       counters_.flood_deliveries.add();
       const Message delivered = msg;
       events_.schedule_after(delay, [this, v, delivered] {
+        if (!node_operational(v, events_.now())) return;
         SID_TRACE(&tracer_, obs::Category::kNet, "msg_rx", events_.now(),
                   {{"src", delivered.src},
                    {"dst", v},
@@ -363,6 +598,11 @@ const NetworkStats& Network::stats() const {
   stats_view_.burst_losses = counters_.burst_losses.value();
   stats_view_.congestion_losses = counters_.congestion_losses.value();
   stats_view_.dead_receiver_drops = counters_.dead_receiver_drops.value();
+  stats_view_.beacons_sent = counters_.beacons_sent.value();
+  stats_view_.beacon_receptions = counters_.beacon_receptions.value();
+  stats_view_.suspicions = counters_.suspicions.value();
+  stats_view_.false_suspicions = counters_.false_suspicions.value();
+  stats_view_.route_repairs = counters_.route_repairs.value();
   return stats_view_;
 }
 

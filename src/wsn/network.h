@@ -17,11 +17,13 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/geometry.h"
+#include "util/rng.h"
 #include "wsn/clock.h"
 #include "wsn/energy.h"
 #include "wsn/event_queue.h"
 #include "wsn/faults.h"
 #include "wsn/messages.h"
+#include "wsn/neighbor.h"
 #include "wsn/radio.h"
 
 namespace sid::wsn {
@@ -50,6 +52,20 @@ struct NodeInfo {
 /// default stay bit-identical to historical baselines.
 inline constexpr std::uint64_t kDefaultNetworkSeed = 51;
 
+/// How routing and flooding learn the topology.
+enum class RoutingMode {
+  /// Legacy omniscient baseline: links enter the topology by thresholding
+  /// the radio model's ground-truth PRR, and routes consult the global
+  /// liveness oracle. Kept as the reference point the self-healing mode
+  /// is benchmarked against (bench/robustness_sweep).
+  kOracle,
+  /// Distributed mode: adjacency is physical radio range only; routing
+  /// and flooding consult per-node neighbor tables learned from hello
+  /// beacons and delivery outcomes (wsn/neighbor). No protocol decision
+  /// reads the oracle; dead nodes are discovered by missed beacons.
+  kSelfHealing,
+};
+
 struct NetworkConfig {
   std::size_t rows = 6;
   std::size_t cols = 6;
@@ -72,6 +88,13 @@ struct NetworkConfig {
   std::uint64_t seed = kDefaultNetworkSeed;
   /// Scheduled faults (strictly opt-in; empty plan changes nothing).
   FaultPlan faults;
+  /// Topology discovery mode. Self-healing is the default: default-seed
+  /// runs therefore differ from the pre-beacon baselines (see DESIGN.md
+  /// §5f); the determinism contract is relative (same seed ⇒ same run),
+  /// not tied to historical hashes.
+  RoutingMode routing = RoutingMode::kSelfHealing;
+  /// Beacon/neighbor-table knobs for self-healing mode.
+  NeighborConfig neighbor;
 };
 
 /// Network-layer statistics. Since the observability PR this struct is a
@@ -97,6 +120,18 @@ struct NetworkStats {
   /// Transmission attempts whose receiver was dead/depleted (the sender
   /// still spent transmit energy).
   std::size_t dead_receiver_drops = 0;
+  /// Hello beacons broadcast (self-healing mode).
+  std::size_t beacons_sent = 0;
+  /// Hello-beacon receptions across all nodes.
+  std::size_t beacon_receptions = 0;
+  /// Fresh liveness suspicions raised by neighbor tables.
+  std::size_t suspicions = 0;
+  /// Suspicions later cleared by direct evidence of life (the neighbor
+  /// was alive all along — e.g. a loss burst, not a crash).
+  std::size_t false_suspicions = 0;
+  /// Suspicions where the suspecting node still had a live forwarding
+  /// alternative (local route repair was possible immediately).
+  std::size_t route_repairs = 0;
 };
 
 /// Synchronous outcome of a unicast (the simulator resolves every hop at
@@ -130,8 +165,10 @@ class Network {
   /// Node id at grid (row, col).
   NodeId id_at(std::size_t row, std::size_t col) const;
 
-  /// Ids of direct radio neighbors of `id` (static deployment topology;
-  /// dead nodes are excluded from routing/flooding at traversal time).
+  /// Ids of direct radio neighbors of `id`. Oracle mode: links above the
+  /// ground-truth PRR threshold (legacy baseline). Self-healing mode:
+  /// every physically-reachable link; whether a link is *used* is the
+  /// learned neighbor table's call at traversal time.
   const std::vector<NodeId>& neighbors(NodeId id) const;
 
   /// Hop distance between two nodes over the live topology (BFS);
@@ -141,8 +178,33 @@ class Network {
   /// True when `id` can participate in the network at time `t`: not
   /// crash-stopped by the fault plan and battery not depleted. A
   /// non-operational node neither transmits, receives, routes, nor
-  /// samples.
+  /// samples. This is the *oracle*: outside this class only can_execute
+  /// (a node's self-check) may consume it — scripts/lint.py enforces the
+  /// funnel.
   bool node_operational(NodeId id, double t) const;
+
+  /// A node's own liveness self-check: whether `id` is physically able
+  /// to run code at time `t`. A node trivially knows if it is alive, so
+  /// protocols may gate *their own* actions on this; querying another
+  /// node's liveness must go through the beacon/suspicion machinery
+  /// (suspects(), probe + kGaveUp).
+  bool can_execute(NodeId id, double t) const;
+
+  /// In-band liveness belief: true while `observer`'s own neighbor table
+  /// actively suspects `subject` dead. Always false in oracle mode and
+  /// for non-neighbors (a node has no direct belief about distant nodes).
+  bool suspects(NodeId observer, NodeId subject) const;
+
+  /// Read access to a node's neighbor table (empty in oracle mode).
+  const NeighborTable& neighbor_table(NodeId id) const;
+
+  /// Starts (or extends) the periodic hello-beacon processes through
+  /// simulated time `until_s`. Self-healing mode only (no-op otherwise).
+  /// The horizon keeps EventQueue::run_all() terminating; callers pass
+  /// their scenario duration plus slack for late protocol traffic.
+  void start_beacons(double until_s);
+
+  RoutingMode routing_mode() const { return config_.routing; }
 
   /// Read access to the fault layer (crash schedule, sensor faults).
   const FaultInjector& faults() const { return faults_; }
@@ -188,13 +250,33 @@ class Network {
  private:
   void build_grid();
   void build_adjacency();
-  /// Shortest path over the live topology at time `t`: dead/depleted
-  /// nodes are never picked as relays or endpoints.
+  /// Deployment-time neighbor discovery (self-healing mode): seeds every
+  /// node's table from a few physically-sampled boot beacon rounds.
+  void boot_discovery();
+  /// One node's beacon tick: sweep its table, broadcast a hello, and
+  /// reschedule until the beacon horizon.
+  void beacon_tick(NodeId id);
+  /// Routing dispatch: oracle BFS or learned-table ETX Dijkstra.
   std::optional<std::vector<NodeId>> shortest_path(NodeId from, NodeId to,
                                                    double t) const;
-  /// Simulates one hop; returns the delay on success.
+  /// Legacy oracle BFS over the live topology at time `t`.
+  std::optional<std::vector<NodeId>> oracle_path(NodeId from, NodeId to,
+                                                 double t) const;
+  /// ETX Dijkstra over the sender-side neighbor tables: each relay only
+  /// uses links its own table currently believes usable. The result may
+  /// include dead relays (beliefs lag reality); physics sorts it out at
+  /// transmission time.
+  std::optional<std::vector<NodeId>> learned_path(NodeId from, NodeId to,
+                                                  double t) const;
+  /// Simulates one hop; returns the delay on success. In self-healing
+  /// mode the outcome also feeds the sender's link estimate.
   std::optional<double> try_hop(const NodeInfo& from, const NodeInfo& to,
                                 std::size_t bytes);
+  /// Records a fresh suspicion raised by `observer` against `subject`
+  /// (counters + trace + route-repair accounting).
+  void note_suspicion(NodeId observer, NodeId subject, double t);
+  /// Records a cleared (hence false) suspicion.
+  void note_false_suspicion(NodeId observer, NodeId subject, double t);
 
   /// Stable references into registry_ for the hot-path counters; the
   /// NetworkStats view is assembled from exactly these (never a second
@@ -212,6 +294,11 @@ class Network {
     obs::Counter& burst_losses;
     obs::Counter& congestion_losses;
     obs::Counter& dead_receiver_drops;
+    obs::Counter& beacons_sent;
+    obs::Counter& beacon_receptions;
+    obs::Counter& suspicions;
+    obs::Counter& false_suspicions;
+    obs::Counter& route_repairs;
   };
 
   NetworkConfig config_;
@@ -223,6 +310,14 @@ class Network {
   FaultInjector faults_;
   std::vector<NodeInfo> nodes_;
   std::vector<std::vector<NodeId>> adjacency_;
+  /// Per-node learned link state (self-healing mode; empty otherwise).
+  std::vector<NeighborTable> tables_;
+  /// All beacon randomness (boot sampling, jitter) draws from this
+  /// dedicated master-seed-derived stream so the data-path radio/fault
+  /// streams keep their draw order.
+  util::Rng beacon_rng_;
+  /// Beacon processes run until this sim time (0 = not started).
+  double beacons_until_ = 0.0;
   DeliveryHandler handler_;
   mutable NetworkStats stats_view_;
 };

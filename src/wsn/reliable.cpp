@@ -1,0 +1,161 @@
+#include "wsn/reliable.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+#include "wsn/network.h"
+
+namespace sid::wsn {
+
+namespace {
+
+/// Stream id for the transport's jitter draws under the network master
+/// seed (new layer: no historical stream to preserve).
+constexpr std::uint64_t kReliableStream = 0x72656c69ULL;
+
+}  // namespace
+
+ReliableTransport::ReliableTransport(Network& network,
+                                     const ReliableConfig& config)
+    : network_(network),
+      config_(config),
+      rng_(util::derive_seed(network.config().seed, kReliableStream)),
+      sends_(network.registry().counter("net.e2e_sends")),
+      retries_(network.registry().counter("net.e2e_retries")),
+      acked_(network.registry().counter("net.e2e_acked")),
+      gave_up_(network.registry().counter("net.e2e_gave_up")),
+      duplicates_(network.registry().counter("net.e2e_duplicates")),
+      recovery_time_s_(network.registry().histogram(
+          "sid.recovery_time_s",
+          {0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 30.0, 60.0, 120.0, 300.0},
+          obs::Histogram::Clock::kSim)) {
+  util::require(config_.max_attempts >= 1,
+                "ReliableTransport: need at least one attempt");
+  util::require(config_.ack_timeout_s > 0.0,
+                "ReliableTransport: ack timeout must be positive");
+}
+
+void ReliableTransport::reset() {
+  pending_.clear();
+  windows_.clear();
+  next_seq_.clear();
+  epoch_ += 1;  // invalidates every in-flight timeout event
+}
+
+std::uint32_t ReliableTransport::send(Message msg, Callback cb) {
+  const std::uint32_t seq = next_seq_[msg.src]++;
+  msg.reliable = true;
+  msg.e2e_seq = seq;
+  const Key key{msg.src, seq};
+  Pending pending;
+  pending.msg = std::move(msg);
+  pending.cb = std::move(cb);
+  pending.first_send_s = network_.events().now();
+  pending.epoch = epoch_;
+  pending_.emplace(key, std::move(pending));
+  attempt(key);
+  return seq;
+}
+
+void ReliableTransport::attempt(Key key) {
+  const auto it = pending_.find(key);
+  if (it == pending_.end()) return;  // acked while a retry was queued
+  Pending& p = it->second;
+  p.attempts += 1;
+  if (p.attempts == 1) {
+    sends_.add();
+  } else {
+    retries_.add();
+    SID_TRACE(&network_.tracer(), obs::Category::kNet, "e2e_retry",
+              network_.events().now(),
+              {{"src", p.msg.src},
+               {"dst", p.msg.dst},
+               {"seq", p.msg.e2e_seq},
+               {"attempt", p.attempts}});
+  }
+  // The synchronous outcome is deliberately ignored: a real source only
+  // learns from the ack (or its absence). Even a "delivered" data packet
+  // can lose its ack on the way back.
+  network_.unicast(p.msg);
+  network_.events().schedule_after(
+      config_.ack_timeout_s,
+      [this, key, attempts = p.attempts, epoch = p.epoch] {
+        on_timeout(key, attempts, epoch);
+      });
+}
+
+void ReliableTransport::on_timeout(Key key, std::size_t attempts_at_schedule,
+                                   std::uint64_t epoch) {
+  if (epoch != epoch_) return;  // transport was reset meanwhile
+  const auto it = pending_.find(key);
+  if (it == pending_.end()) return;  // already acked
+  Pending& p = it->second;
+  if (p.attempts != attempts_at_schedule) return;  // stale timeout
+  const double now = network_.events().now();
+  if (p.attempts >= config_.max_attempts) {
+    gave_up_.add();
+    SID_TRACE(&network_.tracer(), obs::Category::kNet, "e2e_gave_up", now,
+              {{"src", p.msg.src},
+               {"dst", p.msg.dst},
+               {"seq", p.msg.e2e_seq},
+               {"attempts", p.attempts}});
+    Callback cb = std::move(p.cb);
+    pending_.erase(it);
+    if (cb) cb(ReliableOutcome::kGaveUp, now);
+    return;
+  }
+  const double exp_backoff =
+      config_.backoff_base_s *
+      std::pow(2.0, static_cast<double>(p.attempts - 1));
+  const double backoff =
+      std::min(exp_backoff, config_.backoff_cap_s) *
+      (1.0 + config_.backoff_jitter_frac * rng_.uniform());
+  network_.events().schedule_after(backoff, [this, key] { attempt(key); });
+}
+
+bool ReliableTransport::on_deliver(NodeId receiver, const Message& msg,
+                                   double t) {
+  if (const auto* ack = std::get_if<ReliableAck>(&msg.payload)) {
+    // `receiver` is the original sender: the ack's dst. Late or
+    // duplicate acks (entry already gone) are ignored.
+    const auto it = pending_.find(Key{receiver, ack->seq});
+    if (it != pending_.end() && it->second.msg.dst == ack->acker) {
+      Pending& p = it->second;
+      acked_.add();
+      if (p.attempts > 1) {
+        recovery_time_s_.record(t - p.first_send_s);
+        SID_TRACE(&network_.tracer(), obs::Category::kNet, "e2e_recovered",
+                  t,
+                  {{"src", p.msg.src},
+                   {"dst", p.msg.dst},
+                   {"seq", p.msg.e2e_seq},
+                   {"recovery_s", t - p.first_send_s}});
+      }
+      Callback cb = std::move(p.cb);
+      pending_.erase(it);
+      if (cb) cb(ReliableOutcome::kAcked, t);
+    }
+    return false;  // transport-internal, never app-visible
+  }
+  if (!msg.reliable) return true;  // unreliable traffic passes through
+  // Reliable data: ack it back (unreliably — the sender's retry loop
+  // covers ack loss), then dedup.
+  Message ack_msg;
+  ack_msg.src = receiver;
+  ack_msg.dst = msg.src;
+  ack_msg.payload = ReliableAck{receiver, msg.e2e_seq};
+  network_.unicast(ack_msg);
+  const auto win_it =
+      windows_
+          .try_emplace(std::pair<NodeId, NodeId>{receiver, msg.src},
+                       SequenceWindow{config_.dedup_span})
+          .first;
+  if (!win_it->second.accept(msg.e2e_seq)) {
+    duplicates_.add();
+    return false;  // retransmission of something already processed
+  }
+  return true;
+}
+
+}  // namespace sid::wsn

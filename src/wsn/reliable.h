@@ -1,0 +1,114 @@
+// End-to-end reliable delivery for report/decision traffic.
+//
+// The network's per-hop ARQ is not enough: a report that exhausts its
+// link-layer budget mid-path silently vanishes, and the source never
+// learns. ReliableTransport adds the end-to-end loop a real deployment
+// would run: every reliable message carries a per-source sequence
+// number, the destination acks it back, and the source retries with
+// capped exponential backoff + jitter until acked or the attempt budget
+// is spent — at which point the failure surfaces as an explicit kGaveUp
+// callback instead of a hang. Receivers dedup retransmissions through a
+// wraparound-safe serial-number window (wsn/seqnum.h) but re-ack
+// duplicates, because a duplicate usually means the previous ack was
+// lost.
+//
+// Observability: net.e2e_sends / e2e_retries / e2e_acked / e2e_gave_up /
+// e2e_duplicates counters, plus the sid.recovery_time_s histogram — the
+// time from first transmission to ack for messages that needed at least
+// one retry, i.e. how long the self-healing substrate takes to recover a
+// delivery that the first attempt lost.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/rng.h"
+#include "wsn/messages.h"
+#include "wsn/seqnum.h"
+
+namespace sid::wsn {
+
+class Network;
+
+struct ReliableConfig {
+  /// Total transmission attempts per message (first send + retries).
+  std::size_t max_attempts = 4;
+  /// How long the source waits for an end-to-end ack before declaring
+  /// the attempt lost.
+  double ack_timeout_s = 2.0;
+  /// Backoff before retry k is base * 2^(k-1), capped, jittered.
+  double backoff_base_s = 0.5;
+  double backoff_cap_s = 8.0;
+  /// Uniform jitter factor: the backoff is scaled by a draw from
+  /// [1, 1 + jitter_frac) so synchronized losers desynchronize.
+  double backoff_jitter_frac = 0.25;
+  /// Receiver-side dedup window span (sequence numbers).
+  std::size_t dedup_span = 64;
+};
+
+enum class ReliableOutcome {
+  kAcked,   ///< end-to-end ack received
+  kGaveUp,  ///< attempt budget exhausted; message declared undeliverable
+};
+
+class ReliableTransport {
+ public:
+  /// Invoked exactly once per send() with the final outcome.
+  using Callback = std::function<void(ReliableOutcome, double t)>;
+
+  ReliableTransport(Network& network, const ReliableConfig& config);
+
+  /// Sends `msg` reliably (stamps the e2e header; msg.src/dst/payload
+  /// must be set). The callback may be empty for fire-and-forget-with-
+  /// retries traffic. Returns the assigned sequence number.
+  std::uint32_t send(Message msg, Callback cb = {});
+
+  /// Transport tap for the network delivery handler. Returns true when
+  /// the application should process `msg` (a fresh data message);
+  /// false when the message was transport-internal (an ack) or a
+  /// duplicate already seen through the dedup window.
+  bool on_deliver(NodeId receiver, const Message& msg, double t);
+
+  /// Drops all pending state (between runs; pending callbacks are NOT
+  /// invoked).
+  void reset();
+
+  std::size_t pending_count() const { return pending_.size(); }
+
+ private:
+  struct Pending {
+    Message msg;
+    Callback cb;
+    std::size_t attempts = 0;
+    double first_send_s = 0.0;
+    /// Monotone epoch guarding stale timeout events after reset().
+    std::uint64_t epoch = 0;
+  };
+  using Key = std::pair<NodeId, std::uint32_t>;  // (source, seq)
+
+  void attempt(Key key);
+  void on_timeout(Key key, std::size_t attempts_at_schedule,
+                  std::uint64_t epoch);
+
+  Network& network_;
+  ReliableConfig config_;
+  util::Rng rng_;
+  std::map<NodeId, std::uint32_t> next_seq_;
+  std::map<Key, Pending> pending_;
+  /// Dedup windows keyed by (receiver, source).
+  std::map<std::pair<NodeId, NodeId>, SequenceWindow> windows_;
+  std::uint64_t epoch_ = 0;
+
+  obs::Counter& sends_;
+  obs::Counter& retries_;
+  obs::Counter& acked_;
+  obs::Counter& gave_up_;
+  obs::Counter& duplicates_;
+  obs::Histogram& recovery_time_s_;
+};
+
+}  // namespace sid::wsn

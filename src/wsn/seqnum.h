@@ -1,0 +1,86 @@
+// Serial-number arithmetic and a wraparound-safe duplicate window.
+//
+// Protocol sequence numbers live in a finite ring (here uint32), so "is
+// seq A older than seq B" must be answered modulo 2^32 or dedup breaks
+// the first time a long-lived source wraps. Comparisons follow RFC 1982
+// serial-number arithmetic: A < B iff the signed ring distance from A to
+// B is positive, i.e. B lies in the half-ring ahead of A. SequenceWindow
+// builds receiver-side dedup on top: it tracks the highest sequence seen
+// and a sliding bitmap of the last `size` numbers, so duplicates and
+// stale retransmissions are rejected no matter where the ring currently
+// stands.
+#pragma once
+
+#include <cstdint>
+
+namespace sid::wsn {
+
+/// Signed ring distance from `a` to `b` modulo 2^32: positive when `b`
+/// is ahead of `a`, negative when behind. The two's-complement cast is
+/// exactly the RFC 1982 half-ring rule for serial bits = 32.
+constexpr std::int32_t seq_distance(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(b - a);
+}
+
+/// RFC 1982 "serial less than": true when `b` is in the half-ring ahead
+/// of `a`. Note !seq_less(a, b) && !seq_less(b, a) holds both for a == b
+/// and for the undefined antipodal case (distance exactly 2^31), which
+/// the window below treats conservatively as "not newer".
+constexpr bool seq_less(std::uint32_t a, std::uint32_t b) {
+  return seq_distance(a, b) > 0;
+}
+
+/// Receiver-side dedup window over a 32-bit sequence ring. accept()
+/// returns true exactly once per sequence number within the window span;
+/// numbers older than the window are conservatively rejected (a source
+/// that genuinely lags by more than `size` has wrapped or rebooted, and
+/// replaying it would be worse than dropping it).
+class SequenceWindow {
+ public:
+  static constexpr std::size_t kMaxSpan = 64;
+
+  explicit SequenceWindow(std::size_t span = kMaxSpan)
+      : span_(span < 1 ? 1 : (span > kMaxSpan ? kMaxSpan : span)) {}
+
+  /// True when `seq` is fresh (first sighting inside the window).
+  bool accept(std::uint32_t seq) {
+    if (!any_) {
+      any_ = true;
+      highest_ = seq;
+      seen_ = 1;  // bit 0 = highest_
+      return true;
+    }
+    if (seq_less(highest_, seq)) {
+      // Newer than anything seen: slide the window forward.
+      const std::int32_t ahead = seq_distance(highest_, seq);
+      if (static_cast<std::size_t>(ahead) >= kMaxSpan) {
+        seen_ = 0;
+      } else {
+        seen_ <<= ahead;
+      }
+      highest_ = seq;
+      seen_ |= 1;
+      return true;
+    }
+    const std::int32_t behind = seq_distance(seq, highest_);
+    if (behind < 0 || static_cast<std::size_t>(behind) >= span_) {
+      return false;  // antipodal or older than the window: reject
+    }
+    const std::uint64_t bit = 1ULL << static_cast<std::size_t>(behind);
+    if (seen_ & bit) return false;
+    seen_ |= bit;
+    return true;
+  }
+
+  std::uint32_t highest() const { return highest_; }
+  bool empty() const { return !any_; }
+  std::size_t span() const { return span_; }
+
+ private:
+  std::size_t span_;
+  bool any_ = false;
+  std::uint32_t highest_ = 0;
+  std::uint64_t seen_ = 0;  ///< bit i = seen(highest_ - i)
+};
+
+}  // namespace sid::wsn

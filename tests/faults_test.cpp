@@ -127,6 +127,9 @@ TEST(FaultyNetworkTest, DeadNodeGoesDarkAndRoutingDetours) {
   wsn::NetworkConfig cfg;
   cfg.rows = 3;
   cfg.cols = 3;
+  // Oracle routing: this test pins the omniscient detour/unroutable
+  // semantics; the self-healing path is covered by SelfHealingTest.
+  cfg.routing = wsn::RoutingMode::kOracle;
   cfg.faults.crashes.push_back({4, 100.0});  // centre node
   wsn::Network net(cfg);
   std::size_t deliveries = 0;
@@ -204,6 +207,7 @@ TEST(FaultyNetworkTest, BurstLossDropsUnicastsAndIsCounted) {
   wsn::NetworkConfig cfg;
   cfg.rows = 1;
   cfg.cols = 4;
+  cfg.routing = wsn::RoutingMode::kOracle;  // pins per-hop drop accounting
   cfg.max_retransmissions = 0;
   wsn::GilbertElliottParams severe;
   severe.p_enter_bad = 0.4;
@@ -228,6 +232,9 @@ TEST(FaultyNetworkTest, CongestionWindowOnlyAffectsItsInterval) {
   wsn::NetworkConfig cfg;
   cfg.rows = 1;
   cfg.cols = 2;
+  // Oracle routing: total in-window loss would blacklist the only link
+  // under self-healing and flip outcomes to unroutable.
+  cfg.routing = wsn::RoutingMode::kOracle;
   cfg.max_retransmissions = 0;
   cfg.faults.congestion.push_back({100.0, 200.0, 1.0});  // total loss
   wsn::Network net(cfg);
@@ -384,7 +391,11 @@ core::SidSystemConfig fault_system_config() {
   cfg.scenario.detector.anomaly_frequency_threshold = 0.5;
   cfg.cluster.collection_window_s = 70.0;
   cfg.cluster.min_reports = 4;
-  cfg.resilience.max_decision_retries = 2;
+  // Oracle routing keeps the fallback-path expectations exact (which head
+  // produces which decision); the self-healing equivalents live in
+  // selfheal_test.cpp, SidSystemTest.TwentyPercentNodeFailures... and the
+  // robustness sweep's acceptance gate.
+  cfg.network.routing = wsn::RoutingMode::kOracle;
   return cfg;
 }
 

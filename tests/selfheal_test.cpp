@@ -1,0 +1,358 @@
+// Tests for the self-healing WSN substrate: RFC 1982 serial-number
+// arithmetic, learned neighbor tables (beacon liveness, EWMA link
+// quality, blacklist backoff), the end-to-end reliable transport, and
+// the fault interactions the layer exists for (burst loss must cause
+// only transient suspicion; battery death mid-multihop must surface as
+// an explicit give-up, never a hang).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include "wsn/faults.h"
+#include "wsn/messages.h"
+#include "wsn/neighbor.h"
+#include "wsn/network.h"
+#include "wsn/reliable.h"
+#include "wsn/seqnum.h"
+
+namespace sid::wsn {
+namespace {
+
+// ------------------------------------------------------------- seqnum
+
+TEST(SeqnumTest, SerialComparisonHandlesWraparound) {
+  EXPECT_LT(seq_distance(5u, 3u), 0);
+  EXPECT_GT(seq_distance(3u, 5u), 0);
+  EXPECT_EQ(seq_distance(7u, 7u), 0);
+  // Across the 2^32 wrap: 0xFFFFFFFF is immediately "before" 0, which a
+  // plain integer comparison gets exactly backwards.
+  EXPECT_TRUE(seq_less(0xFFFFFFFFu, 0u));
+  EXPECT_FALSE(seq_less(0u, 0xFFFFFFFFu));
+  EXPECT_TRUE(seq_less(0xFFFFFFF0u, 5u));
+  // Antipodal distance (exactly 2^31) is neither less nor greater; the
+  // dedup window treats it conservatively as "not newer".
+  EXPECT_FALSE(seq_less(0u, 0x80000000u));
+  EXPECT_FALSE(seq_less(0x80000000u, 0u));
+}
+
+TEST(SeqnumTest, WindowAcceptsFreshRejectsDuplicates) {
+  SequenceWindow window{16};
+  EXPECT_TRUE(window.empty());
+  EXPECT_TRUE(window.accept(0));
+  EXPECT_FALSE(window.accept(0));
+  EXPECT_TRUE(window.accept(1));
+  EXPECT_TRUE(window.accept(5));
+  EXPECT_TRUE(window.accept(3));  // late but inside the window
+  EXPECT_FALSE(window.accept(3));
+  EXPECT_FALSE(window.accept(5));
+  EXPECT_EQ(window.highest(), 5u);
+}
+
+TEST(SeqnumTest, WindowSurvivesWraparound) {
+  SequenceWindow window{16};
+  EXPECT_TRUE(window.accept(0xFFFFFFFEu));
+  EXPECT_TRUE(window.accept(0xFFFFFFFFu));
+  EXPECT_TRUE(window.accept(0u));  // the ring wraps here
+  EXPECT_TRUE(window.accept(1u));
+  // Retransmissions from before the wrap are still remembered.
+  EXPECT_FALSE(window.accept(0xFFFFFFFFu));
+  EXPECT_FALSE(window.accept(0u));
+  EXPECT_EQ(window.highest(), 1u);
+}
+
+TEST(SeqnumTest, WindowRejectsTooOldConservatively) {
+  SequenceWindow window{16};
+  EXPECT_TRUE(window.accept(100));
+  // Older than the window span: a late duplicate and a replay are
+  // indistinguishable, so reject.
+  EXPECT_FALSE(window.accept(84));
+  EXPECT_TRUE(window.accept(99));  // in-window late arrival is fine
+}
+
+TEST(SeqnumTest, LargeJumpForwardReanchorsTheWindow) {
+  SequenceWindow window{16};
+  EXPECT_TRUE(window.accept(10));
+  EXPECT_TRUE(window.accept(500));  // far ahead: history is cleared
+  EXPECT_FALSE(window.accept(500));
+  EXPECT_TRUE(window.accept(499));
+}
+
+// ----------------------------------------------------- neighbor tables
+
+TEST(NeighborTableTest, BootRoundsSeedLinkQuality) {
+  NeighborTable table(0, NeighborConfig{});
+  table.boot_neighbor(1, {true, true, true, true, true});
+  table.boot_neighbor(2, {false, false, false, false, false});
+  EXPECT_GT(table.quality(1), 0.8);
+  EXPECT_LT(table.quality(2), 0.25);
+  EXPECT_TRUE(table.usable(1, 0.0));
+  EXPECT_FALSE(table.usable(2, 0.0));  // below the min_quality floor
+  EXPECT_EQ(table.quality(3), 0.0);    // never heard of
+  EXPECT_GT(table.etx(2), table.etx(1));
+  EXPECT_TRUE(table.any_usable(0.0));
+}
+
+TEST(NeighborTableTest, MissedBeaconsRaiseSuspicionThatABeaconClears) {
+  const NeighborConfig cfg;
+  NeighborTable table(0, cfg);
+  table.boot_neighbor(1, {true, true, true, true, true});
+  double t = 0.0;
+  // Healthy phase: a beacon arrives every slot, no suspicion.
+  for (int slot = 0; slot < 4; ++slot) {
+    t += cfg.beacon_period_s;
+    table.on_beacon(1, t);
+    EXPECT_TRUE(table.sweep(t).empty());
+  }
+  EXPECT_FALSE(table.suspects(1, t));
+  // Silence: the K-of-N rule fires after exactly K silent slots.
+  std::vector<NodeId> fresh;
+  int silent_slots = 0;
+  while (fresh.empty() && silent_slots < 20) {
+    t += cfg.beacon_period_s;
+    fresh = table.sweep(t);
+    ++silent_slots;
+  }
+  ASSERT_EQ(fresh, std::vector<NodeId>{1});
+  EXPECT_EQ(silent_slots, static_cast<int>(cfg.suspect_missed_k));
+  EXPECT_TRUE(table.suspects(1, t));
+  EXPECT_FALSE(table.usable(1, t));  // quarantined
+  // The quarantine expires into probation: usable again without any
+  // positive evidence (so an isolated node keeps trying).
+  EXPECT_FALSE(table.suspects(1, t + cfg.blacklist_base_s + 0.1));
+  EXPECT_TRUE(table.usable(1, t + cfg.blacklist_base_s + 0.1));
+  // Direct evidence of life clears the suspicion — and reports it as
+  // having been false.
+  EXPECT_TRUE(table.on_beacon(1, t + 1.0));
+  EXPECT_FALSE(table.suspects(1, t + 1.0));
+}
+
+TEST(NeighborTableTest, ConsecutiveTxFailuresAreAFastSuspicionPath) {
+  const NeighborConfig cfg;
+  NeighborTable table(0, cfg);
+  table.boot_neighbor(1, {true, true, true, true, true});
+  EXPECT_FALSE(table.on_tx_failure(1, 10.0));  // 1 of 2
+  EXPECT_TRUE(table.on_tx_failure(1, 11.0));   // threshold: fresh suspicion
+  EXPECT_TRUE(table.suspects(1, 11.0));
+  // A later success clears it and resets the failure streak.
+  EXPECT_TRUE(table.on_tx_success(1, 12.0));
+  EXPECT_FALSE(table.suspects(1, 12.0));
+  EXPECT_FALSE(table.on_tx_failure(1, 13.0));  // streak restarted at 0
+}
+
+TEST(NeighborTableTest, ReconfirmedSuspicionBacksOffExponentially) {
+  const NeighborConfig cfg;
+  NeighborTable table(0, cfg);
+  table.boot_neighbor(1, {true, true, true, true, true});
+  // First suspicion quarantines for the base interval.
+  table.on_tx_failure(1, 0.0);
+  EXPECT_TRUE(table.on_tx_failure(1, 1.0));
+  EXPECT_TRUE(table.suspects(1, 1.0 + cfg.blacklist_base_s - 0.1));
+  EXPECT_FALSE(table.suspects(1, 1.0 + cfg.blacklist_base_s + 0.1));
+  // A re-confirmation after the quarantine expired doubles it (silently:
+  // no fresh-suspicion report).
+  const double t2 = 1.0 + cfg.blacklist_base_s + 1.0;
+  EXPECT_FALSE(table.on_tx_failure(1, t2));
+  EXPECT_TRUE(table.suspects(1, t2 + 2.0 * cfg.blacklist_base_s - 0.1));
+  EXPECT_FALSE(table.suspects(1, t2 + 2.0 * cfg.blacklist_base_s + 0.1));
+}
+
+// ------------------------------------------------- beacons on a network
+
+TEST(SelfHealingTest, CrashedNeighborBecomesSuspectedNeverCleared) {
+  // A single 25 m link (PRR ~0.95): beacon slots are almost never missed
+  // by accident, so the only suspicion the survivor can raise is the real
+  // one — and a crash-stop node never speaks again, so it is never
+  // cleared (no false suspicions). Wider grids include marginal 50 m
+  // links whose churn is covered by BurstLossCausesOnlyTransientSuspicion.
+  NetworkConfig cfg;
+  cfg.rows = 1;
+  cfg.cols = 2;
+  cfg.faults.crashes.push_back({1, 50.0});
+  Network net(cfg);
+  net.set_delivery_handler([](NodeId, const Message&, double) {});
+  net.start_beacons(250.0);
+  net.events().run_all();
+  const auto& stats = net.stats();
+  EXPECT_GT(stats.beacons_sent, 0u);
+  EXPECT_GT(stats.beacon_receptions, 0u);
+  EXPECT_GT(stats.suspicions, 0u);
+  EXPECT_EQ(stats.false_suspicions, 0u);
+  // The survivor no longer forwards through its dead neighbor: repeated
+  // silent slots both re-confirm the quarantine and decay the EWMA
+  // quality below the forwarding floor.
+  EXPECT_FALSE(net.neighbor_table(0).usable(1, net.events().now()));
+  EXPECT_LT(net.neighbor_table(0).quality(1), 0.25);
+}
+
+TEST(SelfHealingTest, BeaconStreamsAreSeedDeterministic) {
+  const auto run_once = [](std::uint64_t seed) {
+    NetworkConfig cfg;
+    cfg.rows = 3;
+    cfg.cols = 3;
+    cfg.seed = seed;
+    cfg.faults.crashes.push_back({4, 60.0});
+    Network net(cfg);
+    net.set_delivery_handler([](NodeId, const Message&, double) {});
+    net.start_beacons(300.0);
+    net.events().run_all();
+    const auto& stats = net.stats();
+    return std::tuple(stats.beacons_sent, stats.beacon_receptions,
+                      stats.suspicions, stats.false_suspicions);
+  };
+  const auto baseline = run_once(kDefaultNetworkSeed);
+  EXPECT_EQ(baseline, run_once(kDefaultNetworkSeed));
+  // The beacon stream is keyed to the master seed: perturbing it changes
+  // the jitter and reception draws.
+  EXPECT_NE(baseline, run_once(kDefaultNetworkSeed + 1));
+}
+
+TEST(SelfHealingTest, BurstLossCausesOnlyTransientSuspicion) {
+  // A two-node field under heavy Gilbert–Elliott burst loss: bursts are
+  // long enough to trip the K-of-N liveness rule against a perfectly
+  // healthy neighbor, but every such suspicion must eventually clear
+  // when the burst ends (backoff + probation + the next heard beacon) —
+  // burst loss must never blacklist a live link permanently.
+  NetworkConfig cfg;
+  cfg.rows = 1;
+  cfg.cols = 2;
+  GilbertElliottParams bursts;
+  bursts.p_enter_bad = 0.04;
+  bursts.p_exit_bad = 0.05;  // mean burst ~20 beacon attempts
+  bursts.loss_bad = 1.0;
+  cfg.faults.all_links_burst = bursts;
+  Network net(cfg);
+  net.set_delivery_handler([](NodeId, const Message&, double) {});
+  net.start_beacons(4000.0);
+  net.events().run_all();
+  const auto& stats = net.stats();
+  ASSERT_GT(stats.suspicions, 0u);  // the bursts did bite
+  // Both nodes are alive throughout, so every suspicion is false; all of
+  // them must have been cleared by a later beacon, except at most the
+  // two (one per direction) that may still be in-flight when the beacon
+  // horizon ends the run.
+  EXPECT_GT(stats.false_suspicions, 0u);
+  EXPECT_GE(stats.false_suspicions + 2, stats.suspicions);
+  // And the link is not permanently written off: by the horizon the
+  // neighbors either trust each other again or are merely in a bounded
+  // quarantine (never longer than the cap).
+  const auto& entries = net.neighbor_table(0).entries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_LE(entries[0].blacklist_until_s,
+            net.events().now() + cfg.neighbor.blacklist_cap_s);
+}
+
+// --------------------------------------------------- reliable transport
+
+Message report_between(NodeId src, NodeId dst) {
+  Message msg;
+  msg.src = src;
+  msg.dst = dst;
+  msg.payload = DetectionReport{};
+  return msg;
+}
+
+TEST(ReliableTransportTest, HealthyLinkAcksAndReportsOnce) {
+  NetworkConfig cfg;
+  cfg.rows = 1;
+  cfg.cols = 2;
+  cfg.radio.extra_loss_probability = 0.0;
+  Network net(cfg);
+  ReliableTransport transport(net, ReliableConfig{});
+  std::size_t app_deliveries = 0;
+  net.set_delivery_handler(
+      [&](NodeId receiver, const Message& msg, double t) {
+        if (transport.on_deliver(receiver, msg, t)) ++app_deliveries;
+      });
+  std::vector<ReliableOutcome> outcomes;
+  transport.send(report_between(0, 1),
+                 [&](ReliableOutcome outcome, double) {
+                   outcomes.push_back(outcome);
+                 });
+  net.events().run_all();
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0], ReliableOutcome::kAcked);
+  EXPECT_EQ(app_deliveries, 1u);
+  EXPECT_EQ(transport.pending_count(), 0u);
+  EXPECT_EQ(net.registry().counter("net.e2e_acked").value(), 1u);
+  EXPECT_EQ(net.registry().counter("net.e2e_gave_up").value(), 0u);
+}
+
+TEST(ReliableTransportTest, RetriesRecoverFromLossAndRecordRecoveryTime) {
+  // A lossy link with no link-layer ARQ: first attempts drop often, the
+  // end-to-end retry loop recovers them, and every recovered delivery
+  // lands in the sid.recovery_time_s histogram.
+  NetworkConfig cfg;
+  cfg.rows = 1;
+  cfg.cols = 2;
+  cfg.radio.extra_loss_probability = 0.45;
+  cfg.max_retransmissions = 0;
+  // Oracle routing isolates the transport's retry loop: under
+  // self-healing the sender's own table would (correctly) blacklist a
+  // 45 %-lossy link, turning later sends unroutable, which is the
+  // neighbor layer's behavior, not the transport's.
+  cfg.routing = RoutingMode::kOracle;
+  Network net(cfg);
+  ReliableTransport transport(net, ReliableConfig{});
+  net.set_delivery_handler(
+      [&](NodeId receiver, const Message& msg, double t) {
+        transport.on_deliver(receiver, msg, t);
+      });
+  std::size_t acked = 0;
+  for (int i = 0; i < 40; ++i) {
+    net.events().schedule_at(20.0 * i, [&] {
+      transport.send(report_between(0, 1),
+                     [&](ReliableOutcome outcome, double) {
+                       if (outcome == ReliableOutcome::kAcked) ++acked;
+                     });
+    });
+  }
+  net.events().run_all();
+  EXPECT_GT(acked, 20u);  // most get through within the retry budget
+  EXPECT_GT(net.registry().counter("net.e2e_retries").value(), 0u);
+  const auto* recovery =
+      net.registry().find_histogram("sid.recovery_time_s");
+  ASSERT_NE(recovery, nullptr);
+  EXPECT_GT(recovery->count(), 0u);
+  EXPECT_GT(recovery->min(), 0.0);
+}
+
+TEST(SelfHealingFaultTest, BatteryDeathMidMultihopGivesUpExplicitly) {
+  // 1x3 line, self-healing routing: the only relay runs out of battery
+  // mid-run. Sends that can no longer cross must end in an explicit
+  // kGaveUp callback — never a silent hang — and the event queue must
+  // still drain (bounded retries, bounded beacon horizon).
+  NetworkConfig cfg;
+  cfg.rows = 1;
+  cfg.cols = 3;
+  cfg.faults.battery_overrides.push_back({1, 2.0});  // mJ: a few relays
+  Network net(cfg);
+  ReliableTransport transport(net, ReliableConfig{});
+  net.set_delivery_handler(
+      [&](NodeId receiver, const Message& msg, double t) {
+        transport.on_deliver(receiver, msg, t);
+      });
+  std::size_t acked = 0, gave_up = 0;
+  for (int i = 0; i < 10; ++i) {
+    net.events().schedule_at(30.0 * i, [&] {
+      transport.send(report_between(0, 2),
+                     [&](ReliableOutcome outcome, double) {
+                       if (outcome == ReliableOutcome::kAcked) {
+                         ++acked;
+                       } else {
+                         ++gave_up;
+                       }
+                     });
+    });
+  }
+  net.events().run_all();
+  EXPECT_GT(acked, 0u);    // the line worked until the battery ran out
+  EXPECT_GT(gave_up, 0u);  // then every send failed *explicitly*
+  EXPECT_EQ(acked + gave_up, 10u);  // no outcome lost
+  EXPECT_EQ(transport.pending_count(), 0u);
+  EXPECT_TRUE(net.node(1).energy.depleted());
+}
+
+}  // namespace
+}  // namespace sid::wsn

@@ -234,7 +234,6 @@ TEST(SidSystemTest, TwentyPercentNodeFailuresStillReachSinkViaFallback) {
   // pool their reports at the dead head's static cluster head, and the
   // fallback evaluation still delivers an intrusion decision to the sink.
   auto cfg = system_config();
-  cfg.resilience.max_decision_retries = 2;
   cfg.network.faults.crashes.push_back({1, 130.0});  // temp head, mid-window
   for (wsn::NodeId n : {6u, 12u, 18u, 24u, 30u, 29u}) {
     cfg.network.faults.crashes.push_back({n, 115.0});

@@ -3,8 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <sstream>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "obs/trace.h"
 #include "util/error.h"
 #include "util/stats.h"
 #include "wsn/clock.h"
@@ -316,6 +320,9 @@ TEST(NetworkTest, SelfUnicastDelivers) {
 
 TEST(NetworkTest, LossyLinksDropSomeUnicasts) {
   NetworkConfig cfg = small_grid();
+  // Oracle routing: this test pins the legacy per-hop accounting exactly
+  // (self-healing would blacklist the lossy links and report unroutable).
+  cfg.routing = RoutingMode::kOracle;
   cfg.radio.extra_loss_probability = 0.45;
   cfg.max_retransmissions = 0;
   cfg.radio.seed = 11;
@@ -337,6 +344,56 @@ TEST(NetworkTest, LossyLinksDropSomeUnicasts) {
   EXPECT_EQ(net.stats().unicasts_attempted,
             net.stats().unicasts_delivered + net.stats().unicasts_dropped +
                 net.stats().unicasts_unroutable);
+}
+
+TEST(NetworkTest, UnroutableCounterMatchesNoRouteTraceEvents) {
+  // Invariant promised in network.cpp: every kUnroutable outcome bumps
+  // unicasts_unroutable exactly once and emits exactly one msg_drop
+  // trace event with reason "no_route" — in both routing modes.
+  for (const RoutingMode mode :
+       {RoutingMode::kOracle, RoutingMode::kSelfHealing}) {
+    NetworkConfig cfg = small_grid();
+    cfg.routing = mode;
+    cfg.faults.crashes.push_back(
+        {static_cast<NodeId>(cfg.cols + 1), 10.0});  // node (1, 1)
+    Network net(cfg);
+    net.set_delivery_handler([](NodeId, const Message&, double) {});
+    std::ostringstream trace;
+    net.tracer().attach(&trace, static_cast<unsigned>(obs::Category::kNet));
+    net.events().schedule_at(50.0, [&] {
+      const NodeId dead = net.id_at(1, 1);
+      const NodeId alive_a = net.id_at(0, 0);
+      const NodeId alive_b = net.id_at(3, 4);
+      std::size_t unroutable = 0;
+      for (int i = 0; i < 10; ++i) {
+        for (const auto& [src, dst] : {std::pair{alive_a, dead},
+                                      std::pair{dead, alive_b},
+                                      std::pair{alive_a, alive_b}}) {
+          Message msg;
+          msg.src = src;
+          msg.dst = dst;
+          msg.payload = ClusterInvite{};
+          if (net.unicast(msg) == UnicastOutcome::kUnroutable) ++unroutable;
+        }
+      }
+      // Sends *from* the dead node are unroutable in both modes; in
+      // oracle mode sends *to* it are too.
+      EXPECT_GT(unroutable, 0u);
+      EXPECT_EQ(net.stats().unicasts_unroutable, unroutable);
+    });
+    net.events().run_all();
+    net.tracer().close();
+    std::size_t no_route_events = 0;
+    std::istringstream lines(trace.str());
+    for (std::string line; std::getline(lines, line);) {
+      if (line.find("\"name\":\"msg_drop\"") != std::string::npos &&
+          line.find("\"reason\":\"no_route\"") != std::string::npos) {
+        ++no_route_events;
+      }
+    }
+    EXPECT_EQ(no_route_events, net.stats().unicasts_unroutable)
+        << "routing mode " << static_cast<int>(mode);
+  }
 }
 
 TEST(NetworkTest, RetransmissionsImproveDelivery) {
@@ -364,6 +421,9 @@ TEST(NetworkTest, RetransmissionsImproveDelivery) {
 
 TEST(NetworkTest, FloodReachesHopLimitedNeighborhood) {
   NetworkConfig cfg = small_grid();
+  // Oracle routing: reached == neighbors() requires forwarding over every
+  // in-range link; learned tables exclude marginal links by design.
+  cfg.routing = RoutingMode::kOracle;
   cfg.radio.extra_loss_probability = 0.0;
   cfg.max_retransmissions = 5;
   Network net(cfg);
