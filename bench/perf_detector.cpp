@@ -9,11 +9,14 @@
 #include "bench_json_main.h"
 #include "core/correlation.h"
 #include "core/node_detector.h"
+#include "core/scenario.h"
 #include "core/speed_estimator.h"
 #include "obs/profile.h"
 #include "ocean/wave_field.h"
 #include "ocean/wave_spectrum.h"
 #include "util/rng.h"
+#include "util/units.h"
+#include "wsn/network.h"
 
 namespace {
 
@@ -86,6 +89,35 @@ void BM_WaveFieldAcceleration(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_WaveFieldAcceleration)->Arg(64)->Arg(160)->Arg(512);
+
+void BM_ScenarioFrontEnd(benchmark::State& state) {
+  // Whole per-node synthesis + detection front end, parameterized by the
+  // worker-thread count (ScenarioConfig::threads). Results are
+  // bit-identical at any count, so the ratio of the /1 and /4 variants is
+  // a pure wall-clock speedup measurement for the deterministic pool.
+  wsn::NetworkConfig ncfg;
+  ncfg.rows = 4;
+  ncfg.cols = 4;
+  const wsn::Network net(ncfg);
+
+  core::ScenarioConfig cfg;
+  cfg.trace.duration_s = 120.0;
+  cfg.threads = static_cast<std::size_t>(state.range(0));
+
+  wake::ShipTrackConfig ship;
+  ship.start = {30.0, -400.0};
+  ship.heading_rad = util::deg_to_rad(88.0);
+  ship.speed_mps = util::knots_to_mps(10.0);
+  const std::vector<wake::ShipTrackConfig> ships{ship};
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::simulate_node_reports(net, ships, cfg));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(net.node_count()));
+}
+BENCHMARK(BM_ScenarioFrontEnd)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

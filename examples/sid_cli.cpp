@@ -6,7 +6,8 @@
 //                    [--seed 1] [--csv]
 //   sid_cli detect --in trace.sidb [--m 2.0] [--af 0.5]
 //   sid_cli scenario [--ship-knots 10] [--heading 88] [--rows 6]
-//                    [--cols 6] [--seed 1] [--metrics-out metrics.json]
+//                    [--cols 6] [--seed 1] [--threads 1]
+//                    [--metrics-out metrics.json]
 //                    [--trace-out trace.jsonl] [--trace-categories net,sink]
 //
 // `simulate` writes a synthetic buoy recording (SIDB binary, or CSV with
@@ -171,6 +172,10 @@ int cmd_scenario(const Args& args) {
   cfg.scenario.trace.duration_s = args.num("duration", 300.0);
   cfg.scenario.detector.threshold_multiplier_m = args.num("m", 2.0);
   cfg.scenario.detector.anomaly_frequency_threshold = args.num("af", 0.5);
+  // Worker threads for the synthesis/detection front end. Results are
+  // bit-identical at any count (core/scenario.h), so this is purely a
+  // wall-clock knob.
+  cfg.scenario.threads = static_cast<std::size_t>(args.num("threads", 1.0));
 
   const double knots = args.num("ship-knots", 10.0);
   const double heading = args.num("heading", 88.0);
@@ -259,7 +264,7 @@ int main(int argc, char** argv) {
                "[--csv]\n"
                "  detect   --in FILE [--m M] [--af F]\n"
                "  scenario [--ship-knots N] [--heading DEG] [--rows R] "
-               "[--cols C] [--seed N] [--metrics-out FILE] "
+               "[--cols C] [--seed N] [--threads T] [--metrics-out FILE] "
                "[--trace-out FILE] [--trace-categories LIST]\n");
   return 2;
 }

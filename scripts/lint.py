@@ -25,6 +25,13 @@ Enforces the discipline clang-tidy cannot express:
                     in-band evidence only: can_execute (self), beacons,
                     suspicion (suspects()), and reliable-transport
                     outcomes (kGaveUp).
+  thread-funnel     no raw std::thread/std::jthread/std::async outside
+                    src/util/parallel.* — all concurrency goes through
+                    util::ThreadPool/parallel_for, whose deterministic
+                    static chunking is what keeps parallel runs
+                    bit-identical to serial (DESIGN.md §5g). Ad-hoc
+                    threads would reintroduce schedule-dependent
+                    behaviour the determinism suite cannot pin.
 
 Exit status: 0 clean, 1 violations found, 2 internal error.
 
@@ -68,6 +75,18 @@ ORACLE_ALLOWED = {
 ORACLE_PATTERNS = (
     re.compile(r"(?<![A-Za-z0-9_])node_operational\s*\("),
     re.compile(r"(?<![A-Za-z0-9_])prr\s*\("),
+)
+
+# The concurrency funnel: only the deterministic thread pool may spawn
+# threads. (std::this_thread is fine — the pattern requires `thread` right
+# after `std::`.)
+THREAD_ALLOWED = {
+    Path("src/util/parallel.h"), Path("src/util/parallel.cpp"),
+}
+
+THREAD_PATTERNS = (
+    re.compile(r"std\s*::\s*j?thread\b"),
+    re.compile(r"std\s*::\s*async\b"),
 )
 
 ALLOW_RE = re.compile(r"//\s*lint:allow\s+([a-z-]+)")
@@ -161,6 +180,7 @@ class Linter:
                         and not rel_posix.startswith(RAW_IO_ALLOWED_PREFIXES))
         check_oracle = (rel_posix.startswith("src/")
                         and rel not in ORACLE_ALLOWED)
+        check_thread = rel not in THREAD_ALLOWED
 
         for lineno, raw in enumerate(lines, start=1):
             allowed = {m for m in ALLOW_RE.findall(raw)}
@@ -194,6 +214,17 @@ class Linter:
                             f"'{m.group(0).strip()}' outside the physical "
                             f"delivery layer — use can_execute/suspects/"
                             f"beacons/kGaveUp instead")
+            if check_thread and "thread-funnel" not in allowed:
+                for pat in THREAD_PATTERNS:
+                    m = pat.search(code)
+                    if m:
+                        self.report(
+                            "thread-funnel", path, lineno,
+                            f"raw concurrency primitive "
+                            f"'{m.group(0).strip()}' outside the "
+                            f"util::ThreadPool funnel — use "
+                            f"util::parallel_for so the deterministic "
+                            f"chunking keeps results schedule-independent")
             if (is_header and "header-using" not in allowed
                     and USING_NAMESPACE_RE.search(code)):
                 self.report("header-using", path, lineno,
@@ -242,6 +273,10 @@ def self_test() -> int:
         "oracle-liveness":
             "bool f() { return net.node_operational(3, t); }\n",
         "oracle-prr": "double q() { return radio.prr(35.0); }\n",
+        "thread-funnel":
+            "#include <thread>\nvoid f() { std::thread t([] {}); }\n",
+        "thread-funnel-async":
+            "#include <future>\nauto g() { return std::async([] {}); }\n",
     }
     failures = []
     with tempfile.TemporaryDirectory() as tmp:
@@ -261,6 +296,16 @@ def self_test() -> int:
         (obs / "ok.cpp").write_text(cases["raw-io"])
         (src / "h.cpp").write_text(cases["oracle-liveness"])
         (src / "i.cpp").write_text(cases["oracle-prr"])
+        (src / "j.cpp").write_text(cases["thread-funnel"])
+        (src / "k.cpp").write_text(cases["thread-funnel-async"])
+        # The thread pool itself IS the funnel: exempt.
+        util_dir = src / "util"
+        util_dir.mkdir()
+        (util_dir / "parallel.cpp").write_text(cases["thread-funnel"])
+        # std::this_thread must not trip the std::thread pattern.
+        (src / "l.cpp").write_text(
+            "#include <thread>\n"
+            "void nap() { std::this_thread::yield(); }\n")
         # A protocol struct with an inexact default.
         wsn = src / "wsn"
         wsn.mkdir()
@@ -285,6 +330,8 @@ def self_test() -> int:
                 ("raw-io", "g.cpp"),
                 ("oracle-liveness", "h.cpp"),
                 ("oracle-liveness", "i.cpp"),
+                ("thread-funnel", "j.cpp"),
+                ("thread-funnel", "k.cpp"),
                 ("protocol-literal", "3.3"),
         ]:
             if not any(f"[{rule}]" in v and needle in v
@@ -296,6 +343,13 @@ def self_test() -> int:
                for v in linter.violations):
             failures.append(
                 "oracle-liveness fired inside the exempt delivery layer")
+        if any("util/parallel.cpp" in v and "[thread-funnel]" in v
+               for v in linter.violations):
+            failures.append(
+                "thread-funnel fired inside the exempt pool funnel")
+        if any("l.cpp" in v and "[thread-funnel]" in v
+               for v in linter.violations):
+            failures.append("thread-funnel fired on std::this_thread")
 
         # And a clean tree must pass, including the lint:allow escape.
         clean = root / "clean"

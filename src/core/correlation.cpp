@@ -240,10 +240,18 @@ double sweep_consistency(std::span<const wsn::DetectionReport> reports,
   // carry a sizable false-alarm fraction, often at extreme distances
   // where least squares would absorb them as leverage points. Every
   // report triple proposes an exact plane t = c0 + c1*s + c2*d; the
-  // plane with the largest inlier set (|residual| <= 4 s) wins. The
-  // score is the inlier-set R^2 scaled by the inlier fraction, and a
+  // plane with the largest inlier set (|residual| <= kInlierTolS) wins.
+  // The score is the inlier-set R^2 scaled by the inlier fraction, and a
   // consensus below half the reports scores 0 — random alarms never
   // agree on a common sweep.
+  //
+  // The 6 s tolerance is deliberate (an earlier comment promised 4 s):
+  // onset times are quantized to whole detector windows and jittered by
+  // wake dispersion, so genuine sweep members routinely sit 4–6 s off the
+  // exact plane. 4 s sheds those members, shrinking the consensus below
+  // min_consensus on clean sweeps; 6 s keeps them while random alarms
+  // (tens of seconds off) stay excluded. The boundary is pinned by a
+  // regression test (correlation_test: InlierToleranceBoundary).
   const std::size_t n = points.size();
   constexpr double kInlierTolS = 6.0;
   const std::size_t min_consensus = std::max(floor_n, (n + 1) / 2);

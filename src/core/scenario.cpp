@@ -4,6 +4,7 @@
 
 #include "obs/profile.h"
 #include "util/error.h"
+#include "util/parallel.h"
 
 namespace sid::core {
 
@@ -62,11 +63,18 @@ ScenarioRun simulate_node_reports(const wsn::Network& network,
   tracks.reserve(ships.size());
   for (const auto& ship_cfg : ships) tracks.emplace_back(ship_cfg);
 
+  const auto& nodes = network.nodes();
   ScenarioRun run;
-  run.node_runs.reserve(network.node_count());
-  run.truths.reserve(network.node_count());
+  run.node_runs.resize(nodes.size());
+  run.truths.resize(nodes.size());
 
-  for (const auto& info : network.nodes()) {
+  // Each index is a pure function of (config, network, index): RNG streams
+  // derive from (seed, node id) only, the shared wave field / tracks are
+  // read-only, and node i writes only slots i of the two output vectors —
+  // so any thread schedule produces bit-identical results (DESIGN.md §5g).
+  const auto simulate_one = [&](std::size_t i) {
+    const auto& info = nodes[i];
+
     // Wake trains this node will see.
     std::vector<wake::WakeTrain> trains;
     NodeTruth truth;
@@ -117,8 +125,15 @@ ScenarioRun simulate_node_reports(const wsn::Network& network,
       node_run.reports.push_back(report);
     }
 
-    run.node_runs.push_back(std::move(node_run));
-    run.truths.push_back(std::move(truth));
+    run.node_runs[i] = std::move(node_run);
+    run.truths[i] = std::move(truth);
+  };
+
+  if (config.threads <= 1) {
+    for (std::size_t i = 0; i < nodes.size(); ++i) simulate_one(i);
+  } else {
+    util::ThreadPool pool(config.threads);
+    pool.parallel_for(nodes.size(), simulate_one);
   }
   return run;
 }

@@ -33,6 +33,12 @@ struct ScenarioConfig {
   NodeDetectorConfig detector;
   sense::TraceConfig trace;           ///< duration, buoy, accel templates
   std::uint64_t seed = 1;
+  /// Worker threads for per-node synthesis + detection (1 = serial).
+  /// Bit-identical to serial at any count: every node derives its RNG
+  /// streams from (seed, node id) alone and writes a disjoint output slot,
+  /// so the schedule cannot influence results (DESIGN.md §5g; enforced by
+  /// the determinism suite).
+  std::size_t threads = 1;
 };
 
 /// Everything one node produced during a scenario run.

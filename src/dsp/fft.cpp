@@ -1,6 +1,9 @@
 #include "dsp/fft.h"
 
 #include <cmath>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <numbers>
 
 #include "util/error.h"
@@ -13,52 +16,146 @@ std::size_t next_power_of_two(std::size_t n) {
   return p;
 }
 
-namespace {
+FftPlan::FftPlan(std::size_t n) : n_(n) {
+  util::require(is_power_of_two(n), "fft: size must be a power of two");
 
-void bit_reverse_permute(std::vector<std::complex<double>>& data) {
-  const std::size_t n = data.size();
+  // Bit-reversal permutation, generated with the same incremental carry
+  // walk the legacy kernel used (so the swap set is identical).
+  bitrev_.resize(n);
   std::size_t j = 0;
+  bitrev_[0] = 0;
   for (std::size_t i = 1; i < n; ++i) {
     std::size_t bit = n >> 1;
     for (; j & bit; bit >>= 1) j ^= bit;
     j ^= bit;
-    if (i < j) std::swap(data[i], data[j]);
+    bitrev_[i] = j;
   }
-}
 
-void fft_core(std::vector<std::complex<double>>& data, bool inverse) {
-  const std::size_t n = data.size();
-  util::require(is_power_of_two(n), "fft: size must be a power of two");
-  bit_reverse_permute(data);
-  for (std::size_t len = 2; len <= n; len <<= 1) {
-    const double angle = (inverse ? 2.0 : -2.0) * std::numbers::pi /
-                         static_cast<double>(len);
-    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
-    for (std::size_t i = 0; i < n; i += len) {
+  // Twiddle tables. Each stage's entries are produced by the exact
+  // recurrence of the legacy kernel — w starts at (1, 0) and is repeatedly
+  // multiplied by w_len — NOT by evaluating cos/sin per entry, so the
+  // planned butterfly consumes bit-identical multipliers and the whole
+  // transform matches the unplanned implementation to the last ulp.
+  fwd_twiddles_.reserve(n > 0 ? n - 1 : 0);
+  inv_twiddles_.reserve(n > 0 ? n - 1 : 0);
+  for (int direction = 0; direction < 2; ++direction) {
+    const bool inverse = direction == 1;
+    auto& table = inverse ? inv_twiddles_ : fwd_twiddles_;
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+      const double angle = (inverse ? 2.0 : -2.0) * std::numbers::pi /
+                           static_cast<double>(len);
+      const std::complex<double> wlen(std::cos(angle), std::sin(angle));
       std::complex<double> w(1.0, 0.0);
       for (std::size_t k = 0; k < len / 2; ++k) {
-        const std::complex<double> u = data[i + k];
-        const std::complex<double> v = data[i + k + len / 2] * w;
-        data[i + k] = u + v;
-        data[i + k + len / 2] = u - v;
+        table.push_back(w);
         w *= wlen;
       }
     }
   }
-  if (inverse) {
-    const double inv_n = 1.0 / static_cast<double>(n);
-    for (auto& x : data) x *= inv_n;
+}
+
+void FftPlan::transform(std::complex<double>* data, bool inverse) const {
+  for (std::size_t i = 1; i < n_; ++i) {
+    const std::size_t j = bitrev_[i];
+    if (i < j) std::swap(data[i], data[j]);
   }
+  const std::complex<double>* table =
+      (inverse ? inv_twiddles_ : fwd_twiddles_).data();
+  for (std::size_t len = 2; len <= n_; len <<= 1) {
+    const std::size_t half = len / 2;
+    for (std::size_t i = 0; i < n_; i += len) {
+      for (std::size_t k = 0; k < half; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + half] * table[k];
+        data[i + k] = u + v;
+        data[i + k + half] = u - v;
+      }
+    }
+    table += half;
+  }
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n_);
+    for (std::size_t i = 0; i < n_; ++i) data[i] *= inv_n;
+  }
+}
+
+void FftPlan::forward(std::complex<double>* data) const {
+  transform(data, /*inverse=*/false);
+}
+
+void FftPlan::inverse(std::complex<double>* data) const {
+  transform(data, /*inverse=*/true);
+}
+
+namespace {
+
+/// Per-thread scratch: parallel_for workers each get their own buffers, so
+/// planned transforms allocate nothing in steady state. Index 0/1 split
+/// keeps fft_convolve's two operands apart.
+std::vector<std::complex<double>>& scratch(std::size_t which, std::size_t n) {
+  thread_local std::vector<std::complex<double>> buffers[2];
+  auto& buf = buffers[which];
+  buf.assign(n, std::complex<double>(0.0, 0.0));
+  return buf;
 }
 
 }  // namespace
 
+void FftPlan::forward_real(std::span<const double> input,
+                           std::complex<double>* out) const {
+  util::require(input.size() == n_,
+                "FftPlan::forward_real: input length != plan size");
+  util::require(n_ >= 2, "FftPlan::forward_real: size must be >= 2");
+  const std::size_t half = n_ / 2;
+
+  // Pack even samples into the real lane and odd samples into the
+  // imaginary lane of a half-size complex signal.
+  auto& z = scratch(0, half);
+  for (std::size_t k = 0; k < half; ++k) {
+    z[k] = std::complex<double>(input[2 * k], input[2 * k + 1]);
+  }
+  fft_plan(half).forward(z.data());
+
+  // Split/combine: with E/O the spectra of the even/odd streams,
+  //   X[k] = E[k] + e^{-2πik/n} O[k],   k = 0..n/2,
+  // where E[k] = (Z[k] + conj(Z[half-k]))/2 and
+  //       O[k] = -i (Z[k] - conj(Z[half-k]))/2 (indices mod half).
+  // The e^{-2πik/n} factors are exactly the first-half twiddles of this
+  // plan's final stage (offset half - 1 in the packed table).
+  const std::complex<double>* w = fwd_twiddles_.data() + (half - 1);
+  for (std::size_t k = 0; k <= half; ++k) {
+    const std::complex<double> zk = z[k == half ? 0 : k];
+    const std::complex<double> zc = std::conj(z[(half - k) % half]);
+    const std::complex<double> even = 0.5 * (zk + zc);
+    const std::complex<double> odd =
+        std::complex<double>(0.0, -0.5) * (zk - zc);
+    // k == half needs e^{-iπ} = -1, one past the stored half-table.
+    const std::complex<double> tw =
+        k == half ? std::complex<double>(-1.0, 0.0) : w[k];
+    out[k] = even + tw * odd;
+  }
+}
+
+const FftPlan& fft_plan(std::size_t n) {
+  util::require(is_power_of_two(n), "fft: size must be a power of two");
+  thread_local const FftPlan* last = nullptr;
+  if (last != nullptr && last->size() == n) return *last;
+  static std::mutex mu;
+  static std::map<std::size_t, std::unique_ptr<FftPlan>>* cache =
+      new std::map<std::size_t, std::unique_ptr<FftPlan>>();
+  const std::lock_guard<std::mutex> lock(mu);
+  auto& slot = (*cache)[n];
+  if (!slot) slot = std::make_unique<FftPlan>(n);
+  last = slot.get();
+  return *last;
+}
+
 void fft_inplace(std::vector<std::complex<double>>& data) {
-  fft_core(data, /*inverse=*/false);
+  fft_plan(data.size()).forward(data.data());
 }
 
 void ifft_inplace(std::vector<std::complex<double>>& data) {
-  fft_core(data, /*inverse=*/true);
+  fft_plan(data.size()).inverse(data.data());
 }
 
 std::vector<std::complex<double>> fft(
@@ -75,6 +172,16 @@ std::vector<std::complex<double>> fft_real(std::span<const double> input) {
   return data;
 }
 
+std::vector<std::complex<double>> fft_real_onesided(
+    std::span<const double> input) {
+  const std::size_t n = input.size();
+  util::require(is_power_of_two(n) && n >= 2,
+                "fft_real_onesided: size must be a power of two >= 2");
+  std::vector<std::complex<double>> out(n / 2 + 1);
+  fft_plan(n).forward_real(input, out.data());
+  return out;
+}
+
 std::vector<double> ifft_real(std::span<const std::complex<double>> input) {
   std::vector<std::complex<double>> data(input.begin(), input.end());
   ifft_inplace(data);
@@ -84,11 +191,16 @@ std::vector<double> ifft_real(std::span<const std::complex<double>> input) {
 }
 
 std::vector<double> power_spectrum(std::span<const double> input) {
-  const auto spectrum = fft_real(input);
-  const std::size_t n = spectrum.size();
+  // Full-size transform into per-thread scratch: bit-identical to the
+  // legacy path (see FftPlan), allocation-free except for the returned
+  // one-sided vector.
+  const std::size_t n = input.size();
+  auto& data = scratch(0, n);
+  for (std::size_t i = 0; i < n; ++i) data[i] = input[i];
+  fft_plan(n).forward(data.data());
   std::vector<double> power(n / 2 + 1);
   for (std::size_t k = 0; k < power.size(); ++k) {
-    power[k] = std::norm(spectrum[k]);
+    power[k] = std::norm(data[k]);
   }
   return power;
 }
@@ -103,13 +215,15 @@ std::vector<double> fft_convolve(std::span<const double> a,
   util::require(!a.empty() && !b.empty(), "fft_convolve: empty input");
   const std::size_t out_len = a.size() + b.size() - 1;
   const std::size_t n = next_power_of_two(out_len);
-  std::vector<std::complex<double>> fa(n), fb(n);
+  const FftPlan& plan = fft_plan(n);
+  auto& fa = scratch(0, n);
+  auto& fb = scratch(1, n);
   for (std::size_t i = 0; i < a.size(); ++i) fa[i] = a[i];
   for (std::size_t i = 0; i < b.size(); ++i) fb[i] = b[i];
-  fft_inplace(fa);
-  fft_inplace(fb);
+  plan.forward(fa.data());
+  plan.forward(fb.data());
   for (std::size_t i = 0; i < n; ++i) fa[i] *= fb[i];
-  ifft_inplace(fa);
+  plan.inverse(fa.data());
   std::vector<double> out(out_len);
   for (std::size_t i = 0; i < out_len; ++i) out[i] = fa[i].real();
   return out;

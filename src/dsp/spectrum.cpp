@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "dsp/fft.h"
+#include "obs/profile.h"
 #include "util/error.h"
 
 namespace sid::dsp {
@@ -43,10 +44,14 @@ PsdEstimate welch_psd(std::span<const double> signal,
 
   PsdEstimate out;
   out.psd.assign(config.segment_size / 2 + 1, 0.0);
-  for (std::size_t start = 0; start + config.segment_size <= signal.size();
-       start += hop) {
-    const auto windowed =
-        apply_window(signal.subspan(start, config.segment_size), w);
+  // One windowed-segment buffer reused across segments (same multiply order
+  // as apply_window, so the averaged PSD is bit-identical).
+  std::vector<double> windowed(config.segment_size);
+  std::size_t start = 0;
+  for (; start + config.segment_size <= signal.size(); start += hop) {
+    for (std::size_t i = 0; i < config.segment_size; ++i) {
+      windowed[i] = signal[start + i] * w[i];
+    }
     const auto power = power_spectrum(windowed);
     for (std::size_t k = 0; k < power.size(); ++k) {
       // One-sided PSD: double the interior bins.
@@ -54,6 +59,12 @@ PsdEstimate welch_psd(std::span<const double> signal,
       out.psd[k] += scale * power[k] / norm;
     }
     ++out.segments_averaged;
+  }
+  // Framing contract (see spectrum.h): trailing samples past the last full
+  // segment do not contribute to the average. Surface the silent drop.
+  const std::size_t covered = (start - hop) + config.segment_size;
+  if (signal.size() > covered) {
+    SID_METRIC_ADD(obs::dsp_tail_dropped_counter(), signal.size() - covered);
   }
   const auto segments = static_cast<double>(out.segments_averaged);
   for (auto& p : out.psd) p /= segments;

@@ -31,8 +31,16 @@ struct PsdEstimate {
   double band_power(double lo_hz, double hi_hz) const;
 };
 
-/// Welch PSD of a real signal. Throws util::InvalidArgument when the
-/// signal is shorter than one segment or the config is inconsistent.
+/// Welch PSD of a real signal.
+///
+/// Framing contract: segments start at 0, hop, 2*hop, … (hop =
+/// segment_size - overlap) and only segments that fit entirely inside the
+/// signal are averaged. Trailing samples past the last full segment are
+/// therefore excluded from the estimate; the count of such samples is
+/// added to the obs counter "dsp.tail_samples_dropped"
+/// (obs::dsp_tail_dropped_counter) so silent truncation is observable.
+/// Throws util::InvalidArgument when the signal is shorter than one
+/// segment or the config is inconsistent.
 PsdEstimate welch_psd(std::span<const double> signal,
                       const WelchConfig& config);
 

@@ -37,16 +37,32 @@ Spectrogram stft(std::span<const double> signal, const StftConfig& config) {
   Spectrogram out;
   out.config = config;
   const double dt = 1.0 / config.sample_rate_hz;
-  for (std::size_t start = 0; start + config.frame_size <= signal.size();
-       start += config.hop) {
+  // The window and the windowed-frame buffer are built once per call, not
+  // once per frame (same multiply order as apply_window, so frame spectra
+  // are bit-identical to the per-frame path).
+  const auto w = make_window(config.window, config.frame_size);
+  const double norm = window_power(w);
+  std::vector<double> windowed(config.frame_size);
+  std::size_t start = 0;
+  for (; start + config.frame_size <= signal.size(); start += config.hop) {
     StftFrame frame;
     frame.start_time_s = static_cast<double>(start) * dt;
     frame.center_time_s =
         frame.start_time_s +
         0.5 * static_cast<double>(config.frame_size) * dt;
-    frame.power = frame_power_spectrum(
-        signal.subspan(start, config.frame_size), config.window);
+    for (std::size_t i = 0; i < config.frame_size; ++i) {
+      windowed[i] = signal[start + i] * w[i];
+    }
+    frame.power = power_spectrum(windowed);
+    for (auto& p : frame.power) p /= norm;
+    SID_DCHECK_FINITE(frame.power, "frame_power_spectrum output");
     out.frames.push_back(std::move(frame));
+  }
+  // Framing contract (see stft.h): trailing samples past the last full
+  // frame are excluded from every spectrum. Surface the silent drop.
+  const std::size_t covered = (start - config.hop) + config.frame_size;
+  if (signal.size() > covered) {
+    SID_METRIC_ADD(obs::dsp_tail_dropped_counter(), signal.size() - covered);
   }
   return out;
 }

@@ -36,8 +36,15 @@ struct Spectrogram {
   double frequency(std::size_t k) const;
 };
 
-/// Computes the STFT of `signal`. Trailing samples that do not fill a whole
-/// frame are dropped (matching the paper's fixed 2048-sample segments).
+/// Computes the STFT of `signal`.
+///
+/// Framing contract: frames start at 0, hop, 2*hop, … and only frames that
+/// fit entirely inside the signal are produced (matching the paper's fixed
+/// 2048-sample segments). Trailing samples past the last full frame are
+/// therefore excluded from every spectrum; the count of such samples is
+/// added to the obs counter "dsp.tail_samples_dropped"
+/// (obs::dsp_tail_dropped_counter) so silent truncation is observable.
+/// With hop <= frame_size at most frame_size - 1 samples are dropped.
 /// Throws util::InvalidArgument when the signal is shorter than one frame,
 /// the frame size is not a power of two, or hop is zero.
 Spectrogram stft(std::span<const double> signal, const StftConfig& config);

@@ -42,7 +42,17 @@ Histogram::Histogram(std::vector<double> bounds, Clock clock)
   counts_.assign(bounds_.size() + 1, 0);
 }
 
+Histogram::Histogram(Histogram&& other) noexcept
+    : bounds_(std::move(other.bounds_)),
+      counts_(std::move(other.counts_)),
+      clock_(other.clock_),
+      count_(other.count_),
+      sum_(other.sum_),
+      min_(other.min_),
+      max_(other.max_) {}
+
 void Histogram::record(double value) {
+  const std::lock_guard<std::mutex> lock(record_mu_);
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
   ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
   if (count_ == 0) {
@@ -57,6 +67,7 @@ void Histogram::record(double value) {
 }
 
 void Histogram::reset() {
+  const std::lock_guard<std::mutex> lock(record_mu_);
   std::fill(counts_.begin(), counts_.end(), 0);
   count_ = 0;
   sum_ = 0.0;

@@ -18,10 +18,12 @@
 // SID_TRACE / SID_PROFILE_STAGE macros below and in trace.h/profile.h.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <iosfwd>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -35,15 +37,26 @@
 
 namespace sid::obs {
 
-/// Monotonically increasing event count.
+/// Monotonically increasing event count. Thread-safe: parallel_for worker
+/// threads (util/parallel.h) bump counters concurrently, and a relaxed
+/// atomic sum is order-independent, so the final value stays deterministic
+/// at any thread count.
 class Counter {
  public:
-  void add(std::uint64_t n = 1) { value_ += n; }
-  void reset() { value_ = 0; }
-  std::uint64_t value() const { return value_; }
+  Counter() = default;
+  Counter(const Counter& other)
+      : value_(other.value_.load(std::memory_order_relaxed)) {}
+
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 /// Last-written scalar (energy totals, run length, configuration facts).
@@ -70,7 +83,13 @@ class Histogram {
   };
 
   Histogram(std::vector<double> bounds, Clock clock);
+  /// Movable for registry storage; moving while another thread records is
+  /// undefined (registries only create instruments on the main thread).
+  Histogram(Histogram&& other) noexcept;
 
+  /// Thread-safe (mutex): wall-clock stage timers record from
+  /// parallel_for workers. Readers (percentile/dump) run after the
+  /// parallel region has joined.
   void record(double value);
   void reset();
 
@@ -96,6 +115,7 @@ class Histogram {
   double sum_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
+  std::mutex record_mu_;  ///< guards record()/reset() only
 };
 
 /// Insertion-ordered collection of named instruments. References returned

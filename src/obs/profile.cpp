@@ -61,6 +61,12 @@ Histogram& stage_histogram(Stage stage) {
 
 void reset_profile() { profile_registry().reset(); }
 
+Counter& dsp_tail_dropped_counter() {
+  static Counter& counter =
+      profile_registry().counter("dsp.tail_samples_dropped");
+  return counter;
+}
+
 std::uint64_t monotonic_ns() {
   // Wall-clock read for profiling only; sim behaviour never depends on it.
   const auto now = std::chrono::steady_clock::now();  // lint:allow rng-source

@@ -47,6 +47,13 @@ Histogram& stage_histogram(Stage stage);
 /// workloads so each dump reflects one workload only).
 void reset_profile();
 
+/// Process-global framing counter "dsp.tail_samples_dropped": samples that
+/// fell outside the last full STFT frame / Welch segment and were silently
+/// excluded from analysis (the framing contract documented in dsp/stft.h
+/// and dsp/spectrum.h). Lives in the profile registry, so reset_profile()
+/// zeroes it. Thread-safe (atomic): DSP runs on parallel_for workers.
+Counter& dsp_tail_dropped_counter();
+
 /// Monotonic wall-clock nanoseconds (profiling only — simulation time
 /// comes from the event queue, never from here).
 std::uint64_t monotonic_ns();

@@ -16,13 +16,32 @@ double sample_spreading_offset(util::Rng& rng, double exponent) {
     return rng.uniform(-std::numbers::pi / 2.0, std::numbers::pi / 2.0);
   }
   // Rejection sampling of p(theta) proportional to cos^{2s}(theta) on
-  // (-pi/2, pi/2); the mode is at 0 with density 1.
-  for (;;) {
+  // (-pi/2, pi/2); the mode is at 0 with density 1. Acceptance probability
+  // scales like 1/sqrt(s), so the attempt budget below (256) is hit with
+  // probability < 1e-25 at the default s = 8 — default-seeded runs draw the
+  // same values as the historical unbounded loop. For extreme exponents
+  // the loop is no longer unbounded: we fall back to the best draw seen,
+  // which is deterministic (pure function of the rng stream) and
+  // concentrates near the mode exactly where the true density does.
+  // The fallback ranks draws by cos(theta), not by the density itself:
+  // cos^{2s} underflows to exactly 0.0 for most draws at extreme s, which
+  // would reduce "best density" to "first draw seen". cos(theta) is a
+  // strictly monotone proxy for the density and never underflows.
+  constexpr int kMaxAttempts = 256;
+  double best_theta = 0.0;
+  double best_cos = -1.0;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
     const double theta =
         rng.uniform(-std::numbers::pi / 2.0, std::numbers::pi / 2.0);
-    const double density = std::pow(std::cos(theta), 2.0 * exponent);
+    const double cos_theta = std::cos(theta);
+    const double density = std::pow(cos_theta, 2.0 * exponent);
     if (rng.uniform() < density) return theta;
+    if (cos_theta > best_cos) {
+      best_cos = cos_theta;
+      best_theta = theta;
+    }
   }
+  return best_theta;
 }
 
 WaveField::WaveField(const WaveSpectrum& spectrum,
@@ -50,6 +69,8 @@ WaveField::WaveField(const WaveSpectrum& spectrum,
     c.wavenumber = c.omega * c.omega / util::kGravity;  // deep water
     c.direction_rad = config.mean_direction_rad +
                       sample_spreading_offset(rng, config.spreading_exponent);
+    c.dir_cos = std::cos(c.direction_rad);
+    c.dir_sin = std::sin(c.direction_rad);
     c.phase = rng.angle();
     // A non-finite amplitude here (negative spectral density, bad spectrum
     // parameters) would silently corrupt every downstream trace.
@@ -62,8 +83,7 @@ WaveField::WaveField(const WaveSpectrum& spectrum,
 double WaveField::elevation(util::Vec2 p, double t) const {
   double eta = 0.0;
   for (const auto& c : components_) {
-    const double kx = c.wavenumber * (std::cos(c.direction_rad) * p.x +
-                                      std::sin(c.direction_rad) * p.y);
+    const double kx = c.wavenumber * (c.dir_cos * p.x + c.dir_sin * p.y);
     eta += c.amplitude_m * std::cos(kx - c.omega * t + c.phase);
   }
   return eta;
@@ -72,8 +92,8 @@ double WaveField::elevation(util::Vec2 p, double t) const {
 Accel3 WaveField::acceleration(util::Vec2 p, double t) const {
   Accel3 a;
   for (const auto& c : components_) {
-    const double dir_x = std::cos(c.direction_rad);
-    const double dir_y = std::sin(c.direction_rad);
+    const double dir_x = c.dir_cos;
+    const double dir_y = c.dir_sin;
     const double kx = c.wavenumber * (dir_x * p.x + dir_y * p.y);
     const double phase = kx - c.omega * t + c.phase;
     const double w2a = c.omega * c.omega * c.amplitude_m;
@@ -91,8 +111,7 @@ Accel3 WaveField::acceleration(util::Vec2 p, double t) const {
 double WaveField::vertical_acceleration(util::Vec2 p, double t) const {
   double az = 0.0;
   for (const auto& c : components_) {
-    const double kx = c.wavenumber * (std::cos(c.direction_rad) * p.x +
-                                      std::sin(c.direction_rad) * p.y);
+    const double kx = c.wavenumber * (c.dir_cos * p.x + c.dir_sin * p.y);
     const double phase = kx - c.omega * t + c.phase;
     az += -c.omega * c.omega * c.amplitude_m * std::cos(phase);
   }

@@ -48,6 +48,11 @@ struct WaveComponent {
   double wavenumber = 0.0;   ///< rad/m (deep water: omega^2 / g)
   double direction_rad = 0.0;
   double phase = 0.0;        ///< random phase offset
+  /// cos/sin of direction_rad, computed once at construction so the
+  /// per-sample evaluation loops don't re-evaluate them (the hot path runs
+  /// them num_components times per sample).
+  double dir_cos = 1.0;
+  double dir_sin = 0.0;
 };
 
 class WaveField {
@@ -77,6 +82,12 @@ class WaveField {
 
 /// Draws a direction offset from a cos^{2s} spreading function centred on
 /// zero via rejection sampling. Exposed for tests.
+///
+/// Termination: attempts are bounded (256 draws). For the exponents the
+/// simulator uses (s <= ~20, acceptance >= ~10%) the bound is effectively
+/// never hit, so results are unchanged; for pathological exponents (s in
+/// the hundreds, acceptance -> 0) the sampler deterministically returns
+/// the highest-density draw seen instead of looping forever.
 double sample_spreading_offset(util::Rng& rng, double exponent);
 
 }  // namespace sid::ocean

@@ -381,6 +381,51 @@ TEST(SweepConsistencyTest, SimultaneousReportsTriviallyConsistent) {
   EXPECT_EQ(sweep_consistency(reports, line), 1.0);
 }
 
+TEST(SweepConsistencyTest, InlierToleranceBoundary) {
+  // Regression for the RANSAC inlier tolerance (kInlierTolS = 6 s; an
+  // earlier comment claimed 4 s). Four reports sit exactly on the sweep
+  // plane t = 100 + 0.2*s + 0.55*d at the corners of a square in (s, d);
+  // a fifth sits at the square's centre with its onset offset by delta.
+  // Geometry is chosen so every candidate plane through the centre point
+  // either is degenerate (centre on a diagonal) or pushes the two
+  // remaining corners to residual 2*delta — so the winning plane is
+  // always the true one and the centre point's inlier status is decided
+  // purely by |delta| vs the tolerance:
+  //   delta just under 6 s -> inlier, full consensus (5/5), OLS score
+  //   delta just over 6 s  -> outlier, score == r2 * (4/5)^2 ~ 0.64
+  const Line2 line = vertical_line(0.0);
+  const auto reports_with_offset = [&](double delta) {
+    // position = (x, y) maps to (s, d) = (y, |x|).
+    std::vector<DetectionReport> reports;
+    reports.push_back(make_report(0, 0, 10.0, 0.0, 100.0 + 0.55 * 10.0,
+                                  10.0));
+    reports.push_back(make_report(1, 0, 10.0, 50.0,
+                                  100.0 + 0.2 * 50.0 + 0.55 * 10.0, 10.0));
+    reports.push_back(make_report(0, 1, 40.0, 0.0, 100.0 + 0.55 * 40.0,
+                                  10.0));
+    reports.push_back(make_report(1, 1, 40.0, 50.0,
+                                  100.0 + 0.2 * 50.0 + 0.55 * 40.0, 10.0));
+    reports.push_back(make_report(2, 0, 25.0, 25.0,
+                                  100.0 + 0.2 * 25.0 + 0.55 * 25.0 + delta,
+                                  10.0));
+    return reports;
+  };
+
+  const double inlier_score =
+      sweep_consistency(reports_with_offset(5.9), line, /*min_reports=*/4);
+  const double outlier_score =
+      sweep_consistency(reports_with_offset(6.1), line, /*min_reports=*/4);
+
+  // 5.9 s: all five reports reach consensus, the OLS fit absorbs most of
+  // the offset, and the un-penalized score stays high.
+  EXPECT_GT(inlier_score, 0.8);
+  // 6.1 s: the centre point falls outside every admissible plane, the
+  // exact four-corner fit scores r2 = 1 and the quadratic fraction
+  // penalty (4/5)^2 = 0.64 is the whole score.
+  EXPECT_NEAR(outlier_score, 0.64, 1e-9);
+  EXPECT_GT(inlier_score, outlier_score);
+}
+
 TEST(DedupTest, KeepsStrongestPerReporter) {
   auto a = make_report(0, 0, 25.0, 0.0, 100.0, 10.0);
   a.reporter = 7;

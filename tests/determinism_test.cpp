@@ -159,6 +159,43 @@ TEST(DeterminismTest, ScenarioReportsAreBitIdenticalForSameSeed) {
   EXPECT_NE(hash_scenario_run(run_a), hash_scenario_run(run_c));
 }
 
+// ------------------------------------------- parallel execution (§5g)
+//
+// ScenarioConfig::threads is documented as a pure wall-clock knob: any
+// worker count must reproduce the serial run bit for bit. These tests are
+// the enforcement teeth behind that sentence (and behind the CI lane that
+// drives sid_cli with --threads 4).
+
+TEST(DeterminismTest, ParallelScenarioMatchesSerialBitForBit) {
+  wsn::NetworkConfig ncfg;
+  ncfg.rows = 4;
+  ncfg.cols = 4;
+  const wsn::Network net(ncfg);
+  const std::vector<wake::ShipTrackConfig> ships{crossing_ship()};
+
+  auto cfg = scenario_config(42);
+  cfg.threads = 1;
+  const auto serial = simulate_node_reports(net, ships, cfg);
+  const auto serial_hash = hash_scenario_run(serial);
+  // A vacuously empty run would make the equality below meaningless.
+  ASSERT_GT(serial.total_alarms(), 0u);
+
+  // Thread counts bracketing the node count (16): fewer workers than
+  // nodes, an uneven divisor, and more workers than nodes.
+  for (const std::size_t threads : {2u, 3u, 4u, 32u}) {
+    cfg.threads = threads;
+    const auto parallel = simulate_node_reports(net, ships, cfg);
+    EXPECT_EQ(serial_hash, hash_scenario_run(parallel))
+        << "threads=" << threads;
+    ASSERT_EQ(serial.node_runs.size(), parallel.node_runs.size());
+    for (std::size_t i = 0; i < serial.node_runs.size(); ++i) {
+      EXPECT_EQ(serial.node_runs[i].node, parallel.node_runs[i].node);
+      EXPECT_EQ(serial.truths[i].wake_arrivals,
+                parallel.truths[i].wake_arrivals);
+    }
+  }
+}
+
 // ------------------------------------------------------ full SID pipeline
 
 core::SidSystemConfig system_config(std::uint64_t seed) {
@@ -190,6 +227,25 @@ TEST(DeterminismTest, SinkDecisionsAreBitIdenticalForSameSeed) {
   core::SidSystem sys_c(system_config(2));
   const auto result_c = sys_c.run(ships);
   EXPECT_NE(hash_system_result(result_a), hash_system_result(result_c));
+}
+
+TEST(DeterminismTest, ParallelSystemRunMatchesSerialBitForBit) {
+  const std::vector<wake::ShipTrackConfig> ships{crossing_ship()};
+
+  core::SidSystem serial_sys(system_config(1));
+  const auto serial = serial_sys.run(ships);
+  ASSERT_GT(serial.alarms_raised, 0u);
+
+  auto cfg = system_config(1);
+  cfg.scenario.threads = 4;
+  core::SidSystem parallel_sys(cfg);
+  const auto parallel = parallel_sys.run(ships);
+  EXPECT_EQ(hash_system_result(serial), hash_system_result(parallel));
+  // The deterministic metrics dump (counters included) must also agree:
+  // parallel workers bump shared counters, whose relaxed-atomic sums are
+  // order-independent.
+  EXPECT_EQ(serial_sys.registry().to_json(false),
+            parallel_sys.registry().to_json(false));
 }
 
 // --------------------------------------------------------- metrics dumps

@@ -15,6 +15,7 @@
 #include "dsp/stft.h"
 #include "dsp/wavelet.h"
 #include "dsp/window.h"
+#include "obs/profile.h"
 #include "util/error.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -691,6 +692,52 @@ INSTANTIATE_TEST_SUITE_P(
     OrdersAndCutoffs, ButterworthGain,
     ::testing::Combine(::testing::Values<std::size_t>(2, 4, 6),
                        ::testing::Values(0.5, 1.0, 2.0, 5.0)));
+
+// --------------------------------------- framing-contract tail counter
+// stft/welch_psd silently exclude trailing samples past the last full
+// frame/segment; the framing contract (stft.h, spectrum.h) makes that
+// observable through obs counter "dsp.tail_samples_dropped".
+
+#if SID_METRICS_ENABLED
+
+TEST(TailCounterTest, StftCountsDroppedTailSamples) {
+  obs::reset_profile();
+  StftConfig cfg;  // frame 2048, hop 1024
+  const std::vector<double> signal(2048 + 1024 + 500, 0.1);
+  const auto gram = stft(signal, cfg);
+  // Frames at 0 and 1024; samples [3072, 3572) never enter a frame.
+  ASSERT_EQ(gram.frames.size(), 2u);
+  EXPECT_EQ(obs::dsp_tail_dropped_counter().value(), 500u);
+}
+
+TEST(TailCounterTest, StftExactFitDropsNothing) {
+  obs::reset_profile();
+  StftConfig cfg;
+  const std::vector<double> signal(2048 + 1024, 0.1);  // frames cover all
+  stft(signal, cfg);
+  EXPECT_EQ(obs::dsp_tail_dropped_counter().value(), 0u);
+}
+
+TEST(TailCounterTest, WelchCountsDroppedTailSamples) {
+  obs::reset_profile();
+  WelchConfig cfg;  // segment 1024, overlap 512 -> hop 512
+  const std::vector<double> signal(2048 + 300, 0.1);
+  const auto psd = welch_psd(signal, cfg);
+  // Segments at 0, 512, 1024; samples [2048, 2348) are never averaged.
+  ASSERT_EQ(psd.segments_averaged, 3u);
+  EXPECT_EQ(obs::dsp_tail_dropped_counter().value(), 300u);
+}
+
+TEST(TailCounterTest, DropsAccumulateAcrossCalls) {
+  obs::reset_profile();
+  WelchConfig cfg;
+  const std::vector<double> signal(1024 + 100, 0.1);
+  welch_psd(signal, cfg);
+  welch_psd(signal, cfg);
+  EXPECT_EQ(obs::dsp_tail_dropped_counter().value(), 200u);
+}
+
+#endif  // SID_METRICS_ENABLED
 
 }  // namespace
 }  // namespace sid::dsp

@@ -254,6 +254,54 @@ TEST(SpreadingTest, LargeExponentConcentrates) {
   EXPECT_LT(narrow.stddev(), wide.stddev() * 0.6);
 }
 
+TEST(SpreadingTest, ExtremeExponentTerminatesAndConcentrates) {
+  // Regression for the historically unbounded rejection loop: at s = 1e6
+  // the acceptance probability is ~1/1000 per draw and entire 256-attempt
+  // budgets routinely come up empty, so this test only completes because
+  // the sampler's deterministic best-draw fallback exists. The fallback
+  // must still produce in-range values concentrated near the mode.
+  util::Rng rng(7);
+  util::RunningStats stats;
+  for (int i = 0; i < 2000; ++i) {
+    const double theta = sample_spreading_offset(rng, 1e6);
+    EXPECT_GE(theta, -std::numbers::pi / 2);
+    EXPECT_LE(theta, std::numbers::pi / 2);
+    stats.add(theta);
+  }
+  // cos^{2e6} has stddev ~ 1/sqrt(2e6) ~ 7e-4 rad; the best-of-256
+  // fallback is wider but must stay a couple of orders below the s = 30
+  // spread (~0.13 rad).
+  EXPECT_LT(stats.stddev(), 0.05);
+  EXPECT_NEAR(stats.mean(), 0.0, 0.01);
+}
+
+TEST(SpreadingTest, ExtremeExponentIsDeterministic) {
+  // Accept or fall back, the draw count is decided by the rng stream
+  // alone, so the whole sequence is a pure function of the seed.
+  util::Rng rng_a(11), rng_b(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(sample_spreading_offset(rng_a, 1e6),
+              sample_spreading_offset(rng_b, 1e6));
+  }
+}
+
+TEST(SpreadingTest, WaveFieldBuildsAtExtremeExponent) {
+  // End to end: a field whose spreading exponent makes rejection sampling
+  // hopeless must still construct (this hung forever before the bound).
+  const auto spectrum = make_sea_spectrum(SeaState::kCalm);
+  WaveFieldConfig cfg;
+  cfg.spreading_exponent = 1e6;
+  cfg.num_components = 32;
+  const WaveField field(*spectrum, cfg);
+  EXPECT_EQ(field.components().size(), 32u);
+  for (const auto& c : field.components()) {
+    // Nearly unidirectional: every component close to the mean direction.
+    EXPECT_NEAR(c.direction_rad, cfg.mean_direction_rad, 0.2);
+    EXPECT_EQ(c.dir_cos, std::cos(c.direction_rad));
+    EXPECT_EQ(c.dir_sin, std::sin(c.direction_rad));
+  }
+}
+
 TEST(WaveFieldTest, RejectsBadConfig) {
   const auto spectrum = make_sea_spectrum(SeaState::kCalm);
   WaveFieldConfig zero;
