@@ -32,6 +32,14 @@ Enforces the discipline clang-tidy cannot express:
                     bit-identical to serial (DESIGN.md §5g). Ad-hoc
                     threads would reintroduce schedule-dependent
                     behaviour the determinism suite cannot pin.
+  defense-funnel    no NeighborTable or quarantine/ledger state mutated
+                    outside src/wsn/ — link beliefs and suspicion
+                    verdicts are delivery-layer evidence (DESIGN.md
+                    §5h). Higher layers (src/core/...) consume them
+                    through read-only views (suspects, quarantine_view,
+                    guard_ledger) and the quarantine listener; letting
+                    protocol code poke the tables/ledgers directly would
+                    bypass the admission funnel the defense audits.
 
 Exit status: 0 clean, 1 violations found, 2 internal error.
 
@@ -87,6 +95,19 @@ THREAD_ALLOWED = {
 THREAD_PATTERNS = (
     re.compile(r"std\s*::\s*j?thread\b"),
     re.compile(r"std\s*::\s*async\b"),
+)
+
+# The defense funnel: neighbor-table and quarantine/ledger state mutators
+# may only be called from the delivery layer (src/wsn/). Everything in
+# src/ outside it is checked; tests and benches may drive them directly.
+DEFENSE_FUNNEL_PREFIX = "src/wsn/"
+
+DEFENSE_FUNNEL_PATTERNS = (
+    # NeighborTable mutators (link beliefs are delivery-layer evidence).
+    re.compile(r"\.\s*(?:on_beacon|on_tx_success|on_tx_failure"
+               r"|boot_neighbor|sweep)\s*\("),
+    # GuardLedger / quarantine-view mutators.
+    re.compile(r"\.\s*(?:assess|apply_notice)\s*\("),
 )
 
 ALLOW_RE = re.compile(r"//\s*lint:allow\s+([a-z-]+)")
@@ -181,6 +202,8 @@ class Linter:
         check_oracle = (rel_posix.startswith("src/")
                         and rel not in ORACLE_ALLOWED)
         check_thread = rel not in THREAD_ALLOWED
+        check_defense = (rel_posix.startswith("src/")
+                         and not rel_posix.startswith(DEFENSE_FUNNEL_PREFIX))
 
         for lineno, raw in enumerate(lines, start=1):
             allowed = {m for m in ALLOW_RE.findall(raw)}
@@ -225,6 +248,17 @@ class Linter:
                             f"util::ThreadPool funnel — use "
                             f"util::parallel_for so the deterministic "
                             f"chunking keeps results schedule-independent")
+            if check_defense and "defense-funnel" not in allowed:
+                for pat in DEFENSE_FUNNEL_PATTERNS:
+                    m = pat.search(code)
+                    if m:
+                        self.report(
+                            "defense-funnel", path, lineno,
+                            f"neighbor/quarantine state mutator "
+                            f"'{m.group(0).strip()}' outside src/wsn/ — "
+                            f"consume suspects()/quarantine_view()/"
+                            f"guard_ledger() read-only views or the "
+                            f"quarantine listener instead")
             if (is_header and "header-using" not in allowed
                     and USING_NAMESPACE_RE.search(code)):
                 self.report("header-using", path, lineno,
@@ -277,6 +311,10 @@ def self_test() -> int:
             "#include <thread>\nvoid f() { std::thread t([] {}); }\n",
         "thread-funnel-async":
             "#include <future>\nauto g() { return std::async([] {}); }\n",
+        "defense-funnel":
+            "void f() { table.on_beacon(3, t); }\n",
+        "defense-funnel-ledger":
+            "void g() { ledger.assess(msg, t); }\n",
     }
     failures = []
     with tempfile.TemporaryDirectory() as tmp:
@@ -306,6 +344,12 @@ def self_test() -> int:
         (src / "l.cpp").write_text(
             "#include <thread>\n"
             "void nap() { std::this_thread::yield(); }\n")
+        # Defense-funnel plants: a core-layer file poking neighbor tables
+        # and a guard ledger directly.
+        core_dir = src / "core"
+        core_dir.mkdir()
+        (core_dir / "m.cpp").write_text(cases["defense-funnel"])
+        (core_dir / "n.cpp").write_text(cases["defense-funnel-ledger"])
         # A protocol struct with an inexact default.
         wsn = src / "wsn"
         wsn.mkdir()
@@ -315,6 +359,8 @@ def self_test() -> int:
         (wsn / "network.cpp").write_text(
             "bool ok(unsigned id, double t) {"
             " return node_operational(id, t); }\n")
+        # ...and the defense funnel: the wsn layer may mutate freely.
+        (wsn / "defense_user.cpp").write_text(cases["defense-funnel"])
 
         linter = Linter(root)
         rc = linter.run()
@@ -332,6 +378,8 @@ def self_test() -> int:
                 ("oracle-liveness", "i.cpp"),
                 ("thread-funnel", "j.cpp"),
                 ("thread-funnel", "k.cpp"),
+                ("defense-funnel", "m.cpp"),
+                ("defense-funnel", "n.cpp"),
                 ("protocol-literal", "3.3"),
         ]:
             if not any(f"[{rule}]" in v and needle in v
@@ -350,6 +398,10 @@ def self_test() -> int:
         if any("l.cpp" in v and "[thread-funnel]" in v
                for v in linter.violations):
             failures.append("thread-funnel fired on std::this_thread")
+        if any("wsn/defense_user.cpp" in v and "[defense-funnel]" in v
+               for v in linter.violations):
+            failures.append(
+                "defense-funnel fired inside the exempt src/wsn/ tree")
 
         # And a clean tree must pass, including the lint:allow escape.
         clean = root / "clean"

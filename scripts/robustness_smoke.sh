@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Robustness smoke: build with ASan/UBSan and exercise the fault-injection
-# layer end to end — the fault unit/system tests plus the tiny-grid
-# robustness sweep (which self-checks that its detection curve is
-# monotone-sane and exits non-zero otherwise).
+# and adversarial layers end to end — the fault/defense unit and system
+# tests plus the tiny-grid robustness and adversary sweeps (each
+# self-checks its acceptance gate — monotone-sane detection curve,
+# defended-vs-undefended recall gap, zero false quarantines on honest
+# fields — and exits non-zero otherwise).
 #
 # Usage: scripts/robustness_smoke.sh [build-dir]   (default: build-asan)
 set -euo pipefail
@@ -13,12 +15,15 @@ build_dir="${1:-${repo_root}/build-asan}"
 cmake -B "${build_dir}" -S "${repo_root}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSID_SANITIZE=ON
 cmake --build "${build_dir}" -j \
-  --target faults_test selfheal_test system_test robustness_sweep
+  --target faults_test selfheal_test defense_test system_test \
+  robustness_sweep adversary_sweep
 
 "${build_dir}/tests/faults_test"
 "${build_dir}/tests/selfheal_test"
+"${build_dir}/tests/defense_test"
 "${build_dir}/tests/system_test" \
   --gtest_filter='SidSystemTest.TwentyPercentNodeFailuresStillReachSinkViaFallback'
 "${build_dir}/bench/robustness_sweep" --smoke
+"${build_dir}/bench/adversary_sweep" --smoke
 
 echo "robustness smoke: OK"

@@ -22,17 +22,24 @@ std::vector<FusedDetection> fuse_detections(
     double time;
     bool accel;
   };
+  // Quarantined modalities contribute no evidence at all (wsn/defense
+  // revoked their source identity); with both quarantined, nothing fuses.
+  if (config.accel_quarantined && config.acoustic_quarantined) return {};
   std::vector<Event> events;
   events.reserve(alarms.size() + contacts.size());
-  for (const auto& a : alarms) {
-    SID_DCHECK(std::isfinite(a.onset_time_s),
-               "fuse_detections: non-finite alarm onset time");
-    events.push_back({a.onset_time_s, true});
+  if (!config.accel_quarantined) {
+    for (const auto& a : alarms) {
+      SID_DCHECK(std::isfinite(a.onset_time_s),
+                 "fuse_detections: non-finite alarm onset time");
+      events.push_back({a.onset_time_s, true});
+    }
   }
-  for (const auto& c : contacts) {
-    SID_DCHECK(std::isfinite(c.time_s),
-               "fuse_detections: non-finite acoustic contact time");
-    events.push_back({c.time_s, false});
+  if (!config.acoustic_quarantined) {
+    for (const auto& c : contacts) {
+      SID_DCHECK(std::isfinite(c.time_s),
+                 "fuse_detections: non-finite acoustic contact time");
+      events.push_back({c.time_s, false});
+    }
   }
   std::sort(events.begin(), events.end(),
             [](const Event& a, const Event& b) { return a.time < b.time; });
@@ -48,9 +55,15 @@ std::vector<FusedDetection> fuse_detections(
     fused.push_back(FusedDetection{t, accel, acoustic});
   };
 
+  // Graceful degradation: with exactly one modality quarantined, the AND
+  // requirement cannot be met by any event — the survivor's evidence
+  // would be discarded wholesale. Degrade to OR over what remains.
+  const bool degraded =
+      config.accel_quarantined != config.acoustic_quarantined;
+
   for (std::size_t i = 0; i < events.size(); ++i) {
     const Event& e = events[i];
-    if (config.policy == FusionPolicy::kOr) {
+    if (config.policy == FusionPolicy::kOr || degraded) {
       // Every event stands alone; the dedup merge unions modalities of
       // nearby events.
       emit(e.time, e.accel, !e.accel);

@@ -28,6 +28,13 @@ struct FusionConfig {
   /// Events closer than this to an emitted fused detection are folded
   /// into it instead of raising a new one.
   double dedup_window_s = 20.0;
+  /// Defense hooks (wsn/defense): a quarantined modality's events are
+  /// excluded from fusion — its source identity was revoked, so its
+  /// evidence is untrusted. Under kAnd the surviving modality degrades
+  /// gracefully to standing alone (pooled fallback) instead of silencing
+  /// the fuser entirely; with both modalities quarantined nothing fuses.
+  bool accel_quarantined = false;
+  bool acoustic_quarantined = false;
 };
 
 struct FusedDetection {

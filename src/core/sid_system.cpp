@@ -9,6 +9,44 @@
 
 namespace sid::core {
 
+namespace {
+
+/// Static cluster head for the cell containing grid (row, col): the cell
+/// centre, clamped into the grid. Pure so both static_head_of and the
+/// default-guard computation (which runs before the Network exists) share
+/// one definition.
+wsn::NodeId cell_head_id(std::size_t row, std::size_t col, std::size_t cell,
+                         std::size_t rows, std::size_t cols) {
+  const std::size_t head_row = std::min((row / cell) * cell + cell / 2,
+                                        rows - 1);
+  const std::size_t head_col = std::min((col / cell) * cell + cell / 2,
+                                        cols - 1);
+  return static_cast<wsn::NodeId>(head_row * cols + head_col);
+}
+
+/// When the defense is enabled with no explicit guard set, guard the
+/// natural aggregation points: the sink and every static cluster head —
+/// exactly the nodes all report/decision traffic converges on, so the
+/// ledgers see the complete evidence stream.
+wsn::NetworkConfig with_default_guards(const SidSystemConfig& config) {
+  wsn::NetworkConfig net = config.network;
+  if (!net.defense.enabled || !net.defense.guarded_nodes.empty()) return net;
+  std::vector<wsn::NodeId> guards{0};  // the sink at grid (0, 0)
+  const std::size_t cell = std::max<std::size_t>(config.static_cell_size, 1);
+  for (std::size_t r = 0; r < net.rows; r += cell) {
+    for (std::size_t c = 0; c < net.cols; c += cell) {
+      const wsn::NodeId head = cell_head_id(r, c, cell, net.rows, net.cols);
+      if (std::find(guards.begin(), guards.end(), head) == guards.end()) {
+        guards.push_back(head);
+      }
+    }
+  }
+  net.defense.guarded_nodes = std::move(guards);
+  return net;
+}
+
+}  // namespace
+
 bool SystemResult::intrusion_reported() const {
   return std::any_of(sink_reports.begin(), sink_reports.end(),
                      [](const SinkReport& r) { return r.decision.intrusion; });
@@ -72,7 +110,7 @@ void SidSystem::SidCounters::reset() {
 
 SidSystem::SidSystem(const SidSystemConfig& config)
     : config_(config),
-      network_(config.network),
+      network_(with_default_guards(config)),
       counters_(network_.registry()),
       evaluator_(config.cluster),
       reliable_(network_, config.resilience.e2e),
@@ -84,19 +122,24 @@ SidSystem::SidSystem(const SidSystemConfig& config)
       [this](wsn::NodeId receiver, const wsn::Message& msg, double t) {
         on_deliver(receiver, msg, t);
       });
+  if (network_.defense_active()) {
+    // Quarantine revokes an identity's transport history: dedup windows
+    // the attacker may have poisoned with far-future sequence numbers are
+    // dropped so the (possibly innocent, impersonated) identity can
+    // re-bootstrap cleanly after release.
+    network_.set_quarantine_listener([this](wsn::NodeId subject, double) {
+      reliable_.forget_source(subject);
+      sink_windows_.erase(subject);
+    });
+  }
 }
 
 wsn::NodeId SidSystem::static_head_of(wsn::NodeId id) const {
   const auto& info = network_.node(id);
-  const std::size_t cell = config_.static_cell_size;
-  const auto cell_row = static_cast<std::size_t>(info.grid_row) / cell;
-  const auto cell_col = static_cast<std::size_t>(info.grid_col) / cell;
-  // Centre node of the cell, clamped into the grid.
-  const std::size_t head_row = std::min(cell_row * cell + cell / 2,
-                                        config_.network.rows - 1);
-  const std::size_t head_col = std::min(cell_col * cell + cell / 2,
-                                        config_.network.cols - 1);
-  return network_.id_at(head_row, head_col);
+  return cell_head_id(static_cast<std::size_t>(info.grid_row),
+                      static_cast<std::size_t>(info.grid_col),
+                      config_.static_cell_size, config_.network.rows,
+                      config_.network.cols);
 }
 
 void SidSystem::submit_report(wsn::NodeId member_id, wsn::NodeId head,
@@ -514,9 +557,13 @@ SystemResult SidSystem::run(std::span<const wake::ShipTrackConfig> ships) {
   // Beacon processes run for the sensing window plus slack, so retries
   // and fallback evaluations late in the run still see fresh liveness
   // state (no-op in oracle routing mode).
-  network_.start_beacons(config_.scenario.trace.start_time_s +
-                         config_.scenario.trace.duration_s +
-                         config_.resilience.beacon_horizon_slack_s);
+  const double horizon_s = config_.scenario.trace.start_time_s +
+                           config_.scenario.trace.duration_s +
+                           config_.resilience.beacon_horizon_slack_s;
+  network_.start_beacons(horizon_s);
+  // Adversarial processes (no-op with an empty AttackPlan) share the
+  // beacon horizon so attacks can span the whole sensing window.
+  network_.start_adversary(horizon_s);
 
   // Schedule every alarm as a protocol event at its trigger time. A node
   // that is dead or depleted when the alarm would fire stays silent.

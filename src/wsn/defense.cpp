@@ -1,0 +1,201 @@
+#include "wsn/defense.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <variant>
+
+#include "util/error.h"
+#include "wsn/seqnum.h"
+
+namespace sid::wsn {
+
+GuardLedger::GuardLedger(NodeId guard, const DefenseConfig& config,
+                         std::vector<util::Vec2> anchors)
+    : guard_(guard), config_(config), anchors_(std::move(anchors)) {
+  util::require(config_.seq_horizon > 0,
+                "DefenseConfig: seq horizon must be positive");
+  util::require(config_.rate_window_s > 0.0 && config_.rate_limit > 0,
+                "DefenseConfig: rate window and limit must be positive");
+  util::require(config_.quarantine_threshold > 0.0,
+                "DefenseConfig: quarantine threshold must be positive");
+  util::require(config_.score_half_life_s > 0.0,
+                "DefenseConfig: score half-life must be positive");
+}
+
+GuardLedger::IdentityState& GuardLedger::state(NodeId id) {
+  return states_[id];
+}
+
+double GuardLedger::decayed_score(const IdentityState& s, double t) const {
+  if (s.score <= 0.0) return 0.0;
+  const double dt = std::max(0.0, t - s.score_t);
+  return s.score * std::exp2(-dt / config_.score_half_life_s);
+}
+
+double GuardLedger::score(NodeId id, double t) const {
+  const auto it = states_.find(id);
+  if (it == states_.end()) return 0.0;
+  return decayed_score(it->second, t);
+}
+
+bool GuardLedger::quarantined(NodeId id, double t) const {
+  const auto it = states_.find(id);
+  return it != states_.end() && it->second.quarantined &&
+         t < it->second.quarantine_until_s;
+}
+
+GuardLedger::StreamCheck GuardLedger::check_stream(bool seen,
+                                                   std::uint32_t high,
+                                                   std::uint32_t seq) const {
+  StreamCheck out;
+  out.seen = seen;
+  out.high = high;
+  if (!seen) {
+    // Per-run streams start at zero; a first sighting far from it is a
+    // fabricated stream, and anchoring the watermark there would be
+    // exactly the poisoning the attacker wants. Reject, don't anchor.
+    if (seq >= config_.seq_horizon) {
+      out.verdict = IngressVerdict::kSeqBootstrap;
+      return out;
+    }
+    out.seen = true;
+    out.high = seq;
+    out.fresh = true;
+    return out;
+  }
+  const std::int32_t d = seq_distance(high, seq);
+  if (d > 0) {
+    if (static_cast<std::uint32_t>(d) > config_.seq_horizon) {
+      out.verdict = IngressVerdict::kSeqJump;  // watermark stays put
+      return out;
+    }
+    out.high = seq;
+    out.fresh = true;
+    return out;
+  }
+  if (static_cast<std::uint32_t>(-d) >= config_.seq_rollback_span) {
+    out.verdict = IngressVerdict::kSeqRollback;
+    return out;
+  }
+  // In-window duplicate or reordering: plausible retransmission; the
+  // transport's dedup window decides, not the defense.
+  return out;
+}
+
+bool GuardLedger::rate_violation(IdentityState& s, double t) {
+  auto& window = s.fresh_accepts;
+  window.push_back(t);
+  const double horizon = t - config_.rate_window_s;
+  window.erase(std::remove_if(window.begin(), window.end(),
+                              [horizon](double v) { return v < horizon; }),
+               window.end());
+  return window.size() > config_.rate_limit;
+}
+
+void GuardLedger::add_suspicion(NodeId id, IdentityState& s, double amount,
+                                double t) {
+  s.score = decayed_score(s, t) + amount;
+  s.score_t = t;
+  if (!s.quarantined && s.score >= config_.quarantine_threshold) {
+    s.quarantined = true;
+    s.quarantine_until_s = t + config_.quarantine_s;
+    quarantine_started_ = id;
+  }
+}
+
+IngressVerdict GuardLedger::assess(const Message& msg, double t) {
+  quarantine_started_.reset();
+
+  // The payload-level identity the message speaks for: reports carry the
+  // reporter, decisions the originating head. That identity — not just
+  // the (rewritten-per-relay) transport src — is what fusion/tracking
+  // exclusion and rate plausibility key on.
+  NodeId claimed = msg.src;
+  const auto* report = std::get_if<DetectionReport>(&msg.payload);
+  const auto* decision = std::get_if<ClusterDecision>(&msg.payload);
+  if (report != nullptr) claimed = report->reporter;
+  if (decision != nullptr) claimed = decision->head;
+
+  // Quarantine gate first: a quarantined identity's traffic is dropped
+  // whether it appears as transport source or payload identity. Expired
+  // quarantines are released on the way (probation: score resets, the
+  // next sustained violation re-quarantines).
+  const auto gate = [&](NodeId id) {
+    auto it = states_.find(id);
+    if (it == states_.end() || !it->second.quarantined) return false;
+    if (t < it->second.quarantine_until_s) return true;
+    it->second.quarantined = false;
+    it->second.score = 0.0;
+    it->second.fresh_accepts.clear();
+    return false;
+  };
+  if (gate(msg.src) || gate(claimed)) {
+    return IngressVerdict::kQuarantined;
+  }
+
+  // Identity coherence: a report reaches its collector directly from the
+  // reporter (members submit to heads, fallback members to static heads),
+  // so transport and payload identity must agree. Decisions are relayed
+  // (head -> static head -> sink rewrites the transport src), so no such
+  // check applies there.
+  if (report != nullptr && report->reporter != msg.src) {
+    return IngressVerdict::kIdentity;
+  }
+
+  // Position plausibility: deployment positions are assigned (§III-A),
+  // so a report whose claimed position strays from the claimed
+  // reporter's anchor is fabricated. Decision positions are estimates
+  // (report centroids), not anchors — only sequence/rate checks apply.
+  if (report != nullptr && claimed < anchors_.size()) {
+    if (util::distance(report->position, anchors_[claimed]) >
+        config_.position_tolerance_m) {
+      return IngressVerdict::kPosition;
+    }
+  }
+
+  // Legitimate report/decision traffic always travels over the reliable
+  // transport; an unreliable one skipped the ack loop no honest node
+  // skips. Treat it as a bootstrap-implausible stream.
+  if (!msg.reliable) return IngressVerdict::kSeqBootstrap;
+
+  IdentityState& src_state = state(msg.src);
+  const StreamCheck transport = check_stream(
+      src_state.transport_seen, src_state.transport_high, msg.e2e_seq);
+  if (transport.verdict != IngressVerdict::kAccept) return transport.verdict;
+
+  StreamCheck dec_stream;
+  if (decision != nullptr) {
+    const IdentityState& head_state = state(claimed);
+    dec_stream = check_stream(head_state.decision_seen,
+                              head_state.decision_high, decision->seq);
+    if (dec_stream.verdict != IngressVerdict::kAccept) {
+      return dec_stream.verdict;
+    }
+  }
+
+  // Every check passed: commit the watermarks (rejected messages above
+  // never touch them).
+  src_state.transport_seen = transport.seen;
+  src_state.transport_high = transport.high;
+  if (decision != nullptr) {
+    IdentityState& head_state = state(claimed);
+    head_state.decision_seen = dec_stream.seen;
+    head_state.decision_high = dec_stream.high;
+  }
+
+  // Tier 2: rate plausibility over fresh (watermark-advancing) accepts,
+  // keyed by the payload identity. Violations both drop the message and
+  // feed the decaying suspicion score; filtered messages above never get
+  // here, so spoofed-and-rejected evidence cannot revoke an identity.
+  if (transport.fresh || dec_stream.fresh) {
+    IdentityState& id_state = state(claimed);
+    if (rate_violation(id_state, t)) {
+      add_suspicion(claimed, id_state, config_.rate_score, t);
+      return IngressVerdict::kRate;
+    }
+  }
+  return IngressVerdict::kAccept;
+}
+
+}  // namespace sid::wsn

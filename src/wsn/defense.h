@@ -1,0 +1,179 @@
+// Sink-side plausibility defense: in-band scoring of incoming traffic at
+// guarded nodes (the sink and the static cluster heads), no cryptography.
+//
+// The SID pipeline implicitly trusts every report that arrives over
+// multi-hop routing (§V); a single compromised radio can therefore forge
+// detections, replay captured traffic, clone identities, or poison dedup
+// windows with far-future sequence numbers. The GuardLedger is the
+// receiver-side counter: it checks each report/decision against what a
+// guard node legitimately knows — the deployment layout (§III-A: positions
+// are assigned at deployment), the protocol's sequence discipline (streams
+// start near zero each run and advance in small steps), and the plausible
+// per-source arrival rate — and runs two tiers of response:
+//
+//   Tier 1 (per-message filter): messages with implausible sequence
+//   numbers (bootstrap far from zero, forward jumps beyond the plausible
+//   horizon, rollbacks beyond the dedup span), positions conflicting with
+//   the claimed reporter's deployment anchor, or identity mismatches are
+//   dropped *before* they can reach the transport dedup window — which is
+//   what keeps sequence-poisoning away from legitimate traffic.
+//
+//   Tier 2 (identity quarantine with hysteresis): traffic that passes
+//   every per-message check but floods (more fresh accepted messages per
+//   window than any honest source produces — the clone/forgery signature
+//   that cannot be neutralized message-by-message) accumulates a decaying
+//   suspicion score; crossing the threshold quarantines the claimed
+//   identity for a bounded period. Quarantined identities are excluded
+//   from fusion/tracking at the guard and (via flooded QuarantineNotices)
+//   from routing, with the pooled-fallback machinery absorbing the gap.
+//   Deliberately, *filtered* messages never feed the score: spoofed
+//   evidence must not let an attacker revoke an arbitrary identity.
+//
+// The ledger is pure bookkeeping: it draws no randomness and schedules no
+// events, so a defended run with no attack traffic is bit-identical to an
+// undefended one (test-enforced).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "util/geometry.h"
+#include "wsn/messages.h"
+
+namespace sid::wsn {
+
+struct DefenseConfig {
+  /// Strictly opt-in: when false, no ledger exists and no delivery path
+  /// changes.
+  bool enabled = false;
+  /// Nodes whose inbound report/decision traffic is scored and filtered.
+  /// Left empty, SidSystem fills in the sink and the static cluster heads.
+  std::vector<NodeId> guarded_nodes;
+  /// A stream first seen further than this from zero is implausible:
+  /// per-run sequence counters start at zero, and no honest source sends
+  /// this many messages in a run. Also the bound on forward jumps.
+  std::uint32_t seq_horizon = 4096;
+  /// Rollbacks beyond this many sequence numbers behind the watermark are
+  /// replays (matches the transport dedup span, wsn/seqnum.h).
+  std::size_t seq_rollback_span = 64;
+  /// Max distance between a report's claimed position and the claimed
+  /// reporter's deployment anchor (positions are assigned at deployment).
+  double position_tolerance_m = 1.0;
+  /// Rate plausibility: more than `rate_limit` fresh accepted messages
+  /// from one claimed identity within `rate_window_s` is flooding.
+  double rate_window_s = 60.0;
+  std::size_t rate_limit = 8;
+  /// Suspicion added per rate violation; decays with the half-life below
+  /// (hysteresis: isolated violations fade, sustained flooding crosses
+  /// the threshold).
+  double rate_score = 1.5;
+  double quarantine_threshold = 3.0;
+  double score_half_life_s = 120.0;
+  /// Quarantine duration; after expiry the identity is on probation (the
+  /// next sustained violation re-quarantines it).
+  double quarantine_s = 600.0;
+  /// Beacon range plausibility (impersonation detection from channel
+  /// measurements): a hello whose measured range differs from the claimed
+  /// sender's deployment range by more than `frac` of it plus `slack_m`
+  /// is a spoof.
+  double beacon_range_tolerance_frac = 0.25;
+  double beacon_range_slack_m = 5.0;
+};
+
+/// Per-message verdict of GuardLedger::assess.
+enum class IngressVerdict {
+  kAccept,
+  kQuarantined,   ///< claimed identity currently quarantined
+  kSeqBootstrap,  ///< first sighting implausibly far from zero
+  kSeqJump,       ///< forward jump beyond the plausible horizon
+  kSeqRollback,   ///< behind the watermark beyond the dedup span
+  kPosition,      ///< claimed position conflicts with deployment anchor
+  kIdentity,      ///< payload identity conflicts with transport identity
+  kRate,          ///< per-identity flood (also feeds the suspicion score)
+};
+
+/// True for the tier-1 verdicts (message dropped, identity not penalized).
+constexpr bool verdict_filters(IngressVerdict v) {
+  return v == IngressVerdict::kSeqBootstrap ||
+         v == IngressVerdict::kSeqJump ||
+         v == IngressVerdict::kSeqRollback ||
+         v == IngressVerdict::kPosition || v == IngressVerdict::kIdentity ||
+         v == IngressVerdict::kRate;
+}
+
+/// One guard node's suspicion ledger. Owned and fed by the Network (the
+/// defense funnel: scripts/lint.py bans mutation from outside src/wsn/).
+class GuardLedger {
+ public:
+  GuardLedger() = default;
+  /// `anchors` is the deployment position of every node id — knowledge a
+  /// guard legitimately holds (§III-A), not oracle state.
+  GuardLedger(NodeId guard, const DefenseConfig& config,
+              std::vector<util::Vec2> anchors);
+
+  /// Scores one delivered report/decision message. Mutates watermark,
+  /// rate and quarantine state; the caller maps the verdict to counters
+  /// and drops the message unless kAccept. Check quarantine_started()
+  /// afterwards for a fresh tier-2 trigger.
+  IngressVerdict assess(const Message& msg, double t);
+
+  /// True while `id` is quarantined at this guard at time `t`.
+  bool quarantined(NodeId id, double t) const;
+
+  /// Identity quarantined by the most recent assess() call, if that call
+  /// freshly triggered one (reset on every assess).
+  std::optional<NodeId> quarantine_started() const {
+    return quarantine_started_;
+  }
+
+  /// Current (decayed) suspicion score for an identity.
+  double score(NodeId id, double t) const;
+
+  NodeId guard() const { return guard_; }
+
+ private:
+  struct IdentityState {
+    /// Watermark of the transport (e2e) stream claiming this id as src.
+    bool transport_seen = false;
+    std::uint32_t transport_high = 0;
+    /// Watermark of the per-head decision stream claiming this id.
+    bool decision_seen = false;
+    std::uint32_t decision_high = 0;
+    /// Accept times of fresh (watermark-advancing) messages inside the
+    /// rate window.
+    std::vector<double> fresh_accepts;
+    /// Decaying suspicion score (tier 2).
+    double score = 0.0;
+    double score_t = 0.0;
+    bool quarantined = false;
+    double quarantine_until_s = 0.0;
+  };
+
+  IdentityState& state(NodeId id);
+  double decayed_score(const IdentityState& s, double t) const;
+  /// Pure sequence-plausibility check against a watermark. The caller
+  /// commits the returned watermark only when the *whole* message is
+  /// accepted, so rejected messages can never poison the ledger's view.
+  struct StreamCheck {
+    IngressVerdict verdict = IngressVerdict::kAccept;
+    bool fresh = false;  ///< the watermark would move forward
+    bool seen = false;
+    std::uint32_t high = 0;
+  };
+  StreamCheck check_stream(bool seen, std::uint32_t high,
+                           std::uint32_t seq) const;
+  /// Registers a fresh accept for rate plausibility; true on violation.
+  bool rate_violation(IdentityState& s, double t);
+  void add_suspicion(NodeId id, IdentityState& s, double amount, double t);
+
+  NodeId guard_ = 0;
+  DefenseConfig config_;
+  std::vector<util::Vec2> anchors_;
+  std::map<NodeId, IdentityState> states_;
+  std::optional<NodeId> quarantine_started_;
+};
+
+}  // namespace sid::wsn

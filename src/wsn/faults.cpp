@@ -134,4 +134,55 @@ std::optional<SensorFaultSpec> FaultInjector::sensor_fault(
   return std::nullopt;
 }
 
+bool AttackPlan::implicates(NodeId id) const {
+  for (const auto& atk : replays) {
+    if (atk.attacker == id) return true;
+  }
+  for (const auto& atk : forgeries) {
+    if (atk.attacker == id || atk.victim == id ||
+        atk.victim == kForgeAllIds) {
+      return true;
+    }
+  }
+  for (const auto& atk : clones) {
+    if (atk.host == id || atk.cloned == id) return true;
+  }
+  for (const auto& atk : beacon_spoofs) {
+    if (atk.attacker == id || atk.spoofed == id) return true;
+  }
+  return false;
+}
+
+void validate_attack_plan(const AttackPlan& plan) {
+  for (const auto& atk : plan.replays) {
+    util::require(atk.capture_end_s >= atk.capture_start_s,
+                  "AttackPlan: capture window must not end before start");
+    util::require(atk.replay_delay_s >= 0.0,
+                  "AttackPlan: replay delay must be non-negative");
+  }
+  for (const auto& atk : plan.forgeries) {
+    util::require(atk.end_s >= atk.start_s,
+                  "AttackPlan: forgery window must not end before start");
+    util::require(atk.period_s > 0.0,
+                  "AttackPlan: forgery period must be positive");
+    util::require(atk.burst >= 1, "AttackPlan: forgery burst must be >= 1");
+  }
+  for (const auto& atk : plan.clones) {
+    util::require(atk.end_s >= atk.start_s,
+                  "AttackPlan: clone window must not end before start");
+    util::require(atk.period_s > 0.0,
+                  "AttackPlan: clone period must be positive");
+    util::require(atk.host != atk.cloned,
+                  "AttackPlan: a clone must claim a different identity");
+  }
+  for (const auto& atk : plan.beacon_spoofs) {
+    util::require(atk.end_s >= atk.start_s,
+                  "AttackPlan: spoof window must not end before start");
+    util::require(atk.period_s > 0.0,
+                  "AttackPlan: spoof period must be positive");
+    util::require(atk.attacker != atk.spoofed,
+                  "AttackPlan: a spoofed beacon must claim another identity");
+  }
+}
+
 }  // namespace sid::wsn

@@ -105,6 +105,122 @@ struct FaultPlan {
   }
 };
 
+// ---------------------------------------------------------------------------
+// Adversarial layer. Like the FaultPlan, an AttackPlan is a deterministic
+// schedule interpreted by the Network: every attack draws exclusively from
+// a dedicated master-seed-derived stream and rides the ordinary event
+// queue and radio model, so an empty plan adds no draws, no events, and no
+// behavioural change (bit-identity with the seed run is test-enforced).
+// The attacker model is in-band only: compromised nodes transmit through
+// their real radios from their real positions, but may lie about every
+// byte of what they transmit (identities, sequence numbers, payloads).
+
+/// Sentinel for ForgeryAttack::victim: impersonate every deployed
+/// identity round-robin (Sybil-style blanket forgery).
+inline constexpr NodeId kForgeAllIds = 0xFFFFFFFE;
+
+/// What traffic class a forger fabricates.
+enum class ForgedTraffic {
+  kReports,    ///< fabricated fallback DetectionReports
+  kDecisions,  ///< fabricated intrusion ClusterDecisions
+};
+
+/// Passive capture + delayed re-injection: the attacker records
+/// report/decision traffic transmitted within its radio range during the
+/// capture window and replays each captured message verbatim after
+/// `replay_delay_s`, routed from its own position.
+struct ReplayAttack {
+  NodeId attacker = 0;
+  double capture_start_s = 0.0;
+  double capture_end_s = 0.0;
+  double replay_delay_s = 30.0;
+  /// Memory bound: at most this many messages are captured (and each is
+  /// replayed exactly once).
+  std::size_t max_captures = 16;
+};
+
+/// Periodic fabricated traffic claiming another node's identity, with
+/// attacker-chosen (implausibly high) sequence numbers — the classic
+/// sequence-poisoning vector: an undefended receiver's dedup window slides
+/// to the forged high watermark and then rejects the victim's legitimate
+/// in-window traffic as stale.
+struct ForgeryAttack {
+  NodeId attacker = 0;
+  /// Identity claimed on the fabricated traffic (kForgeAllIds cycles
+  /// through the whole deployment).
+  NodeId victim = kForgeAllIds;
+  /// Destination of the fabricated unicasts (typically the sink or a
+  /// static cluster head — the attacker knows the deployment layout).
+  NodeId target = 0;
+  ForgedTraffic traffic = ForgedTraffic::kDecisions;
+  double start_s = 0.0;
+  double end_s = 0.0;
+  double period_s = 5.0;
+  /// Fabricated messages per tick (kForgeAllIds advances the victim
+  /// cursor per message, so bursts widen identity coverage).
+  std::size_t burst = 1;
+  /// A careful forger stamps the impersonated node's deployment position
+  /// on the payload; a sloppy one uses its own (and trips the guard's
+  /// position-plausibility check).
+  bool spoof_position = true;
+  /// First sequence number of the fabricated stream. The attacker cannot
+  /// know the victim's live counter; a high base maximizes window damage.
+  std::uint32_t seq_base = 1u << 20;
+};
+
+/// Node replication: a compromised host radio runs a second identity,
+/// emitting reports that claim `cloned`'s id and deployment position with
+/// an independent low-base sequence stream racing the real node's — the
+/// conflicting (id, position, seq) evidence stream of the replication-
+/// attack literature.
+struct CloneAttack {
+  NodeId host = 0;    ///< compromised node whose radio the clone uses
+  NodeId cloned = 0;  ///< identity being replicated
+  /// Destination of the clone's fabricated reports.
+  NodeId target = 0;
+  double start_s = 0.0;
+  double end_s = 0.0;
+  double period_s = 5.0;
+  /// First sequence number of the clone's stream (low: a smart clone
+  /// races the victim's counter instead of jumping far ahead).
+  std::uint32_t seq_base = 0;
+};
+
+/// Sinkhole-style forged hellos: the attacker broadcasts beacons claiming
+/// id `spoofed`, keeping that identity alive and attractive in its
+/// physical neighbors' learned tables (e.g. resurrecting a crashed node so
+/// traffic keeps routing into a black hole).
+struct BeaconSpoofAttack {
+  NodeId attacker = 0;
+  NodeId spoofed = 0;  ///< identity advertised in the forged hellos
+  double start_s = 0.0;
+  double end_s = 0.0;
+  double period_s = 5.0;
+};
+
+struct AttackPlan {
+  std::vector<ReplayAttack> replays;
+  std::vector<ForgeryAttack> forgeries;
+  std::vector<CloneAttack> clones;
+  std::vector<BeaconSpoofAttack> beacon_spoofs;
+
+  bool empty() const {
+    return replays.empty() && forgeries.empty() && clones.empty() &&
+           beacon_spoofs.empty();
+  }
+
+  /// True when `id` is implicated in the plan, either as a compromised
+  /// radio or as an impersonated victim. Quarantining any *other*
+  /// identity is a false quarantine (the ground-truth side of the
+  /// defense.false_quarantines counter; the defense itself never reads
+  /// the plan).
+  bool implicates(NodeId id) const;
+};
+
+/// Structural validation (windows ordered, periods positive). Node-id
+/// range checks happen in the Network, which knows the deployment size.
+void validate_attack_plan(const AttackPlan& plan);
+
 /// One Gilbert–Elliott chain; state advances per transmission attempt.
 class GilbertElliott {
  public:

@@ -98,6 +98,19 @@ struct LivenessProbe {
   static constexpr std::size_t kWireBytes = 5;
 };
 
+/// Sink-side defense verdict distributed to the field (wsn/defense): the
+/// guard node `guard` announces that identity `subject` is quarantined.
+/// Receivers exclude the subject from their forwarding sets and ignore
+/// its hellos. Handled inside the network layer (it mutates per-node
+/// quarantine views), never surfaced to the protocol delivery handler.
+struct QuarantineNotice {
+  NodeId subject = 0;
+  NodeId guard = 0;
+  bool active = true;
+
+  static constexpr std::size_t kWireBytes = 10;
+};
+
 struct Message {
   NodeId src = 0;
   NodeId dst = 0;
@@ -107,7 +120,7 @@ struct Message {
   bool reliable = false;
   std::uint32_t e2e_seq = 0;
   std::variant<DetectionReport, ClusterInvite, ClusterDecision, ReliableAck,
-               LivenessProbe>
+               LivenessProbe, QuarantineNotice>
       payload;
 
   std::size_t wire_bytes() const {

@@ -1,6 +1,7 @@
 #include "wsn/network.h"
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
 #include <limits>
 #include <queue>
@@ -23,6 +24,10 @@ constexpr std::uint64_t kClockStream = 0x636c6f636bULL;
 // draws from this dedicated derived stream, keeping the data-path radio
 // and fault streams on their own draw order.
 constexpr std::uint64_t kBeaconStream = 0x626561636fULL;
+// Adversarial stream: all AttackPlan randomness (spoofed-beacon reception
+// sampling, fabricated payload variety). Attack-free runs draw nothing
+// from it, so they stay bit-identical to seed.
+constexpr std::uint64_t kAttackStream = 0x6174746bULL;
 
 // Every stochastic component's stream is offset by the master seed's
 // deviation from the default: changing NetworkConfig::seed re-randomizes
@@ -49,8 +54,16 @@ RadioConfig derive_radio_config(const NetworkConfig& config) {
     case 2: return "decision";
     case 3: return "ack";
     case 4: return "probe";
+    case 5: return "quarantine";
     default: return "unknown";
   }
+}
+
+// Traffic classes the defense assesses (and the replayers capture):
+// everything else (invites, acks, probes, notices) passes untouched.
+bool is_report_or_decision(const Message& msg) {
+  return std::holds_alternative<DetectionReport>(msg.payload) ||
+         std::holds_alternative<ClusterDecision>(msg.payload);
 }
 
 }  // namespace
@@ -71,20 +84,82 @@ Network::NetCounters::NetCounters(obs::Registry& registry)
       beacon_receptions(registry.counter("net.beacon_receptions")),
       suspicions(registry.counter("net.suspicions")),
       false_suspicions(registry.counter("net.false_suspicions")),
-      route_repairs(registry.counter("net.route_repairs")) {}
+      route_repairs(registry.counter("net.route_repairs")),
+      attack_replays(registry.counter("net.attack_replays")),
+      attack_forgeries(registry.counter("net.attack_forgeries")),
+      attack_clone_reports(registry.counter("net.attack_clone_reports")),
+      attack_beacon_spoofs(registry.counter("net.attack_beacon_spoofs")),
+      defense_filtered(registry.counter("defense.filtered")),
+      defense_drops(registry.counter("defense.drops")),
+      defense_quarantines(registry.counter("defense.quarantines")),
+      defense_false_quarantines(
+          registry.counter("defense.false_quarantines")),
+      defense_notices(registry.counter("defense.notices")),
+      defense_spoofs_ignored(registry.counter("defense.spoofs_ignored")) {}
 
 Network::Network(const NetworkConfig& config)
     : config_(config),
       counters_(registry_),
       radio_(derive_radio_config(config)),
       faults_(config.faults, util::derive_seed(config.seed, kFaultStream)),
-      beacon_rng_(util::derive_seed(config.seed, kBeaconStream)) {
+      beacon_rng_(util::derive_seed(config.seed, kBeaconStream)),
+      attack_rng_(util::derive_seed(config.seed, kAttackStream)) {
   util::require(config.rows > 0 && config.cols > 0,
                 "Network: grid must be non-empty");
   util::require(config.spacing_m > 0.0, "Network: spacing must be positive");
   build_grid();
   build_adjacency();
   if (config_.routing == RoutingMode::kSelfHealing) boot_discovery();
+  if (!config_.attacks.empty()) {
+    util::require(config_.routing == RoutingMode::kSelfHealing,
+                  "Network: the attack layer requires self-healing routing");
+    validate_attack_plan(config_.attacks);
+    const auto check_id = [this](NodeId id, const char* what) {
+      util::require(id < nodes_.size(), what);
+    };
+    for (const auto& atk : config_.attacks.replays) {
+      check_id(atk.attacker, "AttackPlan: replay attacker out of grid");
+    }
+    for (const auto& atk : config_.attacks.forgeries) {
+      check_id(atk.attacker, "AttackPlan: forgery attacker out of grid");
+      util::require(atk.victim < nodes_.size() ||
+                        atk.victim == kForgeAllIds,
+                    "AttackPlan: forgery victim out of grid");
+      check_id(atk.target, "AttackPlan: forgery target out of grid");
+    }
+    for (const auto& atk : config_.attacks.clones) {
+      check_id(atk.host, "AttackPlan: clone host out of grid");
+      check_id(atk.cloned, "AttackPlan: cloned id out of grid");
+      check_id(atk.target, "AttackPlan: clone target out of grid");
+    }
+    for (const auto& atk : config_.attacks.beacon_spoofs) {
+      check_id(atk.attacker, "AttackPlan: spoof attacker out of grid");
+      check_id(atk.spoofed, "AttackPlan: spoofed id out of grid");
+    }
+    forgery_states_.resize(config_.attacks.forgeries.size());
+    for (std::size_t i = 0; i < forgery_states_.size(); ++i) {
+      // Stagger the all-ids victim cursors so concurrent forgers cover
+      // the identity space instead of echoing each other.
+      forgery_states_[i].next_victim = static_cast<NodeId>(
+          (config_.attacks.forgeries[i].attacker * 7 + i) % nodes_.size());
+    }
+    clone_seqs_.reserve(config_.attacks.clones.size());
+    for (const auto& atk : config_.attacks.clones) {
+      clone_seqs_.push_back(atk.seq_base);
+    }
+    replay_captures_.assign(config_.attacks.replays.size(), 0);
+  }
+  if (config_.defense.enabled) {
+    util::require(config_.routing == RoutingMode::kSelfHealing,
+                  "Network: the defense layer requires self-healing routing");
+    std::vector<util::Vec2> anchors;
+    anchors.reserve(nodes_.size());
+    for (const NodeInfo& info : nodes_) anchors.push_back(info.anchor);
+    for (const NodeId g : config_.defense.guarded_nodes) {
+      util::require(g < nodes_.size(), "DefenseConfig: guard out of grid");
+      guards_.emplace(g, GuardLedger(g, config_.defense, anchors));
+    }
+  }
   registry_.gauge("net.nodes").set(static_cast<double>(nodes_.size()));
   registry_.gauge("net.grid_rows").set(static_cast<double>(config_.rows));
   registry_.gauge("net.grid_cols").set(static_cast<double>(config_.cols));
@@ -271,6 +346,10 @@ void Network::beacon_tick(NodeId id) {
     }
     nodes_[v].energy.spend_rx(bytes);
     counters_.beacon_receptions.add();
+    // A quarantined identity's hellos are ignored: the quarantine view
+    // keeps it out of forwarding sets, and letting its beacons refresh
+    // link state would route traffic right back through it.
+    if (!qview_.empty() && qview_[v][id] != 0) continue;
     if (tables_[v].on_beacon(id, t)) note_false_suspicion(v, id, t);
   }
   const double next =
@@ -318,6 +397,9 @@ std::optional<std::vector<NodeId>> Network::learned_path(NodeId from,
     if (u == to) break;
     for (const NodeId v : adjacency_[u]) {
       if (!tables_[u].usable(v, t)) continue;
+      // Quarantined identities are excluded as relays (but remain
+      // addressable as final destinations, e.g. for transport acks).
+      if (!qview_.empty() && v != to && qview_[u][v] != 0) continue;
       const double next = cost + tables_[u].etx(v);
       if (next < dist[v]) {
         dist[v] = next;
@@ -434,9 +516,15 @@ std::optional<double> Network::try_hop(const NodeInfo& from,
 }
 
 UnicastOutcome Network::unicast(Message msg) {
+  return unicast_from(msg.src, std::move(msg), /*adversarial=*/false);
+}
+
+UnicastOutcome Network::unicast_from(NodeId origin, Message msg,
+                                     bool adversarial) {
   util::require(static_cast<bool>(handler_),
                 "Network::unicast: no delivery handler set");
   util::require(msg.src < nodes_.size(), "Network::unicast: bad source id");
+  util::require(origin < nodes_.size(), "Network::unicast: bad origin id");
   counters_.unicasts_attempted.add();
   const double t = events_.now();
   SID_TRACE(&tracer_, obs::Category::kNet, "msg_tx", t,
@@ -449,12 +537,14 @@ UnicastOutcome Network::unicast(Message msg) {
   // reason so counter, trace and outcome always agree (one msg_drop
   // "no_route" event per kUnroutable — asserted in wsn_test):
   //   - nonexistent destination;
-  //   - dead source (its own state: dead code does not send);
+  //   - dead origin (its own state: dead code does not send; for
+  //     adversarial injections the origin is the compromised radio, not
+  //     the claimed msg.src);
   //   - oracle mode only: a dead destination is known unroutable up
   //     front. Self-healing mode has no such knowledge — the learned
   //     path below decides, and a stale belief plays out as in-flight
   //     hop failures.
-  if (msg.dst >= nodes_.size() || !can_execute(msg.src, t) ||
+  if (msg.dst >= nodes_.size() || !can_execute(origin, t) ||
       (config_.routing == RoutingMode::kOracle &&
        !node_operational(msg.dst, t))) {
     counters_.unicasts_unroutable.add();
@@ -466,17 +556,19 @@ UnicastOutcome Network::unicast(Message msg) {
     return UnicastOutcome::kUnroutable;
   }
 
-  if (msg.src == msg.dst) {
-    // Degenerate self-delivery: no radio involved.
+  if (origin == msg.dst) {
+    // Degenerate self-delivery: no radio involved. (An adversarial
+    // injection targeting the attacker's own radio delivers locally with
+    // the forged src intact — the guard checks still apply.)
     counters_.unicasts_delivered.add();
     const Message delivered = msg;
     events_.schedule_after(0.0, [this, delivered] {
-      handler_(delivered.dst, delivered, events_.now());
+      deliver(delivered.dst, delivered, delivered.dst, 0.0, events_.now());
     });
     return UnicastOutcome::kDelivered;
   }
 
-  const auto path = shortest_path(msg.src, msg.dst, t);
+  const auto path = shortest_path(origin, msg.dst, t);
   if (!path || path->size() < 2) {
     counters_.unicasts_unroutable.add();
     SID_TRACE(&tracer_, obs::Category::kNet, "msg_drop", t,
@@ -515,8 +607,24 @@ UnicastOutcome Network::unicast(Message msg) {
     counters_.hops_traversed.add();
   }
   counters_.unicasts_delivered.add();
+  // Replay capture: in-window attackers overhear the broadcast medium
+  // within radio range of any transmitting relay. (Adversarial traffic is
+  // never re-captured — bounded replay, no self-amplification.)
+  if (!adversarial && !config_.attacks.replays.empty() &&
+      is_report_or_decision(msg)) {
+    maybe_capture(msg, *path, t);
+  }
+  // The link-layer transmitter of the final hop: honest for legitimate
+  // relays; a single-hop adversarial injection lies about it the same way
+  // it lies about msg.src (link headers are spoofable, physics is not —
+  // hence the separately-passed measured range).
+  const NodeId via = (adversarial && path->size() == 2)
+                         ? msg.src
+                         : (*path)[path->size() - 2];
+  const double via_dist_m = util::distance(
+      nodes_[(*path)[path->size() - 2]].anchor, nodes_[msg.dst].anchor);
   const Message delivered = msg;
-  events_.schedule_after(total_delay, [this, delivered] {
+  events_.schedule_after(total_delay, [this, delivered, via, via_dist_m] {
     // A receiver that died between radio delivery and protocol
     // processing acts on nothing (dead code does not run).
     if (!node_operational(delivered.dst, events_.now())) return;
@@ -524,7 +632,7 @@ UnicastOutcome Network::unicast(Message msg) {
               {{"src", delivered.src},
                {"dst", delivered.dst},
                {"type", payload_name(delivered)}});
-    handler_(delivered.dst, delivered, events_.now());
+    deliver(delivered.dst, delivered, via, via_dist_m, events_.now());
   });
   return UnicastOutcome::kDelivered;
 }
@@ -561,6 +669,7 @@ void Network::flood(Message msg, std::size_t hops) {
         // The relay's belief, not the oracle: quarantined or known-bad
         // links are skipped; stale beliefs just waste the hop attempt.
         if (!tables_[f.id].usable(v, t)) continue;
+        if (!qview_.empty() && qview_[f.id][v] != 0) continue;
       } else {
         if (!node_operational(v, t)) continue;  // dead nodes don't relay
       }
@@ -569,15 +678,18 @@ void Network::flood(Message msg, std::size_t hops) {
       reached.insert(v);
       const double delay = f.delay + *hop_delay;
       counters_.flood_deliveries.add();
+      const NodeId via = f.id;
+      const double via_dist_m =
+          util::distance(nodes_[f.id].anchor, nodes_[v].anchor);
       const Message delivered = msg;
-      events_.schedule_after(delay, [this, v, delivered] {
+      events_.schedule_after(delay, [this, v, delivered, via, via_dist_m] {
         if (!node_operational(v, events_.now())) return;
         SID_TRACE(&tracer_, obs::Category::kNet, "msg_rx", events_.now(),
                   {{"src", delivered.src},
                    {"dst", v},
                    {"type", payload_name(delivered)},
                    {"flood", true}});
-        handler_(v, delivered, events_.now());
+        deliver(v, delivered, via, via_dist_m, events_.now());
       });
       queue.push_back({v, f.depth + 1, delay});
     }
@@ -603,7 +715,342 @@ const NetworkStats& Network::stats() const {
   stats_view_.suspicions = counters_.suspicions.value();
   stats_view_.false_suspicions = counters_.false_suspicions.value();
   stats_view_.route_repairs = counters_.route_repairs.value();
+  stats_view_.attack_replays = counters_.attack_replays.value();
+  stats_view_.attack_forgeries = counters_.attack_forgeries.value();
+  stats_view_.attack_clone_reports = counters_.attack_clone_reports.value();
+  stats_view_.attack_beacon_spoofs = counters_.attack_beacon_spoofs.value();
+  stats_view_.defense_filtered = counters_.defense_filtered.value();
+  stats_view_.defense_drops = counters_.defense_drops.value();
+  stats_view_.defense_quarantines = counters_.defense_quarantines.value();
+  stats_view_.defense_false_quarantines =
+      counters_.defense_false_quarantines.value();
+  stats_view_.defense_notices = counters_.defense_notices.value();
+  stats_view_.defense_spoofs_ignored =
+      counters_.defense_spoofs_ignored.value();
   return stats_view_;
+}
+
+void Network::deliver(NodeId receiver, const Message& msg, NodeId via,
+                      double via_dist_m, double t) {
+  // Quarantine notices are network-internal control traffic: they mutate
+  // the receiver's quarantine view and never reach the protocol handler
+  // (protocols keep working on an unchanged message vocabulary).
+  if (const auto* notice = std::get_if<QuarantineNotice>(&msg.payload)) {
+    apply_notice(receiver, *notice);
+    return;
+  }
+  if (defense_active() &&
+      !defense_admit(receiver, msg, via, via_dist_m, t)) {
+    return;
+  }
+  handler_(receiver, msg, t);
+}
+
+bool Network::defense_admit(NodeId receiver, const Message& msg, NodeId via,
+                            double via_dist_m, double t) {
+  // Only report/decision traffic is assessed; control traffic (invites,
+  // acks, probes) is cheap to forge but useless to an attacker — it
+  // carries no sensing evidence into fusion.
+  if (!is_report_or_decision(msg)) return true;
+  const auto it = guards_.find(receiver);
+  if (it == guards_.end()) return true;  // unguarded nodes admit everything
+  GuardLedger& ledger = it->second;
+
+  // Network-level plausibility first (link-layer evidence the ledger
+  // cannot see). Self-delivery (via == receiver) skips them: no radio hop
+  // to check.
+  if (via != receiver) {
+    // The claimed final-hop transmitter must be a physical radio neighbor
+    // the receiver has actually heard of — a never-beaconed link is a
+    // wormhole claim.
+    const auto& adj = adjacency_[receiver];
+    if (std::find(adj.begin(), adj.end(), via) == adj.end()) {
+      counters_.defense_filtered.add();
+      SID_TRACE(&tracer_, obs::Category::kNet, "defense_filter", t,
+                {{"guard", receiver}, {"via", via}, {"reason", "no_link"}});
+      return false;
+    }
+    // RSSI-proxy range check: the physically-measured range of the final
+    // hop must match the claimed transmitter's deployment geometry.
+    // Identity claims are free; transmit power/physics is not.
+    const double expected =
+        util::distance(nodes_[via].anchor, nodes_[receiver].anchor);
+    if (std::abs(via_dist_m - expected) >
+        config_.defense.beacon_range_tolerance_frac * expected +
+            config_.defense.beacon_range_slack_m) {
+      counters_.defense_filtered.add();
+      SID_TRACE(&tracer_, obs::Category::kNet, "defense_filter", t,
+                {{"guard", receiver}, {"via", via}, {"reason", "range"}});
+      return false;
+    }
+  }
+
+  const IngressVerdict verdict = ledger.assess(msg, t);
+  if (const auto subject = ledger.quarantine_started()) {
+    on_quarantine(receiver, *subject, t);
+  }
+  if (verdict == IngressVerdict::kAccept) return true;
+  if (verdict == IngressVerdict::kQuarantined) {
+    counters_.defense_drops.add();
+  } else {
+    counters_.defense_filtered.add();
+  }
+  SID_TRACE(&tracer_, obs::Category::kNet, "defense_filter", t,
+            {{"guard", receiver},
+             {"src", msg.src},
+             {"verdict", static_cast<int>(verdict)}});
+  return false;
+}
+
+void Network::on_quarantine(NodeId guard, NodeId subject, double t) {
+  counters_.defense_quarantines.add();
+  if (!config_.attacks.implicates(subject)) {
+    counters_.defense_false_quarantines.add();
+  }
+  SID_TRACE(&tracer_, obs::Category::kNet, "quarantine", t,
+            {{"guard", guard}, {"subject", subject}});
+  if (qview_.empty()) {
+    qview_.assign(nodes_.size(), std::vector<std::uint8_t>(nodes_.size(), 0));
+  }
+  qview_[guard][subject] = 1;
+  // Graceful degradation broadcast: the field learns to route around the
+  // revoked identity. Notices ride the normal flood primitive (lossy,
+  // energy-accounted) — no side channel.
+  Message notice;
+  notice.src = guard;
+  notice.dst = guard;
+  notice.payload = QuarantineNotice{subject, guard, true};
+  counters_.defense_notices.add();
+  flood(notice, config_.rows + config_.cols);
+  if (quarantine_listener_) quarantine_listener_(subject, t);
+}
+
+void Network::apply_notice(NodeId receiver, const QuarantineNotice& notice) {
+  if (notice.subject >= nodes_.size()) return;
+  if (qview_.empty()) {
+    qview_.assign(nodes_.size(), std::vector<std::uint8_t>(nodes_.size(), 0));
+  }
+  qview_[receiver][notice.subject] = notice.active ? 1 : 0;
+}
+
+bool Network::beacon_plausible(NodeId listener, NodeId claimed,
+                               NodeId from) const {
+  // Deployment positions are assigned (§III-A), so the geometry of every
+  // honest link is known up front. A hello physically transmitted from
+  // `from` arrives with the signal strength of the *true* range; if that
+  // range is inconsistent with where the claimed sender was deployed, the
+  // identity claim is implausible.
+  const double measured =
+      util::distance(nodes_[from].anchor, nodes_[listener].anchor);
+  const double expected =
+      util::distance(nodes_[claimed].anchor, nodes_[listener].anchor);
+  const double tolerance =
+      config_.defense.beacon_range_tolerance_frac * expected +
+      config_.defense.beacon_range_slack_m;
+  return std::abs(measured - expected) <= tolerance;
+}
+
+const GuardLedger* Network::guard_ledger(NodeId id) const {
+  const auto it = guards_.find(id);
+  return it == guards_.end() ? nullptr : &it->second;
+}
+
+bool Network::quarantine_view(NodeId observer, NodeId subject) const {
+  if (qview_.empty()) return false;
+  util::require(observer < qview_.size() && subject < qview_.size(),
+                "Network::quarantine_view: bad id");
+  return qview_[observer][subject] != 0;
+}
+
+void Network::set_quarantine_listener(
+    std::function<void(NodeId, double)> listener) {
+  quarantine_listener_ = std::move(listener);
+}
+
+void Network::start_adversary(double until_s) {
+  if (config_.attacks.empty()) return;  // strictly opt-in: zero events
+  if (until_s <= attacks_until_) return;
+  const bool running = attacks_until_ > 0.0;
+  attacks_until_ = until_s;
+  if (running) return;  // live ticks reschedule against the new horizon
+  const double now = events_.now();
+  const auto kick = [&](double start_s, auto&& tick) {
+    events_.schedule_at(std::max(now, start_s), tick);
+  };
+  for (std::size_t i = 0; i < config_.attacks.forgeries.size(); ++i) {
+    kick(config_.attacks.forgeries[i].start_s,
+         [this, i] { forgery_tick(i); });
+  }
+  for (std::size_t i = 0; i < config_.attacks.clones.size(); ++i) {
+    kick(config_.attacks.clones[i].start_s, [this, i] { clone_tick(i); });
+  }
+  for (std::size_t i = 0; i < config_.attacks.beacon_spoofs.size(); ++i) {
+    kick(config_.attacks.beacon_spoofs[i].start_s,
+         [this, i] { spoof_tick(i); });
+  }
+  // Replay capture is passive: maybe_capture() hooks delivered unicasts
+  // during each attack's capture window; nothing to schedule here.
+}
+
+void Network::forgery_tick(std::size_t index) {
+  const ForgeryAttack& atk = config_.attacks.forgeries[index];
+  ForgeryState& st = forgery_states_[index];
+  const double t = events_.now();
+  if (t <= std::min(atk.end_s, attacks_until_) && can_execute(atk.attacker, t)) {
+    for (std::size_t b = 0; b < atk.burst; ++b) {
+      NodeId victim = atk.victim;
+      if (victim == kForgeAllIds) {
+        victim = st.next_victim;
+        st.next_victim = static_cast<NodeId>((st.next_victim + 1) %
+                                             nodes_.size());
+        if (victim == atk.target) continue;  // skip self-addressed forgery
+      }
+      Message msg;
+      msg.src = victim;
+      msg.dst = atk.target;
+      msg.reliable = true;
+      msg.e2e_seq = atk.seq_base + st.next_seq;
+      const util::Vec2 position = atk.spoof_position
+                                      ? nodes_[victim].anchor
+                                      : nodes_[atk.attacker].anchor;
+      if (atk.traffic == ForgedTraffic::kDecisions) {
+        ClusterDecision d;
+        d.head = victim;
+        d.seq = atk.seq_base + st.next_seq;
+        d.correlation = attack_rng_.uniform(0.9, 0.99);
+        d.sweep_consistency = attack_rng_.uniform(0.85, 0.95);
+        d.report_count = 6;
+        d.intrusion = true;
+        d.estimated_speed_mps = attack_rng_.uniform(6.0, 14.0);
+        d.estimated_position = position;
+        d.decision_local_time_s = t;
+        msg.payload = d;
+      } else {
+        DetectionReport r;
+        r.reporter = victim;
+        r.position = position;
+        r.onset_local_time_s = t;
+        r.anomaly_frequency = attack_rng_.uniform(1.0, 3.0);
+        r.average_energy = attack_rng_.uniform(4.0, 8.0);
+        r.peak_energy = attack_rng_.uniform(8.0, 14.0);
+        r.grid_row = nodes_[victim].grid_row;
+        r.grid_col = nodes_[victim].grid_col;
+        r.fallback = true;  // fallback reports go straight to static heads
+        msg.payload = r;
+      }
+      ++st.next_seq;
+      counters_.attack_forgeries.add();
+      unicast_from(atk.attacker, std::move(msg), /*adversarial=*/true);
+    }
+  }
+  const double next = t + atk.period_s;
+  if (next <= std::min(atk.end_s, attacks_until_)) {
+    events_.schedule_at(next, [this, index] { forgery_tick(index); });
+  }
+}
+
+void Network::clone_tick(std::size_t index) {
+  const CloneAttack& atk = config_.attacks.clones[index];
+  const double t = events_.now();
+  if (t <= std::min(atk.end_s, attacks_until_) && can_execute(atk.host, t)) {
+    // The clone speaks with the captured identity's full credentials:
+    // correct anchor position, its own (racing) sequence stream. Two
+    // radios emitting one identity is precisely the conflicting-evidence
+    // signature the ledger's rate check keys on.
+    Message msg;
+    msg.src = atk.cloned;
+    msg.dst = atk.target;
+    msg.reliable = true;
+    msg.e2e_seq = clone_seqs_[index];
+    DetectionReport r;
+    r.reporter = atk.cloned;
+    r.position = nodes_[atk.cloned].anchor;
+    r.onset_local_time_s = t;
+    r.anomaly_frequency = attack_rng_.uniform(1.0, 3.0);
+    r.average_energy = attack_rng_.uniform(4.0, 8.0);
+    r.peak_energy = attack_rng_.uniform(8.0, 14.0);
+    r.grid_row = nodes_[atk.cloned].grid_row;
+    r.grid_col = nodes_[atk.cloned].grid_col;
+    r.fallback = true;
+    msg.payload = r;
+    ++clone_seqs_[index];
+    counters_.attack_clone_reports.add();
+    unicast_from(atk.host, std::move(msg), /*adversarial=*/true);
+  }
+  const double next = t + atk.period_s;
+  if (next <= std::min(atk.end_s, attacks_until_)) {
+    events_.schedule_at(next, [this, index] { clone_tick(index); });
+  }
+}
+
+void Network::spoof_tick(std::size_t index) {
+  const BeaconSpoofAttack& atk = config_.attacks.beacon_spoofs[index];
+  const double t = events_.now();
+  if (t <= std::min(atk.end_s, attacks_until_) &&
+      can_execute(atk.attacker, t)) {
+    // Sinkhole-style hello spoofing: the attacker broadcasts beacons
+    // claiming a (typically dead) identity, resurrecting it in nearby
+    // tables so routes flow back through a black hole. The physical
+    // broadcast originates at the attacker — reception sampling and RSSI
+    // follow the attacker's geometry, which is what the defense checks.
+    counters_.attack_beacon_spoofs.add();
+    const std::size_t bytes = config_.neighbor.beacon_bytes;
+    nodes_[atk.attacker].energy.spend_tx(bytes);
+    counters_.bytes_sent.add(bytes);
+    const double extra_loss = radio_.config().extra_loss_probability;
+    for (const NodeId v : adjacency_[atk.attacker]) {
+      if (!node_operational(v, t)) continue;
+      const double d =
+          util::distance(nodes_[atk.attacker].anchor, nodes_[v].anchor);
+      const double p = radio_.prr(d) * (1.0 - extra_loss);
+      if (!attack_rng_.bernoulli(p)) continue;
+      nodes_[v].energy.spend_rx(bytes);
+      if (!qview_.empty() && qview_[v][atk.spoofed] != 0) continue;
+      if (defense_active() && !beacon_plausible(v, atk.spoofed, atk.attacker)) {
+        counters_.defense_spoofs_ignored.add();
+        continue;
+      }
+      if (tables_[v].on_beacon(atk.spoofed, t)) {
+        note_false_suspicion(v, atk.spoofed, t);
+      }
+    }
+  }
+  const double next = t + atk.period_s;
+  if (next <= std::min(atk.end_s, attacks_until_)) {
+    events_.schedule_at(next, [this, index] { spoof_tick(index); });
+  }
+}
+
+void Network::maybe_capture(const Message& msg,
+                            const std::vector<NodeId>& path, double t) {
+  for (std::size_t i = 0; i < config_.attacks.replays.size(); ++i) {
+    const ReplayAttack& atk = config_.attacks.replays[i];
+    if (t < atk.capture_start_s || t > atk.capture_end_s) continue;
+    if (replay_captures_[i] >= atk.max_captures) continue;
+    if (!can_execute(atk.attacker, t)) continue;
+    // The attacker overhears the shared medium: any transmitting relay
+    // within radio range leaks the frame.
+    bool heard = false;
+    for (std::size_t h = 0; h + 1 < path.size(); ++h) {
+      const double d = util::distance(nodes_[path[h]].anchor,
+                                      nodes_[atk.attacker].anchor);
+      if (radio_.in_range(d)) {
+        heard = true;
+        break;
+      }
+    }
+    if (!heard) continue;
+    ++replay_captures_[i];
+    const Message captured = msg;
+    const NodeId attacker = atk.attacker;
+    events_.schedule_after(atk.replay_delay_s, [this, captured, attacker] {
+      const double now = events_.now();
+      if (!can_execute(attacker, now)) return;
+      counters_.attack_replays.add();
+      Message replayed = captured;
+      unicast_from(attacker, std::move(replayed), /*adversarial=*/true);
+    });
+  }
 }
 
 double Network::local_time(NodeId id, double t_true) const {

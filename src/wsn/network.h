@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <optional>
 #include <vector>
 
@@ -19,6 +20,7 @@
 #include "util/geometry.h"
 #include "util/rng.h"
 #include "wsn/clock.h"
+#include "wsn/defense.h"
 #include "wsn/energy.h"
 #include "wsn/event_queue.h"
 #include "wsn/faults.h"
@@ -95,6 +97,14 @@ struct NetworkConfig {
   RoutingMode routing = RoutingMode::kSelfHealing;
   /// Beacon/neighbor-table knobs for self-healing mode.
   NeighborConfig neighbor;
+  /// Scheduled adversarial traffic (strictly opt-in; an empty plan draws
+  /// nothing and schedules nothing, keeping runs bit-identical to seed).
+  /// Requires self-healing routing.
+  AttackPlan attacks;
+  /// Sink-side plausibility defense (strictly opt-in; with no attack
+  /// traffic it changes nothing — every check passes on honest traffic
+  /// and the ledger draws no randomness). Requires self-healing routing.
+  DefenseConfig defense;
 };
 
 /// Network-layer statistics. Since the observability PR this struct is a
@@ -132,6 +142,23 @@ struct NetworkStats {
   /// Suspicions where the suspecting node still had a live forwarding
   /// alternative (local route repair was possible immediately).
   std::size_t route_repairs = 0;
+  /// Adversarial layer: messages injected per attack class.
+  std::size_t attack_replays = 0;
+  std::size_t attack_forgeries = 0;
+  std::size_t attack_clone_reports = 0;
+  std::size_t attack_beacon_spoofs = 0;
+  /// Defense layer: tier-1 per-message filter drops at guard nodes.
+  std::size_t defense_filtered = 0;
+  /// Messages dropped because their claimed identity was quarantined.
+  std::size_t defense_drops = 0;
+  /// Fresh identity quarantines across all guards.
+  std::size_t defense_quarantines = 0;
+  /// Quarantines of identities the attack plan never implicated.
+  std::size_t defense_false_quarantines = 0;
+  /// QuarantineNotice floods originated by guards.
+  std::size_t defense_notices = 0;
+  /// Hello beacons ignored for range/quarantine implausibility.
+  std::size_t defense_spoofs_ignored = 0;
 };
 
 /// Synchronous outcome of a unicast (the simulator resolves every hop at
@@ -203,6 +230,26 @@ class Network {
   /// The horizon keeps EventQueue::run_all() terminating; callers pass
   /// their scenario duration plus slack for late protocol traffic.
   void start_beacons(double until_s);
+
+  /// Starts the AttackPlan's adversarial processes (forgery/clone/spoof
+  /// ticks, replay capture) bounded by simulated time `until_s`. No-op
+  /// for an empty plan: no events, no RNG draws, bit-identical runs.
+  void start_adversary(double until_s);
+
+  /// True when the plausibility defense is enabled for this run.
+  bool defense_active() const { return config_.defense.enabled; }
+
+  /// Read access to a guard node's suspicion ledger (nullptr when `id`
+  /// is not guarded or the defense is disabled).
+  const GuardLedger* guard_ledger(NodeId id) const;
+
+  /// True while `observer`'s quarantine view (its own ledger, or flooded
+  /// QuarantineNotices) excludes `subject`.
+  bool quarantine_view(NodeId observer, NodeId subject) const;
+
+  /// Invoked on every fresh quarantine (subject, sim time). Higher layers
+  /// use it to drop tainted per-source transport state.
+  void set_quarantine_listener(std::function<void(NodeId, double)> listener);
 
   RoutingMode routing_mode() const { return config_.routing; }
 
@@ -277,6 +324,38 @@ class Network {
   void note_suspicion(NodeId observer, NodeId subject, double t);
   /// Records a cleared (hence false) suspicion.
   void note_false_suspicion(NodeId observer, NodeId subject, double t);
+  /// Routing-level unicast used by both the public API (origin == msg.src)
+  /// and the adversarial injectors (origin is the compromised radio while
+  /// msg.src carries the claimed identity).
+  UnicastOutcome unicast_from(NodeId origin, Message msg, bool adversarial);
+  /// Final delivery step shared by unicast/flood: intercepts
+  /// QuarantineNotices, runs the defense admission check at guarded
+  /// receivers, then hands the message to the protocol handler.
+  /// `via` is the claimed link-layer transmitter of the final hop and
+  /// `via_dist_m` its physically-measured range (the RSSI proxy).
+  void deliver(NodeId receiver, const Message& msg, NodeId via,
+               double via_dist_m, double t);
+  /// Defense admission at a guarded receiver; false drops the message.
+  bool defense_admit(NodeId receiver, const Message& msg, NodeId via,
+                     double via_dist_m, double t);
+  /// Handles a fresh tier-2 quarantine at guard `g`: counters, false-
+  /// quarantine ground truth, notice flood, listener.
+  void on_quarantine(NodeId guard, NodeId subject, double t);
+  /// Applies a QuarantineNotice to `receiver`'s quarantine view.
+  void apply_notice(NodeId receiver, const QuarantineNotice& notice);
+  /// Beacon-range plausibility (impersonation detection): true when a
+  /// hello claiming `claimed`, physically transmitted from `from` and
+  /// heard at `listener`, is consistent with the deployment geometry.
+  bool beacon_plausible(NodeId listener, NodeId claimed, NodeId from) const;
+  /// Periodic adversarial processes (see AttackPlan).
+  void forgery_tick(std::size_t index);
+  void clone_tick(std::size_t index);
+  void spoof_tick(std::size_t index);
+  /// Replay capture hook: called for delivered report/decision unicasts;
+  /// any in-window replayer within radio range of a transmitting relay
+  /// records the message and schedules its re-injection.
+  void maybe_capture(const Message& msg, const std::vector<NodeId>& path,
+                     double t);
 
   /// Stable references into registry_ for the hot-path counters; the
   /// NetworkStats view is assembled from exactly these (never a second
@@ -299,6 +378,16 @@ class Network {
     obs::Counter& suspicions;
     obs::Counter& false_suspicions;
     obs::Counter& route_repairs;
+    obs::Counter& attack_replays;
+    obs::Counter& attack_forgeries;
+    obs::Counter& attack_clone_reports;
+    obs::Counter& attack_beacon_spoofs;
+    obs::Counter& defense_filtered;
+    obs::Counter& defense_drops;
+    obs::Counter& defense_quarantines;
+    obs::Counter& defense_false_quarantines;
+    obs::Counter& defense_notices;
+    obs::Counter& defense_spoofs_ignored;
   };
 
   NetworkConfig config_;
@@ -318,6 +407,30 @@ class Network {
   util::Rng beacon_rng_;
   /// Beacon processes run until this sim time (0 = not started).
   double beacons_until_ = 0.0;
+  /// All adversarial randomness draws from its own derived stream, so
+  /// attack-free runs never touch it and attacked runs leave the radio /
+  /// fault / beacon streams on their baseline draw order.
+  util::Rng attack_rng_;
+  /// Adversarial processes run until this sim time (0 = not started).
+  double attacks_until_ = 0.0;
+  /// Per-forgery-attack fabrication state (victim cursor, next seq).
+  struct ForgeryState {
+    NodeId next_victim = 0;
+    std::uint32_t next_seq = 0;
+  };
+  std::vector<ForgeryState> forgery_states_;
+  /// Per-clone-attack next sequence number.
+  std::vector<std::uint32_t> clone_seqs_;
+  /// Messages captured so far per replay attack (the max_captures bound).
+  std::vector<std::size_t> replay_captures_;
+  /// Suspicion ledgers of the guarded nodes (defense enabled only).
+  std::map<NodeId, GuardLedger> guards_;
+  /// Per-node quarantine views: qview_[observer][subject] != 0 excludes
+  /// the subject from the observer's forwarding set and beacon intake.
+  /// Allocated lazily on the first quarantine, so attack-free runs keep
+  /// their memory profile.
+  std::vector<std::vector<std::uint8_t>> qview_;
+  std::function<void(NodeId, double)> quarantine_listener_;
   DeliveryHandler handler_;
   mutable NetworkStats stats_view_;
 };

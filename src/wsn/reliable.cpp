@@ -43,6 +43,16 @@ void ReliableTransport::reset() {
   epoch_ += 1;  // invalidates every in-flight timeout event
 }
 
+void ReliableTransport::forget_source(NodeId src) {
+  for (auto it = windows_.begin(); it != windows_.end();) {
+    if (it->first.second == src) {
+      it = windows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 std::uint32_t ReliableTransport::send(Message msg, Callback cb) {
   const std::uint32_t seq = next_seq_[msg.src]++;
   msg.reliable = true;

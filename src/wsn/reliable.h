@@ -77,6 +77,13 @@ class ReliableTransport {
   /// invoked).
   void reset();
 
+  /// Drops every dedup window fed by `src` (defense hook): a quarantined
+  /// identity's transport history is tainted — an attacker that poisoned
+  /// the windows with far-future sequence numbers must not keep rejecting
+  /// the victim's legitimate traffic after the quarantine cleared the
+  /// field. Pending sends are untouched.
+  void forget_source(NodeId src);
+
   std::size_t pending_count() const { return pending_.size(); }
 
  private:

@@ -79,6 +79,66 @@ TEST(SeqnumTest, LargeJumpForwardReanchorsTheWindow) {
   EXPECT_TRUE(window.accept(499));
 }
 
+// Adversarial sequence patterns (wsn/defense threat model): the raw
+// window's behavior under replayed, rolled-back and far-future inputs is
+// what the GuardLedger's tier-1 filters are calibrated against.
+
+TEST(SeqnumTest, ReplayStormRejectedAcrossWraparound) {
+  // An attacker replays every captured pre-wrap seq after the stream has
+  // wrapped past zero: each one must stay a remembered duplicate, and
+  // rollbacks beyond the span must fail conservatively.
+  SequenceWindow window{16};
+  for (std::uint32_t s = 0xFFFFFFF8u; s != 4u; ++s) {
+    EXPECT_TRUE(window.accept(s));
+  }
+  for (std::uint32_t s = 0xFFFFFFF8u; s != 4u; ++s) {
+    EXPECT_FALSE(window.accept(s)) << "replayed seq " << s;
+  }
+  // Far behind the post-wrap watermark: outside the span, rejected.
+  EXPECT_FALSE(window.accept(0xFFFFFF00u));
+  EXPECT_EQ(window.highest(), 3u);
+}
+
+TEST(SeqnumTest, FarFutureInjectionPoisonsAnUndefendedWindow) {
+  // The sequence-poisoning vector the defense exists for: one forged
+  // far-future seq reanchors the window, and the victim's whole
+  // legitimate in-flight range is then rejected as stale. This is
+  // *documented* window behavior — the GuardLedger must therefore filter
+  // implausible jumps BEFORE they reach a transport window.
+  SequenceWindow window{64};
+  EXPECT_TRUE(window.accept(5));
+  EXPECT_TRUE(window.accept(1u << 20));  // forged: reanchors
+  for (std::uint32_t s = 6; s < 70; ++s) {
+    EXPECT_FALSE(window.accept(s)) << "victim seq " << s;
+  }
+}
+
+TEST(SeqnumTest, RollbackFloodNeverMovesTheWatermark) {
+  // A rollback flood (replayed stale traffic) must neither advance the
+  // watermark nor evict remembered in-window history.
+  SequenceWindow window{16};
+  EXPECT_TRUE(window.accept(1000));
+  EXPECT_TRUE(window.accept(1001));
+  for (std::uint32_t s = 900; s < 916; ++s) {
+    EXPECT_FALSE(window.accept(s));
+  }
+  EXPECT_EQ(window.highest(), 1001u);
+  EXPECT_FALSE(window.accept(1001));  // history intact
+  EXPECT_TRUE(window.accept(1002));   // honest successor still fresh
+}
+
+TEST(SeqnumTest, WraparoundRollbackDistanceIsSerialNotInteger) {
+  // 0x00000001 is *ahead* of 0xFFFFFFFF in serial arithmetic even though
+  // it is numerically tiny; a replay filter using plain integers would
+  // get this backwards on every wrap.
+  EXPECT_GT(seq_distance(0xFFFFFFFFu, 1u), 0);
+  EXPECT_LT(seq_distance(1u, 0xFFFFFFFFu), 0);
+  SequenceWindow window{16};
+  EXPECT_TRUE(window.accept(0xFFFFFFFFu));
+  EXPECT_TRUE(window.accept(1u));
+  EXPECT_FALSE(window.accept(0xFFFFFFFFu));  // pre-wrap replay
+}
+
 // ----------------------------------------------------- neighbor tables
 
 TEST(NeighborTableTest, BootRoundsSeedLinkQuality) {
