@@ -32,6 +32,14 @@ Enforces the discipline clang-tidy cannot express:
                     bit-identical to serial (DESIGN.md §5g). Ad-hoc
                     threads would reintroduce schedule-dependent
                     behaviour the determinism suite cannot pin.
+  mutex-funnel      no raw std::mutex/lock_guard/unique_lock/scoped_lock/
+                    shared_mutex/condition_variable outside
+                    src/util/thread_annotations.h — all locking goes
+                    through the annotated util::Mutex/LockGuard/CondVar
+                    wrappers so Clang's -Wthread-safety capability
+                    analysis sees every acquisition (DESIGN.md §5i). A
+                    raw primitive would be invisible to the analysis and
+                    silently un-checked.
   defense-funnel    no NeighborTable or quarantine/ledger state mutated
                     outside src/wsn/ — link beliefs and suspicion
                     verdicts are delivery-layer evidence (DESIGN.md
@@ -95,6 +103,21 @@ THREAD_ALLOWED = {
 THREAD_PATTERNS = (
     re.compile(r"std\s*::\s*j?thread\b"),
     re.compile(r"std\s*::\s*async\b"),
+)
+
+# The locking funnel: only the annotated wrappers may name the std
+# primitives, so every lock the program takes is visible to Clang's
+# capability analysis. (std::atomic is fine — lock-free state is part of
+# the documented contract, not hidden from the analysis.)
+MUTEX_ALLOWED = {
+    Path("src/util/thread_annotations.h"),
+}
+
+MUTEX_PATTERNS = (
+    re.compile(r"std\s*::\s*(?:recursive_|timed_|shared_)?mutex\b"),
+    re.compile(r"std\s*::\s*(?:lock_guard|unique_lock|scoped_lock"
+               r"|shared_lock)\b"),
+    re.compile(r"std\s*::\s*condition_variable(?:_any)?\b"),
 )
 
 # The defense funnel: neighbor-table and quarantine/ledger state mutators
@@ -202,6 +225,7 @@ class Linter:
         check_oracle = (rel_posix.startswith("src/")
                         and rel not in ORACLE_ALLOWED)
         check_thread = rel not in THREAD_ALLOWED
+        check_mutex = rel not in MUTEX_ALLOWED
         check_defense = (rel_posix.startswith("src/")
                          and not rel_posix.startswith(DEFENSE_FUNNEL_PREFIX))
 
@@ -248,6 +272,17 @@ class Linter:
                             f"util::ThreadPool funnel — use "
                             f"util::parallel_for so the deterministic "
                             f"chunking keeps results schedule-independent")
+            if check_mutex and "mutex-funnel" not in allowed:
+                for pat in MUTEX_PATTERNS:
+                    m = pat.search(code)
+                    if m:
+                        self.report(
+                            "mutex-funnel", path, lineno,
+                            f"raw locking primitive "
+                            f"'{m.group(0).strip()}' outside "
+                            f"src/util/thread_annotations.h — use the "
+                            f"annotated util::Mutex/LockGuard/CondVar so "
+                            f"-Wthread-safety sees the acquisition")
             if check_defense and "defense-funnel" not in allowed:
                 for pat in DEFENSE_FUNNEL_PATTERNS:
                     m = pat.search(code)
@@ -311,6 +346,12 @@ def self_test() -> int:
             "#include <thread>\nvoid f() { std::thread t([] {}); }\n",
         "thread-funnel-async":
             "#include <future>\nauto g() { return std::async([] {}); }\n",
+        "mutex-funnel":
+            "#include <mutex>\nstd::mutex mu;\n",
+        "mutex-funnel-guard":
+            "void f() { std::lock_guard<std::mutex> l(mu); }\n",
+        "mutex-funnel-cv":
+            "#include <condition_variable>\nstd::condition_variable cv;\n",
         "defense-funnel":
             "void f() { table.on_beacon(3, t); }\n",
         "defense-funnel-ledger":
@@ -344,6 +385,14 @@ def self_test() -> int:
         (src / "l.cpp").write_text(
             "#include <thread>\n"
             "void nap() { std::this_thread::yield(); }\n")
+        # Mutex-funnel plants: raw primitives outside the annotated
+        # wrapper header.
+        (src / "o.cpp").write_text(cases["mutex-funnel"])
+        (src / "p.cpp").write_text(cases["mutex-funnel-guard"])
+        (src / "q.cpp").write_text(cases["mutex-funnel-cv"])
+        # The annotated wrapper header itself IS the funnel: exempt.
+        (util_dir / "thread_annotations.h").write_text(
+            "#pragma once\n#include <mutex>\nstd::mutex raw;\n")
         # Defense-funnel plants: a core-layer file poking neighbor tables
         # and a guard ledger directly.
         core_dir = src / "core"
@@ -378,6 +427,9 @@ def self_test() -> int:
                 ("oracle-liveness", "i.cpp"),
                 ("thread-funnel", "j.cpp"),
                 ("thread-funnel", "k.cpp"),
+                ("mutex-funnel", "o.cpp"),
+                ("mutex-funnel", "p.cpp"),
+                ("mutex-funnel", "q.cpp"),
                 ("defense-funnel", "m.cpp"),
                 ("defense-funnel", "n.cpp"),
                 ("protocol-literal", "3.3"),
@@ -402,6 +454,12 @@ def self_test() -> int:
                for v in linter.violations):
             failures.append(
                 "defense-funnel fired inside the exempt src/wsn/ tree")
+        # (match on the location prefix: the rule's advice text itself
+        # names the exempt header)
+        if any(v.startswith("src/util/thread_annotations.h:")
+               and "[mutex-funnel]" in v for v in linter.violations):
+            failures.append(
+                "mutex-funnel fired inside the exempt wrapper header")
 
         # And a clean tree must pass, including the lint:allow escape.
         clean = root / "clean"

@@ -24,6 +24,17 @@ esac
 
 python3 scripts/lint.py
 
+# Include-graph layering gate (scripts/layering.toml). Uses the build
+# tree's compilation database for include resolution when one exists;
+# falls back to the conventional src/ include root otherwise.
+BUILD_DIR="${SID_BUILD_DIR:-build}"
+if [ -f "$BUILD_DIR/compile_commands.json" ]; then
+  python3 scripts/layering.py \
+    --compile-commands "$BUILD_DIR/compile_commands.json"
+else
+  python3 scripts/layering.py
+fi
+
 if [ "$MODE" = off ]; then
   exit 0
 fi
@@ -38,7 +49,6 @@ if [ -z "$RUN_CLANG_TIDY" ] || ! command -v clang-tidy >/dev/null 2>&1; then
   exit 0
 fi
 
-BUILD_DIR="${SID_BUILD_DIR:-build}"
 if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
   if [ "$MODE" = require ]; then
     echo "lint.sh: $BUILD_DIR/compile_commands.json missing — configure with cmake first" >&2

@@ -120,6 +120,7 @@ SidSystem::SidSystem(const SidSystemConfig& config)
   sink_node_ = network_.id_at(0, 0);
   network_.set_delivery_handler(
       [this](wsn::NodeId receiver, const wsn::Message& msg, double t) {
+        loop_checker_.check();
         on_deliver(receiver, msg, t);
       });
   if (network_.defense_active()) {
@@ -128,6 +129,7 @@ SidSystem::SidSystem(const SidSystemConfig& config)
     // dropped so the (possibly innocent, impersonated) identity can
     // re-bootstrap cleanly after release.
     network_.set_quarantine_listener([this](wsn::NodeId subject, double) {
+      loop_checker_.check();
       reliable_.forget_source(subject);
       sink_windows_.erase(subject);
     });
@@ -157,6 +159,7 @@ void SidSystem::submit_report(wsn::NodeId member_id, wsn::NodeId head,
       member.membership_expires_s + config_.resilience.head_fallback_grace_s,
       network_.events().now());
   network_.events().schedule_at(check_at, [this, member_id, head] {
+    loop_checker_.check();
     head_fallback_check(member_id, head);
   });
 }
@@ -186,6 +189,7 @@ void SidSystem::head_fallback_check(wsn::NodeId member_id, wsn::NodeId head) {
                  [this, member_id, head,
                   buffered = std::move(buffered)](wsn::ReliableOutcome outcome,
                                                   double t) mutable {
+                   loop_checker_.check();
                    if (outcome == wsn::ReliableOutcome::kAcked) {
                      // Head alive: it collected the reports and evaluated
                      // normally; nothing to repair.
@@ -224,6 +228,7 @@ void SidSystem::do_fallback(wsn::NodeId member_id, wsn::NodeId head,
     const wsn::NodeId first_target = target;
     reliable_.send(msg, [this, member_id, report, first_target](
                             wsn::ReliableOutcome outcome, double t2) {
+      loop_checker_.check();
       if (outcome == wsn::ReliableOutcome::kAcked) return;
       if (first_target == sink_node_) return;  // explicit loss, surfaced
       if (!network_.can_execute(member_id, t2)) return;
@@ -288,8 +293,10 @@ void SidSystem::on_alarm(wsn::NodeId node, const wsn::DetectionReport& report,
   msg.payload = invite;
   network_.flood(msg, config_.cluster.invite_hops);
 
-  network_.events().schedule_at(deadline,
-                                [this, node] { evaluate_head(node); });
+  network_.events().schedule_at(deadline, [this, node] {
+    loop_checker_.check();
+    evaluate_head(node);
+  });
 }
 
 void SidSystem::accept_at_sink(const wsn::ClusterDecision& decision,
@@ -350,6 +357,7 @@ void SidSystem::send_decision(wsn::NodeId from, wsn::NodeId dst,
   msg.payload = decision;
   reliable_.send(std::move(msg), [this, from, dst, decision](
                                      wsn::ReliableOutcome outcome, double t) {
+    loop_checker_.check();
     if (outcome == wsn::ReliableOutcome::kAcked) return;
     if (dst != sink_node_ && network_.can_execute(from, t)) {
       // The static-head relay leg exhausted its retry budget (dead relay
@@ -406,8 +414,10 @@ void SidSystem::on_deliver(wsn::NodeId receiver, const wsn::Message& msg,
       if (!state.scheduled) {
         state.scheduled = true;
         network_.events().schedule_after(
-            config_.resilience.fallback_window_s,
-            [this, receiver] { evaluate_fallback(receiver); });
+            config_.resilience.fallback_window_s, [this, receiver] {
+              loop_checker_.check();
+              evaluate_fallback(receiver);
+            });
       }
       return;
     }
@@ -540,6 +550,10 @@ void SidSystem::evaluate_fallback(wsn::NodeId head) {
 }
 
 SystemResult SidSystem::run(std::span<const wake::ShipTrackConfig> ships) {
+  // run() and every event/transport callback execute on one thread; the
+  // checker binds to it here and the capability analysis takes it from
+  // this assertion (DESIGN.md §5i).
+  loop_checker_.check();
   result_ = SystemResult{};
   counters_.reset();
   heads_.clear();
@@ -574,6 +588,7 @@ SystemResult SidSystem::run(std::span<const wake::ShipTrackConfig> ships) {
       const wsn::DetectionReport report = node_run.reports[i];
       network_.events().schedule_at(
           t, [this, node, report] {
+            loop_checker_.check();
             const double now = network_.events().now();
             if (!network_.can_execute(node, now)) return;
             on_alarm(node, report, now);

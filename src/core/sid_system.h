@@ -21,6 +21,7 @@
 #include "core/cluster.h"
 #include "core/scenario.h"
 #include "core/tracker.h"
+#include "util/thread_annotations.h"
 #include "wsn/network.h"
 #include "wsn/reliable.h"
 #include "wsn/seqnum.h"
@@ -173,36 +174,48 @@ class SidSystem {
     obs::Histogram& decision_latency_s;
   };
 
+  // Every protocol handler below runs on the event-loop thread only and
+  // declares SID_REQUIRES(loop_checker_): the capability analysis proves
+  // no guarded state is touched outside a handler, and each event-queue /
+  // transport callback entry point asserts the role at runtime with
+  // loop_checker_.check() (DESIGN.md §5i).
   void on_alarm(wsn::NodeId node, const wsn::DetectionReport& report,
-                double t);
-  void on_deliver(wsn::NodeId receiver, const wsn::Message& msg, double t);
-  void evaluate_head(wsn::NodeId head);
+                double t) SID_REQUIRES(loop_checker_);
+  void on_deliver(wsn::NodeId receiver, const wsn::Message& msg, double t)
+      SID_REQUIRES(loop_checker_);
+  void evaluate_head(wsn::NodeId head) SID_REQUIRES(loop_checker_);
   /// Sends a detection report to the member's temporary head over the
   /// reliable transport and arms the member-side liveness check.
   void submit_report(wsn::NodeId member, wsn::NodeId head,
-                     const wsn::DetectionReport& report);
+                     const wsn::DetectionReport& report)
+      SID_REQUIRES(loop_checker_);
   /// Member-side timeout after the collection window: probe the head
   /// end-to-end; a kGaveUp verdict is the in-band death signal that
   /// triggers the fallback re-submission. A member whose own neighbor
   /// table already suspects the head skips the probe round-trip.
-  void head_fallback_check(wsn::NodeId member, wsn::NodeId head);
+  void head_fallback_check(wsn::NodeId member, wsn::NodeId head)
+      SID_REQUIRES(loop_checker_);
   /// Re-submits the member's buffered reports to the dead head's static
   /// cluster head (escalating to the sink when that leg also gives up).
   void do_fallback(wsn::NodeId member, wsn::NodeId head,
-                   std::vector<wsn::DetectionReport> buffered, double t);
+                   std::vector<wsn::DetectionReport> buffered, double t)
+      SID_REQUIRES(loop_checker_);
   /// Static-head fallback evaluation over collected orphan reports.
-  void evaluate_fallback(wsn::NodeId head);
-  void accept_at_sink(const wsn::ClusterDecision& decision, double t);
+  void evaluate_fallback(wsn::NodeId head) SID_REQUIRES(loop_checker_);
+  void accept_at_sink(const wsn::ClusterDecision& decision, double t)
+      SID_REQUIRES(loop_checker_);
   /// Sends a decision toward `dst` over the reliable transport; when the
   /// static-head relay leg gives up, re-targets the sink directly.
   void send_decision(wsn::NodeId from, wsn::NodeId dst,
-                     const wsn::ClusterDecision& decision);
+                     const wsn::ClusterDecision& decision)
+      SID_REQUIRES(loop_checker_);
   /// Fills protocol fields (per-head seq, timestamps) of a new decision.
   wsn::ClusterDecision make_decision(wsn::NodeId head,
                                      const ClusterDecisionResult& verdict,
                                      std::span<const wsn::DetectionReport>
                                          reports,
-                                     double now);
+                                     double now)
+      SID_REQUIRES(loop_checker_);
   static std::uint64_t decision_key(const wsn::ClusterDecision& decision) {
     return (static_cast<std::uint64_t>(decision.head) << 32) |
            decision.seq;
@@ -212,20 +225,29 @@ class SidSystem {
   wsn::Network network_;
   SidCounters counters_;
   ClusterEvaluator evaluator_;
-  Tracker tracker_;
   wsn::ReliableTransport reliable_;
-  std::map<wsn::NodeId, HeadState> heads_;
-  std::vector<MemberState> members_;
-  std::map<wsn::NodeId, FallbackState> fallbacks_;
+  /// The event-loop thread role: all listener/dedup state below is
+  /// confined to the single thread driving run() / the event queue (the
+  /// front-end parallelism in core/scenario never touches it). check()
+  /// aborts if a second thread ever enters a handler.
+  util::ThreadChecker loop_checker_;
+  Tracker tracker_ SID_GUARDED_BY(loop_checker_);
+  std::map<wsn::NodeId, HeadState> heads_ SID_GUARDED_BY(loop_checker_);
+  std::vector<MemberState> members_ SID_GUARDED_BY(loop_checker_);
+  std::map<wsn::NodeId, FallbackState> fallbacks_
+      SID_GUARDED_BY(loop_checker_);
   /// Sink-side duplicate suppression: one wraparound-safe sequence
   /// window per originating head (multi-path duplicates and retransmits
   /// alike land here).
-  std::map<wsn::NodeId, wsn::SequenceWindow> sink_windows_;
+  std::map<wsn::NodeId, wsn::SequenceWindow> sink_windows_
+      SID_GUARDED_BY(loop_checker_);
   /// (head, seq) -> sim time the decision was created (latency metric).
-  std::map<std::uint64_t, double> decision_created_s_;
+  std::map<std::uint64_t, double> decision_created_s_
+      SID_GUARDED_BY(loop_checker_);
   /// Per-head decision sequence counters (no global coordination).
-  std::map<wsn::NodeId, std::uint32_t> next_decision_seq_;
-  SystemResult result_;
+  std::map<wsn::NodeId, std::uint32_t> next_decision_seq_
+      SID_GUARDED_BY(loop_checker_);
+  SystemResult result_ SID_GUARDED_BY(loop_checker_);
   wsn::NodeId sink_node_ = 0;
 };
 

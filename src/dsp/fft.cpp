@@ -3,10 +3,10 @@
 #include <cmath>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <numbers>
 
 #include "util/error.h"
+#include "util/thread_annotations.h"
 
 namespace sid::dsp {
 
@@ -136,17 +136,38 @@ void FftPlan::forward_real(std::span<const double> input,
   }
 }
 
+namespace {
+
+/// Process-global plan cache. Plans are immutable once constructed, so
+/// only the map itself needs the lock: find-or-create runs entirely under
+/// mu_ (no check-then-act window), and the returned plan pointer is safe
+/// to use lock-free forever (plans are never evicted; the cache is leaked
+/// so worker threads may touch plans during static destruction).
+class PlanCache {
+ public:
+  const FftPlan& get(std::size_t n) SID_EXCLUDES(mu_) {
+    const util::LockGuard lock(mu_);
+    auto& slot = cache_[n];
+    if (!slot) slot = std::make_unique<FftPlan>(n);
+    return *slot;
+  }
+
+ private:
+  util::Mutex mu_;
+  std::map<std::size_t, std::unique_ptr<FftPlan>> cache_
+      SID_GUARDED_BY(mu_);
+};
+
+}  // namespace
+
 const FftPlan& fft_plan(std::size_t n) {
   util::require(is_power_of_two(n), "fft: size must be a power of two");
+  // Per-thread memo for the common same-size-again case. Safe without the
+  // cache lock: the pointer is thread-local and the pointee immutable.
   thread_local const FftPlan* last = nullptr;
   if (last != nullptr && last->size() == n) return *last;
-  static std::mutex mu;
-  static std::map<std::size_t, std::unique_ptr<FftPlan>>* cache =
-      new std::map<std::size_t, std::unique_ptr<FftPlan>>();
-  const std::lock_guard<std::mutex> lock(mu);
-  auto& slot = (*cache)[n];
-  if (!slot) slot = std::make_unique<FftPlan>(n);
-  last = slot.get();
+  static PlanCache* cache = new PlanCache();  // leaked deliberately
+  last = &cache->get(n);
   return *last;
 }
 

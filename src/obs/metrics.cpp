@@ -6,6 +6,7 @@
 #include <limits>
 #include <ostream>
 #include <sstream>
+#include <utility>
 
 #include "util/error.h"
 
@@ -43,16 +44,20 @@ Histogram::Histogram(std::vector<double> bounds, Clock clock)
 }
 
 Histogram::Histogram(Histogram&& other) noexcept
-    : bounds_(std::move(other.bounds_)),
-      counts_(std::move(other.counts_)),
-      clock_(other.clock_),
-      count_(other.count_),
-      sum_(other.sum_),
-      min_(other.min_),
-      max_(other.max_) {}
+    : bounds_(std::move(other.bounds_)), clock_(other.clock_) {
+  // Constructors are exempt from the capability analysis (no concurrent
+  // access to *this* yet), but the source may still be visible to other
+  // threads through the registry — serialize against its recorders.
+  const util::LockGuard lock(other.record_mu_);
+  counts_ = std::move(other.counts_);
+  count_ = other.count_;
+  sum_ = other.sum_;
+  min_ = other.min_;
+  max_ = other.max_;
+}
 
 void Histogram::record(double value) {
-  const std::lock_guard<std::mutex> lock(record_mu_);
+  const util::LockGuard lock(record_mu_);
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
   ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
   if (count_ == 0) {
@@ -67,7 +72,7 @@ void Histogram::record(double value) {
 }
 
 void Histogram::reset() {
-  const std::lock_guard<std::mutex> lock(record_mu_);
+  const util::LockGuard lock(record_mu_);
   std::fill(counts_.begin(), counts_.end(), 0);
   count_ = 0;
   sum_ = 0.0;
@@ -75,46 +80,91 @@ void Histogram::reset() {
   max_ = 0.0;
 }
 
-double Histogram::mean() const {
-  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot snap;
+  snap.bounds = bounds_;
+  const util::LockGuard lock(record_mu_);
+  snap.buckets = counts_;
+  snap.count = count_;
+  snap.sum = sum_;
+  snap.min = min_;
+  snap.max = max_;
+  return snap;
 }
 
-double Histogram::percentile(double p) const {
-  util::require(p >= 0.0 && p <= 1.0, "Histogram::percentile: p in [0,1]");
-  if (count_ == 0) return 0.0;
-  const double target = p * static_cast<double>(count_);
-  std::uint64_t seen = 0;
-  for (std::size_t i = 0; i < counts_.size(); ++i) {
-    if (counts_[i] == 0) continue;
-    const double before = static_cast<double>(seen);
-    seen += counts_[i];
-    if (static_cast<double>(seen) < target) continue;
-    // Interpolate inside bucket i between its edges, clamped to the
-    // observed [min, max] so percentiles never leave the data range.
-    const double lo = std::max(i == 0 ? min_ : bounds_[i - 1], min_);
-    const double hi = std::min(i < bounds_.size() ? bounds_[i] : max_, max_);
-    const double frac =
-        (target - before) / static_cast<double>(counts_[i]);
-    return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
-  }
+std::uint64_t Histogram::count() const {
+  const util::LockGuard lock(record_mu_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  const util::LockGuard lock(record_mu_);
+  return sum_;
+}
+
+double Histogram::min() const {
+  const util::LockGuard lock(record_mu_);
+  return min_;
+}
+
+double Histogram::max() const {
+  const util::LockGuard lock(record_mu_);
   return max_;
 }
 
+double Histogram::mean() const { return snapshot().mean(); }
+
+double Histogram::percentile(double p) const {
+  return snapshot().percentile(p);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  const util::LockGuard lock(record_mu_);
+  return counts_;
+}
+
+double Histogram::Snapshot::mean() const {
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+double Histogram::Snapshot::percentile(double p) const {
+  util::require(p >= 0.0 && p <= 1.0, "Histogram::percentile: p in [0,1]");
+  if (count == 0) return 0.0;
+  const double target = p * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const double before = static_cast<double>(seen);
+    seen += buckets[i];
+    if (static_cast<double>(seen) < target) continue;
+    // Interpolate inside bucket i between its edges, clamped to the
+    // observed [min, max] so percentiles never leave the data range.
+    const double lo = std::max(i == 0 ? min : bounds[i - 1], min);
+    const double hi = std::min(i < bounds.size() ? bounds[i] : max, max);
+    const double frac =
+        (target - before) / static_cast<double>(buckets[i]);
+    return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+  }
+  return max;
+}
+
 Counter& Registry::counter(std::string_view name) {
+  const util::LockGuard lock(mu_);
   for (auto& entry : counters_) {
     if (entry.name == name) return entry.instrument;
   }
-  util::require(!find_gauge(name) && !find_histogram(name),
+  util::require(!find_gauge_locked(name) && !find_histogram_locked(name),
                 "Registry::counter: name already used by another kind");
   counters_.push_back({std::string(name), Counter{}});
   return counters_.back().instrument;
 }
 
 Gauge& Registry::gauge(std::string_view name) {
+  const util::LockGuard lock(mu_);
   for (auto& entry : gauges_) {
     if (entry.name == name) return entry.instrument;
   }
-  util::require(!find_counter(name) && !find_histogram(name),
+  util::require(!find_counter_locked(name) && !find_histogram_locked(name),
                 "Registry::gauge: name already used by another kind");
   gauges_.push_back({std::string(name), Gauge{}});
   return gauges_.back().instrument;
@@ -123,64 +173,86 @@ Gauge& Registry::gauge(std::string_view name) {
 Histogram& Registry::histogram(std::string_view name,
                                std::vector<double> bounds,
                                Histogram::Clock clock) {
+  const util::LockGuard lock(mu_);
   for (auto& entry : histograms_) {
     if (entry.name == name) return entry.instrument;
   }
-  util::require(!find_counter(name) && !find_gauge(name),
+  util::require(!find_counter_locked(name) && !find_gauge_locked(name),
                 "Registry::histogram: name already used by another kind");
   histograms_.push_back({std::string(name),
                          Histogram(std::move(bounds), clock)});
   return histograms_.back().instrument;
 }
 
-const Counter* Registry::find_counter(std::string_view name) const {
+const Counter* Registry::find_counter_locked(std::string_view name) const {
   for (const auto& entry : counters_) {
     if (entry.name == name) return &entry.instrument;
   }
   return nullptr;
 }
 
-const Gauge* Registry::find_gauge(std::string_view name) const {
+const Gauge* Registry::find_gauge_locked(std::string_view name) const {
   for (const auto& entry : gauges_) {
     if (entry.name == name) return &entry.instrument;
   }
   return nullptr;
 }
 
-const Histogram* Registry::find_histogram(std::string_view name) const {
+const Histogram* Registry::find_histogram_locked(
+    std::string_view name) const {
   for (const auto& entry : histograms_) {
     if (entry.name == name) return &entry.instrument;
   }
   return nullptr;
 }
 
+const Counter* Registry::find_counter(std::string_view name) const {
+  const util::LockGuard lock(mu_);
+  return find_counter_locked(name);
+}
+
+const Gauge* Registry::find_gauge(std::string_view name) const {
+  const util::LockGuard lock(mu_);
+  return find_gauge_locked(name);
+}
+
+const Histogram* Registry::find_histogram(std::string_view name) const {
+  const util::LockGuard lock(mu_);
+  return find_histogram_locked(name);
+}
+
 void Registry::reset() {
+  const util::LockGuard lock(mu_);
   for (auto& entry : counters_) entry.instrument.reset();
   for (auto& entry : gauges_) entry.instrument.reset();
   for (auto& entry : histograms_) entry.instrument.reset();
 }
 
+std::size_t Registry::size() const {
+  const util::LockGuard lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
 namespace {
 
-void write_histogram_json(std::ostream& os, const Histogram& h) {
-  os << "{\"count\":" << h.count() << ",\"sum\":" << fmt_double(h.sum())
-     << ",\"min\":" << fmt_double(h.min())
-     << ",\"max\":" << fmt_double(h.max())
-     << ",\"mean\":" << fmt_double(h.mean())
-     << ",\"p50\":" << fmt_double(h.percentile(0.50))
-     << ",\"p95\":" << fmt_double(h.percentile(0.95))
-     << ",\"p99\":" << fmt_double(h.percentile(0.99)) << ",\"buckets\":[";
-  const auto& bounds = h.bounds();
-  const auto& counts = h.bucket_counts();
-  for (std::size_t i = 0; i < counts.size(); ++i) {
+void write_histogram_json(std::ostream& os,
+                          const Histogram::Snapshot& snap) {
+  os << "{\"count\":" << snap.count << ",\"sum\":" << fmt_double(snap.sum)
+     << ",\"min\":" << fmt_double(snap.min)
+     << ",\"max\":" << fmt_double(snap.max)
+     << ",\"mean\":" << fmt_double(snap.mean())
+     << ",\"p50\":" << fmt_double(snap.percentile(0.50))
+     << ",\"p95\":" << fmt_double(snap.percentile(0.95))
+     << ",\"p99\":" << fmt_double(snap.percentile(0.99)) << ",\"buckets\":[";
+  for (std::size_t i = 0; i < snap.buckets.size(); ++i) {
     if (i > 0) os << ',';
     os << "{\"le\":";
-    if (i < bounds.size()) {
-      os << fmt_double(bounds[i]);
+    if (i < snap.bounds.size()) {
+      os << fmt_double(snap.bounds[i]);
     } else {
       os << "\"inf\"";
     }
-    os << ",\"count\":" << counts[i] << '}';
+    os << ",\"count\":" << snap.buckets[i] << '}';
   }
   os << "]}";
 }
@@ -189,6 +261,7 @@ void write_histogram_json(std::ostream& os, const Histogram& h) {
 
 void Registry::write_json(std::ostream& os, bool include_wall,
                           const Registry* wall_overlay) const {
+  const util::LockGuard lock(mu_);
   os << "{\"schema\":\"sid-metrics-v1\",\"counters\":{";
   bool first = true;
   for (const auto& entry : counters_) {
@@ -216,7 +289,7 @@ void Registry::write_json(std::ostream& os, bool include_wall,
     os << '"';
     write_escaped(os, entry.name);
     os << "\":";
-    write_histogram_json(os, entry.instrument);
+    write_histogram_json(os, entry.instrument.snapshot());
   }
   os << '}';
   if (include_wall) {
@@ -230,11 +303,15 @@ void Registry::write_json(std::ostream& os, bool include_wall,
         os << '"';
         write_escaped(os, entry.name);
         os << "\":";
-        write_histogram_json(os, entry.instrument);
+        write_histogram_json(os, entry.instrument.snapshot());
       }
     };
     write_wall(histograms_);
     if (wall_overlay != nullptr && wall_overlay != this) {
+      // Lock order: own registry, then overlay. The overlay is only ever
+      // the process-global profile registry, which never dumps *with* a
+      // simulation registry as ITS overlay, so the order is acyclic.
+      const util::LockGuard overlay_lock(wall_overlay->mu_);
       write_wall(wall_overlay->histograms_);
     }
     os << '}';

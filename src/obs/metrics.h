@@ -11,6 +11,15 @@
 //   kWall  wall-clock profiling measurements (obs/profile.h). These vary
 //          run to run and are excluded from deterministic dumps.
 //
+// Concurrency contract (DESIGN.md §5i): Counter is a relaxed atomic,
+// Histogram guards all mutable state with its own Mutex, and Registry
+// guards instrument creation/lookup/dump with a registry Mutex — all
+// three are safe to use from parallel_for workers, and the Clang
+// capability analysis (-Wthread-safety) proves no field is touched
+// without its lock. Gauge is the exception: it is a plain double written
+// only from the single-threaded event loop (set/add from workers would
+// race; none exist, and the TSan lane would catch one).
+//
 // Counters that back simulation results (NetworkStats, SystemResult) stay
 // live in every build: they ARE the result surface, not optional
 // diagnostics. The SID_ENABLE_METRICS=OFF build compiles out only the
@@ -23,10 +32,11 @@
 #include <cstdint>
 #include <deque>
 #include <iosfwd>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 // Central gate for observability instrumentation sites. The CMake option
 // SID_ENABLE_METRICS=OFF defines this to 0, turning every macro site into
@@ -60,6 +70,7 @@ class Counter {
 };
 
 /// Last-written scalar (energy totals, run length, configuration facts).
+/// NOT thread-safe: written only from the single-threaded event loop.
 class Gauge {
  public:
   void set(double v) { value_ = v; }
@@ -75,6 +86,11 @@ class Gauge {
 /// with an implicit final +inf bucket. Tracks count/sum/min/max exactly
 /// and answers percentile queries by linear interpolation inside the
 /// selected bucket.
+///
+/// Thread-safe: record(), reset() and every reader take record_mu_, so
+/// wall-clock stage timers may record from parallel_for workers while a
+/// dump is in progress. Use snapshot() when several fields must be
+/// mutually consistent (the JSON dump does).
 class Histogram {
  public:
   enum class Clock {
@@ -82,62 +98,85 @@ class Histogram {
     kWall,  ///< wall-clock profiling values (nondeterministic)
   };
 
+  /// A mutually consistent copy of the histogram's state, taken under the
+  /// lock in one shot.
+  struct Snapshot {
+    std::vector<double> bounds;          ///< ascending upper edges
+    std::vector<std::uint64_t> buckets;  ///< bounds.size() + 1 entries
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;  ///< 0 when empty
+    double max = 0.0;  ///< 0 when empty
+
+    double mean() const;
+    /// p in [0, 1]. Returns 0 when empty; values in the +inf bucket clamp
+    /// to the observed max.
+    double percentile(double p) const;
+  };
+
   Histogram(std::vector<double> bounds, Clock clock);
-  /// Movable for registry storage; moving while another thread records is
-  /// undefined (registries only create instruments on the main thread).
+  /// Movable for registry storage (the registry's lock serializes the
+  /// move against every other access).
   Histogram(Histogram&& other) noexcept;
 
-  /// Thread-safe (mutex): wall-clock stage timers record from
-  /// parallel_for workers. Readers (percentile/dump) run after the
-  /// parallel region has joined.
-  void record(double value);
-  void reset();
+  void record(double value) SID_EXCLUDES(record_mu_);
+  void reset() SID_EXCLUDES(record_mu_);
 
-  std::uint64_t count() const { return count_; }
-  double sum() const { return sum_; }
-  double min() const { return min_; }  ///< 0 when empty
-  double max() const { return max_; }  ///< 0 when empty
-  double mean() const;
-  /// p in [0, 1]. Returns 0 when empty; values in the +inf bucket clamp
-  /// to the observed max.
-  double percentile(double p) const;
+  Snapshot snapshot() const SID_EXCLUDES(record_mu_);
+
+  std::uint64_t count() const SID_EXCLUDES(record_mu_);
+  double sum() const SID_EXCLUDES(record_mu_);
+  double min() const SID_EXCLUDES(record_mu_);  ///< 0 when empty
+  double max() const SID_EXCLUDES(record_mu_);  ///< 0 when empty
+  double mean() const SID_EXCLUDES(record_mu_);
+  /// Convenience for one-off queries; use snapshot() for consistent sets.
+  double percentile(double p) const SID_EXCLUDES(record_mu_);
 
   Clock clock() const { return clock_; }
+  /// Immutable after construction: safe to read without the lock.
   const std::vector<double>& bounds() const { return bounds_; }
-  /// bucket_counts().size() == bounds().size() + 1 (the +inf bucket).
-  const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
+  /// Snapshot copy; size() == bounds().size() + 1 (the +inf bucket).
+  std::vector<std::uint64_t> bucket_counts() const
+      SID_EXCLUDES(record_mu_);
 
  private:
-  std::vector<double> bounds_;
-  std::vector<std::uint64_t> counts_;
+  std::vector<double> bounds_;  ///< immutable after construction
   Clock clock_;
-  std::uint64_t count_ = 0;
-  double sum_ = 0.0;
-  double min_ = 0.0;
-  double max_ = 0.0;
-  std::mutex record_mu_;  ///< guards record()/reset() only
+  mutable util::Mutex record_mu_;
+  std::vector<std::uint64_t> counts_ SID_GUARDED_BY(record_mu_);
+  std::uint64_t count_ SID_GUARDED_BY(record_mu_) = 0;
+  double sum_ SID_GUARDED_BY(record_mu_) = 0.0;
+  double min_ SID_GUARDED_BY(record_mu_) = 0.0;
+  double max_ SID_GUARDED_BY(record_mu_) = 0.0;
 };
 
 /// Insertion-ordered collection of named instruments. References returned
 /// by counter()/gauge()/histogram() stay valid for the registry's
 /// lifetime (deque storage), so call sites resolve the name once and
 /// record through the reference.
+///
+/// Thread-safe: creation, lookup, reset and dump serialize on mu_.
+/// Recording through previously resolved references does not touch the
+/// registry lock (the instruments synchronize themselves).
 class Registry {
  public:
   /// Finds or creates. A name identifies exactly one instrument kind;
   /// re-requesting an existing name with a different kind throws.
-  Counter& counter(std::string_view name);
-  Gauge& gauge(std::string_view name);
+  Counter& counter(std::string_view name) SID_EXCLUDES(mu_);
+  Gauge& gauge(std::string_view name) SID_EXCLUDES(mu_);
   /// `bounds` are used only on first creation for a given name.
   Histogram& histogram(std::string_view name, std::vector<double> bounds,
-                       Histogram::Clock clock = Histogram::Clock::kSim);
+                       Histogram::Clock clock = Histogram::Clock::kSim)
+      SID_EXCLUDES(mu_);
 
-  const Counter* find_counter(std::string_view name) const;
-  const Gauge* find_gauge(std::string_view name) const;
-  const Histogram* find_histogram(std::string_view name) const;
+  const Counter* find_counter(std::string_view name) const
+      SID_EXCLUDES(mu_);
+  const Gauge* find_gauge(std::string_view name) const SID_EXCLUDES(mu_);
+  const Histogram* find_histogram(std::string_view name) const
+      SID_EXCLUDES(mu_);
 
   /// Zeroes every instrument (bucket layouts are kept).
-  void reset();
+  void reset() SID_EXCLUDES(mu_);
 
   /// Dumps `{"schema":"sid-metrics-v1","counters":{...},"gauges":{...},
   /// "histograms":{...},"profile":{...}}`. Wall-clock histograms go under
@@ -147,13 +186,13 @@ class Registry {
   /// section too (used to fold the process-global profiling registry into
   /// a simulation registry's dump).
   void write_json(std::ostream& os, bool include_wall = true,
-                  const Registry* wall_overlay = nullptr) const;
+                  const Registry* wall_overlay = nullptr) const
+      SID_EXCLUDES(mu_);
   std::string to_json(bool include_wall = true,
-                      const Registry* wall_overlay = nullptr) const;
+                      const Registry* wall_overlay = nullptr) const
+      SID_EXCLUDES(mu_);
 
-  std::size_t size() const {
-    return counters_.size() + gauges_.size() + histograms_.size();
-  }
+  std::size_t size() const SID_EXCLUDES(mu_);
 
  private:
   template <typename T>
@@ -162,9 +201,17 @@ class Registry {
     T instrument;
   };
 
-  std::deque<Named<Counter>> counters_;
-  std::deque<Named<Gauge>> gauges_;
-  std::deque<Named<Histogram>> histograms_;
+  const Counter* find_counter_locked(std::string_view name) const
+      SID_REQUIRES(mu_);
+  const Gauge* find_gauge_locked(std::string_view name) const
+      SID_REQUIRES(mu_);
+  const Histogram* find_histogram_locked(std::string_view name) const
+      SID_REQUIRES(mu_);
+
+  mutable util::Mutex mu_;
+  std::deque<Named<Counter>> counters_ SID_GUARDED_BY(mu_);
+  std::deque<Named<Gauge>> gauges_ SID_GUARDED_BY(mu_);
+  std::deque<Named<Histogram>> histograms_ SID_GUARDED_BY(mu_);
 };
 
 }  // namespace sid::obs

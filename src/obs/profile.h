@@ -7,8 +7,12 @@
 // their histograms are registered as Clock::kWall and excluded from
 // deterministic metric dumps; they never influence simulation behaviour.
 //
-// The simulation is single-threaded (see wsn/event_queue.h); the global
-// registry is not synchronized.
+// Thread-safe (DESIGN.md §5i): stage timers run on parallel_for workers
+// (per-node synthesis/detection wraps kSynthesis/kDetector scopes), so
+// the process-global registry relies on Registry's internal lock for
+// creation and on Histogram's record mutex for concurrent records. The
+// first stage_histogram() call builds the stage table under the C++
+// static-initialization guard.
 #pragma once
 
 #include <cstddef>

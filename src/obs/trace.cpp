@@ -81,28 +81,40 @@ unsigned parse_category_list(std::string_view csv) {
 void Tracer::open(const std::string& path, unsigned categories) {
   auto file = std::make_unique<std::ofstream>(path, std::ios::trunc);
   util::require(file->is_open(), "Tracer::open: cannot open " + path);
+  const util::LockGuard lock(mu_);
   file_ = std::move(file);
-  out_ = file_.get();
-  categories_ = categories;
+  out_.store(file_.get(), std::memory_order_relaxed);
+  categories_.store(categories, std::memory_order_relaxed);
 }
 
 void Tracer::attach(std::ostream* os, unsigned categories) {
   util::require(os != nullptr, "Tracer::attach: null stream");
+  const util::LockGuard lock(mu_);
   file_.reset();
-  out_ = os;
-  categories_ = categories;
+  out_.store(os, std::memory_order_relaxed);
+  categories_.store(categories, std::memory_order_relaxed);
 }
 
 void Tracer::close() {
-  if (out_ != nullptr) out_->flush();
+  const util::LockGuard lock(mu_);
+  if (std::ostream* os = out_.load(std::memory_order_relaxed)) os->flush();
   file_.reset();
-  out_ = nullptr;
+  out_.store(nullptr, std::memory_order_relaxed);
+}
+
+std::uint64_t Tracer::events_emitted() const {
+  const util::LockGuard lock(mu_);
+  return events_;
 }
 
 void Tracer::emit(Category cat, std::string_view name, double sim_time_s,
                   std::initializer_list<Field> fields) {
   if (!enabled(cat)) return;
-  std::ostream& os = *out_;
+  // Serialize the whole line: concurrent emitters never interleave bytes.
+  const util::LockGuard lock(mu_);
+  std::ostream* out = out_.load(std::memory_order_relaxed);
+  if (out == nullptr) return;  // closed between the check and the lock
+  std::ostream& os = *out;
   os << "{\"t\":" << fmt_double(sim_time_s) << ",\"cat\":\""
      << category_name(cat) << "\",\"name\":\"";
   write_escaped(os, name);

@@ -3,13 +3,22 @@
 //
 //   {"t":123.456,"cat":"net","name":"msg_tx","args":{"src":3,"dst":0}}
 //
-// A disabled tracer (the default) costs one pointer test and one bitmask
-// test per site; instrumentation sites go through the SID_TRACE macro so
-// the SID_ENABLE_METRICS=OFF build removes them entirely. The JSONL file
-// converts to Chrome about://tracing format with
+// A disabled tracer (the default) costs one atomic pointer test and one
+// bitmask test per site; instrumentation sites go through the SID_TRACE
+// macro so the SID_ENABLE_METRICS=OFF build removes them entirely. The
+// JSONL file converts to Chrome about://tracing format with
 // scripts/trace_to_chrome.py.
+//
+// Concurrency contract (DESIGN.md §5i): the armed-state fast path
+// (active()/enabled()) is a relaxed atomic load, and emit() serializes
+// whole event lines on an internal Mutex, so tracing from parallel_for
+// workers cannot interleave bytes. Event ORDER across threads is
+// scheduling-dependent, which is why deterministic runs only trace from
+// the single-threaded event loop. open()/attach()/close() must not race
+// emit() (arm the tracer before the run, close after).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <fstream>
 #include <initializer_list>
@@ -20,6 +29,7 @@
 #include <string_view>
 
 #include "obs/metrics.h"  // SID_METRICS_ENABLED
+#include "util/thread_annotations.h"
 
 namespace sid::obs {
 
@@ -85,35 +95,46 @@ class Tracer {
   Tracer() = default;
 
   /// Opens `path` for writing (truncates). Throws util::Error on failure.
-  void open(const std::string& path, unsigned categories = kAllCategories);
+  void open(const std::string& path, unsigned categories = kAllCategories)
+      SID_EXCLUDES(mu_);
 
   /// Writes to an externally owned stream (tests, stringstreams).
-  void attach(std::ostream* os, unsigned categories = kAllCategories);
+  void attach(std::ostream* os, unsigned categories = kAllCategories)
+      SID_EXCLUDES(mu_);
 
   /// Flushes and detaches; the tracer returns to the disabled state.
-  void close();
+  void close() SID_EXCLUDES(mu_);
 
-  void set_categories(unsigned mask) { categories_ = mask; }
-  unsigned categories() const { return categories_; }
-
-  bool active() const { return out_ != nullptr; }
-  bool enabled(Category cat) const {
-    return out_ != nullptr &&
-           (categories_ & static_cast<unsigned>(cat)) != 0;
+  void set_categories(unsigned mask) {
+    categories_.store(mask, std::memory_order_relaxed);
+  }
+  unsigned categories() const {
+    return categories_.load(std::memory_order_relaxed);
   }
 
-  /// Writes one event line. Callers must check enabled() first (the
-  /// SID_TRACE macro does); emit() on a disabled category is a no-op.
-  void emit(Category cat, std::string_view name, double sim_time_s,
-            std::initializer_list<Field> fields = {});
+  bool active() const {
+    return out_.load(std::memory_order_relaxed) != nullptr;
+  }
+  bool enabled(Category cat) const {
+    return active() && (categories() & static_cast<unsigned>(cat)) != 0;
+  }
 
-  std::uint64_t events_emitted() const { return events_; }
+  /// Writes one event line (serialized on the internal mutex). Callers
+  /// must check enabled() first (the SID_TRACE macro does); emit() on a
+  /// disabled category is a no-op.
+  void emit(Category cat, std::string_view name, double sim_time_s,
+            std::initializer_list<Field> fields = {}) SID_EXCLUDES(mu_);
+
+  std::uint64_t events_emitted() const SID_EXCLUDES(mu_);
 
  private:
-  std::ostream* out_ = nullptr;
-  std::unique_ptr<std::ofstream> file_;
-  unsigned categories_ = kAllCategories;
-  std::uint64_t events_ = 0;
+  /// Armed-state fast path: non-null iff the tracer is armed. The pointee
+  /// is only written by emit() under mu_.
+  std::atomic<std::ostream*> out_{nullptr};
+  std::atomic<unsigned> categories_{kAllCategories};
+  mutable util::Mutex mu_;
+  std::unique_ptr<std::ofstream> file_ SID_GUARDED_BY(mu_);
+  std::uint64_t events_ SID_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace sid::obs

@@ -14,24 +14,24 @@ ThreadPool::ThreadPool(std::size_t threads)
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const LockGuard lock(mu_);
     stop_ = true;
   }
   job_ready_.notify_all();
   for (auto& t : workers_) t.join();
 }
 
-void ThreadPool::run_chunk(std::size_t worker_index) {
+void ThreadPool::run_chunk(std::size_t worker_index, std::size_t n,
+                           const std::function<void(std::size_t)>& body) {
   // Static chunking: worker w owns [w*n/T, (w+1)*n/T). The bounds depend
   // only on (n, T), so the set of indices each worker executes — and
   // therefore every output slot it writes — is scheduling-independent.
-  const std::size_t n = job_.n;
   const std::size_t begin = worker_index * n / threads_;
   const std::size_t end = (worker_index + 1) * n / threads_;
   try {
-    for (std::size_t i = begin; i < end; ++i) (*job_.body)(i);
+    for (std::size_t i = begin; i < end; ++i) body(i);
   } catch (...) {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const LockGuard lock(mu_);
     if (!job_.error) job_.error = std::current_exception();
   }
 }
@@ -39,18 +39,26 @@ void ThreadPool::run_chunk(std::size_t worker_index) {
 void ThreadPool::worker_loop(std::size_t worker_index) {
   std::size_t seen_generation = 0;
   for (;;) {
+    // Snapshot the job description under the lock; the snapshot (not the
+    // guarded job_ fields) feeds the lock-free chunk execution. The
+    // pointee stays valid until parallel_for returns, which cannot happen
+    // before this worker decrements pending below.
+    std::size_t n = 0;
+    const std::function<void(std::size_t)>* body = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      job_ready_.wait(lock, [&] {
-        return stop_ || job_.generation != seen_generation;
-      });
+      const LockGuard lock(mu_);
+      while (!stop_ && job_.generation == seen_generation) {
+        job_ready_.wait(mu_);
+      }
       if (stop_) return;
       seen_generation = job_.generation;
+      n = job_.n;
+      body = job_.body;
     }
-    run_chunk(worker_index);
+    run_chunk(worker_index, n, *body);
     bool last = false;
     {
-      const std::lock_guard<std::mutex> lock(mu_);
+      const LockGuard lock(mu_);
       last = --job_.pending == 0;
     }
     if (last) job_done_.notify_one();
@@ -65,7 +73,7 @@ void ThreadPool::parallel_for(std::size_t n,
     return;
   }
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const LockGuard lock(mu_);
     job_.n = n;
     job_.body = &body;
     job_.pending = threads_ - 1;
@@ -73,11 +81,11 @@ void ThreadPool::parallel_for(std::size_t n,
     ++job_.generation;
   }
   job_ready_.notify_all();
-  run_chunk(0);  // the caller is worker 0
+  run_chunk(0, n, body);  // the caller is worker 0
   std::exception_ptr error;
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    job_done_.wait(lock, [&] { return job_.pending == 0; });
+    const LockGuard lock(mu_);
+    while (job_.pending != 0) job_done_.wait(mu_);
     job_.body = nullptr;
     error = std::exchange(job_.error, nullptr);
   }

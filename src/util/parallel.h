@@ -14,13 +14,13 @@
 // everywhere else, so all parallelism inherits these ordering guarantees.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace sid::util {
 
@@ -60,15 +60,20 @@ class ThreadPool {
   };
 
   void worker_loop(std::size_t worker_index);
-  void run_chunk(std::size_t worker_index);
+  /// Executes worker `worker_index`'s chunk of [0, n). The job description
+  /// is passed by value/reference (snapshotted under mu_ by the caller),
+  /// so the chunk itself runs lock-free; only error capture reacquires.
+  void run_chunk(std::size_t worker_index, std::size_t n,
+                 const std::function<void(std::size_t)>& body)
+      SID_EXCLUDES(mu_);
 
   std::size_t threads_;
   std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable job_ready_;
-  std::condition_variable job_done_;
-  Job job_;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar job_ready_;
+  CondVar job_done_;
+  Job job_ SID_GUARDED_BY(mu_);
+  bool stop_ SID_GUARDED_BY(mu_) = false;
 };
 
 /// Convenience wrapper: serial loop when `pool` is null or single-threaded,
