@@ -9,6 +9,9 @@
 //                    [--cols 6] [--seed 1] [--threads 1]
 //                    [--metrics-out metrics.json]
 //                    [--trace-out trace.jsonl] [--trace-categories net,sink]
+//                    [--telemetry-out telemetry.jsonl]
+//                    [--telemetry-interval 5]
+//                    [--flightrec-out flightrec.jsonl]
 //
 // `simulate` writes a synthetic buoy recording (SIDB binary, or CSV with
 // --csv); `detect` runs the paper's node-level detector over any trace
@@ -198,6 +201,19 @@ int cmd_scenario(const Args& args) {
         trace_out,
         obs::parse_category_list(args.str("trace-categories", "all")));
   }
+  const std::string telemetry_out = args.str("telemetry-out", "");
+  if (!telemetry_out.empty()) {
+    obs::TelemetryConfig telemetry_cfg;
+    telemetry_cfg.interval_s = args.num("telemetry-interval", 5.0);
+    system.enable_telemetry(telemetry_cfg);
+  }
+  const std::string flightrec_out = args.str("flightrec-out", "");
+  if (!flightrec_out.empty()) {
+    // Arm crash dumping too: on SID_CHECK failure the recorder writes the
+    // last events to this file before the abort.
+    system.flight_recorder().set_auto_dump_path(flightrec_out);
+    system.flight_recorder().install_crash_dump(flightrec_out);
+  }
   const auto result = system.run(ships);
   const std::uint64_t trace_events = system.tracer().events_emitted();
   if (!trace_out.empty()) system.tracer().close();
@@ -211,6 +227,18 @@ int cmd_scenario(const Args& args) {
     system.registry().write_json(os, /*include_wall=*/true,
                                  &obs::profile_registry());
     os << '\n';
+  }
+
+  if (!telemetry_out.empty()) {
+    std::ofstream os(telemetry_out);
+    if (!os) {
+      throw util::InvalidArgument("cannot open telemetry file: " +
+                                  telemetry_out);
+    }
+    if (const auto* sampler = system.telemetry()) sampler->dump_jsonl(os);
+  }
+  if (!flightrec_out.empty()) {
+    system.flight_recorder().dump_to_file(flightrec_out, "end_of_run");
   }
 
   // One-line observability digest on stderr (stdout stays the sink log).
@@ -265,6 +293,8 @@ int main(int argc, char** argv) {
                "  detect   --in FILE [--m M] [--af F]\n"
                "  scenario [--ship-knots N] [--heading DEG] [--rows R] "
                "[--cols C] [--seed N] [--threads T] [--metrics-out FILE] "
-               "[--trace-out FILE] [--trace-categories LIST]\n");
+               "[--trace-out FILE] [--trace-categories LIST] "
+               "[--telemetry-out FILE] [--telemetry-interval S] "
+               "[--flightrec-out FILE]\n");
   return 2;
 }

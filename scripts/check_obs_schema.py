@@ -4,13 +4,21 @@
 Validates:
   * a sid-metrics-v1 metrics/profile dump (Registry::write_json output:
     sid_cli --metrics-out, perf_detector/perf_dsp --smoke BENCH_*.json)
-  * optionally, a JSONL event trace (obs::Tracer / sid_cli --trace-out)
+  * optionally, a JSONL event trace (obs::Tracer / sid_cli --trace-out),
+    including embedded span records ({"span":{"id":...,"dur":...}})
+  * optionally, a sid-telemetry-v1 JSONL series
+    (sid_cli --telemetry-out)
+  * optionally, a sid-flightrec-v1 JSONL dump (sid_cli --flightrec-out
+    or a crash/quarantine auto-dump)
 
 Usage:
     check_obs_schema.py BENCH_detector.json [--trace trace.jsonl]
         [--require-stage detector] [--min-trace-events 1]
+        [--min-span-events 1]
         [--require-counter net.e2e_retries]
         [--require-histogram sid.recovery_time_s]
+        [--telemetry telemetry.jsonl] [--require-series sid.alarms_raised]
+        [--flightrec flightrec.jsonl]
 
 Exit status: 0 valid, 1 schema violation.
 """
@@ -23,7 +31,11 @@ import sys
 from pathlib import Path
 
 SCHEMA = "sid-metrics-v1"
-TRACE_CATEGORIES = {"net", "node", "cluster", "sink", "energy", "fault"}
+TELEMETRY_SCHEMA = "sid-telemetry-v1"
+FLIGHTREC_SCHEMA = "sid-flightrec-v1"
+TRACE_CATEGORIES = {"net", "node", "cluster", "sink", "energy", "fault",
+                    "defense"}
+SPAN_ID_HEX_LEN = 16
 HISTOGRAM_KEYS = {"count", "sum", "min", "max", "mean",
                   "p50", "p95", "p99", "buckets"}
 
@@ -116,8 +128,37 @@ def check_metrics(path: Path, require_stages: list[str],
           f"{len(doc['gauges'])} gauges, {n_hist} histograms)")
 
 
-def check_trace(path: Path, min_events: int):
+def check_event(ctx: str, record) -> bool:
+    """Validates one trace/flight-recorder event line. Returns True when
+    the event carries a span record."""
+    if not isinstance(record, dict):
+        fail(ctx, "event is not an object")
+    if not isinstance(record.get("t"), (int, float)):
+        fail(ctx, "t must be a number (simulation seconds)")
+    if record.get("cat") not in TRACE_CATEGORIES:
+        fail(ctx, f"unknown category {record.get('cat')!r}")
+    if not isinstance(record.get("name"), str) or not record["name"]:
+        fail(ctx, "name must be a non-empty string")
+    if not isinstance(record.get("args"), dict):
+        fail(ctx, "args must be an object")
+    span = record.get("span")
+    if span is None:
+        return False
+    if not isinstance(span, dict):
+        fail(ctx, "span must be an object")
+    span_id = span.get("id")
+    if (not isinstance(span_id, str) or len(span_id) != SPAN_ID_HEX_LEN
+            or any(c not in "0123456789abcdef" for c in span_id)):
+        fail(ctx, f"span id must be {SPAN_ID_HEX_LEN} lowercase hex digits")
+    dur = span.get("dur")
+    if not isinstance(dur, (int, float)) or dur < 0:
+        fail(ctx, "span dur must be a non-negative number")
+    return True
+
+
+def check_trace(path: Path, min_events: int, min_span_events: int = 0):
     n = 0
+    n_spans = 0
     with path.open(encoding="utf-8") as fh:
         for lineno, line in enumerate(fh, start=1):
             line = line.strip()
@@ -128,20 +169,121 @@ def check_trace(path: Path, min_events: int):
                 record = json.loads(line)
             except json.JSONDecodeError as err:
                 fail(ctx, f"not valid JSON: {err}")
-            if not isinstance(record, dict):
-                fail(ctx, "event is not an object")
-            if not isinstance(record.get("t"), (int, float)):
-                fail(ctx, "t must be a number (simulation seconds)")
-            if record.get("cat") not in TRACE_CATEGORIES:
-                fail(ctx, f"unknown category {record.get('cat')!r}")
-            if not isinstance(record.get("name"), str) or not record["name"]:
-                fail(ctx, "name must be a non-empty string")
-            if not isinstance(record.get("args"), dict):
-                fail(ctx, "args must be an object")
+            if check_event(ctx, record):
+                n_spans += 1
             n += 1
     if n < min_events:
         fail(str(path), f"only {n} events, expected at least {min_events}")
-    print(f"{path}: OK ({n} trace events)")
+    if n_spans < min_span_events:
+        fail(str(path),
+             f"only {n_spans} span events, expected at least "
+             f"{min_span_events}")
+    print(f"{path}: OK ({n} trace events, {n_spans} span records)")
+
+
+def check_telemetry(path: Path, require_series: list[str]):
+    with path.open(encoding="utf-8") as fh:
+        lines = [line.strip() for line in fh if line.strip()]
+    ctx = str(path)
+    if not lines:
+        fail(ctx, "empty telemetry file")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as err:
+        fail(f"{ctx}:1", f"not valid JSON: {err}")
+    if not isinstance(header, dict):
+        fail(f"{ctx}:1", "header is not an object")
+    if header.get("schema") != TELEMETRY_SCHEMA:
+        fail(ctx, f"schema is {header.get('schema')!r}, "
+                  f"expected {TELEMETRY_SCHEMA!r}")
+    interval = header.get("interval_s")
+    if not isinstance(interval, (int, float)) or interval <= 0:
+        fail(ctx, "interval_s must be a positive number")
+    for key in ("samples", "rows"):
+        if not isinstance(header.get(key), int) or header[key] < 0:
+            fail(ctx, f"{key} must be a non-negative integer")
+    for key in ("counters", "gauges"):
+        names = header.get(key)
+        if (not isinstance(names, list)
+                or any(not isinstance(x, str) for x in names)):
+            fail(ctx, f"{key} must be a list of names")
+    counters = set(header["counters"])
+    gauges = set(header["gauges"])
+    for name in require_series:
+        if name not in counters and name not in gauges:
+            fail(ctx, f"required series {name!r} missing from header")
+    rows = lines[1:]
+    if len(rows) != header["rows"]:
+        fail(ctx, f"header says {header['rows']} rows, file has {len(rows)}")
+    prev_t = None
+    for i, line in enumerate(rows, start=2):
+        rctx = f"{ctx}:{i}"
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError as err:
+            fail(rctx, f"not valid JSON: {err}")
+        if not isinstance(row, dict):
+            fail(rctx, "row is not an object")
+        t = row.get("t")
+        if not isinstance(t, (int, float)):
+            fail(rctx, "t must be a number")
+        if prev_t is not None and t <= prev_t:
+            fail(rctx, "row times must be strictly increasing")
+        prev_t = t
+        for section, names in (("counters", counters), ("gauges", gauges)):
+            values = row.get(section)
+            if not isinstance(values, dict):
+                fail(rctx, f"{section} must be an object")
+            for name, value in values.items():
+                if name not in names:
+                    fail(rctx, f"{section} key {name!r} not in header")
+                if section == "counters":
+                    if not isinstance(value, int) or value < 0:
+                        fail(f"{rctx}:{name}",
+                             "counter must be a non-negative integer")
+                elif not isinstance(value, (int, float)):
+                    fail(f"{rctx}:{name}", "gauge must be a number")
+    print(f"{path}: OK ({len(rows)} telemetry rows, "
+          f"{len(counters)} counters, {len(gauges)} gauges)")
+
+
+def check_flightrec(path: Path):
+    with path.open(encoding="utf-8") as fh:
+        lines = [line.strip() for line in fh if line.strip()]
+    ctx = str(path)
+    if not lines:
+        fail(ctx, "empty flight-recorder file")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as err:
+        fail(f"{ctx}:1", f"not valid JSON: {err}")
+    if not isinstance(header, dict):
+        fail(f"{ctx}:1", "header is not an object")
+    if header.get("schema") != FLIGHTREC_SCHEMA:
+        fail(ctx, f"schema is {header.get('schema')!r}, "
+                  f"expected {FLIGHTREC_SCHEMA!r}")
+    if not isinstance(header.get("reason"), str) or not header["reason"]:
+        fail(ctx, "reason must be a non-empty string")
+    for key in ("capacity", "recorded", "events"):
+        if not isinstance(header.get(key), int) or header[key] < 0:
+            fail(ctx, f"{key} must be a non-negative integer")
+    events = lines[1:]
+    if len(events) != header["events"]:
+        fail(ctx,
+             f"header says {header['events']} events, file has {len(events)}")
+    if header["recorded"] < header["events"]:
+        fail(ctx, "recorded total below retained event count")
+    n_spans = 0
+    for i, line in enumerate(events, start=2):
+        ectx = f"{ctx}:{i}"
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as err:
+            fail(ectx, f"not valid JSON: {err}")
+        if check_event(ectx, record):
+            n_spans += 1
+    print(f"{path}: OK ({len(events)} flight-recorder events, "
+          f"{n_spans} span records, reason={header['reason']!r})")
 
 
 def main() -> int:
@@ -156,6 +298,16 @@ def main() -> int:
                              "histogram (repeatable)")
     parser.add_argument("--min-trace-events", type=int, default=1,
                         help="minimum events the trace must contain")
+    parser.add_argument("--min-span-events", type=int, default=0,
+                        help="minimum span records the trace must contain")
+    parser.add_argument("--telemetry", type=Path,
+                        help="sid-telemetry-v1 JSONL series to validate")
+    parser.add_argument("--require-series", action="append", default=[],
+                        metavar="NAME",
+                        help="require the telemetry header to list this "
+                             "counter/gauge series (repeatable)")
+    parser.add_argument("--flightrec", type=Path,
+                        help="sid-flightrec-v1 JSONL dump to validate")
     parser.add_argument("--require-counter", action="append", default=[],
                         metavar="NAME",
                         help="require a counter with this exact name, e.g. "
@@ -171,7 +323,12 @@ def main() -> int:
         check_metrics(args.metrics, args.require_stage,
                       args.require_counter, args.require_histogram)
         if args.trace:
-            check_trace(args.trace, args.min_trace_events)
+            check_trace(args.trace, args.min_trace_events,
+                        args.min_span_events)
+        if args.telemetry:
+            check_telemetry(args.telemetry, args.require_series)
+        if args.flightrec:
+            check_flightrec(args.flightrec)
     except SchemaError as err:
         print(f"schema violation — {err}", file=sys.stderr)
         return 1

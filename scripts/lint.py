@@ -48,6 +48,13 @@ Enforces the discipline clang-tidy cannot express:
                     guard_ledger) and the quarantine listener; letting
                     protocol code poke the tables/ledgers directly would
                     bypass the admission funnel the defense audits.
+  span-funnel       no direct Tracer::emit_span call in src/ outside
+                    src/obs/ — span records are emitted through the
+                    SID_SPAN macro only (obs/span.h), so the
+                    SID_ENABLE_METRICS=OFF build compiles every site
+                    away and the noop suite can prove it. A direct call
+                    would survive the metrics-off build and re-introduce
+                    tracing cost the flag promises to remove.
 
 Exit status: 0 clean, 1 violations found, 2 internal error.
 
@@ -131,6 +138,17 @@ DEFENSE_FUNNEL_PATTERNS = (
                r"|boot_neighbor|sweep)\s*\("),
     # GuardLedger / quarantine-view mutators.
     re.compile(r"\.\s*(?:assess|apply_notice)\s*\("),
+)
+
+# The span funnel: only the obs layer itself (the macro's implementation
+# and its tests live there) may name Tracer::emit_span. Call sites in the
+# rest of src/ must go through SID_SPAN; the macro text at a call site
+# never contains `->emit_span(` pre-expansion, so the pattern only fires
+# on hand-written direct calls. Tests/benches drive the API directly.
+SPAN_FUNNEL_PREFIX = "src/obs/"
+
+SPAN_FUNNEL_PATTERNS = (
+    re.compile(r"(?:\.|->)\s*emit_span\s*\("),
 )
 
 ALLOW_RE = re.compile(r"//\s*lint:allow\s+([a-z-]+)")
@@ -228,6 +246,8 @@ class Linter:
         check_mutex = rel not in MUTEX_ALLOWED
         check_defense = (rel_posix.startswith("src/")
                          and not rel_posix.startswith(DEFENSE_FUNNEL_PREFIX))
+        check_span = (rel_posix.startswith("src/")
+                      and not rel_posix.startswith(SPAN_FUNNEL_PREFIX))
 
         for lineno, raw in enumerate(lines, start=1):
             allowed = {m for m in ALLOW_RE.findall(raw)}
@@ -294,6 +314,16 @@ class Linter:
                             f"consume suspects()/quarantine_view()/"
                             f"guard_ledger() read-only views or the "
                             f"quarantine listener instead")
+            if check_span and "span-funnel" not in allowed:
+                for pat in SPAN_FUNNEL_PATTERNS:
+                    m = pat.search(code)
+                    if m:
+                        self.report(
+                            "span-funnel", path, lineno,
+                            f"direct span emission "
+                            f"'{m.group(0).strip()}' outside src/obs/ — "
+                            f"use the SID_SPAN macro so the metrics-off "
+                            f"build compiles the site away")
             if (is_header and "header-using" not in allowed
                     and USING_NAMESPACE_RE.search(code)):
                 self.report("header-using", path, lineno,
@@ -356,6 +386,8 @@ def self_test() -> int:
             "void f() { table.on_beacon(3, t); }\n",
         "defense-funnel-ledger":
             "void g() { ledger.assess(msg, t); }\n",
+        "span-funnel":
+            "void f() { tracer->emit_span(cat, \"n\", t, d, id, {}); }\n",
     }
     failures = []
     with tempfile.TemporaryDirectory() as tmp:
@@ -399,6 +431,10 @@ def self_test() -> int:
         core_dir.mkdir()
         (core_dir / "m.cpp").write_text(cases["defense-funnel"])
         (core_dir / "n.cpp").write_text(cases["defense-funnel-ledger"])
+        # Span-funnel plant: a core-layer file calling emit_span directly;
+        # the obs layer itself (the macro's home) is exempt.
+        (core_dir / "r.cpp").write_text(cases["span-funnel"])
+        (obs / "span_ok.cpp").write_text(cases["span-funnel"])
         # A protocol struct with an inexact default.
         wsn = src / "wsn"
         wsn.mkdir()
@@ -432,6 +468,7 @@ def self_test() -> int:
                 ("mutex-funnel", "q.cpp"),
                 ("defense-funnel", "m.cpp"),
                 ("defense-funnel", "n.cpp"),
+                ("span-funnel", "r.cpp"),
                 ("protocol-literal", "3.3"),
         ]:
             if not any(f"[{rule}]" in v and needle in v
@@ -454,6 +491,10 @@ def self_test() -> int:
                for v in linter.violations):
             failures.append(
                 "defense-funnel fired inside the exempt src/wsn/ tree")
+        if any("obs/span_ok.cpp" in v and "[span-funnel]" in v
+               for v in linter.violations):
+            failures.append(
+                "span-funnel fired inside the exempt src/obs/ tree")
         # (match on the location prefix: the rule's advice text itself
         # names the exempt header)
         if any(v.startswith("src/util/thread_annotations.h:")

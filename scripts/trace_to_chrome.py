@@ -5,11 +5,20 @@ Input lines (written by obs::Tracer, sid_cli --trace-out):
 
     {"t": <sim seconds>, "cat": "net", "name": "msg_tx", "args": {...}}
 
+and span records (SID_SPAN sites, obs/span.h):
+
+    {"t": ..., "cat": "net", "name": "span_hop",
+     "span": {"id": "16-hex", "dur": <seconds>}, "args": {...}}
+
 Output is a single JSON object loadable in chrome://tracing or Perfetto
 (https://ui.perfetto.dev). Each category becomes its own track (tid), so
 network traffic, cluster protocol and sink decisions line up on one
-simulation timeline. All events are instants; simulation seconds map to
-trace microseconds 1:1, so "1 ms" in the viewer is 1 ms of sim time.
+simulation timeline. Plain events are instants; span records with a
+positive duration become complete ("X") slices, and every span record
+additionally joins a flow (s/t/f arrows keyed by the span id), so a sink
+decision's causal chain — origin, hops, retry waits, sink accept — reads
+as one connected arc across the tracks. Simulation seconds map to trace
+microseconds 1:1, so "1 ms" in the viewer is 1 ms of sim time.
 
 Usage:
     trace_to_chrome.py trace.jsonl -o trace_chrome.json
@@ -23,12 +32,16 @@ import sys
 from pathlib import Path
 
 # Stable track order: protocol layers top to bottom.
-CATEGORY_TRACKS = ("node", "cluster", "sink", "net", "energy", "fault")
+CATEGORY_TRACKS = ("node", "cluster", "sink", "net", "energy", "fault",
+                   "defense")
 
 
 def convert(lines, strict: bool) -> dict:
     events = []
     tids = {cat: i for i, cat in enumerate(CATEGORY_TRACKS)}
+    # Per span id: index of the last flow event emitted, so chains render
+    # start -> step -> ... -> step and the final step is flipped to "f".
+    flow_last: dict[str, int] = {}
     for lineno, line in enumerate(lines, start=1):
         line = line.strip()
         if not line:
@@ -38,21 +51,55 @@ def convert(lines, strict: bool) -> dict:
             t_us = float(record["t"]) * 1e6
             cat = str(record["cat"])
             name = str(record["name"])
+            span = record.get("span")
+            span_id = None if span is None else str(span["id"])
+            dur_us = 0.0 if span is None else float(span["dur"]) * 1e6
         except (json.JSONDecodeError, KeyError, TypeError, ValueError) as err:
             if strict:
                 raise SystemExit(f"line {lineno}: malformed event: {err}")
             continue
         tid = tids.setdefault(cat, len(tids))
-        events.append({
-            "name": name,
-            "cat": cat,
-            "ph": "i",       # instant event
-            "s": "t",        # thread-scoped flag
-            "ts": t_us,
-            "pid": 0,
-            "tid": tid,
-            "args": record.get("args", {}),
-        })
+        if span_id is not None and dur_us > 0.0:
+            events.append({
+                "name": name,
+                "cat": cat,
+                "ph": "X",   # complete event: a slice with a duration
+                "ts": t_us,
+                "dur": dur_us,
+                "pid": 0,
+                "tid": tid,
+                "args": record.get("args", {}),
+            })
+        else:
+            events.append({
+                "name": name,
+                "cat": cat,
+                "ph": "i",       # instant event
+                "s": "t",        # thread-scoped flag
+                "ts": t_us,
+                "pid": 0,
+                "tid": tid,
+                "args": record.get("args", {}),
+            })
+        if span_id is not None:
+            # Flow arc through every record sharing this span id. Emitted
+            # as steps for now; the loop below flips the last one to "f".
+            flow_id = int(span_id, 16)
+            events.append({
+                "name": name,
+                "cat": cat,
+                "ph": "t" if span_id in flow_last else "s",
+                "id": flow_id,
+                "ts": t_us,
+                "pid": 0,
+                "tid": tid,
+                "args": {},
+            })
+            flow_last[span_id] = len(events) - 1
+    for index in flow_last.values():
+        if events[index]["ph"] == "t":
+            events[index]["ph"] = "f"
+            events[index]["bp"] = "e"  # bind to the enclosing slice
     # Metadata: label each track with its category name.
     meta = [{
         "name": "thread_name",
@@ -79,9 +126,10 @@ def main() -> int:
     with out.open("w", encoding="utf-8") as fh:
         json.dump(doc, fh)
         fh.write("\n")
-    n = sum(1 for e in doc["traceEvents"] if e["ph"] == "i")
-    print(f"wrote {out} ({n} events, "
-          f"{len(doc['traceEvents']) - n} track labels)")
+    n = sum(1 for e in doc["traceEvents"] if e["ph"] in ("i", "X"))
+    flows = sum(1 for e in doc["traceEvents"] if e["ph"] in ("s", "t", "f"))
+    print(f"wrote {out} ({n} events, {flows} flow steps, "
+          f"{len(doc['traceEvents']) - n - flows} track labels)")
     return 0
 
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "obs/profile.h"
+#include "obs/span.h"
 #include "util/error.h"
 #include "util/parallel.h"
 
@@ -112,7 +113,8 @@ ScenarioRun simulate_node_reports(const wsn::Network& network,
     }();
 
     node_run.reports.reserve(node_run.alarms.size());
-    for (const auto& alarm : node_run.alarms) {
+    for (std::size_t a = 0; a < node_run.alarms.size(); ++a) {
+      const auto& alarm = node_run.alarms[a];
       wsn::DetectionReport report;
       report.reporter = info.id;
       report.position = info.anchor;  // believed position
@@ -122,6 +124,12 @@ ScenarioRun simulate_node_reports(const wsn::Network& network,
       report.peak_energy = alarm.peak_energy;
       report.grid_row = info.grid_row;
       report.grid_col = info.grid_col;
+      // Causal trace id from (seed, node, per-node alarm index): pure
+      // function of the configuration, so any worker count stamps the
+      // same ids (obs/span.h).
+      report.trace_id = obs::derive_trace_id(config.seed, info.id,
+                                             static_cast<std::uint64_t>(a),
+                                             obs::SpanKind::kReport);
       node_run.reports.push_back(report);
     }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/span.h"
 #include "util/check.h"
 #include "util/error.h"
 #include "util/units.h"
@@ -136,6 +137,11 @@ SidSystem::SidSystem(const SidSystemConfig& config)
   }
 }
 
+void SidSystem::enable_telemetry(const obs::TelemetryConfig& telemetry) {
+  telemetry_ = std::make_unique<obs::TelemetrySampler>(network_.registry(),
+                                                       telemetry);
+}
+
 wsn::NodeId SidSystem::static_head_of(wsn::NodeId id) const {
   const auto& info = network_.node(id);
   return cell_head_id(static_cast<std::size_t>(info.grid_row),
@@ -250,6 +256,11 @@ void SidSystem::on_alarm(wsn::NodeId node, const wsn::DetectionReport& report,
             {{"node", node},
              {"freq_hz", report.anomaly_frequency},
              {"avg_energy", report.average_energy}});
+  if (report.trace_id != 0) {
+    // Chain anchor: every span carrying this id descends from here.
+    SID_SPAN(&network_.tracer(), obs::Category::kNode, "span_origin", t, 0.0,
+             report.trace_id, {{"kind", "report"}, {"node", node}});
+  }
   MemberState& member = members_[node];
 
   // Expire stale membership.
@@ -326,9 +337,11 @@ void SidSystem::accept_at_sink(const wsn::ClusterDecision& decision,
               {{"seq", decision.seq}, {"head", decision.head}});
     return;
   }
+  double latency_s = -1.0;  // unknown: creation record not at this sink
   if (const auto created = decision_created_s_.find(decision_key(decision));
       created != decision_created_s_.end()) {
-    counters_.decision_latency_s.record(t - created->second);
+    latency_s = t - created->second;
+    counters_.decision_latency_s.record(latency_s);
   }
   SID_TRACE(&network_.tracer(), obs::Category::kSink, "sink_decision", t,
             {{"seq", decision.seq},
@@ -336,6 +349,15 @@ void SidSystem::accept_at_sink(const wsn::ClusterDecision& decision,
              {"intrusion", decision.intrusion},
              {"correlation", decision.correlation},
              {"speed_mps", decision.estimated_speed_mps}});
+  if (decision.trace_id != 0) {
+    // Chain terminal: the hop/wait spans carrying this id tile
+    // [span_origin.t, here], so their durations sum to latency_s.
+    SID_SPAN(&network_.tracer(), obs::Category::kSink, "span_sink", t, 0.0,
+             decision.trace_id,
+             {{"head", decision.head},
+              {"seq", decision.seq},
+              {"latency_s", latency_s}});
+  }
   result_.sink_reports.push_back(SinkReport{decision, t});
   if (decision.intrusion) {
     TrackObservation observation;
@@ -460,8 +482,22 @@ wsn::ClusterDecision SidSystem::make_decision(
     decision.estimated_position = observation->position;
   }
   decision.decision_local_time_s = network_.local_time(head, now);
+  decision.trace_id = obs::derive_trace_id(config_.network.seed, head,
+                                           decision.seq,
+                                           obs::SpanKind::kDecision);
   counters_.decisions_sent.add(1);
   decision_created_s_.emplace(decision_key(decision), now);
+  SID_SPAN(&network_.tracer(), obs::Category::kCluster, "span_origin", now,
+           0.0, decision.trace_id,
+           {{"kind", "decision"}, {"head", head}, {"seq", decision.seq}});
+  for (const auto& report : reports) {
+    if (report.trace_id == 0) continue;
+    // Cross-link the decision chain to each contributing report chain.
+    SID_SPAN(&network_.tracer(), obs::Category::kCluster, "span_fuse", now,
+             0.0, decision.trace_id,
+             {{"report_id", obs::span_id_hex(report.trace_id)},
+              {"reporter", report.reporter}});
+  }
   return decision;
 }
 
@@ -578,6 +614,24 @@ SystemResult SidSystem::run(std::span<const wake::ShipTrackConfig> ships) {
   // Adversarial processes (no-op with an empty AttackPlan) share the
   // beacon horizon so attacks can span the whole sensing window.
   network_.start_adversary(horizon_s);
+
+  // Telemetry ticks: scheduled up front (bounded by the horizon; a
+  // self-rescheduling tick would keep run_all() alive forever). The
+  // SID_TELEMETRY_SAMPLE body compiles away in the metrics-off build but
+  // the events are still scheduled, so both configurations insert the
+  // same event sequence and tie-break the queue identically.
+  if (telemetry_) {
+    telemetry_->clear();
+    const double interval = telemetry_->config().interval_s;
+    for (std::uint64_t k = 1;
+         static_cast<double>(k) * interval <= horizon_s; ++k) {
+      const double tick = static_cast<double>(k) * interval;
+      network_.events().schedule_at(tick, [this, tick] {
+        loop_checker_.check();
+        SID_TELEMETRY_SAMPLE(telemetry_.get(), tick);
+      });
+    }
+  }
 
   // Schedule every alarm as a protocol event at its trigger time. A node
   // that is dead or depleted when the alarm would fire stays silent.

@@ -14,6 +14,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
@@ -21,6 +22,7 @@
 #include "core/cluster.h"
 #include "core/scenario.h"
 #include "core/tracker.h"
+#include "obs/telemetry.h"
 #include "util/thread_annotations.h"
 #include "wsn/network.h"
 #include "wsn/reliable.h"
@@ -125,6 +127,23 @@ class SidSystem {
   obs::Tracer& tracer() { return network_.tracer(); }
   const obs::Tracer& tracer() const { return network_.tracer(); }
 
+  /// The always-on crash flight recorder (owned by the network).
+  obs::FlightRecorder& flight_recorder() { return network_.flight_recorder(); }
+  const obs::FlightRecorder& flight_recorder() const {
+    return network_.flight_recorder();
+  }
+
+  /// Arms the sim-time telemetry sampler: run() schedules one sample tick
+  /// per interval on the event queue (kSim domain, bit-deterministic).
+  /// Ticks are scheduled even in the metrics-off build — the sampling
+  /// body compiles away but the event sequence stays identical — so the
+  /// two configurations tie-break the queue the same way.
+  void enable_telemetry(const obs::TelemetryConfig& telemetry);
+
+  /// The armed sampler, or nullptr when enable_telemetry was never called.
+  obs::TelemetrySampler* telemetry() { return telemetry_.get(); }
+  const obs::TelemetrySampler* telemetry() const { return telemetry_.get(); }
+
   /// Static cluster head node for a given node (the centre of its cell).
   wsn::NodeId static_head_of(wsn::NodeId id) const;
 
@@ -226,6 +245,9 @@ class SidSystem {
   SidCounters counters_;
   ClusterEvaluator evaluator_;
   wsn::ReliableTransport reliable_;
+  /// Sim-time telemetry series (nullptr until enable_telemetry); sampled
+  /// only from event-loop ticks scheduled by run().
+  std::unique_ptr<obs::TelemetrySampler> telemetry_;
   /// The event-loop thread role: all listener/dedup state below is
   /// confined to the single thread driving run() / the event queue (the
   /// front-end parallelism in core/scenario never touches it). check()

@@ -233,6 +233,36 @@ std::size_t Registry::size() const {
   return counters_.size() + gauges_.size() + histograms_.size();
 }
 
+std::vector<std::string> Registry::counter_names() const {
+  const util::LockGuard lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(counters_.size());
+  for (const auto& entry : counters_) names.push_back(entry.name);
+  return names;
+}
+
+std::vector<std::string> Registry::gauge_names() const {
+  const util::LockGuard lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(gauges_.size());
+  for (const auto& entry : gauges_) names.push_back(entry.name);
+  return names;
+}
+
+Registry::ScalarSample Registry::scalar_values() const {
+  const util::LockGuard lock(mu_);
+  ScalarSample sample;
+  sample.counters.reserve(counters_.size());
+  for (const auto& entry : counters_) {
+    sample.counters.push_back(entry.instrument.value());
+  }
+  sample.gauges.reserve(gauges_.size());
+  for (const auto& entry : gauges_) {
+    sample.gauges.push_back(entry.instrument.value());
+  }
+  return sample;
+}
+
 namespace {
 
 void write_histogram_json(std::ostream& os,

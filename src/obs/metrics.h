@@ -194,6 +194,20 @@ class Registry {
 
   std::size_t size() const SID_EXCLUDES(mu_);
 
+  /// One mutually consistent sample of every scalar instrument, in
+  /// insertion order (matching counter_names()/gauge_names()). Instruments
+  /// are never removed, so a names snapshot taken later still labels
+  /// earlier value rows — the telemetry sampler (obs/telemetry.h) stores
+  /// values-only rows and fetches names once at dump time.
+  struct ScalarSample {
+    std::vector<std::uint64_t> counters;
+    std::vector<double> gauges;
+  };
+
+  std::vector<std::string> counter_names() const SID_EXCLUDES(mu_);
+  std::vector<std::string> gauge_names() const SID_EXCLUDES(mu_);
+  ScalarSample scalar_values() const SID_EXCLUDES(mu_);
+
  private:
   template <typename T>
   struct Named {

@@ -1,0 +1,14 @@
+#include "obs/span.h"
+
+#include <cstdio>
+
+namespace sid::obs {
+
+std::string span_id_hex(std::uint64_t id) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+}  // namespace sid::obs

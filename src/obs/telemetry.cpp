@@ -1,0 +1,98 @@
+#include "obs/telemetry.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+
+namespace sid::obs {
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void write_escaped(std::ostream& os, std::string_view s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else {
+      os << c;
+    }
+  }
+}
+
+void write_name_list(std::ostream& os, const std::vector<std::string>& names) {
+  os << '[';
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (i != 0) os << ',';
+    os << '"';
+    write_escaped(os, names[i]);
+    os << '"';
+  }
+  os << ']';
+}
+
+}  // namespace
+
+TelemetrySampler::TelemetrySampler(const Registry& registry,
+                                   const TelemetryConfig& config)
+    : registry_(registry), config_(config), rows_(config.capacity) {
+  util::require(config.interval_s > 0.0,
+                "TelemetrySampler: interval_s must be positive");
+}
+
+void TelemetrySampler::sample(double sim_time_s) {
+  Row row;
+  row.t = sim_time_s;
+  row.values = registry_.scalar_values();
+  rows_.push(row);
+  ++taken_;
+}
+
+void TelemetrySampler::clear() {
+  rows_.clear();
+  taken_ = 0;
+}
+
+void TelemetrySampler::dump_jsonl(std::ostream& os) const {
+  const std::vector<std::string> counters = registry_.counter_names();
+  const std::vector<std::string> gauges = registry_.gauge_names();
+  os << "{\"schema\":\"sid-telemetry-v1\",\"interval_s\":"
+     << fmt_double(config_.interval_s) << ",\"samples\":" << taken_
+     << ",\"rows\":" << rows_.size() << ",\"counters\":";
+  write_name_list(os, counters);
+  os << ",\"gauges\":";
+  write_name_list(os, gauges);
+  os << "}\n";
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    const Row row = rows_.at(i);
+    os << "{\"t\":" << fmt_double(row.t) << ",\"counters\":{";
+    const std::size_t nc = row.values.counters.size() < counters.size()
+                               ? row.values.counters.size()
+                               : counters.size();
+    for (std::size_t j = 0; j < nc; ++j) {
+      if (j != 0) os << ',';
+      os << '"';
+      write_escaped(os, counters[j]);
+      os << "\":" << row.values.counters[j];
+    }
+    os << "},\"gauges\":{";
+    const std::size_t ng = row.values.gauges.size() < gauges.size()
+                               ? row.values.gauges.size()
+                               : gauges.size();
+    for (std::size_t j = 0; j < ng; ++j) {
+      if (j != 0) os << ',';
+      os << '"';
+      write_escaped(os, gauges[j]);
+      os << "\":" << fmt_double(row.values.gauges[j]);
+    }
+    os << "}}\n";
+  }
+}
+
+}  // namespace sid::obs

@@ -1,0 +1,87 @@
+// Sim-time telemetry sampler: counters-over-time instead of one
+// end-of-run dump (DESIGN.md §5j).
+//
+// A TelemetrySampler periodically snapshots every counter and gauge of a
+// Registry into a bounded ring of rows. Sampling is driven by the
+// simulation clock — SidSystem schedules one sample() tick per interval
+// on the ordinary event queue — so the series lives entirely in the kSim
+// domain: same seed, same thread count or not, bit-identical dump
+// (determinism_test enforces this). Wall-clock profile histograms are
+// deliberately out of scope; they belong to the nondeterministic
+// "profile" section of the metrics dump.
+//
+// Dump format is JSONL: one header line
+//   {"schema":"sid-telemetry-v1","interval_s":...,"samples":S,"rows":N,
+//    "counters":[names...],"gauges":[names...]}
+// followed by N rows oldest-first:
+//   {"t":...,"counters":{name:value,...},"gauges":{name:value,...}}
+//
+// Rows store values only (insertion-ordered, matching the header name
+// lists); instruments created after a row was taken simply truncate to
+// the row's length at dump time, so early rows stay valid.
+//
+// Concurrency: like Gauge, the sampler is written only from the
+// single-threaded event loop (scheduled ticks); it takes no lock of its
+// own. Registry::scalar_values() internally locks the registry, which is
+// what makes the row itself mutually consistent.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+
+#include "obs/metrics.h"
+#include "util/ring_buffer.h"
+
+namespace sid::obs {
+
+struct TelemetryConfig {
+  double interval_s = 5.0;       ///< sim seconds between samples (> 0)
+  std::size_t capacity = 4096;   ///< rows retained before eviction (> 0)
+};
+
+class TelemetrySampler {
+ public:
+  /// `registry` must outlive the sampler.
+  TelemetrySampler(const Registry& registry, const TelemetryConfig& config);
+
+  /// Takes one row at sim time `t`. Call through SID_TELEMETRY_SAMPLE so
+  /// the metrics-off build removes the site.
+  void sample(double sim_time_s);
+
+  std::size_t size() const { return rows_.size(); }
+  std::size_t capacity() const { return rows_.capacity(); }
+  /// Total samples ever taken (>= size() once the ring wraps).
+  std::uint64_t samples_taken() const { return taken_; }
+  void clear();
+
+  /// Writes header + retained rows (oldest first) as JSONL, %.17g doubles.
+  void dump_jsonl(std::ostream& os) const;
+
+  const TelemetryConfig& config() const { return config_; }
+
+ private:
+  struct Row {
+    double t = 0.0;
+    Registry::ScalarSample values;
+  };
+
+  const Registry& registry_;
+  TelemetryConfig config_;
+  util::RingBuffer<Row> rows_;
+  std::uint64_t taken_ = 0;
+};
+
+}  // namespace sid::obs
+
+// Sampling-site macro: compiled out with SID_ENABLE_METRICS=OFF.
+// `sampler` is a TelemetrySampler*.
+#if SID_METRICS_ENABLED
+#define SID_TELEMETRY_SAMPLE(sampler, t)                      \
+  do {                                                        \
+    ::sid::obs::TelemetrySampler* sid_tele_ptr = (sampler);   \
+    if (sid_tele_ptr != nullptr) sid_tele_ptr->sample(t);     \
+  } while (0)
+#else
+#define SID_TELEMETRY_SAMPLE(sampler, t) ((void)0)
+#endif

@@ -3,6 +3,7 @@
 #include <array>
 #include <cstdio>
 
+#include "obs/recorder.h"
 #include "util/error.h"
 
 namespace sid::obs {
@@ -14,13 +15,14 @@ struct CategoryEntry {
   std::string_view name;
 };
 
-constexpr std::array<CategoryEntry, 6> kCategories{{
+constexpr std::array<CategoryEntry, 7> kCategories{{
     {Category::kNet, "net"},
     {Category::kNode, "node"},
     {Category::kCluster, "cluster"},
     {Category::kSink, "sink"},
     {Category::kEnergy, "energy"},
     {Category::kFault, "fault"},
+    {Category::kDefense, "defense"},
 }};
 
 std::string fmt_double(double v) {
@@ -109,7 +111,27 @@ std::uint64_t Tracer::events_emitted() const {
 
 void Tracer::emit(Category cat, std::string_view name, double sim_time_s,
                   std::initializer_list<Field> fields) {
+  if (FlightRecorder* rec = recorder()) {
+    rec->record(cat, name, sim_time_s, fields);
+  }
   if (!enabled(cat)) return;
+  write_line(cat, name, sim_time_s, 0.0, nullptr, fields);
+}
+
+void Tracer::emit_span(Category cat, std::string_view name, double sim_time_s,
+                       double duration_s, std::uint64_t span_id,
+                       std::initializer_list<Field> fields) {
+  if (FlightRecorder* rec = recorder()) {
+    rec->record_span(cat, name, sim_time_s, duration_s, span_id, fields);
+  }
+  if (!enabled(cat)) return;
+  write_line(cat, name, sim_time_s, duration_s, &span_id, fields);
+}
+
+void Tracer::write_line(Category cat, std::string_view name,
+                        double sim_time_s, double duration_s,
+                        const std::uint64_t* span_id,
+                        std::initializer_list<Field> fields) {
   // Serialize the whole line: concurrent emitters never interleave bytes.
   const util::LockGuard lock(mu_);
   std::ostream* out = out_.load(std::memory_order_relaxed);
@@ -118,7 +140,15 @@ void Tracer::emit(Category cat, std::string_view name, double sim_time_s,
   os << "{\"t\":" << fmt_double(sim_time_s) << ",\"cat\":\""
      << category_name(cat) << "\",\"name\":\"";
   write_escaped(os, name);
-  os << "\",\"args\":{";
+  os << '"';
+  if (span_id != nullptr) {
+    char id_hex[17];
+    std::snprintf(id_hex, sizeof(id_hex), "%016llx",
+                  static_cast<unsigned long long>(*span_id));
+    os << ",\"span\":{\"id\":\"" << id_hex
+       << "\",\"dur\":" << fmt_double(duration_s) << '}';
+  }
+  os << ",\"args\":{";
   bool first = true;
   for (const Field& f : fields) {
     if (!first) os << ',';

@@ -33,6 +33,8 @@
 
 namespace sid::obs {
 
+class FlightRecorder;
+
 /// Event categories (bitmask). Keep category_name() in sync.
 enum class Category : unsigned {
   kNet = 1U << 0,      ///< message tx/rx/drop, floods
@@ -41,9 +43,10 @@ enum class Category : unsigned {
   kSink = 1U << 3,     ///< sink decisions, duplicates
   kEnergy = 1U << 4,   ///< energy accounting milestones
   kFault = 1U << 5,    ///< fault-injection effects (burst/congestion loss)
+  kDefense = 1U << 6,  ///< guard verdicts, suspicion, quarantine lifecycle
 };
 
-inline constexpr unsigned kAllCategories = (1U << 6) - 1;
+inline constexpr unsigned kAllCategories = (1U << 7) - 1;
 
 std::string_view category_name(Category cat);
 
@@ -119,19 +122,59 @@ class Tracer {
     return active() && (categories() & static_cast<unsigned>(cat)) != 0;
   }
 
+  /// Attaches an always-on flight recorder (obs/recorder.h): every event
+  /// that reaches emit()/emit_span() is pushed into its bounded ring even
+  /// when the JSONL stream is unarmed or the category is filtered out.
+  /// Null detaches. Must not race emit() (set before the run).
+  void set_recorder(FlightRecorder* recorder) {
+    recorder_.store(recorder, std::memory_order_relaxed);
+  }
+  FlightRecorder* recorder() const {
+    return recorder_.load(std::memory_order_relaxed);
+  }
+
+  /// Instrumentation-site fast path: true when emit()/emit_span() would do
+  /// any work at all — either the JSONL stream wants this category or a
+  /// flight recorder is attached. One relaxed load on the recorder-free
+  /// disabled path.
+  bool hot(Category cat) const {
+    return recorder() != nullptr || enabled(cat);
+  }
+
   /// Writes one event line (serialized on the internal mutex). Callers
-  /// must check enabled() first (the SID_TRACE macro does); emit() on a
-  /// disabled category is a no-op.
+  /// must check hot() first (the SID_TRACE macro does); emit() on a
+  /// disabled category still feeds the flight recorder but writes no line.
   void emit(Category cat, std::string_view name, double sim_time_s,
             std::initializer_list<Field> fields = {}) SID_EXCLUDES(mu_);
 
+  /// Writes one span record — an event line with an extra "span" object
+  /// carrying the causal trace id (16 lowercase hex digits) and the span
+  /// duration in sim seconds (obs/span.h):
+  ///
+  ///   {"t":...,"cat":"net","name":"span_hop",
+  ///    "span":{"id":"00c1d2...","dur":0.0123},"args":{...}}
+  ///
+  /// Same serialization and recorder contract as emit(); call sites go
+  /// through the SID_SPAN macro, never emit_span() directly (the
+  /// span-funnel lint enforces this outside src/obs/).
+  void emit_span(Category cat, std::string_view name, double sim_time_s,
+                 double duration_s, std::uint64_t span_id,
+                 std::initializer_list<Field> fields = {}) SID_EXCLUDES(mu_);
+
+  /// Number of lines written to the JSONL stream (recorder-only pushes do
+  /// not count).
   std::uint64_t events_emitted() const SID_EXCLUDES(mu_);
 
  private:
+  void write_line(Category cat, std::string_view name, double sim_time_s,
+                  double duration_s, const std::uint64_t* span_id,
+                  std::initializer_list<Field> fields) SID_EXCLUDES(mu_);
+
   /// Armed-state fast path: non-null iff the tracer is armed. The pointee
   /// is only written by emit() under mu_.
   std::atomic<std::ostream*> out_{nullptr};
   std::atomic<unsigned> categories_{kAllCategories};
+  std::atomic<FlightRecorder*> recorder_{nullptr};
   mutable util::Mutex mu_;
   std::unique_ptr<std::ofstream> file_ SID_GUARDED_BY(mu_);
   std::uint64_t events_ SID_GUARDED_BY(mu_) = 0;
@@ -145,7 +188,7 @@ class Tracer {
 #define SID_TRACE(tracer, cat, ...)                        \
   do {                                                     \
     ::sid::obs::Tracer* sid_trace_ptr = (tracer);          \
-    if (sid_trace_ptr != nullptr && sid_trace_ptr->enabled(cat)) {     \
+    if (sid_trace_ptr != nullptr && sid_trace_ptr->hot(cat)) {         \
       sid_trace_ptr->emit(cat, __VA_ARGS__);               \
     }                                                      \
   } while (0)

@@ -20,6 +20,7 @@
 // pin the behaviour down.
 #pragma once
 
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -40,6 +41,34 @@
 #endif
 
 namespace sid::util {
+
+/// Callback invoked once, just before a failed check aborts, so a crash
+/// can flush last-moment diagnostics (the obs flight recorder registers
+/// its dump here — util cannot depend on obs, hence the function-pointer
+/// slot). The slot is cleared before the hook runs: a hook that itself
+/// fails a check cannot recurse.
+using CrashHook = void (*)();
+
+namespace detail {
+
+inline std::atomic<CrashHook>& crash_hook_slot() {
+  static std::atomic<CrashHook> slot{nullptr};
+  return slot;
+}
+
+inline void run_crash_hook() {
+  if (const CrashHook hook = detail::crash_hook_slot().exchange(nullptr)) {
+    hook();
+  }
+}
+
+}  // namespace detail
+
+/// Installs (or, with nullptr, clears) the process-wide crash hook.
+inline void set_crash_hook(CrashHook hook) {
+  detail::crash_hook_slot().store(hook);
+}
+
 namespace detail {
 
 /// Streams any mix of arguments into one message string.
@@ -62,6 +91,7 @@ std::string format_check_message(const Args&... args) {
                "SID_CHECK failed at %s:%d: %s%s%s\n", file, line,
                condition, message.empty() ? "" : " — ", message.c_str());
   std::fflush(stderr);
+  run_crash_hook();
   std::abort();
 }
 
@@ -74,6 +104,7 @@ std::string format_check_message(const Args&... args) {
                file, line, value, index, static_cast<int>(label.size()),
                label.data());
   std::fflush(stderr);
+  run_crash_hook();
   std::abort();
 }
 

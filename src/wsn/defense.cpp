@@ -10,6 +10,20 @@
 
 namespace sid::wsn {
 
+std::string_view verdict_name(IngressVerdict verdict) {
+  switch (verdict) {
+    case IngressVerdict::kAccept: return "accept";
+    case IngressVerdict::kQuarantined: return "quarantined";
+    case IngressVerdict::kSeqBootstrap: return "seq_bootstrap";
+    case IngressVerdict::kSeqJump: return "seq_jump";
+    case IngressVerdict::kSeqRollback: return "seq_rollback";
+    case IngressVerdict::kPosition: return "position";
+    case IngressVerdict::kIdentity: return "identity";
+    case IngressVerdict::kRate: return "rate";
+  }
+  return "unknown";
+}
+
 GuardLedger::GuardLedger(NodeId guard, const DefenseConfig& config,
                          std::vector<util::Vec2> anchors)
     : guard_(guard), config_(config), anchors_(std::move(anchors)) {
@@ -97,14 +111,36 @@ void GuardLedger::add_suspicion(NodeId id, IdentityState& s, double amount,
                                 double t) {
   s.score = decayed_score(s, t) + amount;
   s.score_t = t;
+  SID_TRACE(tracer_, obs::Category::kDefense, "suspicion", t,
+            {{"guard", guard_},
+             {"subject", id},
+             {"score", s.score},
+             {"threshold", config_.quarantine_threshold}});
   if (!s.quarantined && s.score >= config_.quarantine_threshold) {
     s.quarantined = true;
     s.quarantine_until_s = t + config_.quarantine_s;
     quarantine_started_ = id;
+    SID_TRACE(tracer_, obs::Category::kDefense, "quarantine_start", t,
+              {{"guard", guard_},
+               {"subject", id},
+               {"until_s", s.quarantine_until_s}});
   }
 }
 
 IngressVerdict GuardLedger::assess(const Message& msg, double t) {
+  const IngressVerdict verdict = assess_impl(msg, t);
+  if (verdict != IngressVerdict::kAccept) {
+    // Every filtered/quarantined drop is visible in the kDefense trace
+    // stream; the counters (net.defense_*) only aggregate per verdict.
+    SID_TRACE(tracer_, obs::Category::kDefense, "guard_reject", t,
+              {{"guard", guard_},
+               {"src", msg.src},
+               {"verdict", verdict_name(verdict)}});
+  }
+  return verdict;
+}
+
+IngressVerdict GuardLedger::assess_impl(const Message& msg, double t) {
   quarantine_started_.reset();
 
   // The payload-level identity the message speaks for: reports carry the
@@ -128,6 +164,8 @@ IngressVerdict GuardLedger::assess(const Message& msg, double t) {
     it->second.quarantined = false;
     it->second.score = 0.0;
     it->second.fresh_accepts.clear();
+    SID_TRACE(tracer_, obs::Category::kDefense, "quarantine_release", t,
+              {{"guard", guard_}, {"subject", id}});
     return false;
   };
   if (gate(msg.src) || gate(claimed)) {

@@ -38,8 +38,10 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <string_view>
 #include <vector>
 
+#include "obs/trace.h"
 #include "util/geometry.h"
 #include "wsn/messages.h"
 
@@ -95,6 +97,10 @@ enum class IngressVerdict {
   kRate,          ///< per-identity flood (also feeds the suspicion score)
 };
 
+/// Stable lowercase label for a verdict ("accept", "seq_jump", ...), as
+/// it appears in kDefense trace events.
+std::string_view verdict_name(IngressVerdict verdict);
+
 /// True for the tier-1 verdicts (message dropped, identity not penalized).
 constexpr bool verdict_filters(IngressVerdict v) {
   return v == IngressVerdict::kSeqBootstrap ||
@@ -119,6 +125,11 @@ class GuardLedger {
   /// and drops the message unless kAccept. Check quarantine_started()
   /// afterwards for a fresh tier-2 trigger.
   IngressVerdict assess(const Message& msg, double t);
+
+  /// Attaches the tracer kDefense events are emitted through (rejections,
+  /// suspicion crossings, quarantine start/release). Purely
+  /// observational: the ledger's verdicts never depend on it.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
   /// True while `id` is quarantined at this guard at time `t`.
   bool quarantined(NodeId id, double t) const;
@@ -152,6 +163,9 @@ class GuardLedger {
     double quarantine_until_s = 0.0;
   };
 
+  /// assess() minus the trace emission (the public wrapper reports every
+  /// non-accept verdict as a kDefense "guard_reject" event).
+  IngressVerdict assess_impl(const Message& msg, double t);
   IdentityState& state(NodeId id);
   double decayed_score(const IdentityState& s, double t) const;
   /// Pure sequence-plausibility check against a watermark. The caller
@@ -174,6 +188,7 @@ class GuardLedger {
   std::vector<util::Vec2> anchors_;
   std::map<NodeId, IdentityState> states_;
   std::optional<NodeId> quarantine_started_;
+  obs::Tracer* tracer_ = nullptr;  ///< not owned; may stay null
 };
 
 }  // namespace sid::wsn

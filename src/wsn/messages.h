@@ -34,6 +34,12 @@ struct DetectionReport {
   /// member observed its temporary cluster head fail (graceful
   /// degradation; see core/sid_system).
   bool fallback = false;
+  /// Observability-only causal trace id (obs/span.h), stamped when the
+  /// report is built from an alarm and preserved across fallback
+  /// re-submission and relay. Zero means untraced. NOT on the wire:
+  /// kWireBytes and the energy model are unaffected, and protocol logic
+  /// never reads it.
+  std::uint64_t trace_id = 0;
 
   static constexpr std::size_t kWireBytes = 37;
 
@@ -74,6 +80,11 @@ struct ClusterDecision {
   /// centroid projected on the travel line); valid when intrusion.
   util::Vec2 estimated_position;
   double decision_local_time_s = 0;
+  /// Observability-only causal trace id (obs/span.h), stamped by
+  /// make_decision and preserved across relay toward the sink. Zero means
+  /// untraced. NOT on the wire (kWireBytes unaffected); protocol logic
+  /// never reads it.
+  std::uint64_t trace_id = 0;
 
   static constexpr std::size_t kWireBytes = 56;
 };
@@ -122,6 +133,13 @@ struct Message {
   std::variant<DetectionReport, ClusterInvite, ClusterDecision, ReliableAck,
                LivenessProbe, QuarantineNotice>
       payload;
+  /// Observability-only span metadata (obs/span.h): the causal trace id
+  /// this message carries (copied from a traced payload by the reliable
+  /// transport) and the per-network flight number of the unicast that
+  /// delivered it (stamped by Network::unicast_from). Zero wire cost —
+  /// wire_bytes() below ignores both — and never read by protocol logic.
+  std::uint64_t trace_id = 0;
+  std::uint64_t trace_flight = 0;
 
   std::size_t wire_bytes() const {
     return std::visit([](const auto& p) { return p.kWireBytes; }, payload) +

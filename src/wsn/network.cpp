@@ -8,7 +8,9 @@
 #include <string_view>
 #include <unordered_set>
 #include <utility>
+#include <vector>
 
+#include "obs/span.h"
 #include "util/error.h"
 
 namespace sid::wsn {
@@ -107,6 +109,9 @@ Network::Network(const NetworkConfig& config)
   util::require(config.rows > 0 && config.cols > 0,
                 "Network: grid must be non-empty");
   util::require(config.spacing_m > 0.0, "Network: spacing must be positive");
+  // Always-on crash context: every trace/span site feeds the bounded
+  // ring even while the JSONL tracer stays unarmed.
+  tracer_.set_recorder(&recorder_);
   build_grid();
   build_adjacency();
   if (config_.routing == RoutingMode::kSelfHealing) boot_discovery();
@@ -157,7 +162,9 @@ Network::Network(const NetworkConfig& config)
     for (const NodeInfo& info : nodes_) anchors.push_back(info.anchor);
     for (const NodeId g : config_.defense.guarded_nodes) {
       util::require(g < nodes_.size(), "DefenseConfig: guard out of grid");
-      guards_.emplace(g, GuardLedger(g, config_.defense, anchors));
+      const auto [it, inserted] =
+          guards_.emplace(g, GuardLedger(g, config_.defense, anchors));
+      if (inserted) it->second.set_tracer(&tracer_);
     }
   }
   registry_.gauge("net.nodes").set(static_cast<double>(nodes_.size()));
@@ -590,6 +597,11 @@ UnicastOutcome Network::unicast_from(NodeId origin, Message msg,
 
   double total_delay = 0.0;
   const std::size_t bytes = msg.wire_bytes();
+  // Per-hop delays of a traced message, kept so the span records below
+  // are emitted only for fully delivered transmissions (a dropped unicast
+  // leaves no partial hop chain; the retry shows up as a span_wait).
+  std::vector<double> hop_delays;
+  if (msg.trace_id != 0) hop_delays.reserve(path->size() - 1);
   for (std::size_t i = 0; i + 1 < path->size(); ++i) {
     const auto hop_delay =
         try_hop(nodes_[(*path)[i]], nodes_[(*path)[i + 1]], bytes);
@@ -604,9 +616,31 @@ UnicastOutcome Network::unicast_from(NodeId origin, Message msg,
       return UnicastOutcome::kDropped;
     }
     total_delay += *hop_delay;
+    if (msg.trace_id != 0) hop_delays.push_back(*hop_delay);
     counters_.hops_traversed.add();
   }
   counters_.unicasts_delivered.add();
+  if (msg.trace_id != 0) {
+    // One flight = one delivered radio transmission of a traced message.
+    // The counter advances whether or not the tracer is armed, so armed
+    // and unarmed same-seed runs stamp identical flight numbers.
+    msg.trace_flight = ++next_flight_;
+    double leg_start = t;
+    for (std::size_t i = 0; i < hop_delays.size(); ++i) {
+      SID_SPAN(&tracer_, obs::Category::kNet, "span_hop", leg_start,
+               hop_delays[i], msg.trace_id,
+               {{"flight", msg.trace_flight},
+                {"from", (*path)[i]},
+                {"to", (*path)[i + 1]}});
+      leg_start += hop_delays[i];
+    }
+    SID_SPAN(&tracer_, obs::Category::kNet, "span_xmit", t, total_delay,
+             msg.trace_id,
+             {{"flight", msg.trace_flight},
+              {"src", msg.src},
+              {"dst", msg.dst},
+              {"hops", hop_delays.size()}});
+  }
   // Replay capture: in-window attackers overhear the broadcast medium
   // within radio range of any transmitting relay. (Adversarial traffic is
   // never re-captured — bounded replay, no self-amplification.)
@@ -809,6 +843,10 @@ void Network::on_quarantine(NodeId guard, NodeId subject, double t) {
   }
   SID_TRACE(&tracer_, obs::Category::kNet, "quarantine", t,
             {{"guard", guard}, {"subject", subject}});
+  // Snapshot the flight-recorder ring at the anomaly: when an auto-dump
+  // path is armed (sid_cli --flightrec-out) the last-N events leading up
+  // to the quarantine land on disk; disarmed, this is a no-op.
+  recorder_.auto_dump("quarantine");
   if (qview_.empty()) {
     qview_.assign(nodes_.size(), std::vector<std::uint8_t>(nodes_.size(), 0));
   }

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 #include "util/geometry.h"
 #include "util/rng.h"
@@ -284,6 +285,14 @@ class Network {
   obs::Tracer& tracer() { return tracer_; }
   const obs::Tracer& tracer() const { return tracer_; }
 
+  /// The always-on crash flight recorder: attached to the tracer at
+  /// construction, it retains the last obs::FlightRecorder::kDefaultCapacity
+  /// trace/span events even when the JSONL tracer is unarmed. Snapshots
+  /// are taken automatically on quarantine onset (when an auto-dump path
+  /// is armed) and on SID_CHECK failure (when install_crash_dump ran).
+  obs::FlightRecorder& flight_recorder() { return recorder_; }
+  const obs::FlightRecorder& flight_recorder() const { return recorder_; }
+
   /// True time -> local timestamp for a node (convenience).
   double local_time(NodeId id, double t_true) const;
 
@@ -393,6 +402,10 @@ class Network {
   NetworkConfig config_;
   obs::Registry registry_;
   obs::Tracer tracer_;
+  /// Bounded last-N ring behind tracer_ (see flight_recorder()). Declared
+  /// after tracer_ but attached in the constructor body; detached order
+  /// does not matter because both die together.
+  obs::FlightRecorder recorder_;
   NetCounters counters_;
   EventQueue events_;
   Radio radio_;
@@ -433,6 +446,12 @@ class Network {
   std::function<void(NodeId, double)> quarantine_listener_;
   DeliveryHandler handler_;
   mutable NetworkStats stats_view_;
+  /// Monotone flight number stamped on every *traced* delivered unicast
+  /// (Message::trace_flight) so span_hop/span_xmit records of one radio
+  /// transmission group together even when the same trace id crosses the
+  /// network several times (retries, relays). Observability-only state:
+  /// incremented deterministically whether or not the tracer is armed.
+  std::uint64_t next_flight_ = 0;
 };
 
 }  // namespace sid::wsn

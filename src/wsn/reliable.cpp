@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/span.h"
 #include "util/error.h"
 #include "wsn/network.h"
 
@@ -57,6 +58,17 @@ std::uint32_t ReliableTransport::send(Message msg, Callback cb) {
   const std::uint32_t seq = next_seq_[msg.src]++;
   msg.reliable = true;
   msg.e2e_seq = seq;
+  // Causal span tracing (obs/span.h): lift a traced payload's id into the
+  // message header so the network layer can stamp flights and emit hop
+  // spans without inspecting payload types.
+  if (msg.trace_id == 0) {
+    if (const auto* report = std::get_if<DetectionReport>(&msg.payload)) {
+      msg.trace_id = report->trace_id;
+    } else if (const auto* decision =
+                   std::get_if<ClusterDecision>(&msg.payload)) {
+      msg.trace_id = decision->trace_id;
+    }
+  }
   const Key key{msg.src, seq};
   Pending pending;
   pending.msg = std::move(msg);
@@ -73,17 +85,29 @@ void ReliableTransport::attempt(Key key) {
   if (it == pending_.end()) return;  // acked while a retry was queued
   Pending& p = it->second;
   p.attempts += 1;
+  const double now = network_.events().now();
   if (p.attempts == 1) {
     sends_.add();
   } else {
     retries_.add();
-    SID_TRACE(&network_.tracer(), obs::Category::kNet, "e2e_retry",
-              network_.events().now(),
+    SID_TRACE(&network_.tracer(), obs::Category::kNet, "e2e_retry", now,
               {{"src", p.msg.src},
                {"dst", p.msg.dst},
                {"seq", p.msg.e2e_seq},
                {"attempt", p.attempts}});
+    if (p.msg.trace_id != 0) {
+      // The gap since the previous transmission (ack timeout + backoff)
+      // is latency the chain must account for: a span_wait tiles exactly
+      // [previous attempt, this attempt].
+      SID_SPAN(&network_.tracer(), obs::Category::kNet, "span_wait",
+               p.last_attempt_s, now - p.last_attempt_s, p.msg.trace_id,
+               {{"src", p.msg.src},
+                {"dst", p.msg.dst},
+                {"attempt", p.attempts},
+                {"gave_up", false}});
+    }
   }
+  p.last_attempt_s = now;
   // The synchronous outcome is deliberately ignored: a real source only
   // learns from the ack (or its absence). Even a "delivered" data packet
   // can lose its ack on the way back.
@@ -110,6 +134,16 @@ void ReliableTransport::on_timeout(Key key, std::size_t attempts_at_schedule,
                {"dst", p.msg.dst},
                {"seq", p.msg.e2e_seq},
                {"attempts", p.attempts}});
+    if (p.msg.trace_id != 0) {
+      // Close the chain's gap up to the give-up verdict: whatever the
+      // caller does next (head fallback, escalate to sink) starts here.
+      SID_SPAN(&network_.tracer(), obs::Category::kNet, "span_wait",
+               p.last_attempt_s, now - p.last_attempt_s, p.msg.trace_id,
+               {{"src", p.msg.src},
+                {"dst", p.msg.dst},
+                {"attempt", p.attempts},
+                {"gave_up", true}});
+    }
     Callback cb = std::move(p.cb);
     pending_.erase(it);
     if (cb) cb(ReliableOutcome::kGaveUp, now);
@@ -164,6 +198,16 @@ bool ReliableTransport::on_deliver(NodeId receiver, const Message& msg,
   if (!win_it->second.accept(msg.e2e_seq)) {
     duplicates_.add();
     return false;  // retransmission of something already processed
+  }
+  if (msg.trace_id != 0) {
+    // Fresh (non-duplicate) acceptance of traced reliable data: the
+    // anchor that ties a flight's radio spans to the processing that
+    // follows at this node.
+    SID_SPAN(&network_.tracer(), obs::Category::kNet, "span_arrive", t, 0.0,
+             msg.trace_id,
+             {{"node", receiver},
+              {"src", msg.src},
+              {"flight", msg.trace_flight}});
   }
   return true;
 }

@@ -92,6 +92,9 @@ class ReliableTransport {
     Callback cb;
     std::size_t attempts = 0;
     double first_send_s = 0.0;
+    /// When the most recent attempt was transmitted; a traced message's
+    /// span_wait covers [last_attempt_s, retry/give-up time].
+    double last_attempt_s = 0.0;
     /// Monotone epoch guarding stale timeout events after reset().
     std::uint64_t epoch = 0;
   };

@@ -9,6 +9,9 @@
 
 #include "obs/metrics.h"
 #include "obs/profile.h"
+#include "obs/recorder.h"
+#include "obs/span.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 
 #include <gtest/gtest.h>
@@ -42,6 +45,36 @@ TEST(ObsNoopTest, TraceMacroCompilesOutFieldLists) {
             {{"src", 1}, {"dst", 2}, {"type", "report"}});
   EXPECT_EQ(tracer.events_emitted(), 0u);
   EXPECT_TRUE(sink.str().empty());
+}
+
+TEST(ObsNoopTest, SpanMacroCompilesOutSiteAndRecorderFeed) {
+  std::ostringstream sink;
+  Tracer tracer;
+  FlightRecorder recorder(4);
+  tracer.attach(&sink, kAllCategories);
+  tracer.set_recorder(&recorder);
+  SID_SPAN(&tracer, Category::kNet, "span_hop", 1.0, 0.5,
+           derive_trace_id(1, 2, 3, SpanKind::kReport),
+           {{"flight", 1}, {"from", 2}, {"to", 3}});
+  EXPECT_EQ(tracer.events_emitted(), 0u);
+  EXPECT_TRUE(sink.str().empty());
+  EXPECT_EQ(recorder.size(), 0u);
+  EXPECT_EQ(recorder.recorded_total(), 0u);
+}
+
+TEST(ObsNoopTest, TelemetrySampleMacroCompilesOut) {
+  Registry registry;
+  registry.counter("noop.tele").add(3);
+  TelemetryConfig config;
+  TelemetrySampler sampler(registry, config);
+  SID_TELEMETRY_SAMPLE(&sampler, 5.0);
+  EXPECT_EQ(sampler.size(), 0u);
+  EXPECT_EQ(sampler.samples_taken(), 0u);
+  // The dump surface stays live (header only) so tooling never crashes
+  // on a metrics-off artifact.
+  std::ostringstream os;
+  sampler.dump_jsonl(os);
+  EXPECT_EQ(os.str().find("{\"schema\":\"sid-telemetry-v1\""), 0u);
 }
 
 TEST(ObsNoopTest, ProfileMacroLeavesHistogramsEmpty) {

@@ -5,13 +5,18 @@
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "obs/metrics.h"
 #include "obs/profile.h"
+#include "obs/recorder.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
+#include "util/check.h"
 #include "util/error.h"
 
 namespace sid::obs {
@@ -195,11 +200,47 @@ TEST(TraceTest, DisabledCategoriesAreFilteredOut) {
 
 TEST(TraceTest, DefaultConstructedTracerIsDisabled) {
   Tracer tracer;
-  for (unsigned bit = 0; bit < 6; ++bit) {
+  for (unsigned bit = 0; bit < 7; ++bit) {
     EXPECT_FALSE(tracer.enabled(static_cast<Category>(1U << bit)));
   }
   tracer.emit(Category::kNet, "ignored", 0.0, {});
   EXPECT_EQ(tracer.events_emitted(), 0u);
+}
+
+TEST(TraceTest, DefenseCategoryRoundTrips) {
+  EXPECT_EQ(category_name(Category::kDefense), "defense");
+  EXPECT_EQ(parse_category("defense"), Category::kDefense);
+  EXPECT_EQ(parse_category_list("defense,net"),
+            static_cast<unsigned>(Category::kDefense) |
+                static_cast<unsigned>(Category::kNet));
+  EXPECT_NE(kAllCategories & static_cast<unsigned>(Category::kDefense), 0u);
+}
+
+TEST(TraceTest, EmitSpanWritesSpanObjectBetweenNameAndArgs) {
+  std::ostringstream sink;
+  Tracer tracer;
+  tracer.attach(&sink, kAllCategories);
+  tracer.emit_span(Category::kNet, "span_hop", 1.25, 0.5, 0xabcULL,
+                   {{"flight", 7u}, {"from", 3}});
+  tracer.close();
+  EXPECT_EQ(tracer.events_emitted(), 1u);
+  const std::string line = sink.str();
+  EXPECT_EQ(line.find("{\"t\":1.25,"), 0u);
+  // The id is zero-padded 16-digit lowercase hex; dur round-trips %.17g.
+  EXPECT_NE(
+      line.find("\"span\":{\"id\":\"0000000000000abc\",\"dur\":0.5}"),
+      std::string::npos);
+  EXPECT_NE(line.find("\"name\":\"span_hop\""), std::string::npos);
+  EXPECT_NE(line.find("\"flight\":7"), std::string::npos);
+}
+
+TEST(TraceTest, EmitSpanRespectsCategoryMask) {
+  std::ostringstream sink;
+  Tracer tracer;
+  tracer.attach(&sink, parse_category_list("sink"));
+  tracer.emit_span(Category::kNet, "span_hop", 1.0, 0.5, 42, {});
+  EXPECT_EQ(tracer.events_emitted(), 0u);
+  EXPECT_TRUE(sink.str().empty());
 }
 
 TEST(TraceTest, ParseCategoryList) {
@@ -211,6 +252,186 @@ TEST(TraceTest, ParseCategoryList) {
             static_cast<unsigned>(Category::kNet) |
                 static_cast<unsigned>(Category::kFault));
   EXPECT_THROW(parse_category_list("net,bogus"), util::InvalidArgument);
+}
+
+// --------------------------------------------------------- flight recorder
+
+TEST(FlightRecorderTest, RingEvictsOldestAndKeepsTotalCount) {
+  FlightRecorder recorder(4);
+  for (int i = 0; i < 10; ++i) {
+    recorder.record(Category::kNet, "event_" + std::to_string(i),
+                    static_cast<double>(i), {{"index", i}});
+  }
+  EXPECT_EQ(recorder.size(), 4u);
+  EXPECT_EQ(recorder.capacity(), 4u);
+  EXPECT_EQ(recorder.recorded_total(), 10u);
+
+  std::ostringstream os;
+  recorder.dump(os, "unit");
+  const std::string dump = os.str();
+  EXPECT_EQ(dump.find("{\"schema\":\"sid-flightrec-v1\",\"reason\":\"unit\","
+                      "\"capacity\":4,\"recorded\":10,\"events\":4}"),
+            0u);
+  // Only the newest four survive, oldest first.
+  EXPECT_EQ(dump.find("\"name\":\"event_5\""), std::string::npos);
+  const std::size_t first = dump.find("\"name\":\"event_6\"");
+  const std::size_t last = dump.find("\"name\":\"event_9\"");
+  ASSERT_NE(first, std::string::npos);
+  ASSERT_NE(last, std::string::npos);
+  EXPECT_LT(first, last);
+
+  recorder.clear();
+  EXPECT_EQ(recorder.size(), 0u);
+  EXPECT_EQ(recorder.recorded_total(), 0u);
+}
+
+TEST(FlightRecorderTest, TruncatesLongNamesAndStringsWithoutAllocation) {
+  FlightRecorder recorder(2);
+  const std::string long_name(64, 'n');
+  const std::string long_value(64, 'v');
+  recorder.record(Category::kFault, long_name, 1.0,
+                  {{"detail", std::string_view(long_value)}});
+  std::ostringstream os;
+  recorder.dump(os);
+  const std::string dump = os.str();
+  EXPECT_NE(dump.find("\"name\":\"" +
+                      std::string(FlightRecorder::kNameChars, 'n') + "\""),
+            std::string::npos);
+  EXPECT_EQ(dump.find(std::string(FlightRecorder::kNameChars + 1, 'n')),
+            std::string::npos);
+  EXPECT_NE(dump.find(std::string(FlightRecorder::kStringChars, 'v')),
+            std::string::npos);
+  EXPECT_EQ(dump.find(std::string(FlightRecorder::kStringChars + 1, 'v')),
+            std::string::npos);
+}
+
+TEST(FlightRecorderTest, TracerFeedsRecorderEvenWhenStreamIsUnarmed) {
+  Tracer tracer;
+  FlightRecorder recorder(8);
+  tracer.set_recorder(&recorder);
+  // The recorder makes every category "hot" even with no JSONL stream.
+  EXPECT_FALSE(tracer.active());
+  EXPECT_TRUE(tracer.hot(Category::kNet));
+  tracer.emit(Category::kNet, "quiet", 1.0, {{"a", 1}});
+  tracer.emit_span(Category::kNode, "span_origin", 2.0, 0.0, 42, {});
+  EXPECT_EQ(tracer.events_emitted(), 0u);
+  EXPECT_EQ(recorder.size(), 2u);
+
+  std::ostringstream os;
+  recorder.dump(os);
+  // Span records keep their span object through the ring.
+  EXPECT_NE(os.str().find("\"span\":{\"id\":\"000000000000002a\","
+                          "\"dur\":0}"),
+            std::string::npos);
+  tracer.set_recorder(nullptr);
+  tracer.emit(Category::kNet, "dropped", 3.0, {});
+  EXPECT_EQ(recorder.size(), 2u);
+}
+
+TEST(FlightRecorderTest, AutoDumpWritesArmedPathAndIsNoopWhenDisarmed) {
+  const std::string path = testing::TempDir() + "sid_flightrec_auto.jsonl";
+  std::remove(path.c_str());
+  FlightRecorder recorder(4);
+  recorder.record(Category::kNet, "snapshot_me", 1.0, {});
+  recorder.auto_dump("quarantine");  // disarmed: no file
+  EXPECT_FALSE(std::ifstream(path).good());
+
+  recorder.set_auto_dump_path(path);
+  recorder.auto_dump("quarantine");
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream contents;
+  contents << in.rdbuf();
+  EXPECT_NE(contents.str().find("\"reason\":\"quarantine\""),
+            std::string::npos);
+  EXPECT_NE(contents.str().find("\"name\":\"snapshot_me\""),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorderDeathTest, CheckFailureDumpsRingBeforeAbort) {
+  FlightRecorder recorder(8);
+  recorder.record(Category::kFault, "flightrec_death_marker", 1.0,
+                  {{"detail", "last_moments"}});
+  recorder.install_crash_dump();  // empty path: dump to stderr
+  EXPECT_DEATH(SID_CHECK(1 + 1 == 3, "armed for the death test"),
+               "flightrec_death_marker");
+  // Drop the hook so later (hypothetical) aborts in this binary cannot
+  // touch the recorder after it goes out of scope.
+  util::set_crash_hook(nullptr);
+}
+
+// --------------------------------------------------------------- telemetry
+
+TEST(TelemetryTest, SamplesRegistryScalarsIntoBoundedRows) {
+  Registry registry;
+  Counter& counter = registry.counter("tele.count");
+  Gauge& gauge = registry.gauge("tele.gauge");
+  TelemetryConfig config;
+  config.interval_s = 1.0;
+  config.capacity = 2;
+  TelemetrySampler sampler(registry, config);
+
+  counter.add(1);
+  sampler.sample(1.0);
+  counter.add(2);
+  gauge.set(0.5);
+  sampler.sample(2.0);
+  counter.add(3);
+  sampler.sample(3.0);
+
+  EXPECT_EQ(sampler.size(), 2u);  // capacity 2: the t=1 row was evicted
+  EXPECT_EQ(sampler.samples_taken(), 3u);
+
+  std::ostringstream os;
+  sampler.dump_jsonl(os);
+  const std::string dump = os.str();
+  EXPECT_EQ(dump.find("{\"schema\":\"sid-telemetry-v1\",\"interval_s\":1,"
+                      "\"samples\":3,\"rows\":2,"),
+            0u);
+  EXPECT_NE(dump.find("\"counters\":[\"tele.count\"]"), std::string::npos);
+  EXPECT_NE(dump.find("\"gauges\":[\"tele.gauge\"]"), std::string::npos);
+  EXPECT_EQ(dump.find("{\"t\":1,"), std::string::npos);
+  EXPECT_NE(dump.find("{\"t\":2,\"counters\":{\"tele.count\":3},"
+                      "\"gauges\":{\"tele.gauge\":0.5}}"),
+            std::string::npos);
+  EXPECT_NE(dump.find("{\"t\":3,\"counters\":{\"tele.count\":6},"),
+            std::string::npos);
+
+  sampler.clear();
+  EXPECT_EQ(sampler.size(), 0u);
+  EXPECT_EQ(sampler.samples_taken(), 0u);
+}
+
+TEST(TelemetryTest, RowsTakenBeforeAnInstrumentExistedStayValid) {
+  Registry registry;
+  registry.counter("early.count").add(4);
+  TelemetryConfig config;
+  config.interval_s = 5.0;
+  TelemetrySampler sampler(registry, config);
+  sampler.sample(5.0);
+  registry.counter("late.count").add(9);
+  sampler.sample(10.0);
+
+  std::ostringstream os;
+  sampler.dump_jsonl(os);
+  const std::string dump = os.str();
+  // The header names both counters; the early row truncates to the one
+  // value it actually captured.
+  EXPECT_NE(dump.find("\"counters\":[\"early.count\",\"late.count\"]"),
+            std::string::npos);
+  EXPECT_NE(dump.find("{\"t\":5,\"counters\":{\"early.count\":4},"),
+            std::string::npos);
+  EXPECT_NE(dump.find(
+                "{\"t\":10,\"counters\":{\"early.count\":4,\"late.count\":9}"),
+            std::string::npos);
+}
+
+TEST(TelemetryTest, RejectsNonPositiveInterval) {
+  Registry registry;
+  TelemetryConfig config;
+  config.interval_s = 0.0;
+  EXPECT_THROW(TelemetrySampler(registry, config), util::InvalidArgument);
 }
 
 // ---------------------------------------------------------------- profile

@@ -1,0 +1,298 @@
+// Causal span tracing (obs/span.h, DESIGN.md §5j): every decision the
+// sink accepts must reconstruct a complete causal chain from the span
+// records alone — origin at the cluster head, per-transmission hop
+// spans, reliable-transport retry waits, relay arrivals — and the
+// selected hop/wait durations must tile [origin, sink accept] exactly,
+// summing to the latency the sid.decision_latency_s histogram recorded.
+//
+// The reconstruction walks backwards from each span_sink: find the
+// span_arrive at the same instant, follow its flight number to the
+// delivering span_xmit (whose hop spans must tile it), chain any retry
+// waits that end exactly where that transmission started, hop to the
+// sender and repeat until the cursor reaches span_origin. Ack-lost
+// duplicates and abandoned attempts fall out naturally: the walk only
+// follows the flight the receiver actually accepted.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/sid_system.h"
+#include "obs/span.h"
+#include "obs/trace.h"
+#include "util/units.h"
+
+namespace sid {
+namespace {
+
+#if SID_METRICS_ENABLED
+
+wake::ShipTrackConfig crossing_ship() {
+  wake::ShipTrackConfig ship;
+  const double phi = util::deg_to_rad(88.0);
+  ship.start = {62.0 - 400.0 / std::tan(phi), -400.0};
+  ship.heading_rad = phi;
+  ship.speed_mps = util::knots_to_mps(10.0);
+  return ship;
+}
+
+core::SidSystemConfig system_config(std::uint64_t seed) {
+  core::SidSystemConfig cfg;
+  cfg.network.rows = 6;
+  cfg.network.cols = 6;
+  cfg.scenario.trace.duration_s = 200.0;
+  cfg.scenario.detector.anomaly_frequency_threshold = 0.5;
+  cfg.scenario.seed = seed;
+  cfg.cluster.collection_window_s = 70.0;
+  cfg.cluster.min_reports = 4;
+  return cfg;
+}
+
+/// One parsed span record (a trace line carrying a "span" object).
+struct SpanRecord {
+  double t = 0.0;
+  double dur = 0.0;
+  std::string name;
+  std::string id;
+  std::map<std::string, double> num;        ///< numeric args we walk on
+  std::map<std::string, std::string> str;   ///< string args (kind, links)
+};
+
+std::optional<std::string> find_string(const std::string& line,
+                                       const std::string& key) {
+  const std::string token = "\"" + key + "\":\"";
+  const std::size_t pos = line.find(token);
+  if (pos == std::string::npos) return std::nullopt;
+  const std::size_t start = pos + token.size();
+  const std::size_t end = line.find('"', start);
+  if (end == std::string::npos) return std::nullopt;
+  return line.substr(start, end - start);
+}
+
+std::optional<double> find_number(const std::string& line,
+                                  const std::string& key) {
+  const std::string token = "\"" + key + "\":";
+  const std::size_t pos = line.find(token);
+  if (pos == std::string::npos) return std::nullopt;
+  return std::strtod(line.c_str() + pos + token.size(), nullptr);
+}
+
+std::vector<SpanRecord> parse_spans(const std::string& jsonl) {
+  std::vector<SpanRecord> spans;
+  std::istringstream in(jsonl);
+  for (std::string line; std::getline(in, line);) {
+    if (line.find("\"span\":{") == std::string::npos) continue;
+    SpanRecord rec;
+    const auto t = find_number(line, "t");
+    const auto name = find_string(line, "name");
+    const auto id = find_string(line, "id");
+    const auto dur = find_number(line, "dur");
+    if (!t || !name || !id || !dur) {
+      ADD_FAILURE() << "malformed span record: " << line;
+      continue;
+    }
+    rec.t = *t;
+    rec.name = *name;
+    rec.id = *id;
+    rec.dur = *dur;
+    for (const char* key : {"flight", "node", "src", "latency_s"}) {
+      if (const auto v = find_number(line, key)) rec.num[key] = *v;
+    }
+    for (const char* key : {"kind", "report_id"}) {
+      if (const auto v = find_string(line, key)) rec.str[key] = *v;
+    }
+    spans.push_back(std::move(rec));
+  }
+  return spans;
+}
+
+/// One traced full-pipeline run, shared across the tests below (the
+/// 200 s scenario is the expensive part; the trace itself is immutable).
+const std::vector<SpanRecord>& traced_run_spans() {
+  static const std::vector<SpanRecord> spans = [] {
+    const std::vector<wake::ShipTrackConfig> ships{crossing_ship()};
+    core::SidSystem sys(system_config(1));
+    std::ostringstream stream;
+    sys.tracer().attach(&stream, obs::kAllCategories);
+    const core::SystemResult result = sys.run(ships);
+    sys.tracer().close();
+    EXPECT_FALSE(result.sink_reports.empty())
+        << "traced scenario produced no sink decisions; the chain "
+           "reconstruction below would be vacuous";
+    return parse_spans(stream.str());
+  }();
+  return spans;
+}
+
+TEST(SpanChainTest, EverySinkDecisionReconstructsACompleteCausalChain) {
+  const std::vector<SpanRecord>& spans = traced_run_spans();
+  std::map<std::string, std::vector<const SpanRecord*>> by_id;
+  for (const SpanRecord& rec : spans) by_id[rec.id].push_back(&rec);
+
+  std::size_t chains = 0;
+  std::size_t max_legs = 0;
+  for (const SpanRecord& sink : spans) {
+    if (sink.name != "span_sink") continue;
+    ++chains;
+    const std::vector<const SpanRecord*>& chain = by_id[sink.id];
+
+    const SpanRecord* origin = nullptr;
+    for (const SpanRecord* rec : chain) {
+      if (rec->name != "span_origin") continue;
+      ASSERT_EQ(origin, nullptr) << "duplicate span_origin for " << sink.id;
+      origin = rec;
+    }
+    ASSERT_NE(origin, nullptr) << "no span_origin for " << sink.id;
+    ASSERT_EQ(origin->str.at("kind"), "decision");
+
+    // The latency the sink recorded must equal the origin→sink interval.
+    ASSERT_TRUE(sink.num.contains("latency_s"));
+    const double latency = sink.num.at("latency_s");
+    ASSERT_GE(latency, 0.0) << "sink accepted a decision it never saw "
+                               "created (latency unknown)";
+    EXPECT_NEAR(sink.t - origin->t, latency, 1e-9);
+
+    // Backward walk: cursor sits at an acceptance instant; each step
+    // consumes one transmission plus the retry waits that preceded it.
+    double covered = 0.0;
+    double cursor = sink.t;
+    std::size_t legs = 0;
+    while (cursor > origin->t + 1e-9) {
+      ASSERT_LT(legs, 32u) << "runaway chain walk for " << sink.id;
+
+      const SpanRecord* arrive = nullptr;
+      for (const SpanRecord* rec : chain) {
+        if (rec->name == "span_arrive" && std::abs(rec->t - cursor) < 1e-9) {
+          arrive = rec;
+          break;
+        }
+      }
+      ASSERT_NE(arrive, nullptr)
+          << "no span_arrive at t=" << cursor << " for " << sink.id;
+      const double flight = arrive->num.at("flight");
+      ASSERT_GT(flight, 0.0) << "accepted delivery without a radio flight";
+
+      const SpanRecord* xmit = nullptr;
+      for (const SpanRecord* rec : chain) {
+        if (rec->name == "span_xmit" && rec->num.at("flight") == flight) {
+          ASSERT_EQ(xmit, nullptr) << "duplicate flight " << flight;
+          xmit = rec;
+        }
+      }
+      ASSERT_NE(xmit, nullptr) << "no span_xmit for flight " << flight;
+      EXPECT_NEAR(xmit->t + xmit->dur, cursor, 1e-9);
+
+      // The per-hop spans of the delivering transmission tile it.
+      double hop_sum = 0.0;
+      std::size_t hops = 0;
+      for (const SpanRecord* rec : chain) {
+        if (rec->name == "span_hop" && rec->num.at("flight") == flight) {
+          hop_sum += rec->dur;
+          ++hops;
+        }
+      }
+      ASSERT_GT(hops, 0u) << "flight " << flight << " has no hop spans";
+      EXPECT_NEAR(hop_sum, xmit->dur, 1e-9);
+
+      covered += xmit->dur;
+      ++legs;
+
+      // Retry waits chain backwards contiguously to the first attempt.
+      // Waits belonging to ack-lost duplicates end *after* this
+      // transmission started, so they never match here.
+      double leg_start = xmit->t;
+      for (int guard = 0; guard < 64; ++guard) {
+        const SpanRecord* wait = nullptr;
+        for (const SpanRecord* rec : chain) {
+          if (rec->name == "span_wait" &&
+              std::abs(rec->t + rec->dur - leg_start) < 1e-9) {
+            wait = rec;
+            break;
+          }
+        }
+        if (wait == nullptr || wait->dur <= 0.0) break;
+        covered += wait->dur;
+        leg_start = wait->t;
+      }
+      cursor = leg_start;
+    }
+    EXPECT_NEAR(cursor, origin->t, 1e-9)
+        << "chain for " << sink.id << " does not reach its origin";
+    EXPECT_NEAR(covered, latency, 1e-6)
+        << "hop/wait durations do not sum to the decision latency for "
+        << sink.id;
+    max_legs = std::max(max_legs, legs);
+  }
+  ASSERT_GT(chains, 0u);
+  // At least one decision must have crossed multiple reliable legs
+  // (head -> static head -> sink), otherwise the walk never exercised
+  // the relay recursion.
+  EXPECT_GE(max_legs, 2u);
+}
+
+TEST(SpanChainTest, FusedReportsLinkDecisionChainsToReportOrigins) {
+  const std::vector<SpanRecord>& spans = traced_run_spans();
+  std::map<std::string, const SpanRecord*> origin_by_id;
+  for (const SpanRecord& rec : spans) {
+    if (rec.name == "span_origin") origin_by_id[rec.id] = &rec;
+  }
+
+  std::size_t fuses = 0;
+  for (const SpanRecord& fuse : spans) {
+    if (fuse.name != "span_fuse") continue;
+    ++fuses;
+    // The fuse rides the decision chain...
+    const auto decision = origin_by_id.find(fuse.id);
+    ASSERT_NE(decision, origin_by_id.end());
+    EXPECT_EQ(decision->second->str.at("kind"), "decision");
+    // ...and cross-links to a report chain that has its own origin,
+    // anchored no later than the fuse itself.
+    const auto report = origin_by_id.find(fuse.str.at("report_id"));
+    ASSERT_NE(report, origin_by_id.end())
+        << "span_fuse names report chain " << fuse.str.at("report_id")
+        << " but no span_origin carries that id";
+    EXPECT_EQ(report->second->str.at("kind"), "report");
+    EXPECT_LE(report->second->t, fuse.t + 1e-9);
+  }
+  ASSERT_GT(fuses, 0u);
+}
+
+TEST(SpanChainTest, DeriveTraceIdIsDeterministicAndCollisionResistant) {
+  const std::uint64_t a =
+      obs::derive_trace_id(1, 22, 0, obs::SpanKind::kReport);
+  EXPECT_EQ(a, obs::derive_trace_id(1, 22, 0, obs::SpanKind::kReport));
+  // Kind separation: a report and a decision with equal (node, seq)
+  // never share a chain.
+  EXPECT_NE(a, obs::derive_trace_id(1, 22, 0, obs::SpanKind::kDecision));
+  EXPECT_NE(a, obs::derive_trace_id(2, 22, 0, obs::SpanKind::kReport));
+  EXPECT_NE(a, obs::derive_trace_id(1, 23, 0, obs::SpanKind::kReport));
+  EXPECT_NE(a, obs::derive_trace_id(1, 22, 1, obs::SpanKind::kReport));
+  // Zero is reserved as the "untraced" sentinel.
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    for (std::uint32_t node = 0; node < 16; ++node) {
+      EXPECT_NE(obs::derive_trace_id(seed, node, seed + node,
+                                     obs::SpanKind::kReport),
+                0u);
+    }
+  }
+  EXPECT_EQ(obs::span_id_hex(0x1), "0000000000000001");
+  EXPECT_EQ(obs::span_id_hex(0xABCDEF0123456789ULL), "abcdef0123456789");
+}
+
+#else  // !SID_METRICS_ENABLED
+
+TEST(SpanChainTest, SkippedInMetricsOffBuild) {
+  GTEST_SKIP() << "span sites compile away with SID_ENABLE_METRICS=OFF";
+}
+
+#endif  // SID_METRICS_ENABLED
+
+}  // namespace
+}  // namespace sid
