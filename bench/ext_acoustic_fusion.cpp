@@ -1,164 +1,114 @@
-// Extension bench (§VII future work): accelerometer + underwater
-// acoustic fusion. Detection ratio and false-alarm behaviour vs the
-// ship's closest-point-of-approach distance, for accel-only,
-// acoustic-only, OR-fusion and AND-fusion.
+// google-benchmark throughput of the multi-modal extension (§VII):
+// hydrophone contact synthesis, batch accel+acoustic fusion, and the
+// sink's streaming MultiModalFuser. Shares the perf_* harness
+// (bench_json_main.h): --smoke dumps the per-stage wall-time histograms
+// as schema-stable BENCH_acoustic_fusion.json (validated in CI by
+// scripts/check_obs_schema.py, trended against bench/baselines/).
 //
-// Expected shape: the wake detector dies out with distance (d^{-1/3}
-// height decay against a fixed sea background) while the hydrophone
-// reaches much farther; OR extends coverage, AND suppresses the
-// single-modality false alarms.
-#include <iostream>
+// The scientific accuracy sweep for this extension lives in
+// bench/fusion_ablation.cpp; this binary only tracks its cost.
+#include <benchmark/benchmark.h>
 
-#include "bench_common.h"
+#include <cstdint>
+#include <vector>
+
 #include "acoustic/hydrophone.h"
+#include "bench_common.h"
+#include "bench_json_main.h"
 #include "core/fusion.h"
 #include "core/node_detector.h"
-#include "ocean/wave_field.h"
-#include "ocean/wave_spectrum.h"
-#include "sensing/trace.h"
-#include "shipwave/wave_train.h"
+#include "obs/profile.h"
+#include "shipwave/ship.h"
+#include "util/rng.h"
 
 namespace {
 
-struct TrialOutcome {
-  bool accel = false;
-  bool acoustic = false;
-  bool fused_or = false;
-  bool fused_and = false;
-  std::size_t accel_false = 0;
-  std::size_t acoustic_false = 0;
-  std::size_t or_false = 0;
-  std::size_t and_false = 0;
-};
+using namespace sid;
 
-TrialOutcome run_trial(double cpa_m, int trial) {
-  using namespace sid;
-  const auto seed = static_cast<std::uint64_t>(1000 + trial * 7 +
-                                               static_cast<int>(cpa_m));
-  const auto spectrum = ocean::make_sea_spectrum(ocean::SeaState::kCalm);
-  ocean::WaveFieldConfig field_cfg;
-  field_cfg.seed = seed;
-  const ocean::WaveField field(*spectrum, field_cfg);
-
+void BM_HydrophoneContactSweep(benchmark::State& state) {
   auto ship_cfg = bench::crossing_ship(10.0, 90.0, 0.0);
-  ship_cfg.start_time_s = 15.0 + 2.0 * trial;
+  ship_cfg.start_time_s = 15.0;
   const wake::ShipTrack track(ship_cfg);
-  const util::Vec2 sensor_pos{cpa_m, 0.0};
-
-  // Accelerometer path.
-  std::vector<wake::WakeTrain> trains;
-  double arrival = -1.0;
-  if (auto train = wake::make_wake_train(track, sensor_pos)) {
-    arrival = train->params().arrival_time_s;
-    trains.push_back(*train);
-  }
-  sense::TraceConfig trace_cfg;
-  trace_cfg.duration_s = 300.0;
-  trace_cfg.buoy.anchor = sensor_pos;
-  trace_cfg.buoy.seed = seed + 1;
-  trace_cfg.accel.seed = seed + 2;
-  const auto trace = sense::generate_trace(field, trains, trace_cfg);
-
-  core::NodeDetectorConfig det_cfg;
-  det_cfg.threshold_multiplier_m = 2.5;
-  det_cfg.anomaly_frequency_threshold = 0.55;
-  core::NodeDetector detector(det_cfg);
-  const auto alarms = detector.process_trace(trace);
-
-  // Acoustic path (hydrophone moored under the same buoy).
-  acoustic::HydrophoneConfig phone_cfg;
-  phone_cfg.false_alarm_rate_per_hour = 12.0;
-  phone_cfg.seed = seed + 3;
-  acoustic::Hydrophone phone(sensor_pos, phone_cfg);
   const std::vector<wake::ShipTrack> ships{track};
-  const auto contacts =
-      phone.run(ships, 0.0, trace_cfg.duration_s, ocean::SeaState::kCalm);
-
-  // Truth window: engine noise peaks at CPA (abeam time), the wake a bit
-  // later; accept [cpa_time - 40, arrival + 40].
-  const double cpa_time =
-      ship_cfg.start_time_s + (400.0) / ship_cfg.speed_mps;
-  const double window_lo = cpa_time - 60.0;
-  const double window_hi = (arrival > 0 ? arrival : cpa_time) + 40.0;
-  const auto in_window = [&](double t) {
-    return t >= window_lo && t <= window_hi;
-  };
-
-  TrialOutcome outcome;
-  for (const auto& a : alarms) {
-    if (in_window(a.onset_time_s)) {
-      outcome.accel = true;
-    } else {
-      ++outcome.accel_false;
-    }
+  acoustic::HydrophoneConfig cfg;
+  cfg.seed = 101;
+  const double duration_s = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    // The hydrophone model is front-end synthesis; record it under the
+    // synthesis stage like the wave-field benches do.
+    SID_PROFILE_STAGE(obs::Stage::kSynthesis);
+    acoustic::Hydrophone phone({120.0, 0.0}, cfg);
+    benchmark::DoNotOptimize(
+        phone.run(ships, 0.0, duration_s, ocean::SeaState::kCalm));
   }
-  for (const auto& c : contacts) {
-    if (in_window(c.time_s)) {
-      outcome.acoustic = true;
-    } else {
-      ++outcome.acoustic_false;
-    }
-  }
-  core::FusionConfig or_cfg;
-  or_cfg.policy = core::FusionPolicy::kOr;
-  core::FusionConfig and_cfg;
-  and_cfg.policy = core::FusionPolicy::kAnd;
-  for (const auto& f : core::fuse_detections(alarms, contacts, or_cfg)) {
-    if (in_window(f.time_s)) {
-      outcome.fused_or = true;
-    } else {
-      ++outcome.or_false;
-    }
-  }
-  for (const auto& f : core::fuse_detections(alarms, contacts, and_cfg)) {
-    if (in_window(f.time_s)) {
-      outcome.fused_and = true;
-    } else {
-      ++outcome.and_false;
-    }
-  }
-  return outcome;
+  state.SetItemsProcessed(state.iterations() * state.range(0));
 }
+BENCHMARK(BM_HydrophoneContactSweep)->Arg(300)->Arg(1800);
+
+// Synthetic interleaved evidence: n alarms and n contacts spread over a
+// window sized so some pairs associate and some stand alone.
+void make_evidence(std::size_t n, std::vector<core::Alarm>& alarms,
+                   std::vector<acoustic::AcousticContact>& contacts) {
+  util::Rng rng(7);
+  double t = 100.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    t += rng.uniform(5.0, 45.0);
+    core::Alarm alarm;
+    alarm.onset_time_s = t;
+    alarms.push_back(alarm);
+    acoustic::AcousticContact contact;
+    contact.time_s = t + rng.uniform(-20.0, 60.0);
+    contact.snr_db = rng.uniform(6.0, 18.0);
+    contacts.push_back(contact);
+  }
+}
+
+void BM_FuseDetectionsBatch(benchmark::State& state) {
+  std::vector<core::Alarm> alarms;
+  std::vector<acoustic::AcousticContact> contacts;
+  make_evidence(static_cast<std::size_t>(state.range(0)), alarms, contacts);
+  core::FusionConfig cfg;
+  cfg.policy = state.range(1) == 0 ? core::FusionPolicy::kOr
+                                   : core::FusionPolicy::kAnd;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::fuse_detections(alarms, contacts, cfg));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * state.range(0));
+}
+BENCHMARK(BM_FuseDetectionsBatch)
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({1024, 1});
+
+void BM_MultiModalStreamingIngest(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  // Pre-drawn jitter keeps the RNG off the measured path.
+  util::Rng rng(11);
+  std::vector<double> jitter(n);
+  for (auto& j : jitter) j = rng.uniform(0.0, 25.0);
+  core::MultiModalConfig cfg;
+  for (auto _ : state) {
+    // The streaming path bypasses fuse_detections, so record the fusion
+    // stage here.
+    SID_PROFILE_STAGE(obs::Stage::kFusion);
+    core::MultiModalFuser fuser(cfg);
+    fuser.reset(0.0);
+    double t = 100.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      t += jitter[i];
+      const auto modality =
+          (i % 2 == 0) ? core::Modality::kAccel : core::Modality::kAcoustic;
+      benchmark::DoNotOptimize(
+          fuser.ingest(modality, t, 0.7, 0x1000 + i));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_MultiModalStreamingIngest)->Arg(256)->Arg(4096);
 
 }  // namespace
 
-int main() {
-  using namespace sid;
-  bench::print_header(
-      "Extension: accelerometer + acoustic fusion (paper §VII)",
-      "Detection ratio and false alarms per trial vs closest approach,\n"
-      "10 kn boat, calm sea, node settings M=2.5, a_f=55 %.");
-
-  constexpr int kTrials = 10;
-  util::TablePrinter table({"CPA (m)", "accel", "acoustic", "fused OR",
-                            "fused AND", "FA/trial accel", "FA/trial AND"});
-  for (double cpa : {25.0, 50.0, 100.0, 200.0, 400.0}) {
-    int accel = 0, acoustic = 0, fused_or = 0, fused_and = 0;
-    std::size_t accel_false = 0, and_false = 0;
-    for (int trial = 0; trial < kTrials; ++trial) {
-      const auto outcome = run_trial(cpa, trial);
-      accel += outcome.accel;
-      acoustic += outcome.acoustic;
-      fused_or += outcome.fused_or;
-      fused_and += outcome.fused_and;
-      accel_false += outcome.accel_false;
-      and_false += outcome.and_false;
-    }
-    auto ratio = [&](int hits) {
-      return util::TablePrinter::num(static_cast<double>(hits) / kTrials, 2);
-    };
-    table.add_row({util::TablePrinter::num(cpa, 0), ratio(accel),
-                   ratio(acoustic), ratio(fused_or), ratio(fused_and),
-                   util::TablePrinter::num(
-                       static_cast<double>(accel_false) / kTrials, 1),
-                   util::TablePrinter::num(
-                       static_cast<double>(and_false) / kTrials, 1)});
-  }
-  table.print(std::cout);
-
-  std::cout << "\nShape check: wake detection dies out with distance while "
-               "the hydrophone\nreaches farther; OR tracks the better "
-               "modality, AND strips nearly all the\nsingle-modality false "
-               "alarms at short range.\n";
-  return 0;
+int main(int argc, char** argv) {
+  return sid_bench_main(argc, argv, "BENCH_acoustic_fusion.json");
 }

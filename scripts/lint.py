@@ -136,8 +136,9 @@ DEFENSE_FUNNEL_PATTERNS = (
     # NeighborTable mutators (link beliefs are delivery-layer evidence).
     re.compile(r"\.\s*(?:on_beacon|on_tx_success|on_tx_failure"
                r"|boot_neighbor|sweep)\s*\("),
-    # GuardLedger / quarantine-view mutators.
-    re.compile(r"\.\s*(?:assess|apply_notice)\s*\("),
+    # GuardLedger / quarantine-view mutators (both admission funnels:
+    # accel reports/decisions and acoustic contact reports).
+    re.compile(r"\.\s*(?:assess(?:_acoustic)?|apply_notice)\s*\("),
 )
 
 # The span funnel: only the obs layer itself (the macro's implementation
@@ -386,6 +387,8 @@ def self_test() -> int:
             "void f() { table.on_beacon(3, t); }\n",
         "defense-funnel-ledger":
             "void g() { ledger.assess(msg, t); }\n",
+        "defense-funnel-acoustic":
+            "void h() { ledger.assess_acoustic(contact, msg, t); }\n",
         "span-funnel":
             "void f() { tracer->emit_span(cat, \"n\", t, d, id, {}); }\n",
     }
@@ -431,6 +434,7 @@ def self_test() -> int:
         core_dir.mkdir()
         (core_dir / "m.cpp").write_text(cases["defense-funnel"])
         (core_dir / "n.cpp").write_text(cases["defense-funnel-ledger"])
+        (core_dir / "n2.cpp").write_text(cases["defense-funnel-acoustic"])
         # Span-funnel plant: a core-layer file calling emit_span directly;
         # the obs layer itself (the macro's home) is exempt.
         (core_dir / "r.cpp").write_text(cases["span-funnel"])
@@ -468,6 +472,7 @@ def self_test() -> int:
                 ("mutex-funnel", "q.cpp"),
                 ("defense-funnel", "m.cpp"),
                 ("defense-funnel", "n.cpp"),
+                ("defense-funnel", "n2.cpp"),
                 ("span-funnel", "r.cpp"),
                 ("protocol-literal", "3.3"),
         ]:

@@ -4,7 +4,8 @@
 # tests plus the tiny-grid robustness and adversary sweeps (each
 # self-checks its acceptance gate — monotone-sane detection curve,
 # defended-vs-undefended recall gap, zero false quarantines on honest
-# fields — and exits non-zero otherwise).
+# fields, fused recall at least each single modality with zero forged
+# acoustic acceptances — and exits non-zero otherwise).
 #
 # Usage: scripts/robustness_smoke.sh [build-dir]   (default: build-asan)
 set -euo pipefail
@@ -16,14 +17,16 @@ cmake -B "${build_dir}" -S "${repo_root}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSID_SANITIZE=ON
 cmake --build "${build_dir}" -j \
   --target faults_test selfheal_test defense_test system_test \
-  robustness_sweep adversary_sweep
+  fusion_test robustness_sweep adversary_sweep fusion_ablation
 
 "${build_dir}/tests/faults_test"
 "${build_dir}/tests/selfheal_test"
 "${build_dir}/tests/defense_test"
 "${build_dir}/tests/system_test" \
   --gtest_filter='SidSystemTest.TwentyPercentNodeFailuresStillReachSinkViaFallback'
+"${build_dir}/tests/fusion_test"
 "${build_dir}/bench/robustness_sweep" --smoke
 "${build_dir}/bench/adversary_sweep" --smoke
+"${build_dir}/bench/fusion_ablation" --smoke
 
 echo "robustness smoke: OK"

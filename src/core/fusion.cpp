@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/profile.h"
 #include "util/check.h"
 #include "util/error.h"
 
@@ -12,6 +13,7 @@ std::vector<FusedDetection> fuse_detections(
     std::span<const Alarm> alarms,
     std::span<const acoustic::AcousticContact> contacts,
     const FusionConfig& config) {
+  SID_PROFILE_STAGE(obs::Stage::kFusion);
   util::require(config.association_window_s > 0.0,
                 "fuse_detections: association window must be positive");
   util::require(config.dedup_window_s >= 0.0,
@@ -80,6 +82,178 @@ std::vector<FusedDetection> fuse_detections(
     }
   }
   return fused;
+}
+
+MultiModalFuser::MultiModalFuser(const MultiModalConfig& config)
+    : config_(config) {
+  util::require(config_.base.association_window_s > 0.0,
+                "MultiModalFuser: association window must be positive");
+  util::require(config_.base.dedup_window_s >= 0.0,
+                "MultiModalFuser: dedup window must be non-negative");
+  util::require(config_.accel_weight >= 0.0 && config_.acoustic_weight >= 0.0,
+                "MultiModalFuser: weights must be non-negative");
+  util::require(config_.min_confidence >= 0.0 && config_.min_confidence <= 1.0,
+                "MultiModalFuser: min confidence must be in [0, 1]");
+  util::require(config_.stale_timeout_s >= 0.0,
+                "MultiModalFuser: stale timeout must be non-negative");
+  accel_.enabled = config_.use_accel;
+  acoustic_.enabled = config_.use_acoustic;
+  // Quarantine flags of the batch config map onto the ladder directly.
+  if (config_.base.accel_quarantined) {
+    accel_.state = ModalityState::kQuarantined;
+  }
+  if (config_.base.acoustic_quarantined) {
+    acoustic_.state = ModalityState::kQuarantined;
+  }
+}
+
+MultiModalFuser::Lane& MultiModalFuser::lane(Modality m) {
+  return m == Modality::kAccel ? accel_ : acoustic_;
+}
+
+const MultiModalFuser::Lane& MultiModalFuser::lane(Modality m) const {
+  return m == Modality::kAccel ? accel_ : acoustic_;
+}
+
+bool MultiModalFuser::down(const Lane& l, double t) const {
+  if (!l.enabled) return true;
+  if (l.state == ModalityState::kQuarantined) return true;
+  if (l.state == ModalityState::kStale) return true;
+  if (config_.stale_timeout_s > 0.0 &&
+      t - l.last_seen > config_.stale_timeout_s) {
+    return true;
+  }
+  return false;
+}
+
+bool MultiModalFuser::degraded(double t) const {
+  return down(accel_, t) != down(acoustic_, t);
+}
+
+void MultiModalFuser::set_state(Modality modality, ModalityState state) {
+  lane(modality).state = state;
+  // Revoked evidence must not pair with future events of the survivor.
+  if (state == ModalityState::kQuarantined) lane(modality).pending.clear();
+}
+
+ModalityState MultiModalFuser::state(Modality modality) const {
+  return lane(modality).state;
+}
+
+void MultiModalFuser::reset(double start_time_s) {
+  for (Lane* l : {&accel_, &acoustic_}) {
+    l->pending.clear();
+    l->state = ModalityState::kLive;
+    l->last_seen = start_time_s;
+  }
+  accel_.enabled = config_.use_accel;
+  acoustic_.enabled = config_.use_acoustic;
+  if (config_.base.accel_quarantined) {
+    accel_.state = ModalityState::kQuarantined;
+  }
+  if (config_.base.acoustic_quarantined) {
+    acoustic_.state = ModalityState::kQuarantined;
+  }
+  last_emit_s_ = 0.0;
+  emitted_any_ = false;
+}
+
+void MultiModalFuser::emit(std::vector<FusedTrackDecision>& out,
+                           FusedTrackDecision d) {
+  // Streaming analogue of fuse_detections' dedup merge: an emission
+  // inside the (closed) dedup window of the previous one is suppressed —
+  // an already-returned decision cannot absorb it after the fact.
+  if (emitted_any_ && d.time_s - last_emit_s_ <= config_.base.dedup_window_s) {
+    return;
+  }
+  last_emit_s_ = d.time_s;
+  emitted_any_ = true;
+  out.push_back(d);
+}
+
+std::vector<FusedTrackDecision> MultiModalFuser::ingest(
+    Modality modality, double t, double confidence, std::uint64_t trace_id) {
+  std::vector<FusedTrackDecision> out;
+  SID_DCHECK(std::isfinite(t), "MultiModalFuser: non-finite event time");
+  const double conf = std::clamp(confidence, 0.0, 1.0);
+  Lane& self = lane(modality);
+  if (!self.enabled || self.state == ModalityState::kQuarantined) return out;
+  // Admitted evidence revives an (automatically or externally) stale
+  // modality: it is demonstrably producing again.
+  if (self.state == ModalityState::kStale) self.state = ModalityState::kLive;
+  self.last_seen = t;
+
+  Lane& other = lane(modality == Modality::kAccel ? Modality::kAcoustic
+                                                  : Modality::kAccel);
+  // Prune partners that can no longer associate with any future event
+  // (strictly older than the closed association window).
+  const double cutoff = t - config_.base.association_window_s;
+  std::erase_if(other.pending, [&](const Pending& p) {
+    return p.time < cutoff;
+  });
+  std::erase_if(self.pending, [&](const Pending& p) {
+    return p.time < cutoff;
+  });
+
+  const double self_weight = modality == Modality::kAccel
+                                 ? config_.accel_weight
+                                 : config_.acoustic_weight;
+  const double other_weight = modality == Modality::kAccel
+                                  ? config_.acoustic_weight
+                                  : config_.accel_weight;
+
+  const bool other_down = down(other, t);
+  const bool standalone =
+      config_.base.policy == FusionPolicy::kOr || other_down;
+  if (standalone) {
+    // OR, or kAnd degraded to the surviving modality.
+    const double weighted = std::clamp(self_weight * conf, 0.0, 1.0);
+    if (weighted >= config_.min_confidence) {
+      FusedTrackDecision d;
+      d.time_s = t;
+      d.has_accel = modality == Modality::kAccel;
+      d.has_acoustic = modality == Modality::kAcoustic;
+      d.confidence = weighted;
+      if (modality == Modality::kAccel) d.accel_trace_id = trace_id;
+      if (modality == Modality::kAcoustic) d.acoustic_trace_id = trace_id;
+      emit(out, d);
+    }
+    // Under plain OR both lanes keep pending evidence so a later partner
+    // can still upgrade confidence; under degradation the partner lane is
+    // down anyway and the entry ages out.
+    self.pending.push_back({t, conf, trace_id});
+    return out;
+  }
+
+  // kAnd with both modalities live: look for the newest partner inside
+  // the closed association window.
+  const Pending* best = nullptr;
+  for (const Pending& p : other.pending) {
+    if (std::abs(p.time - t) <= config_.base.association_window_s) {
+      if (!best || p.time > best->time) best = &p;
+    }
+  }
+  if (best != nullptr) {
+    const double weighted = std::clamp(
+        self_weight * conf + other_weight * best->confidence, 0.0, 1.0);
+    if (weighted >= config_.min_confidence) {
+      FusedTrackDecision d;
+      d.time_s = t;  // fusion completes now; emissions stay monotone
+      d.has_accel = true;
+      d.has_acoustic = true;
+      d.confidence = weighted;
+      if (modality == Modality::kAccel) {
+        d.accel_trace_id = trace_id;
+        d.acoustic_trace_id = best->trace_id;
+      } else {
+        d.accel_trace_id = best->trace_id;
+        d.acoustic_trace_id = trace_id;
+      }
+      emit(out, d);
+    }
+  }
+  self.pending.push_back({t, conf, trace_id});
+  return out;
 }
 
 }  // namespace sid::core

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -23,10 +24,14 @@ struct FusionConfig {
   FusionPolicy policy = FusionPolicy::kAnd;
   /// Events closer than this in time are considered the same physical
   /// cause. The wake arrives minutes after the engine noise at long
-  /// range, so the window is generous.
+  /// range, so the window is generous. The interval is CLOSED on both
+  /// ends: two events associate iff |t_a - t_b| <= association_window_s
+  /// (an event exactly at the window edge still pairs — test-enforced).
   double association_window_s = 30.0;
   /// Events closer than this to an emitted fused detection are folded
-  /// into it instead of raising a new one.
+  /// into it instead of raising a new one. Also a CLOSED interval: an
+  /// event with t - t_last_emit <= dedup_window_s merges; strictly
+  /// beyond the window it opens a new fused detection (test-enforced).
   double dedup_window_s = 20.0;
   /// Defense hooks (wsn/defense): a quarantined modality's events are
   /// excluded from fusion — its source identity was revoked, so its
@@ -49,5 +54,138 @@ std::vector<FusedDetection> fuse_detections(
     std::span<const Alarm> alarms,
     std::span<const acoustic::AcousticContact> contacts,
     const FusionConfig& config = {});
+
+/// The two evidence streams the sink-side fuser consumes.
+enum class Modality {
+  kAccel,     ///< accelerometer cluster decisions (the paper's pipeline)
+  kAcoustic,  ///< hydrophone contact reports (multi-modal path)
+};
+
+/// Health of one modality as seen from the sink. Drives the degradation
+/// ladder: kAnd with both modalities kLive demands cross-modal agreement;
+/// with exactly one modality down (kStale or kQuarantined) the fuser
+/// degrades to OR over the survivor; with both down it emits nothing.
+enum class ModalityState {
+  kLive,
+  kStale,        ///< no admitted evidence for stale_timeout_s (faulted or
+                 ///  partitioned away — the fuser cannot tell which)
+  kQuarantined,  ///< every source of the modality revoked by the defense
+};
+
+/// Sink-side multi-modal fusion configuration. The windows and their
+/// closed-interval semantics come from FusionConfig (`base`); the weights
+/// turn the boolean AND/OR of fuse_detections into a confidence-weighted
+/// vote over per-event confidences.
+struct MultiModalConfig {
+  FusionConfig base;
+  /// Per-modality weights of the confidence vote. An event's weighted
+  /// confidence is weight * confidence (clamped to [0, 1] after summing
+  /// across contributing modalities).
+  double accel_weight = 0.6;
+  double acoustic_weight = 0.5;
+  /// A fused decision is emitted only when its (weighted, summed)
+  /// confidence reaches this floor. Low by default: a degraded single
+  /// modality (weight * confidence) must still clear it, or degradation
+  /// would silence the survivor instead of keeping it alive.
+  double min_confidence = 0.2;
+  /// A modality with no admitted evidence for this long is considered
+  /// kStale for the degradation ladder (0 disables the timeout).
+  double stale_timeout_s = 120.0;
+  /// Modalities that exist in this deployment at all. A disabled modality
+  /// is permanently "down" for the ladder: kAnd with use_acoustic=false
+  /// behaves exactly like the degraded single-modality path.
+  bool use_accel = true;
+  bool use_acoustic = true;
+};
+
+/// One fused sink decision. Carries the causal trace ids of the newest
+/// contributing event per modality (zero when that modality did not
+/// contribute or its event was untraced) so the sink can emit span_fuse
+/// links back to both origin chains (obs/span.h, SpanKind::kFused).
+struct FusedTrackDecision {
+  double time_s = 0.0;  ///< sink time the fused decision fired
+  bool has_accel = false;
+  bool has_acoustic = false;
+  double confidence = 0.0;  ///< weighted, clamped to [0, 1]
+  std::uint64_t accel_trace_id = 0;
+  std::uint64_t acoustic_trace_id = 0;
+};
+
+/// Streaming per-track generalization of fuse_detections for the sink:
+/// evidence arrives event-by-event (accel = admitted ClusterDecisions,
+/// acoustic = admitted AcousticContactReports) in delivery order, and the
+/// fuser emits FusedTrackDecisions incrementally.
+///
+/// Semantics (deterministic, no randomness, no scheduled events):
+///   - ingest() prunes pending evidence older than the association
+///     window, then tries to emit under the *effective* policy:
+///       kAnd, both modalities live  -> needs a partner of the other
+///           modality with |dt| <= association_window_s (closed);
+///           confidence = accel_w * c_accel + acoustic_w * c_acoustic.
+///       degraded (exactly one live) -> survivor stands alone;
+///           confidence = weight * c.
+///       both down                   -> silence.
+///   - an emission within dedup_window_s (closed) of the previous one is
+///     suppressed (the streaming analogue of fuse_detections' merge: a
+///     returned decision cannot be mutated after the fact).
+///   - fused decisions are stamped at the ingest time that completed
+///     them, so emissions are monotone in sink time.
+/// Like the GuardLedger, the fuser is pure bookkeeping: feeding it zero
+/// acoustic evidence leaves the accel-only pipeline bit-identical.
+class MultiModalFuser {
+ public:
+  explicit MultiModalFuser(const MultiModalConfig& config = {});
+
+  /// Feeds one admitted piece of evidence; returns the fused decisions it
+  /// completed (empty most of the time). `confidence` is the modality's
+  /// own quality score in [0, 1] (accel: decision correlation; acoustic:
+  /// normalized SNR). Evidence for a quarantined/disabled modality is
+  /// discarded.
+  std::vector<FusedTrackDecision> ingest(Modality modality, double t,
+                                         double confidence,
+                                         std::uint64_t trace_id = 0);
+
+  /// Externally-driven health transitions (quarantine listener). kStale
+  /// is also entered automatically via stale_timeout_s; an ingest for a
+  /// kStale modality revives it to kLive.
+  void set_state(Modality modality, ModalityState state);
+  ModalityState state(Modality modality) const;
+
+  /// Effective degradation rung at time `t`: true when kAnd has degraded
+  /// to single-modality OR (exactly one modality down).
+  bool degraded(double t) const;
+
+  /// Clears evidence and emission state for a new run starting at
+  /// `start_time_s` (staleness is measured from here until the first
+  /// admitted event).
+  void reset(double start_time_s);
+
+  const MultiModalConfig& config() const { return config_; }
+
+ private:
+  struct Pending {
+    double time = 0.0;
+    double confidence = 0.0;
+    std::uint64_t trace_id = 0;
+  };
+  struct Lane {
+    ModalityState state = ModalityState::kLive;
+    std::vector<Pending> pending;
+    double last_seen = 0.0;  ///< last admitted event (or reset) time
+    bool enabled = true;
+  };
+
+  Lane& lane(Modality m);
+  const Lane& lane(Modality m) const;
+  /// Down for the ladder: disabled, quarantined, or stale at time t.
+  bool down(const Lane& lane, double t) const;
+  void emit(std::vector<FusedTrackDecision>& out, FusedTrackDecision d);
+
+  MultiModalConfig config_;
+  Lane accel_;
+  Lane acoustic_;
+  double last_emit_s_ = 0.0;
+  bool emitted_any_ = false;
+};
 
 }  // namespace sid::core

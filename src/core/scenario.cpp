@@ -1,11 +1,13 @@
 #include "core/scenario.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "obs/profile.h"
 #include "obs/span.h"
 #include "util/error.h"
 #include "util/parallel.h"
+#include "util/rng.h"
 
 namespace sid::core {
 
@@ -32,7 +34,77 @@ sense::SensorFaultConfig to_sensing_fault(const wsn::SensorFaultSpec& spec) {
   return fault;
 }
 
+/// Applies a wsn-level acoustic fault schedule to a node's contact list
+/// (the hydrophone analogue of to_sensing_fault: the two libraries are
+/// independent; core glues them). Fault randomness draws from a dedicated
+/// per-node stream derived from (seed, node) — touched only when the node
+/// actually has an acoustic fault, so fault-free nodes (and fault-free
+/// runs) draw nothing extra.
+std::vector<acoustic::AcousticContact> apply_acoustic_fault(
+    std::vector<acoustic::AcousticContact> contacts,
+    const wsn::AcousticFaultSpec& spec, std::uint64_t seed, double t0,
+    double duration_s) {
+  util::Rng rng(seed);
+  switch (spec.kind) {
+    case wsn::AcousticFaultKind::kContactDropout: {
+      // A flaky hydrophone channel loses contacts independently.
+      std::vector<acoustic::AcousticContact> kept;
+      kept.reserve(contacts.size());
+      for (const auto& c : contacts) {
+        if (c.time_s >= spec.start_s && rng.bernoulli(spec.drop_fraction)) {
+          continue;
+        }
+        kept.push_back(c);
+      }
+      return kept;
+    }
+    case wsn::AcousticFaultKind::kGainDrift: {
+      // Preamp gain drifting up inflates every reported SNR — surviving
+      // contacts look too loud (the sink's sonar-equation ceiling is the
+      // backstop against runaway drift).
+      for (auto& c : contacts) {
+        if (c.time_s >= spec.start_s) {
+          c.snr_db += spec.gain_drift_db_per_s * (c.time_s - spec.start_s);
+        }
+      }
+      return contacts;
+    }
+    case wsn::AcousticFaultKind::kClutterStorm: {
+      // Poisson burst of clutter contacts (rain, chains, shrimp) across
+      // [start_s, end_s], merged into the legitimate stream in time order.
+      const double window_start = std::max(spec.start_s, t0);
+      const double window_end = std::min(spec.end_s, t0 + duration_s);
+      const double rate_per_s = spec.clutter_rate_per_hour / 3600.0;
+      double t = window_start;
+      while (rate_per_s > 0.0) {
+        t += rng.exponential(rate_per_s);
+        if (t >= window_end) break;
+        acoustic::AcousticContact c;
+        c.time_s = t;
+        c.snr_db = rng.uniform(6.0, 12.0);
+        c.clutter = true;
+        contacts.push_back(c);
+      }
+      std::sort(contacts.begin(), contacts.end(),
+                [](const acoustic::AcousticContact& a,
+                   const acoustic::AcousticContact& b) {
+                  return a.time_s < b.time_s;
+                });
+      return contacts;
+    }
+  }
+  return contacts;
+}
+
 }  // namespace
+
+bool carries_hydrophone(const AcousticSensingConfig& config,
+                        wsn::NodeId node) {
+  if (!config.enabled) return false;
+  util::require(config.node_stride >= 1,
+                "AcousticSensingConfig: node stride must be >= 1");
+  return node % config.node_stride == 0;
+}
 
 std::vector<wsn::DetectionReport> ScenarioRun::all_reports() const {
   std::vector<wsn::DetectionReport> out;
@@ -45,6 +117,12 @@ std::vector<wsn::DetectionReport> ScenarioRun::all_reports() const {
 std::size_t ScenarioRun::total_alarms() const {
   std::size_t n = 0;
   for (const auto& run : node_runs) n += run.alarms.size();
+  return n;
+}
+
+std::size_t ScenarioRun::total_contacts() const {
+  std::size_t n = 0;
+  for (const auto& run : node_runs) n += run.contacts.size();
   return n;
 }
 
@@ -131,6 +209,28 @@ ScenarioRun simulate_node_reports(const wsn::Network& network,
                                              static_cast<std::uint64_t>(a),
                                              obs::SpanKind::kReport);
       node_run.reports.push_back(report);
+    }
+
+    // Multi-modal path: the hydrophone subset also runs the acoustic
+    // detector against the same tracks. Distinct prime multiplier keeps
+    // the per-node acoustic stream independent of the buoy (7919) and
+    // accel (104729) streams; drawn only when the node carries a
+    // hydrophone, so accel-only runs stay bit-identical.
+    if (carries_hydrophone(config.acoustic, info.id)) {
+      acoustic::HydrophoneConfig hydro_cfg = config.acoustic.hydrophone;
+      hydro_cfg.seed = config.seed * 15485863ULL + info.id * 2ULL + 1ULL;
+      acoustic::Hydrophone hydrophone(info.anchor, hydro_cfg);
+      node_run.contacts = [&] {
+        SID_PROFILE_STAGE(obs::Stage::kSynthesis);
+        return hydrophone.run(tracks, config.trace.start_time_s,
+                              config.trace.duration_s, config.sea_state);
+      }();
+      if (const auto spec = network.faults().acoustic_fault(info.id)) {
+        node_run.contacts = apply_acoustic_fault(
+            std::move(node_run.contacts), *spec,
+            config.seed * 6700417ULL + info.id, config.trace.start_time_s,
+            config.trace.duration_s);
+      }
     }
 
     run.node_runs[i] = std::move(node_run);

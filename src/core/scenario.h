@@ -12,6 +12,7 @@
 #include <span>
 #include <vector>
 
+#include "acoustic/hydrophone.h"
 #include "core/node_detector.h"
 #include "ocean/wave_field.h"
 #include "ocean/wave_spectrum.h"
@@ -24,6 +25,27 @@
 
 namespace sid::core {
 
+/// Opt-in multi-modal sensing: a configurable subset of buoys carries a
+/// hydrophone alongside the accelerometer. Strictly opt-in — disabled
+/// (the default), no hydrophone exists, no acoustic RNG stream is drawn,
+/// and runs stay bit-identical to the accel-only pipeline.
+struct AcousticSensingConfig {
+  bool enabled = false;
+  /// Every node with id % node_stride == 0 carries a hydrophone (1 =
+  /// every buoy). Sparse by default: hydrophones are the expensive
+  /// sensor, and the fused pipeline only needs modality coverage, not
+  /// density.
+  std::size_t node_stride = 3;
+  /// Shared detector model; each hydrophone derives its own RNG stream
+  /// from (scenario seed, node id), never from this config's seed.
+  acoustic::HydrophoneConfig hydrophone;
+  /// Origin-side thinning: a node reports at most one contact per this
+  /// interval (a sustained close pass fires the detector every
+  /// integration period; reporting each look would flood the radio — and
+  /// trip the sink ledger's contact-rate plausibility window).
+  double min_report_interval_s = 10.0;
+};
+
 struct ScenarioConfig {
   /// Default: calm harbor water — the paper's deployment site; rougher
   /// presets exercise the adaptive threshold (ablation bench).
@@ -33,6 +55,9 @@ struct ScenarioConfig {
   NodeDetectorConfig detector;
   sense::TraceConfig trace;           ///< duration, buoy, accel templates
   std::uint64_t seed = 1;
+  /// Multi-modal sensing (default off: accel-only, bit-identical to the
+  /// single-modality pipeline).
+  AcousticSensingConfig acoustic;
   /// Worker threads for per-node synthesis + detection (1 = serial).
   /// Bit-identical to serial at any count: every node derives its RNG
   /// streams from (seed, node id) alone and writes a disjoint output slot,
@@ -46,6 +71,9 @@ struct NodeRun {
   wsn::NodeId node = 0;
   std::vector<Alarm> alarms;                   ///< true-time alarms
   std::vector<wsn::DetectionReport> reports;   ///< local-clock reports
+  /// Hydrophone contacts (true time), after acoustic fault application.
+  /// Empty unless the node carries a hydrophone (AcousticSensingConfig).
+  std::vector<acoustic::AcousticContact> contacts;
 };
 
 /// Per-node ground truth for evaluation.
@@ -63,7 +91,12 @@ struct ScenarioRun {
   /// All reports across nodes, flattened.
   std::vector<wsn::DetectionReport> all_reports() const;
   std::size_t total_alarms() const;
+  std::size_t total_contacts() const;
 };
+
+/// True when `node` carries a hydrophone under `config` (the id-stride
+/// subset; false whenever acoustic sensing is disabled).
+bool carries_hydrophone(const AcousticSensingConfig& config, wsn::NodeId node);
 
 /// Runs the sensing + node-detection front end for every node of
 /// `network` against the given ships. Does not touch the radio; the

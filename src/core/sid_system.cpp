@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "obs/span.h"
 #include "util/check.h"
@@ -31,19 +32,53 @@ wsn::NodeId cell_head_id(std::size_t row, std::size_t col, std::size_t cell,
 /// ledgers see the complete evidence stream.
 wsn::NetworkConfig with_default_guards(const SidSystemConfig& config) {
   wsn::NetworkConfig net = config.network;
-  if (!net.defense.enabled || !net.defense.guarded_nodes.empty()) return net;
-  std::vector<wsn::NodeId> guards{0};  // the sink at grid (0, 0)
-  const std::size_t cell = std::max<std::size_t>(config.static_cell_size, 1);
-  for (std::size_t r = 0; r < net.rows; r += cell) {
-    for (std::size_t c = 0; c < net.cols; c += cell) {
-      const wsn::NodeId head = cell_head_id(r, c, cell, net.rows, net.cols);
-      if (std::find(guards.begin(), guards.end(), head) == guards.end()) {
-        guards.push_back(head);
+  if (!net.defense.enabled) return net;
+  if (net.defense.guarded_nodes.empty()) {
+    std::vector<wsn::NodeId> guards{0};  // the sink at grid (0, 0)
+    const std::size_t cell =
+        std::max<std::size_t>(config.static_cell_size, 1);
+    for (std::size_t r = 0; r < net.rows; r += cell) {
+      for (std::size_t c = 0; c < net.cols; c += cell) {
+        const wsn::NodeId head = cell_head_id(r, c, cell, net.rows, net.cols);
+        if (std::find(guards.begin(), guards.end(), head) == guards.end()) {
+          guards.push_back(head);
+        }
       }
     }
+    net.defense.guarded_nodes = std::move(guards);
   }
-  net.defense.guarded_nodes = std::move(guards);
+  if (config.scenario.acoustic.enabled) {
+    // Derive the ledger's sonar-equation SNR ceiling from the deployment's
+    // actual hydrophone model: the loudest plausible small craft (4x the
+    // reference speed) at the near-field range floor against the quietest
+    // ambient, plus margin. Anything above it is physically impossible,
+    // however honest the claimed identity looks.
+    const auto& sonar = config.scenario.acoustic.hydrophone.sonar;
+    net.defense.acoustic_max_snr_db =
+        sonar.snr_db(4.0 * sonar.source.reference_speed_mps,
+                     sonar.propagation.min_range_m, ocean::SeaState::kCalm) +
+        3.0;
+  }
   return net;
+}
+
+/// The fuser's acoustic lane only exists when the deployment carries
+/// hydrophones at all.
+MultiModalConfig derive_fusion_config(const SidSystemConfig& config) {
+  MultiModalConfig fusion = config.fusion;
+  fusion.use_acoustic =
+      fusion.use_acoustic && config.scenario.acoustic.enabled;
+  return fusion;
+}
+
+/// Confidence of an acoustic contact for the fusion vote: post-integration
+/// SNR normalized against a strong-contact reference (20 dB saturates).
+double contact_confidence(double snr_db) {
+  return std::clamp(snr_db / 20.0, 0.0, 1.0);
+}
+
+std::uint64_t contact_key(const wsn::AcousticContactReport& contact) {
+  return (static_cast<std::uint64_t>(contact.reporter) << 32) | contact.seq;
 }
 
 }  // namespace
@@ -84,6 +119,12 @@ SidSystem::SidCounters::SidCounters(obs::Registry& registry)
       fallback_reports(registry.counter("sid.fallback_reports")),
       fallback_decisions(registry.counter("sid.fallback_decisions")),
       duplicates_suppressed(registry.counter("sid.duplicates_suppressed")),
+      acoustic_contacts_sent(
+          registry.counter("sid.acoustic_contacts_sent")),
+      acoustic_contacts_accepted(
+          registry.counter("sid.acoustic_contacts_accepted")),
+      acoustic_duplicates(registry.counter("sid.acoustic_duplicates")),
+      fused_detections(registry.counter("sid.fused_detections")),
       true_alarms(registry.counter("detect.true_alarms")),
       false_alarms(registry.counter("detect.false_alarms")),
       missed_wakes(registry.counter("detect.missed_wakes")),
@@ -103,6 +144,10 @@ void SidSystem::SidCounters::reset() {
   fallback_reports.reset();
   fallback_decisions.reset();
   duplicates_suppressed.reset();
+  acoustic_contacts_sent.reset();
+  acoustic_contacts_accepted.reset();
+  acoustic_duplicates.reset();
+  fused_detections.reset();
   true_alarms.reset();
   false_alarms.reset();
   missed_wakes.reset();
@@ -115,10 +160,17 @@ SidSystem::SidSystem(const SidSystemConfig& config)
       counters_(network_.registry()),
       evaluator_(config.cluster),
       reliable_(network_, config.resilience.e2e),
-      members_(network_.node_count()) {
+      members_(network_.node_count()),
+      fuser_(derive_fusion_config(config)) {
   util::require(config.static_cell_size >= 1,
                 "SidSystem: static cell size must be >= 1");
   sink_node_ = network_.id_at(0, 0);
+  for (std::size_t id = 0; id < network_.node_count(); ++id) {
+    if (carries_hydrophone(config_.scenario.acoustic,
+                           static_cast<wsn::NodeId>(id))) {
+      ++hydrophone_count_;
+    }
+  }
   network_.set_delivery_handler(
       [this](wsn::NodeId receiver, const wsn::Message& msg, double t) {
         loop_checker_.check();
@@ -133,6 +185,19 @@ SidSystem::SidSystem(const SidSystemConfig& config)
       loop_checker_.check();
       reliable_.forget_source(subject);
       sink_windows_.erase(subject);
+      acoustic_windows_.erase(subject);
+      if (carries_hydrophone(config_.scenario.acoustic, subject)) {
+        // Degradation ladder input: a revoked hydrophone identity counts
+        // as revoked for the rest of the run (release is probationary,
+        // not a restored trust verdict). Only when the *last* hydrophone
+        // falls does the acoustic lane itself go down and the fuser
+        // degrade to the accelerometer modality.
+        quarantined_hydrophones_.insert(subject);
+        if (hydrophone_count_ > 0 &&
+            quarantined_hydrophones_.size() == hydrophone_count_) {
+          fuser_.set_state(Modality::kAcoustic, ModalityState::kQuarantined);
+        }
+      }
     });
   }
 }
@@ -368,7 +433,115 @@ void SidSystem::accept_at_sink(const wsn::ClusterDecision& decision,
       observation.heading_rad = decision.estimated_heading_rad;
     }
     tracker_.observe(observation);
+    // Accel lane of the multi-modal fuser: intrusion decisions only, with
+    // the cluster correlation as the modality confidence. With acoustic
+    // fusion disabled the fuser is pure bookkeeping (no events, no RNG),
+    // so accel-only runs stay bit-identical.
+    for (const FusedTrackDecision& fused :
+         fuser_.ingest(Modality::kAccel, t,
+                       std::clamp(decision.correlation, 0.0, 1.0),
+                       decision.trace_id)) {
+      emit_fused(fused, t);
+    }
   }
+}
+
+void SidSystem::submit_contact(wsn::NodeId node,
+                               wsn::AcousticContactReport contact, double t) {
+  counters_.acoustic_contacts_sent.add(1);
+  SID_TRACE(&network_.tracer(), obs::Category::kNode, "contact", t,
+            {{"node", node},
+             {"seq", contact.seq},
+             {"snr_db", contact.snr_db}});
+  if (contact.trace_id != 0) {
+    // Chain anchor for the acoustic modality (SpanKind::kAcousticContact).
+    SID_SPAN(&network_.tracer(), obs::Category::kNode, "span_origin", t, 0.0,
+             contact.trace_id, {{"kind", "acoustic"}, {"node", node}});
+    contact_created_s_.emplace(contact_key(contact), t);
+  }
+  contact.contact_local_time_s = network_.local_time(node, t);
+  wsn::Message msg;
+  msg.src = node;
+  msg.dst = sink_node_;
+  msg.payload = contact;
+  reliable_.send(std::move(msg));
+}
+
+void SidSystem::accept_acoustic_at_sink(
+    const wsn::AcousticContactReport& contact, double t) {
+  SID_DCHECK(std::isfinite(contact.snr_db),
+             "accept_acoustic_at_sink: non-finite SNR from reporter ",
+             contact.reporter);
+  // Per-reporter wraparound-safe dedup, mirroring the decision windows
+  // (the two payload classes have independent sequence streams).
+  auto window = acoustic_windows_.find(contact.reporter);
+  if (window == acoustic_windows_.end()) {
+    window = acoustic_windows_
+                 .emplace(contact.reporter,
+                          wsn::SequenceWindow{
+                              config_.resilience.e2e.dedup_span})
+                 .first;
+  }
+  if (!window->second.accept(contact.seq)) {
+    counters_.acoustic_duplicates.add(1);
+    SID_TRACE(&network_.tracer(), obs::Category::kSink, "contact_duplicate",
+              t, {{"seq", contact.seq}, {"reporter", contact.reporter}});
+    return;
+  }
+  counters_.acoustic_contacts_accepted.add(1);
+  double latency_s = -1.0;  // unknown: submission record not at this sink
+  if (const auto created = contact_created_s_.find(contact_key(contact));
+      created != contact_created_s_.end()) {
+    latency_s = t - created->second;
+  }
+  SID_TRACE(&network_.tracer(), obs::Category::kSink, "sink_contact", t,
+            {{"reporter", contact.reporter},
+             {"seq", contact.seq},
+             {"snr_db", contact.snr_db}});
+  if (contact.trace_id != 0) {
+    // Chain terminal for the acoustic modality: hop/wait spans carrying
+    // this id tile [span_origin.t, here], same contract as decisions.
+    SID_SPAN(&network_.tracer(), obs::Category::kSink, "span_sink", t, 0.0,
+             contact.trace_id,
+             {{"reporter", contact.reporter},
+              {"seq", contact.seq},
+              {"latency_s", latency_s}});
+  }
+  result_.acoustic_contacts.push_back(contact);
+  for (const FusedTrackDecision& fused :
+       fuser_.ingest(Modality::kAcoustic, t,
+                     contact_confidence(contact.snr_db), contact.trace_id)) {
+    emit_fused(fused, t);
+  }
+}
+
+void SidSystem::emit_fused(const FusedTrackDecision& fused, double t) {
+  counters_.fused_detections.add(1);
+  [[maybe_unused]] const std::uint64_t id = obs::derive_trace_id(
+      config_.network.seed, sink_node_, next_fused_index_++,
+      obs::SpanKind::kFused);
+  SID_TRACE(&network_.tracer(), obs::Category::kSink, "sink_fused", t,
+            {{"confidence", fused.confidence},
+             {"has_accel", fused.has_accel},
+             {"has_acoustic", fused.has_acoustic}});
+  // The fused chain is born and dies at the sink: span_origin plus one
+  // span_fuse cross-link per contributing modality chain, no span_sink
+  // (there is no transport leg whose latency a sink record would attest).
+  SID_SPAN(&network_.tracer(), obs::Category::kSink, "span_origin", t, 0.0,
+           id, {{"kind", "fused"}, {"node", sink_node_}});
+  if (fused.accel_trace_id != 0) {
+    SID_SPAN(&network_.tracer(), obs::Category::kSink, "span_fuse", t, 0.0,
+             id,
+             {{"report_id", obs::span_id_hex(fused.accel_trace_id)},
+              {"modality", "accel"}});
+  }
+  if (fused.acoustic_trace_id != 0) {
+    SID_SPAN(&network_.tracer(), obs::Category::kSink, "span_fuse", t, 0.0,
+             id,
+             {{"report_id", obs::span_id_hex(fused.acoustic_trace_id)},
+              {"modality", "acoustic"}});
+  }
+  result_.fused.push_back(fused);
 }
 
 void SidSystem::send_decision(wsn::NodeId from, wsn::NodeId dst,
@@ -446,6 +619,14 @@ void SidSystem::on_deliver(wsn::NodeId receiver, const wsn::Message& msg,
     auto it = heads_.find(receiver);
     if (it == heads_.end() || it->second.evaluated) return;
     it->second.reports.push_back(*report);
+    return;
+  }
+
+  if (const auto* contact =
+          std::get_if<wsn::AcousticContactReport>(&msg.payload)) {
+    // Contacts are addressed straight at the sink; anything else (a
+    // misrouted or forged copy at a non-sink node) is dropped here.
+    if (receiver == sink_node_) accept_acoustic_at_sink(*contact, t);
     return;
   }
 
@@ -596,7 +777,12 @@ SystemResult SidSystem::run(std::span<const wake::ShipTrackConfig> ships) {
   fallbacks_.clear();
   reliable_.reset();
   sink_windows_.clear();
+  acoustic_windows_.clear();
+  quarantined_hydrophones_.clear();
+  next_fused_index_ = 0;
+  fuser_.reset(config_.scenario.trace.start_time_s);
   decision_created_s_.clear();
+  contact_created_s_.clear();
   next_decision_seq_.clear();
   members_.assign(network_.node_count(), MemberState{});
   tracker_ = Tracker(config_.cluster_tracker);
@@ -648,6 +834,36 @@ SystemResult SidSystem::run(std::span<const wake::ShipTrackConfig> ships) {
             on_alarm(node, report, now);
           });
     }
+    // Thinned acoustic contact submissions (min_report_interval_s): the
+    // hydrophone fires every integration period during a sustained pass,
+    // and reporting every look would flood the radio — and trip the sink
+    // ledger's contact-rate plausibility window. Sent contacts are
+    // re-sequenced 0, 1, ... so the sink's per-reporter dedup window sees
+    // a dense stream.
+    if (!node_run.contacts.empty()) {
+      const double min_gap = config_.scenario.acoustic.min_report_interval_s;
+      double last_sent = -std::numeric_limits<double>::infinity();
+      std::uint32_t sent_seq = 0;
+      for (const auto& contact : node_run.contacts) {
+        if (contact.time_s - last_sent < min_gap) continue;
+        last_sent = contact.time_s;
+        wsn::AcousticContactReport report;
+        report.reporter = node_run.node;
+        report.seq = sent_seq++;
+        report.position = network_.node(node_run.node).anchor;
+        report.snr_db = contact.snr_db;
+        report.trace_id = obs::derive_trace_id(
+            config_.scenario.seed, node_run.node, report.seq,
+            obs::SpanKind::kAcousticContact);
+        const wsn::NodeId node = node_run.node;
+        network_.events().schedule_at(contact.time_s, [this, node, report] {
+          loop_checker_.check();
+          const double now = network_.events().now();
+          if (!network_.can_execute(node, now)) return;
+          submit_contact(node, report, now);
+        });
+      }
+    }
     // Sensing energy for the node's active portion of the run (a crashed
     // node stops sampling at its crash time).
     auto& meter = network_.node(node_run.node).energy;
@@ -698,6 +914,12 @@ SystemResult SidSystem::run(std::span<const wake::ShipTrackConfig> ships) {
   result_.fallback_reports = counters_.fallback_reports.value();
   result_.fallback_decisions = counters_.fallback_decisions.value();
   result_.duplicates_suppressed = counters_.duplicates_suppressed.value();
+  result_.acoustic_contacts_sent = counters_.acoustic_contacts_sent.value();
+  result_.acoustic_contacts_accepted =
+      counters_.acoustic_contacts_accepted.value();
+  result_.acoustic_duplicates_suppressed =
+      counters_.acoustic_duplicates.value();
+  result_.fused_detections = counters_.fused_detections.value();
 
   result_.network_stats = network_.stats();
   for (const auto& info : network_.nodes()) {

@@ -16,10 +16,12 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <span>
 #include <vector>
 
 #include "core/cluster.h"
+#include "core/fusion.h"
 #include "core/scenario.h"
 #include "core/tracker.h"
 #include "obs/telemetry.h"
@@ -59,6 +61,10 @@ struct SidSystemConfig {
   std::size_t static_cell_size = 3;
   /// Sink-level vessel tracker configuration.
   TrackerConfig cluster_tracker;
+  /// Sink-side multi-modal fusion (core/fusion.h). use_acoustic is
+  /// intersected with scenario.acoustic.enabled, so the acoustic lane only
+  /// exists when the deployment actually carries hydrophones.
+  MultiModalConfig fusion;
   ResilienceConfig resilience;
   /// Tolerance when matching node alarms against ground-truth wake
   /// arrivals for the detect.* outcome counters (observability only;
@@ -96,6 +102,17 @@ struct SystemResult {
   std::size_t fallback_decisions = 0;
   /// Duplicate decisions suppressed at the sink by sequence number.
   std::size_t duplicates_suppressed = 0;
+  /// Multi-modal path: acoustic contacts accepted at the sink, in
+  /// acceptance order (empty when acoustic sensing is disabled and no
+  /// forged contact slipped through).
+  std::vector<wsn::AcousticContactReport> acoustic_contacts;
+  /// Sink-side fused detections from the MultiModalFuser.
+  std::vector<FusedTrackDecision> fused;
+  std::size_t acoustic_contacts_sent = 0;
+  std::size_t acoustic_contacts_accepted = 0;
+  /// Duplicate contacts suppressed at the sink by per-reporter seq.
+  std::size_t acoustic_duplicates_suppressed = 0;
+  std::size_t fused_detections = 0;
   wsn::NetworkStats network_stats;
   double total_energy_mj = 0.0;
 
@@ -185,6 +202,10 @@ class SidSystem {
     obs::Counter& fallback_reports;
     obs::Counter& fallback_decisions;
     obs::Counter& duplicates_suppressed;
+    obs::Counter& acoustic_contacts_sent;
+    obs::Counter& acoustic_contacts_accepted;
+    obs::Counter& acoustic_duplicates;
+    obs::Counter& fused_detections;
     obs::Counter& true_alarms;
     obs::Counter& false_alarms;
     obs::Counter& missed_wakes;
@@ -222,6 +243,18 @@ class SidSystem {
   /// Static-head fallback evaluation over collected orphan reports.
   void evaluate_fallback(wsn::NodeId head) SID_REQUIRES(loop_checker_);
   void accept_at_sink(const wsn::ClusterDecision& decision, double t)
+      SID_REQUIRES(loop_checker_);
+  /// Sends one (pre-built, trace-stamped) acoustic contact report from a
+  /// hydrophone node straight to the sink over the reliable transport.
+  void submit_contact(wsn::NodeId node, wsn::AcousticContactReport contact,
+                      double t) SID_REQUIRES(loop_checker_);
+  /// Sink-side acceptance of an admitted acoustic contact: per-reporter
+  /// dedup, counters, span_sink, then the acoustic fusion lane.
+  void accept_acoustic_at_sink(const wsn::AcousticContactReport& contact,
+                               double t) SID_REQUIRES(loop_checker_);
+  /// Surfaces one fused multi-modal detection: counters, sink_fused
+  /// trace, a kFused span chain linking back to both modality origins.
+  void emit_fused(const FusedTrackDecision& fused, double t)
       SID_REQUIRES(loop_checker_);
   /// Sends a decision toward `dst` over the reliable transport; when the
   /// static-head relay leg gives up, re-targets the sink directly.
@@ -263,8 +296,26 @@ class SidSystem {
   /// alike land here).
   std::map<wsn::NodeId, wsn::SequenceWindow> sink_windows_
       SID_GUARDED_BY(loop_checker_);
+  /// Sink-side acoustic dedup: one wraparound-safe window per reporting
+  /// hydrophone (separate from the decision windows — the two payload
+  /// classes have independent sequence streams).
+  std::map<wsn::NodeId, wsn::SequenceWindow> acoustic_windows_
+      SID_GUARDED_BY(loop_checker_);
+  /// Sink-side multi-modal fusion state machine (core/fusion.h).
+  MultiModalFuser fuser_ SID_GUARDED_BY(loop_checker_);
+  /// Hydrophone identities quarantined this run; once every hydrophone
+  /// has been revoked the acoustic lane itself is marked quarantined and
+  /// the fuser degrades to the accel modality.
+  std::set<wsn::NodeId> quarantined_hydrophones_
+      SID_GUARDED_BY(loop_checker_);
+  std::size_t hydrophone_count_ = 0;
+  /// Per-run index of fused emissions (kFused trace-id seq component).
+  std::uint64_t next_fused_index_ SID_GUARDED_BY(loop_checker_) = 0;
   /// (head, seq) -> sim time the decision was created (latency metric).
   std::map<std::uint64_t, double> decision_created_s_
+      SID_GUARDED_BY(loop_checker_);
+  /// (reporter, seq) -> sim time the contact was submitted (span latency).
+  std::map<std::uint64_t, double> contact_created_s_
       SID_GUARDED_BY(loop_checker_);
   /// Per-head decision sequence counters (no global coordination).
   std::map<wsn::NodeId, std::uint32_t> next_decision_seq_

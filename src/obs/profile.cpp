@@ -19,6 +19,7 @@ constexpr std::array<std::string_view,
         "detector",
         "synthesis",
         "event_dispatch",
+        "fusion",
     }};
 
 /// Log-spaced 1-2-5 nanosecond buckets, 1 us .. 10 s.

@@ -34,6 +34,7 @@ enum class Stage : std::size_t {
   kDetector,       ///< node-level detector over a whole trace (core)
   kSynthesis,      ///< sensor-trace synthesis (ocean + wake + sensing)
   kEventDispatch,  ///< one event-queue callback (wsn/event_queue)
+  kFusion,         ///< multi-modal accel+acoustic fusion (core/fusion)
   kCount,
 };
 

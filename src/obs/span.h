@@ -40,6 +40,8 @@ namespace sid::obs {
 enum class SpanKind : std::uint8_t {
   kReport = 1,    ///< a DetectionReport, seq = per-node report index
   kDecision = 2,  ///< a ClusterDecision, seq = per-head decision seq
+  kAcousticContact = 3,  ///< an AcousticContactReport, seq = contact index
+  kFused = 4,     ///< a sink-side multi-modal fused detection, seq = index
 };
 
 /// Deterministic trace id from (seed, origin node, per-origin seq, kind):

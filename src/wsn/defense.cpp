@@ -20,6 +20,7 @@ std::string_view verdict_name(IngressVerdict verdict) {
     case IngressVerdict::kPosition: return "position";
     case IngressVerdict::kIdentity: return "identity";
     case IngressVerdict::kRate: return "rate";
+    case IngressVerdict::kAcousticImplausible: return "acoustic_implausible";
   }
   return "unknown";
 }
@@ -35,6 +36,11 @@ GuardLedger::GuardLedger(NodeId guard, const DefenseConfig& config,
                 "DefenseConfig: quarantine threshold must be positive");
   util::require(config_.score_half_life_s > 0.0,
                 "DefenseConfig: score half-life must be positive");
+  util::require(config_.acoustic_max_snr_db > config_.acoustic_min_snr_db,
+                "DefenseConfig: acoustic SNR ceiling must exceed the floor");
+  util::require(
+      config_.acoustic_rate_window_s > 0.0 && config_.acoustic_rate_limit > 0,
+      "DefenseConfig: acoustic rate window and limit must be positive");
 }
 
 GuardLedger::IdentityState& GuardLedger::state(NodeId id) {
@@ -97,14 +103,19 @@ GuardLedger::StreamCheck GuardLedger::check_stream(bool seen,
   return out;
 }
 
-bool GuardLedger::rate_violation(IdentityState& s, double t) {
-  auto& window = s.fresh_accepts;
+bool GuardLedger::window_violation(std::vector<double>& window, double t,
+                                   double window_s, std::size_t limit) const {
   window.push_back(t);
-  const double horizon = t - config_.rate_window_s;
+  const double horizon = t - window_s;
   window.erase(std::remove_if(window.begin(), window.end(),
                               [horizon](double v) { return v < horizon; }),
                window.end());
-  return window.size() > config_.rate_limit;
+  return window.size() > limit;
+}
+
+bool GuardLedger::rate_violation(IdentityState& s, double t) {
+  return window_violation(s.fresh_accepts, t, config_.rate_window_s,
+                          config_.rate_limit);
 }
 
 void GuardLedger::add_suspicion(NodeId id, IdentityState& s, double amount,
@@ -127,8 +138,8 @@ void GuardLedger::add_suspicion(NodeId id, IdentityState& s, double amount,
   }
 }
 
-IngressVerdict GuardLedger::assess(const Message& msg, double t) {
-  const IngressVerdict verdict = assess_impl(msg, t);
+IngressVerdict GuardLedger::report_verdict(const Message& msg,
+                                           IngressVerdict verdict, double t) {
   if (verdict != IngressVerdict::kAccept) {
     // Every filtered/quarantined drop is visible in the kDefense trace
     // stream; the counters (net.defense_*) only aggregate per verdict.
@@ -138,6 +149,27 @@ IngressVerdict GuardLedger::assess(const Message& msg, double t) {
                {"verdict", verdict_name(verdict)}});
   }
   return verdict;
+}
+
+IngressVerdict GuardLedger::assess(const Message& msg, double t) {
+  return report_verdict(msg, assess_impl(msg, t), t);
+}
+
+IngressVerdict GuardLedger::assess_acoustic(const Message& msg, double t) {
+  return report_verdict(msg, assess_acoustic_impl(msg, t), t);
+}
+
+bool GuardLedger::quarantine_gate(NodeId id, double t) {
+  auto it = states_.find(id);
+  if (it == states_.end() || !it->second.quarantined) return false;
+  if (t < it->second.quarantine_until_s) return true;
+  it->second.quarantined = false;
+  it->second.score = 0.0;
+  it->second.fresh_accepts.clear();
+  it->second.acoustic_accepts.clear();
+  SID_TRACE(tracer_, obs::Category::kDefense, "quarantine_release", t,
+            {{"guard", guard_}, {"subject", id}});
+  return false;
 }
 
 IngressVerdict GuardLedger::assess_impl(const Message& msg, double t) {
@@ -157,18 +189,7 @@ IngressVerdict GuardLedger::assess_impl(const Message& msg, double t) {
   // whether it appears as transport source or payload identity. Expired
   // quarantines are released on the way (probation: score resets, the
   // next sustained violation re-quarantines).
-  const auto gate = [&](NodeId id) {
-    auto it = states_.find(id);
-    if (it == states_.end() || !it->second.quarantined) return false;
-    if (t < it->second.quarantine_until_s) return true;
-    it->second.quarantined = false;
-    it->second.score = 0.0;
-    it->second.fresh_accepts.clear();
-    SID_TRACE(tracer_, obs::Category::kDefense, "quarantine_release", t,
-              {{"guard", guard_}, {"subject", id}});
-    return false;
-  };
-  if (gate(msg.src) || gate(claimed)) {
+  if (quarantine_gate(msg.src, t) || quarantine_gate(claimed, t)) {
     return IngressVerdict::kQuarantined;
   }
 
@@ -229,6 +250,74 @@ IngressVerdict GuardLedger::assess_impl(const Message& msg, double t) {
   if (transport.fresh || dec_stream.fresh) {
     IdentityState& id_state = state(claimed);
     if (rate_violation(id_state, t)) {
+      add_suspicion(claimed, id_state, config_.rate_score, t);
+      return IngressVerdict::kRate;
+    }
+  }
+  return IngressVerdict::kAccept;
+}
+
+IngressVerdict GuardLedger::assess_acoustic_impl(const Message& msg,
+                                                 double t) {
+  quarantine_started_.reset();
+
+  const auto* contact = std::get_if<AcousticContactReport>(&msg.payload);
+  if (contact == nullptr) return assess_impl(msg, t);
+  const NodeId claimed = contact->reporter;
+
+  if (quarantine_gate(msg.src, t) || quarantine_gate(claimed, t)) {
+    return IngressVerdict::kQuarantined;
+  }
+
+  // Acoustic contacts travel reporter -> sink directly (no head
+  // collection phase), so the payload and transport identities must
+  // agree, exactly as for member reports.
+  if (claimed != msg.src) return IngressVerdict::kIdentity;
+
+  // Hydrophone positions are the deployment anchors too.
+  if (claimed < anchors_.size() &&
+      util::distance(contact->position, anchors_[claimed]) >
+          config_.position_tolerance_m) {
+    return IngressVerdict::kPosition;
+  }
+
+  // Sonar-equation plausibility: the claimed SNR must sit between the
+  // hydrophone's own detection floor and the physical ceiling (loudest
+  // source, minimum range, quietest ambient). A forger advertising an
+  // impossibly strong contact — the natural way to force a fused alarm —
+  // trips this even when its sequence discipline is perfect.
+  if (!std::isfinite(contact->snr_db) ||
+      contact->snr_db > config_.acoustic_max_snr_db ||
+      contact->snr_db < config_.acoustic_min_snr_db) {
+    return IngressVerdict::kAcousticImplausible;
+  }
+
+  if (!msg.reliable) return IngressVerdict::kSeqBootstrap;
+
+  IdentityState& src_state = state(msg.src);
+  const StreamCheck transport = check_stream(
+      src_state.transport_seen, src_state.transport_high, msg.e2e_seq);
+  if (transport.verdict != IngressVerdict::kAccept) return transport.verdict;
+
+  const StreamCheck contact_stream = check_stream(
+      src_state.contact_seen, src_state.contact_high, contact->seq);
+  if (contact_stream.verdict != IngressVerdict::kAccept) {
+    return contact_stream.verdict;
+  }
+
+  src_state.transport_seen = transport.seen;
+  src_state.transport_high = transport.high;
+  src_state.contact_seen = contact_stream.seen;
+  src_state.contact_high = contact_stream.high;
+
+  // Modality-specific rate window: a hydrophone integrates over seconds,
+  // so fresh contacts above the limit are a flood regardless of how well
+  // each individual message passes the filters.
+  if (transport.fresh || contact_stream.fresh) {
+    IdentityState& id_state = state(claimed);
+    if (window_violation(id_state.acoustic_accepts, t,
+                         config_.acoustic_rate_window_s,
+                         config_.acoustic_rate_limit)) {
       add_suspicion(claimed, id_state, config_.rate_score, t);
       return IngressVerdict::kRate;
     }

@@ -83,6 +83,21 @@ struct DefenseConfig {
   /// is a spoof.
   double beacon_range_tolerance_frac = 0.25;
   double beacon_range_slack_m = 5.0;
+  /// Acoustic contact plausibility (multi-modal path). A claimed SNR
+  /// above the ceiling is physically impossible: the sonar equation bounds
+  /// received SNR by the loudest plausible source at the minimum
+  /// propagation range against the quietest ambient floor. SidSystem
+  /// derives the ceiling from its HydrophoneConfig; the default covers the
+  /// stock source model with margin. Contacts below the floor carry no
+  /// detection (the hydrophone's own threshold would have suppressed
+  /// them), so an honest node never sends one.
+  double acoustic_max_snr_db = 64.0;
+  double acoustic_min_snr_db = 0.0;
+  /// Acoustic rate plausibility: one hydrophone integrating over seconds
+  /// cannot produce more than `limit` fresh contacts per window — a
+  /// contact flood is the forged-acoustic signature.
+  double acoustic_rate_window_s = 60.0;
+  std::size_t acoustic_rate_limit = 12;
 };
 
 /// Per-message verdict of GuardLedger::assess.
@@ -95,6 +110,7 @@ enum class IngressVerdict {
   kPosition,      ///< claimed position conflicts with deployment anchor
   kIdentity,      ///< payload identity conflicts with transport identity
   kRate,          ///< per-identity flood (also feeds the suspicion score)
+  kAcousticImplausible,  ///< contact SNR outside the sonar-equation bounds
 };
 
 /// Stable lowercase label for a verdict ("accept", "seq_jump", ...), as
@@ -107,7 +123,8 @@ constexpr bool verdict_filters(IngressVerdict v) {
          v == IngressVerdict::kSeqJump ||
          v == IngressVerdict::kSeqRollback ||
          v == IngressVerdict::kPosition || v == IngressVerdict::kIdentity ||
-         v == IngressVerdict::kRate;
+         v == IngressVerdict::kRate ||
+         v == IngressVerdict::kAcousticImplausible;
 }
 
 /// One guard node's suspicion ledger. Owned and fed by the Network (the
@@ -125,6 +142,14 @@ class GuardLedger {
   /// and drops the message unless kAccept. Check quarantine_started()
   /// afterwards for a fresh tier-2 trigger.
   IngressVerdict assess(const Message& msg, double t);
+
+  /// Scores one delivered AcousticContactReport message (the per-modality
+  /// admission path of the multi-modal pipeline): identity/position checks
+  /// as for reports, SNR bounds against the sonar equation, transport and
+  /// per-reporter contact sequence watermarks, and a modality-specific
+  /// fresh-contact rate window feeding the same suspicion score. Mutates
+  /// ledger state exactly like assess().
+  IngressVerdict assess_acoustic(const Message& msg, double t);
 
   /// Attaches the tracer kDefense events are emitted through (rejections,
   /// suspicion crossings, quarantine start/release). Purely
@@ -153,9 +178,14 @@ class GuardLedger {
     /// Watermark of the per-head decision stream claiming this id.
     bool decision_seen = false;
     std::uint32_t decision_high = 0;
+    /// Watermark of the per-reporter acoustic contact stream.
+    bool contact_seen = false;
+    std::uint32_t contact_high = 0;
     /// Accept times of fresh (watermark-advancing) messages inside the
     /// rate window.
     std::vector<double> fresh_accepts;
+    /// Accept times of fresh acoustic contacts (modality-specific rate).
+    std::vector<double> acoustic_accepts;
     /// Decaying suspicion score (tier 2).
     double score = 0.0;
     double score_t = 0.0;
@@ -166,6 +196,13 @@ class GuardLedger {
   /// assess() minus the trace emission (the public wrapper reports every
   /// non-accept verdict as a kDefense "guard_reject" event).
   IngressVerdict assess_impl(const Message& msg, double t);
+  IngressVerdict assess_acoustic_impl(const Message& msg, double t);
+  /// Shared trace wrapper for both assess entry points.
+  IngressVerdict report_verdict(const Message& msg, IngressVerdict verdict,
+                                double t);
+  /// Quarantine gate shared by both admission paths: true while the id is
+  /// quarantined; releases expired quarantines on the way (probation).
+  bool quarantine_gate(NodeId id, double t);
   IdentityState& state(NodeId id);
   double decayed_score(const IdentityState& s, double t) const;
   /// Pure sequence-plausibility check against a watermark. The caller
@@ -181,6 +218,10 @@ class GuardLedger {
                            std::uint32_t seq) const;
   /// Registers a fresh accept for rate plausibility; true on violation.
   bool rate_violation(IdentityState& s, double t);
+  /// Same sliding-window test over an arbitrary accept list (the acoustic
+  /// path keeps its own window with its own limits).
+  bool window_violation(std::vector<double>& window, double t,
+                        double window_s, std::size_t limit) const;
   void add_suspicion(NodeId id, IdentityState& s, double amount, double t);
 
   NodeId guard_ = 0;

@@ -67,6 +67,16 @@ FaultInjector::FaultInjector(const FaultPlan& plan, std::uint64_t seed)
     chains_.emplace(link_key(burst.a, burst.b), GilbertElliott(burst.params));
   }
   if (plan_.all_links_burst) validate_ge(*plan_.all_links_burst);
+  for (const auto& spec : plan_.acoustic_faults) {
+    util::require(spec.drop_fraction >= 0.0 && spec.drop_fraction <= 1.0,
+                  "FaultPlan: acoustic drop fraction must be in [0, 1]");
+    util::require(spec.clutter_rate_per_hour >= 0.0,
+                  "FaultPlan: acoustic clutter rate must be non-negative");
+    if (spec.kind == AcousticFaultKind::kClutterStorm) {
+      util::require(spec.end_s >= spec.start_s,
+                    "FaultPlan: clutter storm must not end before start");
+    }
+  }
 }
 
 bool FaultInjector::node_dead(NodeId node, double t) const {
@@ -129,6 +139,14 @@ bool FaultInjector::burst_drops(NodeId a, NodeId b) {
 std::optional<SensorFaultSpec> FaultInjector::sensor_fault(
     NodeId node) const {
   for (const auto& spec : plan_.sensor_faults) {
+    if (spec.node == node) return spec;
+  }
+  return std::nullopt;
+}
+
+std::optional<AcousticFaultSpec> FaultInjector::acoustic_fault(
+    NodeId node) const {
+  for (const auto& spec : plan_.acoustic_faults) {
     if (spec.node == node) return spec;
   }
   return std::nullopt;

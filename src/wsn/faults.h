@@ -88,6 +88,28 @@ struct SensorFaultSpec {
   double saturation_g = 0.3;
 };
 
+/// Hydrophone defect kinds (applied by core/scenario when synthesizing
+/// the acoustic contact stream; the wsn layer only carries the schedule).
+enum class AcousticFaultKind {
+  kContactDropout,  ///< contacts after start_s are lost with drop_fraction
+  kGainDrift,       ///< receiver sensitivity decays; SNR falls over time
+  kClutterStorm,    ///< biologic/weather clutter floods the detector
+};
+
+struct AcousticFaultSpec {
+  NodeId node = 0;
+  AcousticFaultKind kind = AcousticFaultKind::kContactDropout;
+  double start_s = 0.0;
+  /// kContactDropout: probability an affected contact is silently lost.
+  double drop_fraction = 0.75;
+  /// kGainDrift: SNR penalty accumulated per second after start_s (dB/s).
+  double gain_drift_db_per_s = 0.05;
+  /// kClutterStorm: extra clutter contacts per hour while the storm lasts.
+  double clutter_rate_per_hour = 120.0;
+  /// kClutterStorm: storm end (ignored by the other kinds).
+  double end_s = 0.0;
+};
+
 struct FaultPlan {
   std::vector<NodeCrash> crashes;
   std::vector<BatteryOverride> battery_overrides;
@@ -97,11 +119,12 @@ struct FaultPlan {
   std::optional<GilbertElliottParams> all_links_burst;
   std::vector<CongestionWindow> congestion;
   std::vector<SensorFaultSpec> sensor_faults;
+  std::vector<AcousticFaultSpec> acoustic_faults;
 
   bool empty() const {
     return crashes.empty() && battery_overrides.empty() &&
            link_bursts.empty() && !all_links_burst && congestion.empty() &&
-           sensor_faults.empty();
+           sensor_faults.empty() && acoustic_faults.empty();
   }
 };
 
@@ -121,8 +144,11 @@ inline constexpr NodeId kForgeAllIds = 0xFFFFFFFE;
 
 /// What traffic class a forger fabricates.
 enum class ForgedTraffic {
-  kReports,    ///< fabricated fallback DetectionReports
-  kDecisions,  ///< fabricated intrusion ClusterDecisions
+  kReports,           ///< fabricated fallback DetectionReports
+  kDecisions,         ///< fabricated intrusion ClusterDecisions
+  kAcousticContacts,  ///< fabricated AcousticContactReports (multi-modal
+                      ///< path: a phantom-vessel injection on the
+                      ///< acoustic channel)
 };
 
 /// Passive capture + delayed re-injection: the attacker records
@@ -276,6 +302,10 @@ class FaultInjector {
 
   /// Sensor fault scheduled for `node`, if any (first match).
   std::optional<SensorFaultSpec> sensor_fault(NodeId node) const;
+
+  /// Acoustic (hydrophone) fault scheduled for `node`, if any (first
+  /// match).
+  std::optional<AcousticFaultSpec> acoustic_fault(NodeId node) const;
 
   const FaultPlan& plan() const { return plan_; }
 

@@ -122,6 +122,29 @@ struct QuarantineNotice {
   static constexpr std::size_t kWireBytes = 10;
 };
 
+/// Hydrophone contact from an acoustic-capable buoy, sent to the sink
+/// over the reliable transport (multi-modal path; core/fusion fuses it
+/// with the accelerometer decision stream). Deliberately a plain struct:
+/// the wsn layer sits below src/acoustic in the include DAG, so the
+/// payload carries only the extracted evidence (SNR, time), never the
+/// sonar-equation machinery that produced it.
+struct AcousticContactReport {
+  NodeId reporter = 0;
+  /// Per-reporter contact sequence assigned at origin (0, 1, ...); the
+  /// sink suppresses duplicates through the same wraparound-safe window
+  /// machinery that covers decisions (wsn/seqnum).
+  std::uint32_t seq = 0;
+  util::Vec2 position;            ///< believed (deployment) position
+  double contact_local_time_s = 0;
+  double snr_db = 0;              ///< post-integration SNR of the contact
+  /// Observability-only causal trace id (obs/span.h,
+  /// SpanKind::kAcousticContact), stamped at origin and preserved across
+  /// relay. Zero means untraced; NOT on the wire.
+  std::uint64_t trace_id = 0;
+
+  static constexpr std::size_t kWireBytes = 29;
+};
+
 struct Message {
   NodeId src = 0;
   NodeId dst = 0;
@@ -131,7 +154,7 @@ struct Message {
   bool reliable = false;
   std::uint32_t e2e_seq = 0;
   std::variant<DetectionReport, ClusterInvite, ClusterDecision, ReliableAck,
-               LivenessProbe, QuarantineNotice>
+               LivenessProbe, QuarantineNotice, AcousticContactReport>
       payload;
   /// Observability-only span metadata (obs/span.h): the causal trace id
   /// this message carries (copied from a traced payload by the reliable

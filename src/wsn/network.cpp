@@ -57,15 +57,19 @@ RadioConfig derive_radio_config(const NetworkConfig& config) {
     case 3: return "ack";
     case 4: return "probe";
     case 5: return "quarantine";
+    case 6: return "acoustic";
     default: return "unknown";
   }
 }
 
 // Traffic classes the defense assesses (and the replayers capture):
 // everything else (invites, acks, probes, notices) passes untouched.
+// Acoustic contacts carry sensing evidence into fusion exactly like
+// reports/decisions, so they are in the assessed class.
 bool is_report_or_decision(const Message& msg) {
   return std::holds_alternative<DetectionReport>(msg.payload) ||
-         std::holds_alternative<ClusterDecision>(msg.payload);
+         std::holds_alternative<ClusterDecision>(msg.payload) ||
+         std::holds_alternative<AcousticContactReport>(msg.payload);
 }
 
 }  // namespace
@@ -91,13 +95,17 @@ Network::NetCounters::NetCounters(obs::Registry& registry)
       attack_forgeries(registry.counter("net.attack_forgeries")),
       attack_clone_reports(registry.counter("net.attack_clone_reports")),
       attack_beacon_spoofs(registry.counter("net.attack_beacon_spoofs")),
+      attack_acoustic_forgeries(
+          registry.counter("net.attack_acoustic_forgeries")),
       defense_filtered(registry.counter("defense.filtered")),
       defense_drops(registry.counter("defense.drops")),
       defense_quarantines(registry.counter("defense.quarantines")),
       defense_false_quarantines(
           registry.counter("defense.false_quarantines")),
       defense_notices(registry.counter("defense.notices")),
-      defense_spoofs_ignored(registry.counter("defense.spoofs_ignored")) {}
+      defense_spoofs_ignored(registry.counter("defense.spoofs_ignored")),
+      defense_acoustic_rejects(
+          registry.counter("defense.acoustic_rejects")) {}
 
 Network::Network(const NetworkConfig& config)
     : config_(config),
@@ -753,6 +761,8 @@ const NetworkStats& Network::stats() const {
   stats_view_.attack_forgeries = counters_.attack_forgeries.value();
   stats_view_.attack_clone_reports = counters_.attack_clone_reports.value();
   stats_view_.attack_beacon_spoofs = counters_.attack_beacon_spoofs.value();
+  stats_view_.attack_acoustic_forgeries =
+      counters_.attack_acoustic_forgeries.value();
   stats_view_.defense_filtered = counters_.defense_filtered.value();
   stats_view_.defense_drops = counters_.defense_drops.value();
   stats_view_.defense_quarantines = counters_.defense_quarantines.value();
@@ -761,6 +771,8 @@ const NetworkStats& Network::stats() const {
   stats_view_.defense_notices = counters_.defense_notices.value();
   stats_view_.defense_spoofs_ignored =
       counters_.defense_spoofs_ignored.value();
+  stats_view_.defense_acoustic_rejects =
+      counters_.defense_acoustic_rejects.value();
   return stats_view_;
 }
 
@@ -819,11 +831,18 @@ bool Network::defense_admit(NodeId receiver, const Message& msg, NodeId via,
     }
   }
 
-  const IngressVerdict verdict = ledger.assess(msg, t);
+  // Acoustic contacts take the modality-specific admission path (SNR
+  // bounds, contact-stream watermarks, contact-rate window); everything
+  // else takes the report/decision path.
+  const bool acoustic =
+      std::holds_alternative<AcousticContactReport>(msg.payload);
+  const IngressVerdict verdict =
+      acoustic ? ledger.assess_acoustic(msg, t) : ledger.assess(msg, t);
   if (const auto subject = ledger.quarantine_started()) {
     on_quarantine(receiver, *subject, t);
   }
   if (verdict == IngressVerdict::kAccept) return true;
+  if (acoustic) counters_.defense_acoustic_rejects.add();
   if (verdict == IngressVerdict::kQuarantined) {
     counters_.defense_drops.add();
   } else {
@@ -963,6 +982,18 @@ void Network::forgery_tick(std::size_t index) {
         d.estimated_position = position;
         d.decision_local_time_s = t;
         msg.payload = d;
+      } else if (atk.traffic == ForgedTraffic::kAcousticContacts) {
+        // A fabricated hydrophone contact claiming the victim's identity.
+        // The attacker picks a persuasive-looking SNR; whether it clears
+        // the ledger's sonar-equation ceiling depends on the defense
+        // configuration, not on this draw.
+        AcousticContactReport c;
+        c.reporter = victim;
+        c.seq = atk.seq_base + st.next_seq;
+        c.position = position;
+        c.contact_local_time_s = t;
+        c.snr_db = attack_rng_.uniform(10.0, 30.0);
+        msg.payload = c;
       } else {
         DetectionReport r;
         r.reporter = victim;
@@ -978,6 +1009,9 @@ void Network::forgery_tick(std::size_t index) {
       }
       ++st.next_seq;
       counters_.attack_forgeries.add();
+      if (atk.traffic == ForgedTraffic::kAcousticContacts) {
+        counters_.attack_acoustic_forgeries.add();
+      }
       unicast_from(atk.attacker, std::move(msg), /*adversarial=*/true);
     }
   }

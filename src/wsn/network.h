@@ -148,6 +148,8 @@ struct NetworkStats {
   std::size_t attack_forgeries = 0;
   std::size_t attack_clone_reports = 0;
   std::size_t attack_beacon_spoofs = 0;
+  /// Forged acoustic contacts injected (ForgedTraffic::kAcousticContacts).
+  std::size_t attack_acoustic_forgeries = 0;
   /// Defense layer: tier-1 per-message filter drops at guard nodes.
   std::size_t defense_filtered = 0;
   /// Messages dropped because their claimed identity was quarantined.
@@ -160,6 +162,9 @@ struct NetworkStats {
   std::size_t defense_notices = 0;
   /// Hello beacons ignored for range/quarantine implausibility.
   std::size_t defense_spoofs_ignored = 0;
+  /// Acoustic contacts rejected by the ledger's modality checks (SNR
+  /// bounds, contact-stream watermarks, contact-rate window).
+  std::size_t defense_acoustic_rejects = 0;
 };
 
 /// Synchronous outcome of a unicast (the simulator resolves every hop at
@@ -391,12 +396,14 @@ class Network {
     obs::Counter& attack_forgeries;
     obs::Counter& attack_clone_reports;
     obs::Counter& attack_beacon_spoofs;
+    obs::Counter& attack_acoustic_forgeries;
     obs::Counter& defense_filtered;
     obs::Counter& defense_drops;
     obs::Counter& defense_quarantines;
     obs::Counter& defense_false_quarantines;
     obs::Counter& defense_notices;
     obs::Counter& defense_spoofs_ignored;
+    obs::Counter& defense_acoustic_rejects;
   };
 
   NetworkConfig config_;

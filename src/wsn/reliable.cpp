@@ -67,6 +67,9 @@ std::uint32_t ReliableTransport::send(Message msg, Callback cb) {
     } else if (const auto* decision =
                    std::get_if<ClusterDecision>(&msg.payload)) {
       msg.trace_id = decision->trace_id;
+    } else if (const auto* contact =
+                   std::get_if<AcousticContactReport>(&msg.payload)) {
+      msg.trace_id = contact->trace_id;
     }
   }
   const Key key{msg.src, seq};

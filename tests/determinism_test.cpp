@@ -323,6 +323,122 @@ TEST(DeterminismTest, AttackedDefendedRunIsReproducibleAcrossThreads) {
             parallel_sys.registry().to_json(false));
 }
 
+// ------------------------------------------- multi-modal fusion (§5k)
+//
+// With acoustic sensing enabled the run gains a second in-network
+// evidence stream (hydrophone contact reports) and a sink-side fuser;
+// both ride the same event queue and derived RNG streams, so a fused run
+// under faults AND attacks must still be bit-identical across worker
+// counts — artifacts included.
+
+std::uint64_t hash_multimodal(const core::SystemResult& result) {
+  Fnv1a h;
+  h.add(hash_system_result(result));
+  h.add(static_cast<std::uint64_t>(result.acoustic_contacts_sent));
+  h.add(static_cast<std::uint64_t>(result.acoustic_contacts_accepted));
+  h.add(static_cast<std::uint64_t>(result.fused_detections));
+  for (const auto& contact : result.acoustic_contacts) {
+    h.add(static_cast<std::uint64_t>(contact.reporter));
+    h.add(static_cast<std::uint64_t>(contact.seq));
+    h.add(contact.snr_db);
+    h.add(contact.contact_local_time_s);
+    h.add(contact.trace_id);
+  }
+  for (const auto& fused : result.fused) {
+    h.add(fused.time_s);
+    h.add(fused.has_accel);
+    h.add(fused.has_acoustic);
+    h.add(fused.confidence);
+    h.add(fused.accel_trace_id);
+    h.add(fused.acoustic_trace_id);
+  }
+  return h.digest();
+}
+
+core::SidSystemConfig fused_attacked_config(std::uint64_t seed) {
+  // The §5h attack plan (forged decisions + a clone), plus hydrophones on
+  // every second buoy, acoustic faults on two of them, and an attacker
+  // injecting forged acoustic contacts under its own identity.
+  auto cfg = attacked_config(seed, /*defended=*/true);
+  cfg.scenario.acoustic.enabled = true;
+  cfg.scenario.acoustic.node_stride = 2;
+  wsn::AcousticFaultSpec drift;
+  drift.node = 10;
+  drift.kind = wsn::AcousticFaultKind::kGainDrift;
+  drift.start_s = 50.0;
+  cfg.network.faults.acoustic_faults.push_back(drift);
+  wsn::AcousticFaultSpec dropout;
+  dropout.node = 4;
+  dropout.kind = wsn::AcousticFaultKind::kContactDropout;
+  dropout.start_s = 60.0;
+  cfg.network.faults.acoustic_faults.push_back(dropout);
+  wsn::ForgeryAttack contacts;
+  contacts.attacker = 22;
+  contacts.victim = 22;
+  contacts.target = 0;
+  contacts.traffic = wsn::ForgedTraffic::kAcousticContacts;
+  contacts.start_s = 20.0;
+  contacts.end_s = 200.0;
+  contacts.period_s = 7.0;
+  cfg.network.attacks.forgeries.push_back(contacts);
+  return cfg;
+}
+
+TEST(DeterminismTest, FusedMultiModalRunIsReproducibleAcrossThreads) {
+  const std::vector<wake::ShipTrackConfig> ships{crossing_ship()};
+
+  struct Run {
+    std::uint64_t hash = 0;
+    std::string metrics;
+    std::string trace;
+    std::string telemetry;
+    std::string flightrec;
+    core::SystemResult result;
+  };
+  const auto run_fused = [&ships](std::size_t threads) {
+    auto cfg = fused_attacked_config(1);
+    cfg.scenario.threads = threads;
+    core::SidSystem sys(cfg);
+    obs::TelemetryConfig telemetry;
+    telemetry.interval_s = 15.0;
+    sys.enable_telemetry(telemetry);
+    std::ostringstream trace;
+    sys.tracer().attach(&trace, obs::kAllCategories);
+    Run run;
+    run.result = sys.run(ships);
+    sys.tracer().close();
+    run.hash = hash_multimodal(run.result);
+    run.metrics = sys.registry().to_json(false);
+    run.trace = trace.str();
+    std::ostringstream tele;
+    sys.telemetry()->dump_jsonl(tele);
+    run.telemetry = tele.str();
+    std::ostringstream rec;
+    sys.flight_recorder().dump(rec, "determinism");
+    run.flightrec = rec.str();
+    return run;
+  };
+
+  const Run serial = run_fused(1);
+  // Non-vacuity: both modalities, the fuser, the acoustic faults and the
+  // forged-contact attack must all actually fire in this run.
+  ASSERT_GT(serial.result.acoustic_contacts_accepted, 0u);
+  ASSERT_GT(serial.result.fused_detections, 0u);
+  ASSERT_GT(serial.result.network_stats.attack_acoustic_forgeries, 0u);
+  ASSERT_GT(serial.result.network_stats.attack_forgeries, 0u);
+  ASSERT_NE(serial.metrics.find("\"sid.acoustic_contacts_accepted\""),
+            std::string::npos);
+  ASSERT_NE(serial.metrics.find("\"sid.fused_detections\""),
+            std::string::npos);
+
+  const Run parallel = run_fused(4);
+  EXPECT_EQ(serial.hash, parallel.hash);
+  EXPECT_EQ(serial.metrics, parallel.metrics);
+  EXPECT_EQ(serial.trace, parallel.trace);
+  EXPECT_EQ(serial.telemetry, parallel.telemetry);
+  EXPECT_EQ(serial.flightrec, parallel.flightrec);
+}
+
 // --------------------------------------------------------- metrics dumps
 
 TEST(DeterminismTest, MetricsDumpIsBitIdenticalForSameSeed) {

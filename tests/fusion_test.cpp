@@ -1,0 +1,247 @@
+// core/fusion boundary regressions: the association and dedup windows
+// are CLOSED intervals on both ends (documented in fusion.h), the
+// both-quarantined configuration is silent, and kAnd degrades to OR over
+// the survivor the moment exactly one modality goes down — in that
+// order, never the reverse (a lone survivor must not be silenced while
+// its partner is merely quarantined).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "acoustic/hydrophone.h"
+#include "core/fusion.h"
+#include "core/node_detector.h"
+
+namespace sid::core {
+namespace {
+
+Alarm alarm_at(double onset_s) {
+  Alarm a;
+  a.onset_time_s = onset_s;
+  a.trigger_time_s = onset_s;
+  return a;
+}
+
+acoustic::AcousticContact contact_at(double time_s, double snr_db = 12.0) {
+  acoustic::AcousticContact c;
+  c.time_s = time_s;
+  c.snr_db = snr_db;
+  return c;
+}
+
+// --- fuse_detections (batch) window-edge semantics -----------------------
+
+TEST(FuseDetectionsBoundaryTest, AssociationWindowIsClosedAtBothEnds) {
+  FusionConfig cfg;
+  cfg.policy = FusionPolicy::kAnd;
+  cfg.association_window_s = 30.0;
+  const std::vector<Alarm> alarms{alarm_at(100.0)};
+
+  // Exactly at the edge (|dt| == window): still associates.
+  const std::vector<acoustic::AcousticContact> at_edge{contact_at(130.0)};
+  const auto fused_edge = fuse_detections(alarms, at_edge, cfg);
+  ASSERT_EQ(fused_edge.size(), 1u);
+  EXPECT_TRUE(fused_edge[0].has_accel);
+  EXPECT_TRUE(fused_edge[0].has_acoustic);
+
+  // The same on the early side.
+  const std::vector<acoustic::AcousticContact> at_early_edge{
+      contact_at(70.0)};
+  EXPECT_EQ(fuse_detections(alarms, at_early_edge, cfg).size(), 1u);
+
+  // Strictly beyond the window: no association, kAnd emits nothing.
+  const std::vector<acoustic::AcousticContact> beyond{
+      contact_at(130.0 + 1e-6)};
+  EXPECT_TRUE(fuse_detections(alarms, beyond, cfg).empty());
+}
+
+TEST(FuseDetectionsBoundaryTest, DedupWindowIsClosedAtBothEnds) {
+  FusionConfig cfg;
+  cfg.policy = FusionPolicy::kOr;
+  cfg.dedup_window_s = 20.0;
+
+  // Second event exactly at the dedup edge: merged into the first.
+  const std::vector<Alarm> edge_alarms{alarm_at(100.0), alarm_at(120.0)};
+  EXPECT_EQ(fuse_detections(edge_alarms, {}, cfg).size(), 1u);
+
+  // Strictly beyond: a fresh fused detection opens.
+  const std::vector<Alarm> beyond_alarms{alarm_at(100.0),
+                                         alarm_at(120.0 + 1e-6)};
+  EXPECT_EQ(fuse_detections(beyond_alarms, {}, cfg).size(), 2u);
+}
+
+TEST(FuseDetectionsBoundaryTest, BothModalitiesQuarantinedIsSilent) {
+  FusionConfig cfg;
+  cfg.policy = FusionPolicy::kOr;
+  cfg.accel_quarantined = true;
+  cfg.acoustic_quarantined = true;
+  const std::vector<Alarm> alarms{alarm_at(10.0), alarm_at(90.0)};
+  const std::vector<acoustic::AcousticContact> contacts{contact_at(12.0)};
+  EXPECT_TRUE(fuse_detections(alarms, contacts, cfg).empty());
+}
+
+TEST(FuseDetectionsBoundaryTest, SingleQuarantineDegradesAndToOr) {
+  FusionConfig cfg;
+  cfg.policy = FusionPolicy::kAnd;
+  cfg.acoustic_quarantined = true;
+  // No acoustic partner could ever satisfy AND; the surviving accel
+  // evidence must stand alone rather than be silenced.
+  const std::vector<Alarm> alarms{alarm_at(50.0)};
+  const std::vector<acoustic::AcousticContact> contacts{contact_at(51.0)};
+  const auto fused = fuse_detections(alarms, contacts, cfg);
+  ASSERT_EQ(fused.size(), 1u);
+  EXPECT_TRUE(fused[0].has_accel);
+  EXPECT_FALSE(fused[0].has_acoustic);
+}
+
+// --- MultiModalFuser (streaming) ladder and edges -------------------------
+
+MultiModalConfig fuser_config() {
+  MultiModalConfig cfg;
+  cfg.base.policy = FusionPolicy::kAnd;
+  cfg.base.association_window_s = 30.0;
+  cfg.base.dedup_window_s = 20.0;
+  cfg.accel_weight = 0.6;
+  cfg.acoustic_weight = 0.5;
+  cfg.min_confidence = 0.2;
+  cfg.stale_timeout_s = 0.0;  // ladder driven explicitly in these tests
+  return cfg;
+}
+
+TEST(MultiModalFuserTest, AndAssociatesExactlyAtTheClosedWindowEdge) {
+  MultiModalFuser fuser(fuser_config());
+  EXPECT_TRUE(fuser.ingest(Modality::kAccel, 100.0, 1.0, 7).empty());
+  // Partner exactly association_window_s later: the pair completes.
+  const auto fused = fuser.ingest(Modality::kAcoustic, 130.0, 1.0, 9);
+  ASSERT_EQ(fused.size(), 1u);
+  EXPECT_TRUE(fused[0].has_accel);
+  EXPECT_TRUE(fused[0].has_acoustic);
+  EXPECT_EQ(fused[0].accel_trace_id, 7u);
+  EXPECT_EQ(fused[0].acoustic_trace_id, 9u);
+  EXPECT_DOUBLE_EQ(fused[0].time_s, 130.0);
+  // 0.6 * 1.0 + 0.5 * 1.0 = 1.1, clamped to the [0, 1] confidence range.
+  EXPECT_DOUBLE_EQ(fused[0].confidence, 1.0);
+}
+
+TEST(MultiModalFuserTest, AndRejectsStrictlyBeyondTheWindow) {
+  MultiModalFuser fuser(fuser_config());
+  EXPECT_TRUE(fuser.ingest(Modality::kAccel, 100.0, 1.0).empty());
+  EXPECT_TRUE(fuser.ingest(Modality::kAcoustic, 130.0 + 1e-6, 1.0).empty());
+}
+
+TEST(MultiModalFuserTest, DedupWindowSuppressesAtTheClosedEdge) {
+  MultiModalConfig cfg = fuser_config();
+  cfg.base.policy = FusionPolicy::kOr;
+  MultiModalFuser fuser(cfg);
+  ASSERT_EQ(fuser.ingest(Modality::kAccel, 100.0, 1.0).size(), 1u);
+  // Exactly dedup_window_s later: suppressed (closed interval).
+  EXPECT_TRUE(fuser.ingest(Modality::kAccel, 120.0, 1.0).empty());
+  // Strictly beyond: a new fused decision.
+  EXPECT_EQ(fuser.ingest(Modality::kAccel, 140.0 + 1e-6, 1.0).size(), 1u);
+}
+
+TEST(MultiModalFuserTest, BothModalitiesDownIsSilent) {
+  MultiModalFuser fuser(fuser_config());
+  fuser.set_state(Modality::kAccel, ModalityState::kQuarantined);
+  fuser.set_state(Modality::kAcoustic, ModalityState::kQuarantined);
+  EXPECT_TRUE(fuser.ingest(Modality::kAccel, 10.0, 1.0).empty());
+  EXPECT_TRUE(fuser.ingest(Modality::kAcoustic, 11.0, 1.0).empty());
+  EXPECT_FALSE(fuser.degraded(11.0));  // both down is not "degraded"
+}
+
+TEST(MultiModalFuserTest, QuarantineDegradesAndToSurvivorOr) {
+  MultiModalFuser fuser(fuser_config());
+  // Healthy: an unpaired accel event emits nothing under kAnd.
+  EXPECT_TRUE(fuser.ingest(Modality::kAccel, 10.0, 1.0).empty());
+  EXPECT_FALSE(fuser.degraded(10.0));
+
+  // Quarantining acoustic flips the ladder rung: degradation FIRST, so
+  // the very next survivor event already stands alone (the ordering under
+  // test — a quarantine must never silence the surviving modality).
+  fuser.set_state(Modality::kAcoustic, ModalityState::kQuarantined);
+  EXPECT_TRUE(fuser.degraded(50.0));
+  const auto fused = fuser.ingest(Modality::kAccel, 50.0, 1.0, 21);
+  ASSERT_EQ(fused.size(), 1u);
+  EXPECT_TRUE(fused[0].has_accel);
+  EXPECT_FALSE(fused[0].has_acoustic);
+  EXPECT_EQ(fused[0].accel_trace_id, 21u);
+  EXPECT_NEAR(fused[0].confidence, 0.6, 1e-12);
+
+  // Evidence for the quarantined lane is discarded, and a revoked
+  // partner left no pending evidence to pair with.
+  EXPECT_TRUE(fuser.ingest(Modality::kAcoustic, 51.0, 1.0).empty());
+}
+
+TEST(MultiModalFuserTest, QuarantineClearsPendingPartnerEvidence) {
+  MultiModalFuser fuser(fuser_config());
+  EXPECT_TRUE(fuser.ingest(Modality::kAcoustic, 100.0, 1.0).empty());
+  fuser.set_state(Modality::kAcoustic, ModalityState::kQuarantined);
+  // The accel survivor emits standalone — its confidence must not borrow
+  // the revoked acoustic event, and has_acoustic must be false.
+  const auto fused = fuser.ingest(Modality::kAccel, 101.0, 1.0);
+  ASSERT_EQ(fused.size(), 1u);
+  EXPECT_FALSE(fused[0].has_acoustic);
+  EXPECT_EQ(fused[0].acoustic_trace_id, 0u);
+  EXPECT_NEAR(fused[0].confidence, 0.6, 1e-12);
+}
+
+TEST(MultiModalFuserTest, StaleTimeoutDegradesAndIngestRevives) {
+  MultiModalConfig cfg = fuser_config();
+  cfg.stale_timeout_s = 120.0;
+  MultiModalFuser fuser(cfg);
+  fuser.reset(0.0);
+  // By t=150 the acoustic lane (last seen at reset, t=0) has exceeded the
+  // 120 s timeout: degraded, the accel event stands alone.
+  const auto alone = fuser.ingest(Modality::kAccel, 150.0, 1.0);
+  ASSERT_EQ(alone.size(), 1u);
+  EXPECT_FALSE(alone[0].has_acoustic);
+  EXPECT_TRUE(fuser.degraded(150.0));
+  // Fresh acoustic evidence revives the lane. With both modalities live
+  // again, kAnd demands a partner — the 150 s accel event is outside the
+  // association window, so nothing fuses yet.
+  EXPECT_TRUE(fuser.ingest(Modality::kAcoustic, 230.0, 1.0).empty());
+  EXPECT_FALSE(fuser.degraded(230.0));
+  // A new accel event inside the window completes a cross-modal pair.
+  const auto fused = fuser.ingest(Modality::kAccel, 240.0, 1.0);
+  ASSERT_EQ(fused.size(), 1u);
+  EXPECT_TRUE(fused[0].has_accel);
+  EXPECT_TRUE(fused[0].has_acoustic);
+}
+
+TEST(MultiModalFuserTest, DisabledModalityBehavesLikePermanentDegradation) {
+  MultiModalConfig cfg = fuser_config();
+  cfg.use_acoustic = false;
+  MultiModalFuser fuser(cfg);
+  // kAnd with no acoustic lane at all == the degraded single-modality
+  // path, from the first event on.
+  const auto fused = fuser.ingest(Modality::kAccel, 5.0, 1.0);
+  ASSERT_EQ(fused.size(), 1u);
+  EXPECT_FALSE(fused[0].has_acoustic);
+  // Acoustic evidence for a disabled lane is dropped outright.
+  EXPECT_TRUE(fuser.ingest(Modality::kAcoustic, 6.0, 1.0).empty());
+}
+
+TEST(MultiModalFuserTest, MinConfidenceFloorGatesEmission) {
+  MultiModalConfig cfg = fuser_config();
+  cfg.use_acoustic = false;
+  MultiModalFuser fuser(cfg);
+  // weight 0.6 * confidence 0.1 = 0.06 < floor 0.2: suppressed.
+  EXPECT_TRUE(fuser.ingest(Modality::kAccel, 5.0, 0.1).empty());
+  // 0.6 * 0.5 = 0.3 >= 0.2: emitted.
+  EXPECT_EQ(fuser.ingest(Modality::kAccel, 50.0, 0.5).size(), 1u);
+}
+
+TEST(MultiModalFuserTest, ResetRestoresConfiguredLadderState) {
+  MultiModalFuser fuser(fuser_config());
+  fuser.set_state(Modality::kAcoustic, ModalityState::kQuarantined);
+  ASSERT_EQ(fuser.ingest(Modality::kAccel, 10.0, 1.0).size(), 1u);
+  fuser.reset(0.0);
+  EXPECT_EQ(fuser.state(Modality::kAcoustic), ModalityState::kLive);
+  // Emission state cleared too: an event at t=10 is not deduped against
+  // the pre-reset emission, and kAnd demands a partner again.
+  EXPECT_TRUE(fuser.ingest(Modality::kAccel, 10.0, 1.0).empty());
+}
+
+}  // namespace
+}  // namespace sid::core

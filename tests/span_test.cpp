@@ -52,6 +52,9 @@ core::SidSystemConfig system_config(std::uint64_t seed) {
   cfg.scenario.seed = seed;
   cfg.cluster.collection_window_s = 70.0;
   cfg.cluster.min_reports = 4;
+  // Multi-modal: the traced run also carries hydrophones so acoustic
+  // contact chains and sink-side fused chains are exercised.
+  cfg.scenario.acoustic.enabled = true;
   return cfg;
 }
 
@@ -105,7 +108,7 @@ std::vector<SpanRecord> parse_spans(const std::string& jsonl) {
     for (const char* key : {"flight", "node", "src", "latency_s"}) {
       if (const auto v = find_number(line, key)) rec.num[key] = *v;
     }
-    for (const char* key : {"kind", "report_id"}) {
+    for (const char* key : {"kind", "report_id", "modality"}) {
       if (const auto v = find_string(line, key)) rec.str[key] = *v;
     }
     spans.push_back(std::move(rec));
@@ -150,7 +153,11 @@ TEST(SpanChainTest, EverySinkDecisionReconstructsACompleteCausalChain) {
       origin = rec;
     }
     ASSERT_NE(origin, nullptr) << "no span_origin for " << sink.id;
-    ASSERT_EQ(origin->str.at("kind"), "decision");
+    // Both payload classes that cross the reliable transport terminate in
+    // a span_sink: cluster decisions and acoustic contact reports.
+    const std::string& origin_kind = origin->str.at("kind");
+    ASSERT_TRUE(origin_kind == "decision" || origin_kind == "acoustic")
+        << "unexpected origin kind " << origin_kind << " for " << sink.id;
 
     // The latency the sink recorded must equal the origin→sink interval.
     ASSERT_TRUE(sink.num.contains("latency_s"));
@@ -248,20 +255,76 @@ TEST(SpanChainTest, FusedReportsLinkDecisionChainsToReportOrigins) {
   for (const SpanRecord& fuse : spans) {
     if (fuse.name != "span_fuse") continue;
     ++fuses;
-    // The fuse rides the decision chain...
-    const auto decision = origin_by_id.find(fuse.id);
-    ASSERT_NE(decision, origin_by_id.end());
-    EXPECT_EQ(decision->second->str.at("kind"), "decision");
-    // ...and cross-links to a report chain that has its own origin,
+    // The fuse rides a chain with its own origin: a cluster decision
+    // (fusing the member reports it pooled) or a sink-side multi-modal
+    // fusion (fusing one event per contributing modality)...
+    const auto chain = origin_by_id.find(fuse.id);
+    ASSERT_NE(chain, origin_by_id.end());
+    const std::string& chain_kind = chain->second->str.at("kind");
+    ASSERT_TRUE(chain_kind == "decision" || chain_kind == "fused")
+        << "unexpected span_fuse chain kind " << chain_kind;
+    // ...and cross-links to a contributing chain that has its own origin,
     // anchored no later than the fuse itself.
     const auto report = origin_by_id.find(fuse.str.at("report_id"));
     ASSERT_NE(report, origin_by_id.end())
-        << "span_fuse names report chain " << fuse.str.at("report_id")
+        << "span_fuse names chain " << fuse.str.at("report_id")
         << " but no span_origin carries that id";
-    EXPECT_EQ(report->second->str.at("kind"), "report");
+    const std::string& linked_kind = report->second->str.at("kind");
+    if (chain_kind == "decision") {
+      EXPECT_EQ(linked_kind, "report");
+    } else {
+      EXPECT_TRUE(linked_kind == "decision" || linked_kind == "acoustic")
+          << "fused chain links to unexpected kind " << linked_kind;
+    }
     EXPECT_LE(report->second->t, fuse.t + 1e-9);
   }
   ASSERT_GT(fuses, 0u);
+}
+
+TEST(SpanChainTest, FusedChainsLinkBackToBothModalityOrigins) {
+  const std::vector<SpanRecord>& spans = traced_run_spans();
+  std::map<std::string, const SpanRecord*> origin_by_id;
+  for (const SpanRecord& rec : spans) {
+    if (rec.name == "span_origin") origin_by_id[rec.id] = &rec;
+  }
+  // The traced scenario carries hydrophones, so both modality chain
+  // kinds and sink-side fused chains must exist at all.
+  std::size_t acoustic_origins = 0;
+  std::size_t fused_origins = 0;
+  for (const auto& [id, rec] : origin_by_id) {
+    if (rec->str.at("kind") == "acoustic") ++acoustic_origins;
+    if (rec->str.at("kind") == "fused") ++fused_origins;
+  }
+  ASSERT_GT(acoustic_origins, 0u);
+  ASSERT_GT(fused_origins, 0u);
+  // Every fused chain's span_fuse names the modality it links and
+  // resolves to an origin of the matching kind; the run must contain at
+  // least one link per modality (kAnd demands cross-modal agreement).
+  bool linked_accel = false;
+  bool linked_acoustic = false;
+  for (const SpanRecord& fuse : spans) {
+    if (fuse.name != "span_fuse") continue;
+    const auto chain = origin_by_id.find(fuse.id);
+    if (chain == origin_by_id.end() ||
+        chain->second->str.at("kind") != "fused") {
+      continue;
+    }
+    const auto target = origin_by_id.find(fuse.str.at("report_id"));
+    ASSERT_NE(target, origin_by_id.end());
+    const std::string& modality = fuse.str.at("modality");
+    if (modality == "accel") {
+      EXPECT_EQ(target->second->str.at("kind"), "decision");
+      linked_accel = true;
+    } else {
+      ASSERT_EQ(modality, "acoustic");
+      EXPECT_EQ(target->second->str.at("kind"), "acoustic");
+      linked_acoustic = true;
+    }
+    // Causality: the contributing origin precedes the fusion instant.
+    EXPECT_LE(target->second->t, fuse.t + 1e-9);
+  }
+  EXPECT_TRUE(linked_accel);
+  EXPECT_TRUE(linked_acoustic);
 }
 
 TEST(SpanChainTest, DeriveTraceIdIsDeterministicAndCollisionResistant) {
@@ -271,6 +334,9 @@ TEST(SpanChainTest, DeriveTraceIdIsDeterministicAndCollisionResistant) {
   // Kind separation: a report and a decision with equal (node, seq)
   // never share a chain.
   EXPECT_NE(a, obs::derive_trace_id(1, 22, 0, obs::SpanKind::kDecision));
+  EXPECT_NE(a,
+            obs::derive_trace_id(1, 22, 0, obs::SpanKind::kAcousticContact));
+  EXPECT_NE(a, obs::derive_trace_id(1, 22, 0, obs::SpanKind::kFused));
   EXPECT_NE(a, obs::derive_trace_id(2, 22, 0, obs::SpanKind::kReport));
   EXPECT_NE(a, obs::derive_trace_id(1, 23, 0, obs::SpanKind::kReport));
   EXPECT_NE(a, obs::derive_trace_id(1, 22, 1, obs::SpanKind::kReport));
