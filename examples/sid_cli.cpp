@@ -6,7 +6,7 @@
 //                    [--seed 1] [--csv]
 //   sid_cli detect --in trace.sidb [--m 2.0] [--af 0.5]
 //   sid_cli scenario [--ship-knots 10] [--heading 88] [--rows 6]
-//                    [--cols 6] [--seed 1] [--threads 1]
+//                    [--cols 6] [--seed 1] [--threads 1] [--shards 0]
 //                    [--metrics-out metrics.json]
 //                    [--trace-out trace.jsonl] [--trace-categories net,sink]
 //                    [--telemetry-out telemetry.jsonl]
@@ -179,6 +179,10 @@ int cmd_scenario(const Args& args) {
   // bit-identical at any count (core/scenario.h), so this is purely a
   // wall-clock knob.
   cfg.scenario.threads = static_cast<std::size_t>(args.num("threads", 1.0));
+  // Spatial shards for the network's beacon plane. 0 = legacy engine;
+  // K >= 1 runs the windowed sharded engine, bit-identical for every K
+  // (CI byte-compares --shards 1 vs 4, like --threads above).
+  cfg.network.shards = static_cast<std::size_t>(args.num("shards", 0.0));
 
   const double knots = args.num("ship-knots", 10.0);
   const double heading = args.num("heading", 88.0);
@@ -292,7 +296,8 @@ int main(int argc, char** argv) {
                "[--csv]\n"
                "  detect   --in FILE [--m M] [--af F]\n"
                "  scenario [--ship-knots N] [--heading DEG] [--rows R] "
-               "[--cols C] [--seed N] [--threads T] [--metrics-out FILE] "
+               "[--cols C] [--seed N] [--threads T] [--shards K] "
+               "[--metrics-out FILE] "
                "[--trace-out FILE] [--trace-categories LIST] "
                "[--telemetry-out FILE] [--telemetry-interval S] "
                "[--flightrec-out FILE]\n");

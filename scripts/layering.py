@@ -17,6 +17,12 @@ Replaces regex-only layering discipline with a real dependency check
                      trees (tests/bench/examples) may include any src
                      layer, but nothing — not even another harness —
                      includes a harness tree, so bench stays a leaf.
+  module-dep         a file named in the manifest's [modules] table promises
+                     a *tighter* dependency set than its layer (e.g.
+                     wsn/spatial_index depends on util only, so the index
+                     stays reusable below the delivery layer). Its includes
+                     may reach its own header pair and the listed layers,
+                     nothing else — not even the rest of its own layer.
   include-cycle      the file-level include graph must be acyclic (#pragma
                      once hides cycles from the compiler; they are still a
                      layering fault).
@@ -102,16 +108,21 @@ def strip_comments_and_strings(line: str) -> str:
 
 class Manifest:
     def __init__(self, layers: dict[str, list[str]],
-                 harnesses: dict[str, list[str]]):
+                 harnesses: dict[str, list[str]],
+                 modules: dict[str, list[str]] | None = None):
         self.layers = layers
         self.harnesses = harnesses
+        # "<layer>/<stem>" -> allowed layers, tighter than the layer's own
+        # list (the module's header pair is implicitly allowed).
+        self.modules = modules or {}
 
     @classmethod
     def load(cls, path: Path) -> "Manifest":
         with path.open("rb") as f:
             data = tomllib.load(f)
         return cls(dict(data.get("layers", {})),
-                   dict(data.get("harnesses", {})))
+                   dict(data.get("harnesses", {})),
+                   dict(data.get("modules", {})))
 
     def cycle(self) -> list[str] | None:
         """Returns a layer cycle in the declared graph, or None."""
@@ -274,10 +285,25 @@ class Analyzer:
                     "scripts/layering.toml")
                 continue
             allowed = self._allowed_deps(src_layer)
+            module_spec = (
+                self.manifest.modules.get(f"{src_layer}/{rel.stem}")
+                if rel.parts[0] == "src" else None)
             for lineno, target in edges:
                 dst_layer = self.layer_of(target)
                 if dst_layer is None:
                     continue  # reported once for the target file itself
+                if module_spec is not None:
+                    same_module = (dst_layer == src_layer
+                                   and target.stem == rel.stem)
+                    if not same_module and dst_layer not in module_spec:
+                        self.report(
+                            "module-dep", rel, lineno,
+                            f"module '{src_layer}/{rel.stem}' promises a "
+                            f"tighter dependency set than its layer — "
+                            f"{target.as_posix()} is outside it (allowed: "
+                            f"own header pair, "
+                            f"{', '.join(sorted(module_spec)) or 'none'})")
+                        continue
                 if dst_layer == src_layer:
                     continue
                 if dst_layer in HARNESS_DIRS:
@@ -447,7 +473,8 @@ def self_test() -> int:
     then asserts a clean tree (with layering:allow escapes) passes."""
     manifest = Manifest(
         {"util": [], "wsn": ["util"], "core": ["util", "wsn"]},
-        {"tests": ["*"], "bench": ["*"], "examples": ["*"]})
+        {"tests": ["*"], "bench": ["*"], "examples": ["*"]},
+        {"wsn/tight": ["util"]})
     failures: list[str] = []
 
     with tempfile.TemporaryDirectory() as tmp:
@@ -479,6 +506,14 @@ def self_test() -> int:
                "extern int mutable_global;\n"
                "extern const int kTableSize;\n"
                "extern int pure_function(int);\n")
+        # module-dep plant: a [modules]-listed file reaching into the rest
+        # of its own layer; its own header and listed layers stay exempt.
+        _write(root / "src/wsn/peer.h", "#pragma once\nint peer();\n")
+        _write(root / "src/wsn/tight.h", "#pragma once\nint tight();\n")
+        _write(root / "src/wsn/tight.cpp",
+               '#include "wsn/tight.h"\n'
+               '#include "util/rng.h"\n'
+               '#include "wsn/peer.h"\n')
         # Harness may include src but not bench.
         _write(root / "tests/ok_test.cpp", '#include "util/rng.h"\n')
         _write(root / "tests/bad_test.cpp", '#include "bench/fixture.h"\n')
@@ -496,6 +531,7 @@ def self_test() -> int:
                 ("unresolved-include", "nope.h"),
                 ("const-cast", "wsn/cast.cpp"),
                 ("extern-global", "mutable_global"),
+                ("module-dep", "wsn/peer.h"),
         ]:
             if not any(f"[{rule}]" in v and needle in v
                        for v in analyzer.violations):
@@ -505,6 +541,8 @@ def self_test() -> int:
                 ("kTableSize", "extern-global"),
                 ("pure_function", "extern-global"),
                 ("tests/ok_test.cpp", "layer-dep"),
+                ("wsn/tight.h", "module-dep"),
+                ("util/rng.h", "module-dep"),
         ]:
             if any(f"[{rule}]" in v and exempt in v
                    for v in analyzer.violations):

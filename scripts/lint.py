@@ -48,6 +48,16 @@ Enforces the discipline clang-tidy cannot express:
                     guard_ledger) and the quarantine listener; letting
                     protocol code poke the tables/ledgers directly would
                     bypass the admission funnel the defense audits.
+  spatial-funnel    no all-pairs triangular scan (`for (j = i + 1; j < N`)
+                    in src/ outside src/wsn/spatial_index.* — range and
+                    neighborhood queries go through the uniform-grid
+                    SpatialIndex (DESIGN.md §5l), whose grid==brute-force
+                    property test keeps results byte-identical to the
+                    historical O(N^2) loops. A fresh pairwise scan would
+                    quietly reintroduce the quadratic wall the fleet_sweep
+                    bench exists to keep down. (Tests and benches may
+                    brute-force freely: they are the oracle the index is
+                    checked against.)
   span-funnel       no direct Tracer::emit_span call in src/ outside
                     src/obs/ — span records are emitted through the
                     SID_SPAN macro only (obs/span.h), so the
@@ -139,6 +149,20 @@ DEFENSE_FUNNEL_PATTERNS = (
     # GuardLedger / quarantine-view mutators (both admission funnels:
     # accel reports/decisions and acoustic contact reports).
     re.compile(r"\.\s*(?:assess(?:_acoustic)?|apply_notice)\s*\("),
+)
+
+# The spatial funnel: production range queries go through the grid index.
+# Only its own implementation may write pairwise scans; tests and benches
+# are out of scope (they brute-force as the correctness/perf oracle).
+SPATIAL_ALLOWED = {
+    Path("src/wsn/spatial_index.h"), Path("src/wsn/spatial_index.cpp"),
+}
+
+SPATIAL_PATTERNS = (
+    # The triangular inner loop of an all-pairs scan: `j` starts one past
+    # another index and walks the rest of the collection.
+    re.compile(r"for\s*\(\s*(?:[\w:<>]+\s+)?(\w+)\s*=\s*\w+\s*\+\s*1\s*;"
+               r"\s*\1\s*<"),
 )
 
 # The span funnel: only the obs layer itself (the macro's implementation
@@ -249,6 +273,8 @@ class Linter:
                          and not rel_posix.startswith(DEFENSE_FUNNEL_PREFIX))
         check_span = (rel_posix.startswith("src/")
                       and not rel_posix.startswith(SPAN_FUNNEL_PREFIX))
+        check_spatial = (rel_posix.startswith("src/")
+                         and rel not in SPATIAL_ALLOWED)
 
         for lineno, raw in enumerate(lines, start=1):
             allowed = {m for m in ALLOW_RE.findall(raw)}
@@ -325,6 +351,17 @@ class Linter:
                             f"'{m.group(0).strip()}' outside src/obs/ — "
                             f"use the SID_SPAN macro so the metrics-off "
                             f"build compiles the site away")
+            if check_spatial and "spatial-funnel" not in allowed:
+                for pat in SPATIAL_PATTERNS:
+                    m = pat.search(code)
+                    if m:
+                        self.report(
+                            "spatial-funnel", path, lineno,
+                            f"all-pairs triangular scan "
+                            f"'{m.group(0).strip()}' outside "
+                            f"src/wsn/spatial_index — query the grid "
+                            f"index instead (its property test pins "
+                            f"byte-identity to the brute-force scan)")
             if (is_header and "header-using" not in allowed
                     and USING_NAMESPACE_RE.search(code)):
                 self.report("header-using", path, lineno,
@@ -391,6 +428,11 @@ def self_test() -> int:
             "void h() { ledger.assess_acoustic(contact, msg, t); }\n",
         "span-funnel":
             "void f() { tracer->emit_span(cat, \"n\", t, d, id, {}); }\n",
+        "spatial-funnel":
+            "void f() {\n"
+            "  for (std::size_t i = 0; i < n; ++i)\n"
+            "    for (std::size_t j = i + 1; j < n; ++j) touch(i, j);\n"
+            "}\n",
     }
     failures = []
     with tempfile.TemporaryDirectory() as tmp:
@@ -439,6 +481,9 @@ def self_test() -> int:
         # the obs layer itself (the macro's home) is exempt.
         (core_dir / "r.cpp").write_text(cases["span-funnel"])
         (obs / "span_ok.cpp").write_text(cases["span-funnel"])
+        # Spatial-funnel plant: a core-layer all-pairs scan; the index's
+        # own implementation is exempt.
+        (core_dir / "s.cpp").write_text(cases["spatial-funnel"])
         # A protocol struct with an inexact default.
         wsn = src / "wsn"
         wsn.mkdir()
@@ -450,6 +495,8 @@ def self_test() -> int:
             " return node_operational(id, t); }\n")
         # ...and the defense funnel: the wsn layer may mutate freely.
         (wsn / "defense_user.cpp").write_text(cases["defense-funnel"])
+        # ...and the spatial index itself IS the funnel: exempt.
+        (wsn / "spatial_index.cpp").write_text(cases["spatial-funnel"])
 
         linter = Linter(root)
         rc = linter.run()
@@ -474,6 +521,7 @@ def self_test() -> int:
                 ("defense-funnel", "n.cpp"),
                 ("defense-funnel", "n2.cpp"),
                 ("span-funnel", "r.cpp"),
+                ("spatial-funnel", "s.cpp"),
                 ("protocol-literal", "3.3"),
         ]:
             if not any(f"[{rule}]" in v and needle in v
@@ -500,6 +548,10 @@ def self_test() -> int:
                for v in linter.violations):
             failures.append(
                 "span-funnel fired inside the exempt src/obs/ tree")
+        if any("wsn/spatial_index.cpp" in v and "[spatial-funnel]" in v
+               for v in linter.violations):
+            failures.append(
+                "spatial-funnel fired inside the exempt index module")
         # (match on the location prefix: the rule's advice text itself
         # names the exempt header)
         if any(v.startswith("src/util/thread_annotations.h:")

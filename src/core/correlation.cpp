@@ -263,8 +263,12 @@ double sweep_consistency(std::span<const wsn::DetectionReport> reports,
   const std::size_t stride = n > 40 ? n / 40 + 1 : 1;
   std::vector<SweepPoint> inliers;
   for (std::size_t i = 0; i < n; i += stride) {
-    for (std::size_t j = i + 1; j < n; j += stride) {
-      for (std::size_t k = j + 1; k < n; k += stride) {
+    // Combinatorial triple over a stride-capped cluster (<= ~40 points),
+    // not a spatial field scan — no index query expresses "all 3-subsets".
+    for (std::size_t j = i + 1; j < n;  // lint:allow spatial-funnel
+         j += stride) {
+      for (std::size_t k = j + 1; k < n;  // lint:allow spatial-funnel
+           k += stride) {
         // Exact plane through three points (Cramer).
         const double a11 = points[j].s - points[i].s;
         const double a12 = points[j].d - points[i].d;

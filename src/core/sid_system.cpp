@@ -876,7 +876,9 @@ SystemResult SidSystem::run(std::span<const wake::ShipTrackConfig> ships) {
         active_s * config_.scenario.trace.sample_rate_hz));
   }
 
-  network_.events().run_all();
+  // Legacy engine or the sharded windowed engine, per
+  // NetworkConfig::shards (run_events dispatches).
+  network_.run_events();
 
   // Detection outcomes against ground truth (observability only): each
   // alarm either matches a wake arrival or is spurious; each arrival with
@@ -927,7 +929,7 @@ SystemResult SidSystem::run(std::span<const wake::ShipTrackConfig> ships) {
   }
   registry().gauge("energy.total_mj").set(result_.total_energy_mj);
   registry().gauge("sim.events_executed")
-      .set(static_cast<double>(network_.events().executed_total()));
+      .set(static_cast<double>(network_.events_executed_total()));
   result_.tracks = tracker_.active_tracks();
   result_.tracks.insert(result_.tracks.end(),
                         tracker_.retired_tracks().begin(),

@@ -20,6 +20,8 @@ constexpr std::array<std::string_view,
         "synthesis",
         "event_dispatch",
         "fusion",
+        "adjacency",
+        "shard_window",
     }};
 
 /// Log-spaced 1-2-5 nanosecond buckets, 1 us .. 10 s.

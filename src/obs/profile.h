@@ -35,6 +35,8 @@ enum class Stage : std::size_t {
   kSynthesis,      ///< sensor-trace synthesis (ocean + wake + sensing)
   kEventDispatch,  ///< one event-queue callback (wsn/event_queue)
   kFusion,         ///< multi-modal accel+acoustic fusion (core/fusion)
+  kAdjacency,      ///< spatial-index adjacency build (wsn/network)
+  kShardWindow,    ///< one sharded-engine barrier window (wsn/network)
   kCount,
 };
 

@@ -101,4 +101,9 @@ void parallel_for(ThreadPool* pool, std::size_t n,
   pool->parallel_for(n, body);
 }
 
+std::size_t hardware_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
 }  // namespace sid::util

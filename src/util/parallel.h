@@ -82,4 +82,9 @@ class ThreadPool {
 void parallel_for(ThreadPool* pool, std::size_t n,
                   const std::function<void(std::size_t)>& body);
 
+/// Hardware thread count, normalized to >= 1 (hardware_concurrency may
+/// report 0). Sizing hint only — it must never influence simulation
+/// results, only how many workers compute them.
+std::size_t hardware_threads();
+
 }  // namespace sid::util

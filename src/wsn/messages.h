@@ -7,6 +7,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <variant>
 
 #include "util/geometry.h"
@@ -15,8 +16,17 @@ namespace sid::wsn {
 
 using NodeId = std::uint32_t;
 
-/// Reserved id for the sink (shore station).
+/// Reserved id for the sink (shore station). Messages addressed to
+/// kSinkId resolve to the configured gateway node
+/// (NetworkConfig::sink_node) at the unicast entry point.
 inline constexpr NodeId kSinkId = 0xFFFFFFFF;
+
+/// Dedicated "no parent assigned" sentinel for routing search state
+/// (Dijkstra/BFS parent arrays). Historically the path searches reused
+/// kSinkId for this, which made the reserved sink address mean
+/// "unreachable" inside the router; keep the two meanings separate even
+/// though the numeric value coincides.
+inline constexpr NodeId kNoParent = std::numeric_limits<NodeId>::max();
 
 /// Node-level positive detection, sent to the temporary cluster head
 /// (§IV-B: "it reports E_dt and the onset time when the signal first

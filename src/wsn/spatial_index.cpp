@@ -1,0 +1,95 @@
+#include "wsn/spatial_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace sid::wsn {
+
+namespace {
+
+std::size_t grid_coord(double v, double lo, double cell) {
+  const double raw = std::floor((v - lo) / cell);
+  return raw <= 0.0 ? 0 : static_cast<std::size_t>(raw);
+}
+
+}  // namespace
+
+SpatialIndex::SpatialIndex(const std::vector<util::Vec2>& points,
+                           double cell_size_m)
+    : cell_(cell_size_m), points_(points) {
+  SID_CHECK(cell_size_m > 0.0, "spatial index cell size must be positive");
+  if (points_.empty()) return;
+  double max_x = points_[0].x;
+  double max_y = points_[0].y;
+  min_x_ = points_[0].x;
+  min_y_ = points_[0].y;
+  for (const util::Vec2& p : points_) {
+    min_x_ = std::min(min_x_, p.x);
+    min_y_ = std::min(min_y_, p.y);
+    max_x = std::max(max_x, p.x);
+    max_y = std::max(max_y, p.y);
+  }
+  nx_ = grid_coord(max_x, min_x_, cell_) + 1;
+  ny_ = grid_coord(max_y, min_y_, cell_) + 1;
+  // Counting sort into CSR so build stays O(N + cells); filling in id
+  // order keeps each cell's id list ascending.
+  offsets_.assign(nx_ * ny_ + 1, 0);
+  for (const util::Vec2& p : points_) ++offsets_[cell_of(p) + 1];
+  for (std::size_t c = 1; c < offsets_.size(); ++c) {
+    offsets_[c] += offsets_[c - 1];
+  }
+  ids_.resize(points_.size());
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    ids_[cursor[cell_of(points_[i])]++] = static_cast<PointId>(i);
+  }
+}
+
+std::size_t SpatialIndex::cell_of(const util::Vec2& p) const {
+  const std::size_t ix = std::min(grid_coord(p.x, min_x_, cell_), nx_ - 1);
+  const std::size_t iy = std::min(grid_coord(p.y, min_y_, cell_), ny_ - 1);
+  return iy * nx_ + ix;
+}
+
+void SpatialIndex::query(const util::Vec2& center, double radius_m,
+                         std::vector<PointId>& out) const {
+  out.clear();
+  if (points_.empty() || radius_m < 0.0) return;
+  // Conservative cell bounds: every point within radius_m lies in
+  // [center - r, center + r], and floor-based inclusive bounds cover the
+  // cells of that box even when the box edge lands exactly on a cell
+  // boundary.
+  const std::size_t ix_lo = std::min(
+      grid_coord(center.x - radius_m, min_x_, cell_), nx_ - 1);
+  const std::size_t ix_hi = std::min(
+      grid_coord(center.x + radius_m, min_x_, cell_), nx_ - 1);
+  const std::size_t iy_lo = std::min(
+      grid_coord(center.y - radius_m, min_y_, cell_), ny_ - 1);
+  const std::size_t iy_hi = std::min(
+      grid_coord(center.y + radius_m, min_y_, cell_), ny_ - 1);
+  for (std::size_t iy = iy_lo; iy <= iy_hi; ++iy) {
+    for (std::size_t ix = ix_lo; ix <= ix_hi; ++ix) {
+      const std::size_t c = iy * nx_ + ix;
+      for (std::size_t k = offsets_[c]; k < offsets_[c + 1]; ++k) {
+        const PointId id = ids_[k];
+        if (util::distance(center, points_[id]) <= radius_m) {
+          out.push_back(id);
+        }
+      }
+    }
+  }
+  // Per-cell runs are ascending but the cell walk interleaves rows;
+  // callers (adjacency build, tests) rely on globally ascending ids.
+  std::sort(out.begin(), out.end());
+}
+
+std::vector<SpatialIndex::PointId> SpatialIndex::query(
+    const util::Vec2& center, double radius_m) const {
+  std::vector<PointId> out;
+  query(center, radius_m, out);
+  return out;
+}
+
+}  // namespace sid::wsn

@@ -1,0 +1,66 @@
+// Uniform-grid spatial index over 2-D anchor points.
+//
+// ROADMAP #1: fleet-scale fields (10k-100k buoys) cannot afford the
+// O(N^2) pairwise range scans the simulator grew up with. This module
+// buckets points into a uniform grid (cell edge = query radius, i.e.
+// the radio range) and answers "all points within r of a center" by
+// scanning only the 3x3 cell neighborhood that can contain candidates.
+// The cell walk is conservative (floor-based inclusive bounds, so
+// points sitting exactly on a cell or radius boundary are never
+// missed); an exact util::distance test filters candidates, making the
+// result set identical to a brute-force pairwise scan. Results are
+// returned in ascending id order so callers that previously built
+// adjacency from an ascending triangular loop stay byte-identical.
+//
+// The module deliberately depends on util only (see layering.toml
+// [modules]); it indexes plain points, not wsn nodes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/geometry.h"
+
+namespace sid::wsn {
+
+class SpatialIndex {
+ public:
+  using PointId = std::uint32_t;
+
+  SpatialIndex() = default;
+
+  /// Builds the grid over `points`. `cell_size_m` should normally equal
+  /// the dominant query radius (radio max range); larger cells degrade
+  /// toward brute force, smaller cells widen the cell walk.
+  SpatialIndex(const std::vector<util::Vec2>& points, double cell_size_m);
+
+  /// Appends every point id with distance(center, point) <= radius_m to
+  /// `out` (cleared first), sorted ascending. Includes the query point
+  /// itself if it is indexed. Exact-boundary points (d == radius_m) are
+  /// included, matching Radio::in_range's inclusive comparison.
+  void query(const util::Vec2& center, double radius_m,
+             std::vector<PointId>& out) const;
+
+  /// Convenience overload allocating the result vector.
+  std::vector<PointId> query(const util::Vec2& center,
+                             double radius_m) const;
+
+  std::size_t size() const { return points_.size(); }
+  double cell_size_m() const { return cell_; }
+
+ private:
+  std::size_t cell_of(const util::Vec2& p) const;
+
+  double cell_ = 1.0;
+  double min_x_ = 0.0;
+  double min_y_ = 0.0;
+  std::size_t nx_ = 0;
+  std::size_t ny_ = 0;
+  // CSR layout: ids of cell c are ids_[offsets_[c] .. offsets_[c + 1]).
+  // Within a cell ids are ascending (filled in id order).
+  std::vector<std::size_t> offsets_;
+  std::vector<PointId> ids_;
+  std::vector<util::Vec2> points_;
+};
+
+}  // namespace sid::wsn

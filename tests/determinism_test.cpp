@@ -439,6 +439,88 @@ TEST(DeterminismTest, FusedMultiModalRunIsReproducibleAcrossThreads) {
   EXPECT_EQ(serial.flightrec, parallel.flightrec);
 }
 
+// ------------------------------------------- sharded engine (§5l)
+//
+// NetworkConfig::shards partitions the beacon plane into per-shard event
+// lanes synchronized through a conservative time-windowed barrier; the
+// contract is the same one §5g established for the thread pool: any
+// shard count reproduces the shards=1 reference bit for bit, artifacts
+// included. The workload is the §5k fused multi-modal run with attacks
+// AND the full fault menu (crash, congestion windows, channel-wide
+// Gilbert–Elliott bursts) so the commit path's shared fault-stream
+// draws, suspicion traces and energy spends are all exercised.
+
+TEST(DeterminismTest, FusedFaultedAttackedRunIsReproducibleAcrossShards) {
+  const std::vector<wake::ShipTrackConfig> ships{crossing_ship()};
+
+  struct Run {
+    std::uint64_t hash = 0;
+    std::string metrics;
+    std::string trace;
+    std::string telemetry;
+    std::string flightrec;
+    core::SystemResult result;
+  };
+  const auto run_sharded = [&ships](std::size_t shards) {
+    auto cfg = fused_attacked_config(1);
+    cfg.network.shards = shards;
+    wsn::NodeCrash crash;
+    crash.node = 21;
+    crash.time_s = 60.0;
+    cfg.network.faults.crashes.push_back(crash);
+    wsn::CongestionWindow congestion;
+    congestion.start_s = 80.0;
+    congestion.end_s = 140.0;
+    congestion.extra_loss_probability = 0.25;
+    cfg.network.faults.congestion.push_back(congestion);
+    cfg.network.faults.all_links_burst = wsn::GilbertElliottParams{};
+    core::SidSystem sys(cfg);
+    obs::TelemetryConfig telemetry;
+    telemetry.interval_s = 15.0;
+    sys.enable_telemetry(telemetry);
+    std::ostringstream trace;
+    sys.tracer().attach(&trace, obs::kAllCategories);
+    Run run;
+    run.result = sys.run(ships);
+    sys.tracer().close();
+    run.hash = hash_multimodal(run.result);
+    run.metrics = sys.registry().to_json(false);
+    run.trace = trace.str();
+    std::ostringstream tele;
+    sys.telemetry()->dump_jsonl(tele);
+    run.telemetry = tele.str();
+    std::ostringstream rec;
+    sys.flight_recorder().dump(rec, "determinism");
+    run.flightrec = rec.str();
+    return run;
+  };
+
+  const Run reference = run_sharded(1);
+  // Non-vacuity: beacons, both modalities, the attacks and every fault
+  // class must actually fire, otherwise shard-equality proves nothing.
+  ASSERT_GT(reference.result.network_stats.beacons_sent, 0u);
+  ASSERT_GT(reference.result.network_stats.beacon_receptions, 0u);
+  ASSERT_GT(reference.result.network_stats.suspicions, 0u);
+  ASSERT_GT(reference.result.network_stats.congestion_losses, 0u);
+  ASSERT_GT(reference.result.network_stats.burst_losses, 0u);
+  ASSERT_GT(reference.result.network_stats.attack_forgeries, 0u);
+  ASSERT_GT(reference.result.acoustic_contacts_accepted, 0u);
+  ASSERT_GT(reference.result.fused_detections, 0u);
+
+  // 2 and 4 divide the 36-node field evenly; 5 does not (stripes of 7
+  // and 8), so uneven ownership is covered too.
+  for (const std::size_t shards : {2u, 4u, 5u}) {
+    const Run sharded = run_sharded(shards);
+    EXPECT_EQ(reference.hash, sharded.hash) << "shards=" << shards;
+    EXPECT_EQ(reference.metrics, sharded.metrics) << "shards=" << shards;
+    EXPECT_EQ(reference.trace, sharded.trace) << "shards=" << shards;
+    EXPECT_EQ(reference.telemetry, sharded.telemetry)
+        << "shards=" << shards;
+    EXPECT_EQ(reference.flightrec, sharded.flightrec)
+        << "shards=" << shards;
+  }
+}
+
 // --------------------------------------------------------- metrics dumps
 
 TEST(DeterminismTest, MetricsDumpIsBitIdenticalForSameSeed) {

@@ -1,0 +1,113 @@
+// Property tests for the uniform-grid spatial index (wsn/spatial_index):
+// grid queries must return exactly what a brute-force pairwise scan
+// returns — same ids, same (ascending) order — including points sitting
+// exactly on cell and radius boundaries. The adjacency build's
+// byte-identity to its historical O(N^2) loop rests on this.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/geometry.h"
+#include "util/rng.h"
+#include "wsn/spatial_index.h"
+
+namespace sid::wsn {
+namespace {
+
+using PointId = SpatialIndex::PointId;
+
+std::vector<PointId> brute_force(const std::vector<util::Vec2>& points,
+                                 const util::Vec2& center, double radius) {
+  std::vector<PointId> out;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (util::distance(center, points[i]) <= radius) {
+      out.push_back(static_cast<PointId>(i));
+    }
+  }
+  return out;  // ascending by construction
+}
+
+TEST(SpatialIndexTest, EmptyIndexReturnsNothing) {
+  const SpatialIndex index({}, 70.0);
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_TRUE(index.query({0.0, 0.0}, 100.0).empty());
+}
+
+TEST(SpatialIndexTest, SinglePointFoundAtExactRadius) {
+  const std::vector<util::Vec2> points{{10.0, 20.0}};
+  const SpatialIndex index(points, 70.0);
+  // d == radius is inside (Radio::in_range is <=).
+  EXPECT_EQ(index.query({10.0, 90.0}, 70.0),
+            (std::vector<PointId>{0}));
+  EXPECT_TRUE(index.query({10.0, 90.0001}, 70.0).empty());
+  // Zero radius finds only exact coincidence.
+  EXPECT_EQ(index.query({10.0, 20.0}, 0.0), (std::vector<PointId>{0}));
+  EXPECT_TRUE(index.query({10.0, 20.5}, 0.0).empty());
+}
+
+// 1000 random anchors plus crafted cell-boundary points; ~100 probes
+// (random centers, indexed points, boundary points) must match the
+// brute-force scan exactly.
+TEST(SpatialIndexTest, GridMatchesBruteForceOnRandomField) {
+  const double kRadius = 70.0;
+  util::Rng rng(0xdecaf);
+  std::vector<util::Vec2> points;
+  points.reserve(1000);
+  for (std::size_t i = 0; i < 900; ++i) {
+    points.push_back({rng.uniform(0.0, 500.0), rng.uniform(0.0, 500.0)});
+  }
+  // Points landing exactly on cell corners/edges (multiples of the cell
+  // size, i.e. the radius) — the floor-based bucketing's edge cases.
+  for (std::size_t i = 0; points.size() < 1000; ++i) {
+    const double gx = static_cast<double>(i % 8) * kRadius;
+    const double gy = static_cast<double>(i / 8) * kRadius;
+    points.push_back({gx, gy});
+    if (points.size() < 1000) points.push_back({gx + kRadius / 2.0, gy});
+  }
+  const SpatialIndex index(points, kRadius);
+  ASSERT_EQ(index.size(), 1000u);
+
+  std::vector<util::Vec2> probes;
+  for (std::size_t i = 0; i < 40; ++i) {
+    probes.push_back({rng.uniform(-50.0, 550.0), rng.uniform(-50.0, 550.0)});
+  }
+  for (std::size_t i = 0; i < 40; ++i) {
+    probes.push_back(points[rng.uniform_int(points.size())]);
+  }
+  // Probes on exact cell boundaries, including the field's far corner.
+  for (std::size_t i = 0; i < 8; ++i) {
+    probes.push_back({static_cast<double>(i) * kRadius, 2.0 * kRadius});
+    probes.push_back({2.0 * kRadius, static_cast<double>(i) * kRadius});
+  }
+  std::vector<PointId> got;
+  for (const util::Vec2& probe : probes) {
+    index.query(probe, kRadius, got);
+    const auto want = brute_force(points, probe, kRadius);
+    ASSERT_EQ(got, want) << "probe (" << probe.x << ", " << probe.y << ")";
+    EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+    // A wider radius than the cell size must stay exact too (the cell
+    // walk widens conservatively).
+    index.query(probe, 2.5 * kRadius, got);
+    ASSERT_EQ(got, brute_force(points, probe, 2.5 * kRadius));
+  }
+}
+
+// Degenerate geometry: all points collinear (1-D grid) and coincident
+// duplicates — bucketing must not lose or duplicate ids.
+TEST(SpatialIndexTest, CollinearAndCoincidentPoints) {
+  std::vector<util::Vec2> points;
+  for (std::size_t i = 0; i < 50; ++i) {
+    points.push_back({static_cast<double>(i) * 35.0, 0.0});
+  }
+  points.push_back(points[10]);  // exact duplicate
+  const SpatialIndex index(points, 70.0);
+  std::vector<PointId> got;
+  for (const util::Vec2& probe : points) {
+    index.query(probe, 70.0, got);
+    ASSERT_EQ(got, brute_force(points, probe, 70.0));
+  }
+}
+
+}  // namespace
+}  // namespace sid::wsn

@@ -67,6 +67,17 @@ TEST(EventQueueTest, RunUntilStopsAtBoundary) {
   EXPECT_EQ(queue.pending(), 1u);
 }
 
+TEST(EventQueueTest, NextTimePeeksWithoutRunning) {
+  EventQueue queue;
+  EXPECT_THROW(queue.next_time(), util::InvalidArgument);
+  queue.schedule_at(2.5, [] {});
+  queue.schedule_at(1.5, [] {});
+  EXPECT_NEAR(queue.next_time(), 1.5, 1e-12);
+  EXPECT_EQ(queue.pending(), 2u);  // peeking executes nothing
+  queue.run_all();
+  EXPECT_THROW(queue.next_time(), util::InvalidArgument);
+}
+
 TEST(EventQueueTest, PastSchedulingThrows) {
   EventQueue queue;
   queue.schedule_at(2.0, [] {});
@@ -316,6 +327,144 @@ TEST(NetworkTest, SelfUnicastDelivers) {
   net.unicast(msg);
   net.events().run_all();
   EXPECT_EQ(delivered, 1);
+}
+
+// ------------------------------------------------- sink sentinel bugfix
+//
+// The path searches historically reused kSinkId as their "no parent"
+// sentinel, conflating the reserved sink address with "unreachable": any
+// unicast addressed to the sink's reserved id fell into the
+// nonexistent-destination branch and died as kUnroutable. The fix gives
+// the searches a dedicated kNoParent sentinel and resolves kSinkId to
+// NetworkConfig::sink_node at the unicast/hop_distance entry points.
+// These tests fail on the pre-fix routing code.
+
+TEST(SinkSentinelRegression, ReservedSinkAddressRoutesToGateway) {
+  NetworkConfig cfg = small_grid();
+  cfg.radio.extra_loss_probability = 0.0;
+  cfg.radio.transition_width_m = 1.0;  // crisp links
+  cfg.max_retransmissions = 5;
+  Network net(cfg);  // default gateway: node 0 (SidSystem's grid (0,0))
+
+  int delivered = 0;
+  net.set_delivery_handler(
+      [&](NodeId receiver, const Message& msg, double) {
+        ++delivered;
+        EXPECT_EQ(receiver, net.sink_node());
+        EXPECT_EQ(msg.dst, net.sink_node());  // resolved, not 0xFFFFFFFF
+      });
+
+  Message msg;
+  msg.src = net.id_at(3, 4);  // far corner: forces a multi-hop route
+  msg.dst = kSinkId;
+  msg.payload = ClusterDecision{};
+  EXPECT_EQ(net.unicast(msg), UnicastOutcome::kDelivered);
+  net.events().run_all();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(net.stats().unicasts_unroutable, 0u);
+  EXPECT_GT(net.stats().hops_traversed, 1u);
+
+  // hop_distance accepts the reserved address too (pre-fix: aborted on
+  // the bad-id require).
+  const auto d = net.hop_distance(net.id_at(3, 4), kSinkId);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_GE(*d, 2u);
+}
+
+// A 1x5 line where the gateway sits mid-line: the only route to the far
+// end runs *through* the sink (the sink is the penultimate hop), and the
+// only route to the reserved sink address needs parents assigned across
+// the whole line. Exercises both searches with routes the old sentinel
+// declared impossible, in both routing modes.
+TEST(SinkSentinelRegression, RouteThroughMidlineSink) {
+  for (const RoutingMode mode :
+       {RoutingMode::kSelfHealing, RoutingMode::kOracle}) {
+    NetworkConfig cfg;
+    cfg.rows = 1;
+    cfg.cols = 5;
+    cfg.spacing_m = 60.0;  // only adjacent nodes are in the 70 m range
+    cfg.radio.prr50_distance_m = 65.0;
+    cfg.radio.transition_width_m = 1.0;
+    cfg.radio.extra_loss_probability = 0.0;
+    cfg.max_retransmissions = 5;
+    cfg.routing = mode;
+    cfg.sink_node = 3;
+    Network net(cfg);
+
+    int sink_deliveries = 0;
+    int far_deliveries = 0;
+    net.set_delivery_handler(
+        [&](NodeId receiver, const Message&, double) {
+          if (receiver == 3) ++sink_deliveries;
+          if (receiver == 4) ++far_deliveries;
+        });
+
+    // 0 -> kSinkId resolves to node 3, three hops down the line.
+    Message to_sink;
+    to_sink.src = 0;
+    to_sink.dst = kSinkId;
+    to_sink.payload = ClusterDecision{};
+    EXPECT_EQ(net.unicast(to_sink), UnicastOutcome::kDelivered);
+    EXPECT_EQ(net.hop_distance(0, kSinkId), 3u);
+
+    // 0 -> 4: the sink is the penultimate hop of the only route. Plain
+    // addressing, unchanged by the fix (the alias only rewrites the
+    // exact kSinkId value).
+    Message through;
+    through.src = 0;
+    through.dst = 4;
+    through.payload = ClusterDecision{};
+    EXPECT_EQ(net.unicast(through), UnicastOutcome::kDelivered);
+    EXPECT_EQ(net.hop_distance(0, 4), 4u);
+
+    net.events().run_all();
+    EXPECT_EQ(sink_deliveries, 1);
+    EXPECT_EQ(far_deliveries, 1);
+  }
+}
+
+TEST(NetworkTest, SinkNodeOutOfGridThrows) {
+  NetworkConfig cfg = small_grid();
+  cfg.sink_node = static_cast<NodeId>(cfg.rows * cfg.cols);
+  EXPECT_THROW(Network net(cfg), util::InvalidArgument);
+}
+
+// ------------------------------------------------ adjacency admission
+//
+// DESIGN.md §5f: oracle mode thresholds ground-truth PRR at
+// min_link_prr; self-healing admits every physically-reachable link
+// (boundary inclusive) and gates *use* through the learned tables. A
+// link at exactly max_range_m is the discriminating case: PRR there is
+// far below the oracle threshold but the link is still physical.
+TEST(NetworkTest, BoundaryLinkAdmissionMatchesRoutingMode) {
+  NetworkConfig cfg;
+  cfg.rows = 1;
+  cfg.cols = 2;
+  cfg.spacing_m = cfg.radio.max_range_m;  // exactly at the boundary
+
+  cfg.routing = RoutingMode::kSelfHealing;
+  {
+    Network net(cfg);
+    ASSERT_EQ(net.neighbors(0).size(), 1u);
+    EXPECT_EQ(net.neighbors(0)[0], 1u);
+  }
+
+  cfg.routing = RoutingMode::kOracle;
+  {
+    // Default radio: prr(70 m) is ~0, far under min_link_prr.
+    Network net(cfg);
+    EXPECT_TRUE(net.neighbors(0).empty());
+  }
+
+  // One epsilon past the range boundary: no link in either mode.
+  cfg.spacing_m = std::nextafter(cfg.radio.max_range_m,
+                                 2.0 * cfg.radio.max_range_m);
+  for (const RoutingMode mode :
+       {RoutingMode::kSelfHealing, RoutingMode::kOracle}) {
+    cfg.routing = mode;
+    Network net(cfg);
+    EXPECT_TRUE(net.neighbors(0).empty());
+  }
 }
 
 TEST(NetworkTest, LossyLinksDropSomeUnicasts) {
